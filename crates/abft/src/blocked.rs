@@ -1,0 +1,263 @@
+//! Block-partitioned ABFT: the shared-memory analogue of the paper's
+//! MPI discussion (Section 1).
+//!
+//! "In an implementation of SpMxV in such a setting, the processing
+//! elements hold a part of the matrix and the input vector …
+//! Performing error detection and correction locally imply global error
+//! detection and correction for the SpMxV." Each row block gets its own
+//! pair of weighted column checksums computed over *its rows only*
+//! (`C_B[r][j] = Σ_{i∈B} w_r(i)·a_ij`), plus a block-local row-pointer
+//! checksum; verifying every block locally is equivalent to verifying
+//! the whole product, and additionally *localizes the faulty block* for
+//! free — a real distributed implementation would only re-verify or
+//! repair that one rank.
+
+use ftcg_sparse::parallel::{partition_rows_balanced, spmv_parallel, RowBlock};
+use ftcg_sparse::{vector, CsrMatrix};
+
+use crate::checksum::int_weight;
+use crate::spmv::XRef;
+use crate::tolerance::ToleranceBound;
+use crate::weights;
+
+/// Verdict of one block's local tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockVerdict {
+    /// Block index.
+    pub block: usize,
+    /// Whether the block's residues exceeded its tolerance.
+    pub faulty: bool,
+    /// The first-weight output residue of the block.
+    pub dx0: f64,
+}
+
+/// Per-block checksums for a fixed matrix and partitioning.
+#[derive(Debug, Clone)]
+pub struct BlockProtectedSpmv {
+    blocks: Vec<RowBlock>,
+    /// Per block: weighted column sums over the block's rows, two rows.
+    col: Vec<[Vec<f64>; 2]>,
+    /// Per block: exact row-pointer checksums over `rowptr[start..=end]`.
+    rowptr: Vec<[u128; 2]>,
+    tol: [ToleranceBound; 2],
+    n: usize,
+}
+
+impl BlockProtectedSpmv {
+    /// Precomputes block-local checksums for a balanced partitioning
+    /// into `n_blocks` row blocks.
+    pub fn new(a: &CsrMatrix, n_blocks: usize) -> Self {
+        assert!(a.is_square(), "blocked ABFT: matrix must be square");
+        let n = a.n_rows();
+        let blocks = partition_rows_balanced(a, n_blocks.max(1));
+        let mut col = Vec::with_capacity(blocks.len());
+        let mut rowptr = Vec::with_capacity(blocks.len());
+        for b in &blocks {
+            let mut c = [vec![0.0; n], vec![0.0; n]];
+            for i in b.start..b.end {
+                for (j, v) in a.row(i) {
+                    for (r, cr) in c.iter_mut().enumerate() {
+                        cr[j] += weights::weight(r, i) * v;
+                    }
+                }
+            }
+            let mut rp = [0u128; 2];
+            for (r, acc) in rp.iter_mut().enumerate() {
+                for i in b.start..=b.end {
+                    *acc = acc
+                        .wrapping_add(int_weight(r, i).wrapping_mul(a.rowptr()[i] as u128));
+                }
+            }
+            col.push(c);
+            rowptr.push(rp);
+        }
+        let norm1 = a.norm1();
+        Self {
+            blocks,
+            col,
+            rowptr,
+            tol: [
+                ToleranceBound::new(n, norm1, weights::weight_norm_inf(0, n)),
+                ToleranceBound::new(n, norm1, weights::weight_norm_inf(1, n)),
+            ],
+            n,
+        }
+    }
+
+    /// The partitioning in use.
+    pub fn blocks(&self) -> &[RowBlock] {
+        &self.blocks
+    }
+
+    /// Parallel kernel over the configured blocks.
+    pub fn spmv(&self, a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+        spmv_parallel(a, x, y, &self.blocks);
+    }
+
+    /// Verifies every block locally; returns one verdict per block.
+    /// The global product is fault-free iff no block is faulty.
+    pub fn verify(&self, a: &CsrMatrix, x: &[f64], xref: &XRef, y: &[f64]) -> Vec<BlockVerdict> {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        let x_norm = vector::norm_inf(x);
+        // Input test is shared (every rank holds/checks its x slice; a
+        // single global pass is the shared-memory equivalent).
+        let input_clean = x
+            .iter()
+            .zip(xref.xcopy.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        let nnz = a.val().len();
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(bi, b)| {
+                // Local dr: exact integers over the block's rowptr words.
+                let mut sr = [0u128; 2];
+                for (r, acc) in sr.iter_mut().enumerate() {
+                    for i in b.start..=b.end.min(self.n) {
+                        *acc = acc
+                            .wrapping_add(int_weight(r, i).wrapping_mul(a.rowptr()[i] as u128));
+                    }
+                }
+                let dr_fail = sr != self.rowptr[bi];
+                // Local dx: block-weighted output vs block checksums.
+                let mut dx = [0.0f64; 2];
+                for (r, d) in dx.iter_mut().enumerate() {
+                    let lhs: f64 = (b.start..b.end)
+                        .map(|i| weights::weight(r, i) * y[i])
+                        .sum();
+                    let rhs: f64 = self.col[bi][r]
+                        .iter()
+                        .zip(x.iter())
+                        .map(|(c, xv)| c * xv)
+                        .sum();
+                    *d = lhs - rhs;
+                }
+                let dx_fail =
+                    (0..2).any(|r| self.tol[r].is_error(dx[r], x_norm)) || !input_clean;
+                let _ = nnz;
+                BlockVerdict {
+                    block: bi,
+                    faulty: dr_fail || dx_fail,
+                    dx0: dx[0],
+                }
+            })
+            .collect()
+    }
+
+    /// Convenience: parallel kernel + local verification; returns the
+    /// indices of faulty blocks (empty ⇒ trusted).
+    pub fn spmv_detect(
+        &self,
+        a: &CsrMatrix,
+        x: &[f64],
+        xref: &XRef,
+        y: &mut [f64],
+    ) -> Vec<usize> {
+        self.spmv(a, x, y);
+        self.verify(a, x, xref, y)
+            .into_iter()
+            .filter(|v| v.faulty)
+            .map(|v| v.block)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcg_sparse::gen;
+
+    fn setup(n_blocks: usize) -> (CsrMatrix, BlockProtectedSpmv, Vec<f64>, XRef) {
+        let a = gen::random_spd(240, 0.04, 5).unwrap();
+        let bp = BlockProtectedSpmv::new(&a, n_blocks);
+        let x: Vec<f64> = (0..240).map(|i| (i as f64 * 0.29).sin() + 1.0).collect();
+        let xref = XRef::capture(&x);
+        (a, bp, x, xref)
+    }
+
+    #[test]
+    fn clean_product_no_faulty_blocks() {
+        for nb in [1usize, 2, 4, 8] {
+            let (a, bp, x, xref) = setup(nb);
+            let mut y = vec![0.0; 240];
+            let faulty = bp.spmv_detect(&a, &x, &xref, &mut y);
+            assert!(faulty.is_empty(), "{nb} blocks: {faulty:?}");
+            assert_eq!(y, a.spmv(&x));
+        }
+    }
+
+    #[test]
+    fn block_checksums_sum_to_global() {
+        let (a, bp, _, _) = setup(4);
+        let global = crate::checksum::MatrixChecksums::compute(&a);
+        for r in 0..2 {
+            for j in 0..240 {
+                let local_sum: f64 = (0..bp.blocks().len()).map(|bi| bp.col[bi][r][j]).sum();
+                assert!(
+                    (local_sum - global.col[r][j]).abs() < 1e-9 * (1.0 + global.col[r][j].abs()),
+                    "r={r} j={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn val_fault_localized_to_its_block() {
+        let (a, bp, x, xref) = setup(4);
+        // Corrupt an entry in each block in turn; only that block flags.
+        for target in 0..4usize {
+            let b = bp.blocks()[target];
+            let mut am = a.clone();
+            let k = am.rowptr()[b.start]; // first entry of the block
+            am.val_mut()[k] += 2.0;
+            let mut y = vec![0.0; 240];
+            let faulty = bp.spmv_detect(&am, &x, &xref, &mut y);
+            assert_eq!(faulty, vec![target], "corrupting block {target}");
+        }
+    }
+
+    #[test]
+    fn output_fault_localized() {
+        let (a, bp, x, xref) = setup(4);
+        let mut y = vec![0.0; 240];
+        bp.spmv(&a, &x, &mut y);
+        let b2 = bp.blocks()[2];
+        y[b2.start + 1] += 5.0;
+        let verdicts = bp.verify(&a, &x, &xref, &y);
+        let faulty: Vec<usize> = verdicts.iter().filter(|v| v.faulty).map(|v| v.block).collect();
+        assert_eq!(faulty, vec![2]);
+        assert!((verdicts[2].dx0 - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rowptr_fault_localized() {
+        let (a, bp, x, xref) = setup(4);
+        let b1 = bp.blocks()[1];
+        let mut am = a.clone();
+        am.rowptr_mut()[b1.start + 1] += 1;
+        let mut y = vec![0.0; 240];
+        let faulty = bp.spmv_detect(&am, &x, &xref, &mut y);
+        assert!(faulty.contains(&1), "{faulty:?}");
+    }
+
+    #[test]
+    fn input_fault_flags_consumers() {
+        // An x error is globally visible (every rank checks its copy).
+        let (a, bp, mut x, xref) = setup(3);
+        x[100] += 1.0;
+        let mut y = vec![0.0; 240];
+        let faulty = bp.spmv_detect(&a, &x, &xref, &mut y);
+        assert!(!faulty.is_empty());
+    }
+
+    #[test]
+    fn single_block_equals_global_scheme() {
+        let (a, bp, x, xref) = setup(1);
+        let mut am = a.clone();
+        am.val_mut()[7] -= 1.0;
+        let mut y = vec![0.0; 240];
+        let faulty = bp.spmv_detect(&am, &x, &xref, &mut y);
+        assert_eq!(faulty, vec![0]);
+    }
+}

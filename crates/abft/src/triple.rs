@@ -1,0 +1,261 @@
+//! The third checksum row (Section 3.2's closing remark).
+//!
+//! "Double errors could be shadowed when using Algorithm 2, but the
+//! probability of such an event is negligible. Still, there exists an
+//! improved version which avoids this issue by adding a third checksum."
+//!
+//! With the dual weights `[1, i+1]`, two output errors `δ₁ at d₁`,
+//! `δ₂ at d₂` produce residues `[δ₁+δ₂, (d₁+1)δ₁+(d₂+1)δ₂]`, which can be
+//! *consistent with a single error* at the aliased position
+//! `(d₁+1)δ₁+(d₂+1)δ₂)/(δ₁+δ₂)` — e.g. equal errors at positions 1 and 3
+//! mimic a single error at position 2. Algorithm 2 survives this only
+//! because every repair is re-verified (the mis-correction is then
+//! detected and rolled back). The quadratic third row `w₃(i) = (i+1)²`
+//! removes the ambiguity up front: a single error must satisfy
+//! `d₃/d₁ = (pos+1)²` *and* `d₂/d₁ = pos+1` simultaneously, which a
+//! double error can only fake on a measure-zero set.
+
+use ftcg_sparse::{vector, CsrMatrix};
+
+use crate::spmv::{spmv_defensive, XRef};
+use crate::tolerance::ToleranceBound;
+use crate::weights;
+
+/// Weight of the quadratic row: `w₃(i) = (i+1)²`.
+#[inline]
+pub fn w3(i: usize) -> f64 {
+    let p = (i + 1) as f64;
+    p * p
+}
+
+/// Classification of a triple-checksum verification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TripleOutcome {
+    /// All residues within tolerance.
+    Clean,
+    /// Residues consistent with a single error at the given 0-based
+    /// output position (all three weight rows agree).
+    SingleCandidate {
+        /// 0-based output row of the candidate error.
+        pos: usize,
+        /// First-row residue (the error magnitude).
+        delta: f64,
+    },
+    /// Residues inconsistent with any single error: two or more errors.
+    MultipleErrors,
+}
+
+/// Triple-checksum output verification for a fixed matrix.
+#[derive(Debug, Clone)]
+pub struct TripleChecksum {
+    n: usize,
+    /// `C[r][j] = Σᵢ w_r(i)·aᵢⱼ` for `r ∈ {0,1,2}`.
+    col: [Vec<f64>; 3],
+    tol: [ToleranceBound; 3],
+    ratio_eps: f64,
+}
+
+impl TripleChecksum {
+    /// Precomputes the three weighted column-sum rows.
+    pub fn new(a: &CsrMatrix) -> Self {
+        assert!(a.is_square(), "triple checksum: matrix must be square");
+        let n = a.n_rows();
+        let mut col = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
+        for i in 0..a.n_rows() {
+            for (j, v) in a.row(i) {
+                col[0][j] += weights::w1(i) * v;
+                col[1][j] += weights::w2(i) * v;
+                col[2][j] += w3(i) * v;
+            }
+        }
+        let norm1 = a.norm1();
+        let nf = n as f64;
+        Self {
+            n,
+            col,
+            tol: [
+                ToleranceBound::new(n, norm1, 1.0),
+                ToleranceBound::new(n, norm1, nf),
+                ToleranceBound::new(n, norm1, nf * nf),
+            ],
+            ratio_eps: 1e-4,
+        }
+    }
+
+    /// Defensive kernel (same as the other schemes).
+    pub fn spmv(&self, a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+        spmv_defensive(a, x, y);
+    }
+
+    /// Verifies the three output residues and classifies them.
+    /// The input-copy test is inherited from the dual scheme and not
+    /// duplicated here (`x̃` vs `x′` is weight-agnostic).
+    pub fn verify(&self, x: &[f64], _xref: &XRef, y: &[f64]) -> TripleOutcome {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        let mut d = [0.0f64; 3];
+        for (r, dr) in d.iter_mut().enumerate() {
+            let w = |i: usize| match r {
+                0 => weights::w1(i),
+                1 => weights::w2(i),
+                _ => w3(i),
+            };
+            let lhs: f64 = y.iter().enumerate().map(|(i, &v)| w(i) * v).sum();
+            let rhs: f64 = self.col[r]
+                .iter()
+                .zip(x.iter())
+                .map(|(c, xv)| c * xv)
+                .sum();
+            *dr = lhs - rhs;
+        }
+        let xni = vector::norm_inf(x);
+        let fails = [
+            self.tol[0].is_error(d[0], xni),
+            self.tol[1].is_error(d[1], xni),
+            self.tol[2].is_error(d[2], xni),
+        ];
+        if !fails.iter().any(|&f| f) {
+            return TripleOutcome::Clean;
+        }
+        // Single-error consistency: d₂/d₁ names a position, d₃/d₁ must
+        // name the *square* of the same (1-based) position.
+        let Some(pos) = weights::locate_from_ratio(d[0], d[1], self.n, self.ratio_eps) else {
+            return TripleOutcome::MultipleErrors;
+        };
+        let p1 = (pos + 1) as f64;
+        let expect_quad = p1 * p1;
+        let ratio_quad = d[2] / d[0];
+        if !ratio_quad.is_finite() {
+            return TripleOutcome::MultipleErrors;
+        }
+        let slack = (self.ratio_eps * (1.0 + ratio_quad.abs())).min(0.45 * (2.0 * p1 + 1.0));
+        if (ratio_quad - expect_quad).abs() > slack {
+            return TripleOutcome::MultipleErrors;
+        }
+        TripleOutcome::SingleCandidate { pos, delta: d[0] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcg_sparse::gen;
+
+    fn setup() -> (CsrMatrix, TripleChecksum, Vec<f64>, XRef, Vec<f64>) {
+        let a = gen::random_spd(80, 0.07, 11).unwrap();
+        let t = TripleChecksum::new(&a);
+        let x: Vec<f64> = (0..80).map(|i| (i as f64 * 0.33).sin() + 1.2).collect();
+        let xref = XRef::capture(&x);
+        let y = a.spmv(&x);
+        (a, t, x, xref, y)
+    }
+
+    #[test]
+    fn clean_product_classified_clean() {
+        let (_, t, x, xref, y) = setup();
+        assert_eq!(t.verify(&x, &xref, &y), TripleOutcome::Clean);
+    }
+
+    #[test]
+    fn single_error_localized() {
+        let (_, t, x, xref, mut y) = setup();
+        y[37] += 2.5;
+        match t.verify(&x, &xref, &y) {
+            TripleOutcome::SingleCandidate { pos, delta } => {
+                assert_eq!(pos, 37);
+                assert!((delta - 2.5).abs() < 1e-8);
+            }
+            other => panic!("expected single candidate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_single_position_localized() {
+        let (_, t, x, xref, y0) = setup();
+        for pos in [0usize, 1, 40, 78, 79] {
+            let mut y = y0.clone();
+            y[pos] -= 1.75;
+            match t.verify(&x, &xref, &y) {
+                TripleOutcome::SingleCandidate { pos: p, .. } => assert_eq!(p, pos),
+                other => panic!("pos {pos}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dual_shadowed_double_error_caught_by_third_row() {
+        // The aliasing case from the module docs: equal errors at 0-based
+        // positions 1 and 3 have dual residues [2δ, 6δ] — exactly a
+        // single error at 0-based position 2. The quadratic row sees
+        // (4+16)δ = 20δ ≠ 9·2δ = 18δ and flags the double error.
+        let (_, t, x, xref, mut y) = setup();
+        let delta = 3.0;
+        y[1] += delta;
+        y[3] += delta;
+        assert_eq!(t.verify(&x, &xref, &y), TripleOutcome::MultipleErrors);
+    }
+
+    #[test]
+    fn dual_scheme_is_fooled_by_the_same_alias() {
+        // Companion check: the dual residues really are consistent with a
+        // single error (which is why the paper mentions the improvement).
+        let (_, _, _, _, mut y) = setup();
+        let delta = 3.0;
+        y[1] += delta;
+        y[3] += delta;
+        // dual residues
+        let d0 = 2.0 * delta;
+        let d1 = (2.0 + 4.0) * delta; // w2 = pos+1 → 2 and 4
+        let pos = crate::weights::locate_from_ratio(d0, d1, 80, 1e-4);
+        assert_eq!(pos, Some(2), "dual weights alias the double error");
+    }
+
+    #[test]
+    fn random_double_errors_mostly_classified_multiple() {
+        let (_, t, x, xref, y0) = setup();
+        let mut multiple = 0;
+        let trials = 50;
+        for k in 0..trials {
+            let mut y = y0.clone();
+            let p1 = (k * 7) % 80;
+            let p2 = (k * 13 + 3) % 80;
+            if p1 == p2 {
+                continue;
+            }
+            y[p1] += 1.0 + k as f64 * 0.1;
+            y[p2] -= 2.0 + k as f64 * 0.05;
+            if t.verify(&x, &xref, &y) == TripleOutcome::MultipleErrors {
+                multiple += 1;
+            }
+        }
+        assert!(
+            multiple >= trials - 2,
+            "only {multiple}/{trials} double errors classified as multiple"
+        );
+    }
+
+    #[test]
+    fn no_false_positives() {
+        let a = gen::random_spd(100, 0.05, 13).unwrap();
+        let t = TripleChecksum::new(&a);
+        for run in 0..100u64 {
+            let x: Vec<f64> = (0..100)
+                .map(|i| ((i as f64 + run as f64) * 0.71).cos() * (run as f64 + 0.5))
+                .collect();
+            let xref = XRef::capture(&x);
+            let y = a.spmv(&x);
+            assert_eq!(
+                t.verify(&x, &xref, &y),
+                TripleOutcome::Clean,
+                "false positive at run {run}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_flagged() {
+        let (_, t, x, xref, mut y) = setup();
+        y[5] = f64::NAN;
+        assert_ne!(t.verify(&x, &xref, &y), TripleOutcome::Clean);
+    }
+}

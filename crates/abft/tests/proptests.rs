@@ -1,0 +1,171 @@
+//! Property tests for the ABFT layer: every *single* injected fault in
+//! the protected region must be either corrected (dual scheme), detected
+//! (single scheme), or provably below the rounding tolerance — never a
+//! silent large corruption.
+
+use ftcg_abft::spmv::spmv_defensive;
+use ftcg_abft::{ProtectedSpmv, SingleChecksum, SpmvOutcome, XRef};
+use ftcg_fault::{
+    injector::{FaultEvent, Injector, InjectorConfig},
+    FaultRate, FaultTarget,
+};
+use ftcg_sparse::{gen, vector, CsrMatrix};
+use proptest::prelude::*;
+
+fn make_matrix(seed: u64) -> CsrMatrix {
+    gen::random_spd(40, 0.08, seed).unwrap()
+}
+
+fn make_x(n: usize, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as f64 + seed as f64) * 0.61).sin() * 2.0 + 0.3)
+        .collect()
+}
+
+/// Applies one matrix/vector-x fault drawn by the real injector.
+fn apply_fault(e: &FaultEvent, a: &mut CsrMatrix, x: &mut [f64]) -> bool {
+    match e.target {
+        FaultTarget::Vector(ftcg_fault::target::VectorId::P) => {
+            // model "input vector" faults on x
+            let v = &mut x[e.offset % x.len()];
+            *v = f64::from_bits(v.to_bits() ^ (1u64 << e.bit));
+            true
+        }
+        FaultTarget::Vector(_) => false,
+        _ => Injector::apply_to_matrix(e, a),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dual scheme: any single injected fault leads to a trusted outcome
+    /// (corrected or provably-below-tolerance) or a detection — and when
+    /// the outcome is trusted, the result is numerically clean.
+    #[test]
+    fn single_fault_never_silently_corrupts(mseed in 0u64..20, fseed in 0u64..500) {
+        let a = make_matrix(mseed);
+        let n = a.n_rows();
+        let p = ProtectedSpmv::new(&a);
+        let x0 = make_x(n, mseed);
+        let xref = XRef::capture(&x0);
+        let clean_y = a.spmv(&x0);
+
+        let rate = FaultRate::from_alpha(1.0, a.memory_words());
+        let cfg = InjectorConfig::paper_default(rate, &a);
+        let mut inj = Injector::for_matrix(cfg, &a, fseed);
+
+        let mut b = a.clone();
+        let mut x = x0.clone();
+        let e = inj.draw_event();
+        if !apply_fault(&e, &mut b, &mut x) {
+            return Ok(()); // fault targeted an unmodeled vector; skip
+        }
+
+        let mut y = vec![0.0; n];
+        let out = p.spmv_correct(&mut b, &mut x, &xref, &mut y);
+        match out {
+            SpmvOutcome::Clean => {
+                // Below tolerance: the perturbation must be small.
+                let err = vector::max_abs_diff(&y, &clean_y);
+                let bound = p.checksums().norm1 * vector::norm_inf(&x0);
+                prop_assert!(
+                    err <= 1e-6 * (1.0 + bound),
+                    "undetected error too large: {err} (event {e:?})"
+                );
+            }
+            SpmvOutcome::Corrected(_) => {
+                let err = vector::max_abs_diff(&y, &clean_y);
+                prop_assert!(
+                    err <= 1e-7 * (1.0 + vector::norm_inf(&clean_y)),
+                    "mis-correction: {err} (event {e:?})"
+                );
+            }
+            SpmvOutcome::Detected(_) => {
+                // Acceptable conservative fallback (caller rolls back).
+            }
+        }
+    }
+
+    /// Single-checksum scheme: same guarantee at detection level.
+    #[test]
+    fn single_scheme_detects_or_below_tolerance(mseed in 0u64..20, fseed in 0u64..500) {
+        let a = make_matrix(mseed);
+        let n = a.n_rows();
+        let s = SingleChecksum::new(&a);
+        let x0 = make_x(n, mseed + 1000);
+        let xref = XRef::capture(&x0);
+        let clean_y = a.spmv(&x0);
+
+        let rate = FaultRate::from_alpha(1.0, a.memory_words());
+        let cfg = InjectorConfig::paper_default(rate, &a);
+        let mut inj = Injector::for_matrix(cfg, &a, fseed);
+
+        let mut b = a.clone();
+        let mut x = x0.clone();
+        let e = inj.draw_event();
+        if !apply_fault(&e, &mut b, &mut x) {
+            return Ok(());
+        }
+
+        let mut y = vec![0.0; n];
+        let out = s.spmv_detect(&b, &x, &xref, &mut y);
+        if out.is_trusted() {
+            let err = vector::max_abs_diff(&y, &clean_y);
+            let bound = a.norm1() * vector::norm_inf(&x0);
+            prop_assert!(
+                err <= 1e-6 * (1.0 + bound),
+                "undetected error too large: {err} (event {e:?})"
+            );
+        }
+    }
+
+    /// The defensive kernel never panics, whatever the corruption.
+    #[test]
+    fn defensive_kernel_total(mseed in 0u64..10, fseeds in proptest::collection::vec(0u64..10_000, 1..6)) {
+        let a = make_matrix(mseed);
+        let n = a.n_rows();
+        let mut b = a.clone();
+        let mut x = make_x(n, mseed);
+        let rate = FaultRate::from_alpha(1.0, a.memory_words());
+        // Full-range index flips: the nastiest case for kernel safety.
+        let cfg = InjectorConfig {
+            rate,
+            value_bits: ftcg_fault::BitRange::Full,
+            index_bits: ftcg_fault::BitRange::Full,
+            include_vectors: true,
+        };
+        for fs in fseeds {
+            let mut inj = Injector::for_matrix(cfg, &a, fs);
+            let e = inj.draw_event();
+            apply_fault(&e, &mut b, &mut x);
+        }
+        let mut y = vec![0.0; n];
+        spmv_defensive(&b, &x, &mut y); // must not panic
+        let p = ProtectedSpmv::new(&a);
+        let xref = XRef::capture(&make_x(n, mseed));
+        let _ = p.verify(&b, &x, &xref, &y); // must not panic either
+    }
+
+    /// Correction restores row-pointer corruption bit-exactly for every
+    /// position and every small delta.
+    #[test]
+    fn rowptr_repair_exact(mseed in 0u64..8, t_frac in 0.0f64..1.0, delta in 1i64..64) {
+        let a = make_matrix(mseed);
+        let n = a.n_rows();
+        let p = ProtectedSpmv::new(&a);
+        let x0 = make_x(n, mseed);
+        let xref = XRef::capture(&x0);
+        let t = ((n as f64 * t_frac) as usize).min(n);
+        let mut b = a.clone();
+        b.rowptr_mut()[t] = (b.rowptr()[t] as i64 + delta).max(0) as usize;
+        if b.rowptr() == a.rowptr() {
+            return Ok(());
+        }
+        let mut x = x0.clone();
+        let mut y = vec![0.0; n];
+        let out = p.spmv_correct(&mut b, &mut x, &xref, &mut y);
+        prop_assert!(matches!(out, SpmvOutcome::Corrected(_)), "{out:?}");
+        prop_assert_eq!(b.rowptr(), a.rowptr());
+    }
+}

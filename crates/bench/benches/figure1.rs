@@ -1,0 +1,58 @@
+//! Bench target for **Figure 1**: regenerates the scheme-vs-MTBF curves
+//! at a reduced scale (printed as ASCII plots), then times one curve
+//! point per scheme.
+//!
+//! Full-scale regeneration: `cargo run --release --example figure1 -- --scale 1 --reps 50`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftcg_bench::experiment_criterion;
+use ftcg_model::Scheme;
+use ftcg_sim::figure1::{optimal_config, run_panel, Figure1Params};
+use ftcg_sim::measure::{paper_like_costs, CostMode};
+use ftcg_sim::report::figure1_ascii;
+use ftcg_sim::runner::run_many;
+use ftcg_sim::PAPER_MATRICES;
+
+fn regenerate_figure1() {
+    let params = Figure1Params {
+        scale: 48,
+        reps: 10,
+        mtbf_grid: vec![1e2, 4.6e2, 2.2e3, 1e4],
+        threads: 8,
+        cost_mode: CostMode::PaperLike,
+    };
+    println!("\n=== Figure 1 (reduced: scale 1/48, 10 reps, 4 MTBF points) ===");
+    for spec in PAPER_MATRICES.iter().take(3) {
+        let panel = run_panel(spec, &params);
+        println!("{}", figure1_ascii(&panel, 60, 12));
+    }
+    println!("(remaining panels: cargo run --release --example figure1)");
+}
+
+fn bench_figure1_point(c: &mut Criterion) {
+    let spec = &PAPER_MATRICES[8]; // #2213, the smallest
+    let a = spec.generate(48);
+    let b = spec.rhs(a.n_rows());
+    let costs = paper_like_costs();
+    let mut g = c.benchmark_group("figure1");
+    for scheme in Scheme::ALL {
+        let alpha = 1.0 / 1000.0;
+        let cfg = optimal_config(scheme, alpha, &costs);
+        g.bench_function(format!("point_10reps/{}", scheme.name()), |bench| {
+            bench.iter(|| run_many(&a, &b, &cfg, alpha, 10, 0, 8))
+        });
+    }
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate_figure1();
+    bench_figure1_point(c);
+}
+
+criterion_group! {
+    name = figure1;
+    config = experiment_criterion();
+    targets = benches
+}
+criterion_main!(figure1);

@@ -1,0 +1,82 @@
+//! Ablations A1/A2: per-kernel overhead of the protection machinery.
+//!
+//! * raw SpMxV vs defensive kernel vs single-checksum verify vs
+//!   dual-checksum verify (the `Tverif` hierarchy of Section 4.2);
+//! * checksum setup (`COMPUTECHECKSUMS`, amortized once per matrix);
+//! * TMR dot/axpy vs plain (the vector-operation protection);
+//! * checkpoint capture / restore (`Tcp`, `Trec`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftcg_abft::spmv::spmv_defensive;
+use ftcg_abft::tmr::{tmr_axpy, tmr_dot, TmrVector};
+use ftcg_abft::{ProtectedSpmv, SingleChecksum, XRef};
+use ftcg_bench::{experiment_criterion, rhs};
+use ftcg_checkpoint::SolverState;
+use ftcg_sparse::{gen, vector};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let a = gen::random_spd(4000, 2.4e-3, 7).expect("generator");
+    let n = a.n_rows();
+    println!(
+        "\n=== Kernel overheads (n={n}, nnz={}, density {:.2e}) ===",
+        a.nnz(),
+        a.density()
+    );
+    let x = rhs(n);
+    let xref = XRef::capture(&x);
+    let mut y = vec![0.0; n];
+    let protected = ProtectedSpmv::new(&a);
+    let single = SingleChecksum::new(&a);
+    a.spmv_into(&x, &mut y);
+
+    let mut g = c.benchmark_group("spmv");
+    g.bench_function("raw", |b| b.iter(|| a.spmv_into(black_box(&x), &mut y)));
+    g.bench_function("defensive", |b| {
+        b.iter(|| spmv_defensive(&a, black_box(&x), &mut y))
+    });
+    g.bench_function("verify_single_checksum", |b| {
+        b.iter(|| black_box(single.verify(&a, &x, &xref, &y)))
+    });
+    g.bench_function("verify_dual_checksum", |b| {
+        b.iter(|| black_box(protected.verify(&a, &x, &xref, &y)))
+    });
+    g.bench_function("checksum_setup_amortized_once", |b| {
+        b.iter(|| black_box(ProtectedSpmv::new(&a)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("vector_ops");
+    let w = rhs(n);
+    g.bench_function("dot_plain", |b| {
+        b.iter(|| black_box(vector::dot(&x, &w)))
+    });
+    g.bench_function("dot_tmr", |b| b.iter(|| black_box(tmr_dot(&x, &w, None))));
+    let mut tv = TmrVector::new(&w);
+    let mut pv = w.clone();
+    g.bench_function("axpy_plain", |b| {
+        b.iter(|| vector::axpy(black_box(0.5), &x, &mut pv))
+    });
+    g.bench_function("axpy_tmr_with_vote", |b| {
+        b.iter(|| tmr_axpy(black_box(0.5), &x, &mut tv))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("checkpoint");
+    g.bench_function("capture", |b| {
+        b.iter(|| black_box(SolverState::capture(0, &x, &w, &pv, 1.0, &a)))
+    });
+    let snap = SolverState::capture(0, &x, &w, &pv, 1.0, &a);
+    let mut xr = x.clone();
+    g.bench_function("restore_vectors", |b| {
+        b.iter(|| xr.copy_from_slice(black_box(&snap.x)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = kernel_overhead;
+    config = experiment_criterion();
+    targets = benches
+}
+criterion_main!(kernel_overhead);

@@ -1,0 +1,94 @@
+//! Ablation A4: the abstract model against the simulator, and the cost
+//! of the model machinery itself (interval optimization, DP schedule).
+//!
+//! Prints the model-vs-simulation comparison over a grid of checkpoint
+//! intervals (the quantitative backbone of Table 1), then benchmarks the
+//! optimizers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftcg_bench::{experiment_criterion, rhs};
+use ftcg_checkpoint::ResilienceCosts;
+use ftcg_model::{dp, expected_frame_time, optimize, Scheme};
+use ftcg_sim::runner::{calibrated_injector, run_many_with};
+use ftcg_solvers::resilient::{solve_resilient, ResilientConfig};
+use ftcg_sparse::gen;
+use std::hint::black_box;
+
+fn model_vs_sim() {
+    let a = gen::random_spd(300, 0.03, 11).expect("generator");
+    let b = rhs(a.n_rows());
+    let costs = ResilienceCosts::new(2.0, 2.0, 0.1);
+    let alpha = 1.0 / 16.0;
+    let clean = {
+        let cfg = ResilientConfig::new(Scheme::AbftDetection, 10);
+        solve_resilient(&a, &b, &cfg, None).productive_iterations
+    };
+    println!("\n=== Model (eq. 5) vs simulation, ABFT-DETECTION, alpha=1/16 ===");
+    println!("s     model    simulated   ratio");
+    let q = Scheme::AbftDetection.chunk_success(alpha, 1.0);
+    for s in [2usize, 5, 10, 15, 25, 40] {
+        let mut cfg = ResilientConfig::new(Scheme::AbftDetection, s);
+        cfg.costs = costs;
+        let sim = run_many_with(
+            &a,
+            &b,
+            &cfg,
+            |seed| calibrated_injector(&a, alpha, seed),
+            24,
+            0,
+            8,
+        )
+        .mean_time;
+        let model = clean as f64 / s as f64 * expected_frame_time(s, 1.0, &costs, q);
+        println!("{s:<4}  {model:>8.1}  {sim:>9.1}  {:>6.3}", sim / model);
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    model_vs_sim();
+
+    let costs = ResilienceCosts::new(2.0, 2.0, 0.1);
+    let mut g = c.benchmark_group("model");
+    g.bench_function("optimal_s_scan_4000", |b| {
+        b.iter(|| {
+            black_box(optimize::optimal_abft_interval(
+                Scheme::AbftCorrection,
+                black_box(1.0 / 16.0),
+                1.0,
+                &costs,
+                4000,
+            ))
+        })
+    });
+    g.bench_function("optimal_online_joint_scan", |b| {
+        b.iter(|| {
+            black_box(optimize::optimal_online_interval(
+                black_box(0.01),
+                1.0,
+                &costs,
+                64,
+                1000,
+            ))
+        })
+    });
+    g.bench_function("dp_schedule_300_iters", |b| {
+        b.iter(|| {
+            black_box(dp::optimal_schedule(
+                300,
+                Scheme::AbftDetection,
+                black_box(0.05),
+                1.0,
+                &costs,
+                64,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = model_validation;
+    config = experiment_criterion();
+    targets = benches
+}
+criterion_main!(model_validation);

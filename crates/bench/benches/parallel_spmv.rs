@@ -1,0 +1,59 @@
+//! Ablation A5: row-partitioned parallel SpMxV scaling — the
+//! shared-memory stand-in for the paper's MPI discussion (local
+//! detection ⇒ global detection). Benchmarks the kernel across thread
+//! counts and verifies block-local checksums compose.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftcg_bench::{experiment_criterion, rhs};
+use ftcg_sparse::parallel::{partition_rows_balanced, spmv_parallel};
+use ftcg_sparse::{gen, vector};
+use std::hint::black_box;
+
+fn benches(c: &mut Criterion) {
+    let a = gen::random_spd(20_000, 1.2e-3, 13).expect("generator");
+    let n = a.n_rows();
+    println!(
+        "\n=== Parallel SpMxV scaling (n={n}, nnz={}) ===",
+        a.nnz()
+    );
+    let x = rhs(n);
+    let mut y = vec![0.0; n];
+
+    // Correctness + block-local checksum composition check once up front:
+    // the sum of per-block output checksums equals the global checksum.
+    let seq = a.spmv(&x);
+    let global: f64 = vector::sum(&seq);
+    for nt in [2usize, 4, 8] {
+        let blocks = partition_rows_balanced(&a, nt);
+        spmv_parallel(&a, &x, &mut y, &blocks);
+        assert_eq!(y, seq);
+        let local_sum: f64 = blocks
+            .iter()
+            .map(|bl| vector::sum(&y[bl.start..bl.end]))
+            .sum();
+        assert!((local_sum - global).abs() <= 1e-9 * global.abs().max(1.0));
+    }
+    println!("block-local checksums compose to the global checksum: ok");
+
+    let mut g = c.benchmark_group("parallel_spmv");
+    g.bench_function("sequential", |b| {
+        b.iter(|| a.spmv_into(black_box(&x), &mut y))
+    });
+    for nt in [2usize, 4, 8] {
+        let blocks = partition_rows_balanced(&a, nt);
+        g.bench_function(format!("threads_{nt}"), |b| {
+            b.iter(|| spmv_parallel(&a, black_box(&x), &mut y, &blocks))
+        });
+    }
+    g.bench_function("partitioning", |b| {
+        b.iter(|| black_box(partition_rows_balanced(&a, 8)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = parallel_spmv;
+    config = experiment_criterion();
+    targets = benches
+}
+criterion_main!(parallel_spmv);

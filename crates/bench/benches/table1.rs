@@ -1,0 +1,56 @@
+//! Bench target for **Table 1**: regenerates the model-validation table
+//! at a reduced scale (printed to stdout), then times the underlying
+//! experiment unit (one multi-repetition measurement of a resilient
+//! solve at the Table 1 fault rate).
+//!
+//! Full-scale regeneration: `cargo run --release --example table1 -- --scale 1 --reps 50`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftcg_bench::experiment_criterion;
+use ftcg_model::Scheme;
+use ftcg_sim::report::table1_markdown;
+use ftcg_sim::runner::run_many;
+use ftcg_sim::table1::{run_table1, Table1Params};
+use ftcg_sim::PAPER_MATRICES;
+use ftcg_solvers::resilient::ResilientConfig;
+
+fn regenerate_table1() {
+    let params = Table1Params {
+        scale: 48,
+        reps: 10,
+        sweep: &[4, 8, 12, 16, 24],
+        threads: 8,
+        ..Table1Params::default()
+    };
+    println!("\n=== Table 1 (reduced: scale 1/48, 10 reps; see EXPERIMENTS.md) ===");
+    let rows = run_table1(&PAPER_MATRICES, &params);
+    println!("{}", table1_markdown(&rows));
+}
+
+fn bench_table1_unit(c: &mut Criterion) {
+    let spec = &PAPER_MATRICES[0];
+    let a = spec.generate(48);
+    let b = spec.rhs(a.n_rows());
+    let mut g = c.benchmark_group("table1");
+    for scheme in [Scheme::AbftDetection, Scheme::AbftCorrection] {
+        g.bench_function(format!("solve_10reps/{}", scheme.name()), |bench| {
+            bench.iter(|| {
+                let cfg = ResilientConfig::new(scheme, 14);
+                run_many(&a, &b, &cfg, 1.0 / 16.0, 10, 0, 8)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    regenerate_table1();
+    bench_table1_unit(c);
+}
+
+criterion_group! {
+    name = table1;
+    config = experiment_criterion();
+    targets = benches
+}
+criterion_main!(table1);

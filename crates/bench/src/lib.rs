@@ -1,0 +1,20 @@
+//! Shared helpers for the Criterion benches. The benches themselves live
+//! in `benches/`; each regenerates one table or figure of the paper (at
+//! a reduced scale suitable for `cargo bench`) and then times its
+//! representative kernels.
+
+use criterion::Criterion;
+
+/// A Criterion instance tuned for the experiment-style benches: small
+/// sample counts (each sample is a whole multi-repetition experiment).
+pub fn experiment_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+/// Deterministic right-hand side of a given length.
+pub fn rhs(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 1.0 + (i as f64 * 0.23).sin()).collect()
+}

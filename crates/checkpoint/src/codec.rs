@@ -1,0 +1,188 @@
+//! Compact binary codec for solver snapshots (little-endian, versioned).
+//!
+//! `serde` formats like JSON are wasteful for multi-megabyte numeric
+//! state, and no binary serde backend is in the allowed dependency set,
+//! so the on-disk format is a small hand-rolled codec built on `bytes`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ftcg_sparse::CsrMatrix;
+
+use crate::state::SolverState;
+
+/// Format magic: "FTCG" + version byte.
+const MAGIC: &[u8; 4] = b"FTCG";
+const VERSION: u8 = 1;
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Stream does not start with the expected magic/version.
+    BadHeader,
+    /// Stream ended prematurely or lengths are inconsistent.
+    Truncated,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadHeader => write!(f, "bad checkpoint header"),
+            CodecError::Truncated => write!(f, "truncated checkpoint stream"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn put_f64s(buf: &mut BytesMut, v: &[f64]) {
+    buf.put_u64_le(v.len() as u64);
+    for &x in v {
+        buf.put_f64_le(x);
+    }
+}
+
+fn put_usizes(buf: &mut BytesMut, v: &[usize]) {
+    buf.put_u64_le(v.len() as u64);
+    for &x in v {
+        buf.put_u64_le(x as u64);
+    }
+}
+
+fn get_f64s(buf: &mut Bytes) -> Result<Vec<f64>, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let len = buf.get_u64_le() as usize;
+    // Checked multiply: a corrupted length field must not overflow.
+    if (buf.remaining() as u64) < (len as u64).saturating_mul(8) {
+        return Err(CodecError::Truncated);
+    }
+    Ok((0..len).map(|_| buf.get_f64_le()).collect())
+}
+
+fn get_usizes(buf: &mut Bytes) -> Result<Vec<usize>, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let len = buf.get_u64_le() as usize;
+    if (buf.remaining() as u64) < (len as u64).saturating_mul(8) {
+        return Err(CodecError::Truncated);
+    }
+    Ok((0..len).map(|_| buf.get_u64_le() as usize).collect())
+}
+
+/// Serializes a snapshot to bytes.
+pub fn encode(s: &SolverState) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + 8 * s.size_words());
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u64_le(s.iteration as u64);
+    buf.put_f64_le(s.rnorm_sq);
+    put_f64s(&mut buf, &s.x);
+    put_f64s(&mut buf, &s.r);
+    put_f64s(&mut buf, &s.p);
+    buf.put_u64_le(s.matrix.n_rows() as u64);
+    buf.put_u64_le(s.matrix.n_cols() as u64);
+    put_usizes(&mut buf, s.matrix.rowptr());
+    put_usizes(&mut buf, s.matrix.colid());
+    put_f64s(&mut buf, s.matrix.val());
+    buf.freeze()
+}
+
+/// Deserializes a snapshot from bytes.
+pub fn decode(mut buf: Bytes) -> Result<SolverState, CodecError> {
+    if buf.remaining() < 5 || &buf.copy_to_bytes(4)[..] != MAGIC {
+        return Err(CodecError::BadHeader);
+    }
+    if buf.get_u8() != VERSION {
+        return Err(CodecError::BadHeader);
+    }
+    if buf.remaining() < 16 {
+        return Err(CodecError::Truncated);
+    }
+    let iteration = buf.get_u64_le() as usize;
+    let rnorm_sq = buf.get_f64_le();
+    let x = get_f64s(&mut buf)?;
+    let r = get_f64s(&mut buf)?;
+    let p = get_f64s(&mut buf)?;
+    if buf.remaining() < 16 {
+        return Err(CodecError::Truncated);
+    }
+    let n_rows = buf.get_u64_le() as usize;
+    let n_cols = buf.get_u64_le() as usize;
+    let rowptr = get_usizes(&mut buf)?;
+    let colid = get_usizes(&mut buf)?;
+    let val = get_f64s(&mut buf)?;
+    Ok(SolverState {
+        iteration,
+        x,
+        r,
+        p,
+        rnorm_sq,
+        matrix: CsrMatrix::from_parts_unchecked(n_rows, n_cols, rowptr, colid, val),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcg_sparse::gen;
+
+    fn sample_state() -> SolverState {
+        let a = gen::random_spd(20, 0.1, 3).unwrap();
+        SolverState::capture(
+            42,
+            &(0..20).map(|i| i as f64 * 0.5).collect::<Vec<_>>(),
+            &(0..20).map(|i| -(i as f64)).collect::<Vec<_>>(),
+            &(0..20).map(|i| (i as f64).sin()).collect::<Vec<_>>(),
+            3.75,
+            &a,
+        )
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let s = sample_state();
+        let decoded = decode(encode(&s)).unwrap();
+        assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode(&sample_state()).to_vec();
+        bytes[0] = b'X';
+        assert_eq!(decode(Bytes::from(bytes)), Err(CodecError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = encode(&sample_state()).to_vec();
+        bytes[4] = 99;
+        assert_eq!(decode(Bytes::from(bytes)), Err(CodecError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = encode(&sample_state()).to_vec();
+        for cut in [5usize, 13, 21, 40, bytes.len() - 1] {
+            let r = decode(Bytes::copy_from_slice(&bytes[..cut]));
+            assert!(r.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn empty_stream_rejected() {
+        assert!(decode(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn special_float_values_survive() {
+        let mut s = sample_state();
+        s.x[0] = f64::NAN;
+        s.r[1] = f64::NEG_INFINITY;
+        s.p[2] = -0.0;
+        let d = decode(encode(&s)).unwrap();
+        assert!(d.x[0].is_nan());
+        assert_eq!(d.r[1], f64::NEG_INFINITY);
+        assert_eq!(d.p[2].to_bits(), (-0.0f64).to_bits());
+    }
+}

@@ -1,0 +1,23 @@
+//! Backward recovery (checkpoint / rollback) substrate.
+//!
+//! All three schemes in the paper share the same checkpoint contents
+//! (Section 3.1): the current iteration vectors **and the sparse matrix
+//! `A`** — the paper's extension of Chen's method, needed because a
+//! detected error may stem from corruption of `A` in data memory, in
+//! which case a valid copy must be restored.
+//!
+//! The driver enforces the key protocol invariant (claim C1 in
+//! DESIGN.md): *a checkpoint is only ever taken immediately after a
+//! passing verification*, so the last checkpoint is always valid.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod codec;
+pub mod cost;
+pub mod state;
+pub mod store;
+
+pub use cost::ResilienceCosts;
+pub use state::SolverState;
+pub use store::{CheckpointStore, FileStore, MemoryStore};

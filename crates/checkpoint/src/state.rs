@@ -1,0 +1,87 @@
+//! The checkpointed solver state.
+
+use ftcg_sparse::CsrMatrix;
+
+/// Snapshot of a CG run: the iteration vectors of Algorithm 1 plus the
+/// matrix image (the paper checkpoints `A` so memory corruption of the
+/// matrix is recoverable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverState {
+    /// Iteration index at which the snapshot was taken.
+    pub iteration: usize,
+    /// Iterate `xᵢ`.
+    pub x: Vec<f64>,
+    /// Residual `rᵢ`.
+    pub r: Vec<f64>,
+    /// Search direction `pᵢ`.
+    pub p: Vec<f64>,
+    /// Squared residual norm `‖rᵢ‖²` carried by the CG recurrence.
+    pub rnorm_sq: f64,
+    /// Image of the sparse matrix.
+    pub matrix: CsrMatrix,
+}
+
+impl SolverState {
+    /// Captures a snapshot (clones everything — that cost is what `Tcp`
+    /// models).
+    pub fn capture(
+        iteration: usize,
+        x: &[f64],
+        r: &[f64],
+        p: &[f64],
+        rnorm_sq: f64,
+        matrix: &CsrMatrix,
+    ) -> Self {
+        Self {
+            iteration,
+            x: x.to_vec(),
+            r: r.to_vec(),
+            p: p.to_vec(),
+            rnorm_sq,
+            matrix: matrix.clone(),
+        }
+    }
+
+    /// Number of `f64`-equivalent words the snapshot occupies (vectors +
+    /// matrix arrays) — proportional to the checkpoint time `Tcp`.
+    pub fn size_words(&self) -> usize {
+        3 * self.x.len() + self.matrix.memory_words() + 2
+    }
+
+    /// Problem size `n`.
+    pub fn n(&self) -> usize {
+        self.x.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcg_sparse::gen;
+
+    #[test]
+    fn capture_clones_everything() {
+        let a = gen::tridiagonal(4, 3.0, -1.0).unwrap();
+        let s = SolverState::capture(7, &[1.0; 4], &[2.0; 4], &[3.0; 4], 16.0, &a);
+        assert_eq!(s.iteration, 7);
+        assert_eq!(s.n(), 4);
+        assert_eq!(s.rnorm_sq, 16.0);
+        assert_eq!(s.matrix, a);
+    }
+
+    #[test]
+    fn size_words_accounts_vectors_and_matrix() {
+        let a = gen::tridiagonal(4, 3.0, -1.0).unwrap();
+        let s = SolverState::capture(0, &[0.0; 4], &[0.0; 4], &[0.0; 4], 0.0, &a);
+        assert_eq!(s.size_words(), 12 + a.memory_words() + 2);
+    }
+
+    #[test]
+    fn snapshot_is_independent_of_source() {
+        let a = gen::tridiagonal(4, 3.0, -1.0).unwrap();
+        let mut x = vec![1.0; 4];
+        let s = SolverState::capture(0, &x, &x, &x, 0.0, &a);
+        x[0] = 99.0;
+        assert_eq!(s.x[0], 1.0);
+    }
+}

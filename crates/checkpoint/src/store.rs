@@ -1,0 +1,178 @@
+//! Checkpoint stores.
+//!
+//! The simulations hold snapshots in memory ([`MemoryStore`]); the
+//! on-disk [`FileStore`] exists for long real runs and exercises the
+//! binary codec.
+
+use std::path::{Path, PathBuf};
+
+use crate::codec;
+use crate::state::SolverState;
+
+/// A place to keep the latest verified snapshot.
+pub trait CheckpointStore {
+    /// Saves a snapshot, replacing the previous one.
+    fn save(&mut self, state: &SolverState) -> std::io::Result<()>;
+    /// Loads the latest snapshot, if any.
+    fn load(&self) -> std::io::Result<Option<SolverState>>;
+    /// `true` iff a snapshot is available.
+    fn has_checkpoint(&self) -> bool;
+    /// Number of snapshots taken through this store.
+    fn saves(&self) -> usize;
+}
+
+/// In-memory store (single latest snapshot, like the paper's protocol).
+#[derive(Debug, Default, Clone)]
+pub struct MemoryStore {
+    latest: Option<SolverState>,
+    saves: usize,
+}
+
+impl MemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CheckpointStore for MemoryStore {
+    fn save(&mut self, state: &SolverState) -> std::io::Result<()> {
+        self.latest = Some(state.clone());
+        self.saves += 1;
+        Ok(())
+    }
+
+    fn load(&self) -> std::io::Result<Option<SolverState>> {
+        Ok(self.latest.clone())
+    }
+
+    fn has_checkpoint(&self) -> bool {
+        self.latest.is_some()
+    }
+
+    fn saves(&self) -> usize {
+        self.saves
+    }
+}
+
+/// File-backed store using the binary codec; writes atomically via a
+/// temporary file and rename.
+#[derive(Debug)]
+pub struct FileStore {
+    path: PathBuf,
+    saves: usize,
+}
+
+impl FileStore {
+    /// Creates a store writing to `path`.
+    pub fn new<P: AsRef<Path>>(path: P) -> Self {
+        Self {
+            path: path.as_ref().to_path_buf(),
+            saves: 0,
+        }
+    }
+
+    /// The backing path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl CheckpointStore for FileStore {
+    fn save(&mut self, state: &SolverState) -> std::io::Result<()> {
+        let bytes = codec::encode(state);
+        let tmp = self.path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &self.path)?;
+        self.saves += 1;
+        Ok(())
+    }
+
+    fn load(&self) -> std::io::Result<Option<SolverState>> {
+        match std::fs::read(&self.path) {
+            Ok(bytes) => codec::decode(bytes.into())
+                .map(Some)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn has_checkpoint(&self) -> bool {
+        self.path.exists()
+    }
+
+    fn saves(&self) -> usize {
+        self.saves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcg_sparse::gen;
+
+    fn state(iter: usize) -> SolverState {
+        let a = gen::tridiagonal(6, 4.0, -1.0).unwrap();
+        SolverState::capture(iter, &[1.0; 6], &[2.0; 6], &[3.0; 6], 24.0, &a)
+    }
+
+    #[test]
+    fn memory_store_roundtrip() {
+        let mut st = MemoryStore::new();
+        assert!(!st.has_checkpoint());
+        assert!(st.load().unwrap().is_none());
+        st.save(&state(3)).unwrap();
+        assert!(st.has_checkpoint());
+        assert_eq!(st.load().unwrap().unwrap().iteration, 3);
+        assert_eq!(st.saves(), 1);
+    }
+
+    #[test]
+    fn memory_store_replaces_latest() {
+        let mut st = MemoryStore::new();
+        st.save(&state(1)).unwrap();
+        st.save(&state(2)).unwrap();
+        assert_eq!(st.load().unwrap().unwrap().iteration, 2);
+        assert_eq!(st.saves(), 2);
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let dir = std::env::temp_dir().join("ftcg_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cg.ckpt");
+        std::fs::remove_file(&path).ok();
+        let mut st = FileStore::new(&path);
+        assert!(!st.has_checkpoint());
+        assert!(st.load().unwrap().is_none());
+        st.save(&state(9)).unwrap();
+        let loaded = st.load().unwrap().unwrap();
+        assert_eq!(loaded, state(9));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_store_detects_corruption() {
+        let dir = std::env::temp_dir().join("ftcg_ckpt_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.ckpt");
+        std::fs::write(&path, b"garbage").unwrap();
+        let st = FileStore::new(&path);
+        assert!(st.load().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rollback_restores_exact_state() {
+        // The invariant backward recovery relies on: load gives back
+        // exactly what save stored.
+        let mut st = MemoryStore::new();
+        let s = state(5);
+        st.save(&s).unwrap();
+        let restored = st.load().unwrap().unwrap();
+        assert_eq!(restored.x, s.x);
+        assert_eq!(restored.matrix, s.matrix);
+        assert_eq!(restored.rnorm_sq, s.rnorm_sq);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the checkpoint substrate: codec roundtrips over
+//! arbitrary states, robustness to arbitrary corruption of the stream.
+
+use ftcg_checkpoint::codec::{decode, encode};
+use ftcg_checkpoint::{CheckpointStore, MemoryStore, SolverState};
+use ftcg_sparse::CsrMatrix;
+use proptest::prelude::*;
+
+fn state_strategy() -> impl Strategy<Value = SolverState> {
+    (1usize..24, 0usize..1000, proptest::collection::vec(-1e6..1e6f64, 0..40))
+        .prop_map(|(n, iter, pool)| {
+            let pick = |off: usize| -> Vec<f64> {
+                (0..n)
+                    .map(|i| pool.get((i + off) % pool.len().max(1)).copied().unwrap_or(0.5))
+                    .collect()
+            };
+            // simple diagonal matrix image so dimensions always agree
+            let vals: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+            let a = CsrMatrix::from_parts_unchecked(
+                n,
+                n,
+                (0..=n).collect(),
+                (0..n).collect(),
+                vals,
+            );
+            SolverState::capture(iter, &pick(0), &pick(1), &pick(2), 3.25, &a)
+        })
+}
+
+proptest! {
+    /// Encode/decode is a bit-exact identity on arbitrary states.
+    #[test]
+    fn codec_roundtrip(st in state_strategy()) {
+        let decoded = decode(encode(&st)).unwrap();
+        prop_assert_eq!(decoded, st);
+    }
+
+    /// Truncating the stream anywhere must error, never panic or
+    /// produce a bogus state.
+    #[test]
+    fn codec_rejects_truncation(st in state_strategy(), frac in 0.0..1.0f64) {
+        let bytes = encode(&st);
+        let cut = ((bytes.len() as f64 * frac) as usize).min(bytes.len().saturating_sub(1));
+        let r = decode(bytes.slice(0..cut));
+        prop_assert!(r.is_err());
+    }
+
+    /// Flipping a byte in the header region must be rejected; flips in
+    /// the payload may decode (bits are just numbers) but must not panic.
+    #[test]
+    fn codec_corruption_never_panics(st in state_strategy(), pos_frac in 0.0..1.0f64, delta in 1u8..255) {
+        let mut bytes = encode(&st).to_vec();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= delta;
+        let _ = decode(bytes.into()); // any Result is fine; no panic
+    }
+
+    /// The store's save/load is an identity and `saves` counts.
+    #[test]
+    fn memory_store_identity(states in proptest::collection::vec(state_strategy(), 1..5)) {
+        let mut store = MemoryStore::new();
+        for (k, st) in states.iter().enumerate() {
+            store.save(st).unwrap();
+            prop_assert_eq!(store.saves(), k + 1);
+            let got = store.load().unwrap().unwrap();
+            prop_assert_eq!(&got, st);
+        }
+    }
+}

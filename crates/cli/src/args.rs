@@ -1,0 +1,150 @@
+//! Tiny dependency-free flag parsing (clap is outside the allowed
+//! offline dependency set).
+
+/// Returns the value following `flag`, if present.
+pub fn value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parses the value following `flag`, falling back to `default`.
+pub fn parse_or<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    value(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses a fault rate: plain float (`0.0625`) or a fraction (`1/16`).
+pub fn parse_alpha(s: &str) -> Option<f64> {
+    if let Some((num, den)) = s.split_once('/') {
+        let n: f64 = num.trim().parse().ok()?;
+        let d: f64 = den.trim().parse().ok()?;
+        if d == 0.0 {
+            return None;
+        }
+        Some(n / d)
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Matrix sources accepted by `--matrix` / `--gen`.
+pub enum MatrixSource {
+    /// A MatrixMarket file.
+    File(String),
+    /// `poisson2d:K`
+    Poisson2d(usize),
+    /// `poisson3d:K`
+    Poisson3d(usize),
+    /// `random:N:DENSITY[:SEED]`
+    Random(usize, f64, u64),
+    /// `illcond:N:DENSITY:COND[:SEED]`
+    IllCond(usize, f64, f64, u64),
+    /// `paper:ID[:SCALE]` — one of the nine Table 1 matrices.
+    Paper(u32, usize),
+}
+
+/// Parses `--matrix FILE` or `--gen SPEC`.
+pub fn matrix_source(args: &[String]) -> Result<MatrixSource, String> {
+    if let Some(f) = value(args, "--matrix") {
+        return Ok(MatrixSource::File(f.to_string()));
+    }
+    let Some(g) = value(args, "--gen") else {
+        return Err("need --matrix FILE or --gen SPEC (try `ftcg help`)".into());
+    };
+    let parts: Vec<&str> = g.split(':').collect();
+    let num = |i: usize| -> Result<usize, String> {
+        parts
+            .get(i)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad generator spec `{g}`"))
+    };
+    let flt = |i: usize| -> Result<f64, String> {
+        parts
+            .get(i)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad generator spec `{g}`"))
+    };
+    match parts[0] {
+        "poisson2d" => Ok(MatrixSource::Poisson2d(num(1)?)),
+        "poisson3d" => Ok(MatrixSource::Poisson3d(num(1)?)),
+        "random" => Ok(MatrixSource::Random(
+            num(1)?,
+            flt(2)?,
+            num(3).unwrap_or(0) as u64,
+        )),
+        "illcond" => Ok(MatrixSource::IllCond(
+            num(1)?,
+            flt(2)?,
+            flt(3)?,
+            num(4).unwrap_or(0) as u64,
+        )),
+        "paper" => Ok(MatrixSource::Paper(
+            num(1)? as u32,
+            num(2).unwrap_or(16),
+        )),
+        other => Err(format!("unknown generator `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn value_lookup() {
+        let a = sv(&["--scheme", "correction", "--seed", "7"]);
+        assert_eq!(value(&a, "--scheme"), Some("correction"));
+        assert_eq!(value(&a, "--seed"), Some("7"));
+        assert_eq!(value(&a, "--alpha"), None);
+    }
+
+    #[test]
+    fn parse_or_defaults() {
+        let a = sv(&["--reps", "12"]);
+        assert_eq!(parse_or(&a, "--reps", 50usize), 12);
+        assert_eq!(parse_or(&a, "--scale", 16usize), 16);
+        assert_eq!(parse_or(&sv(&["--reps", "xx"]), "--reps", 5usize), 5);
+    }
+
+    #[test]
+    fn alpha_fraction_and_float() {
+        assert_eq!(parse_alpha("1/16"), Some(0.0625));
+        assert_eq!(parse_alpha("0.25"), Some(0.25));
+        assert_eq!(parse_alpha("3 / 4"), Some(0.75));
+        assert_eq!(parse_alpha("1/0"), None);
+        assert_eq!(parse_alpha("abc"), None);
+    }
+
+    #[test]
+    fn generator_specs() {
+        assert!(matches!(
+            matrix_source(&sv(&["--gen", "poisson2d:30"])),
+            Ok(MatrixSource::Poisson2d(30))
+        ));
+        assert!(matches!(
+            matrix_source(&sv(&["--gen", "random:500:0.01:9"])),
+            Ok(MatrixSource::Random(500, _, 9))
+        ));
+        assert!(matches!(
+            matrix_source(&sv(&["--gen", "paper:341:32"])),
+            Ok(MatrixSource::Paper(341, 32))
+        ));
+        assert!(matrix_source(&sv(&["--gen", "bogus:1"])).is_err());
+        assert!(matrix_source(&sv(&[])).is_err());
+    }
+
+    #[test]
+    fn file_source() {
+        assert!(matches!(
+            matrix_source(&sv(&["--matrix", "m.mtx"])),
+            Ok(MatrixSource::File(_))
+        ));
+    }
+}

@@ -1,0 +1,177 @@
+//! Subcommand implementations.
+
+use ftcg::model::Scheme;
+use ftcg::prelude::*;
+use ftcg::sim::figure1::{log_grid, run_panel, Figure1Params};
+use ftcg::sim::report::{figure1_ascii, figure1_csv, table1_csv, table1_markdown};
+use ftcg::sim::table1::{run_table1, Table1Params};
+use ftcg::sim::PAPER_MATRICES;
+use ftcg::sparse::stats::MatrixStats;
+
+use crate::args::{matrix_source, parse_alpha, parse_or, value, MatrixSource};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+ftcg — fault-tolerant Conjugate Gradient (Fasi, Robert & Uçar, PDSEC 2015)
+
+USAGE:
+  ftcg solve   (--matrix F.mtx | --gen SPEC) [--scheme S] [--alpha A] [--seed N]
+  ftcg stats   (--matrix F.mtx | --gen SPEC)
+  ftcg table1  [--scale N] [--reps N] [--threads N]
+  ftcg figure1 [--scale N] [--reps N] [--points N] [--matrices N] [--threads N]
+
+GENERATORS (--gen):
+  poisson2d:K              5-point Laplacian on a KxK grid
+  poisson3d:K              7-point Laplacian on a KxKxK grid
+  random:N:DENSITY[:SEED]  strictly dominant random SPD
+  illcond:N:DENS:COND[:S]  badly scaled SPD (paper-like convergence)
+  paper:ID[:SCALE]         one of the nine Table 1 matrices (e.g. 341)
+
+OPTIONS:
+  --scheme   online | detection | correction (default: correction)
+  --alpha    expected faults/iteration, float or fraction (e.g. 1/16)
+  --seed     injector seed (default 0)
+";
+
+fn load_matrix(args: &[String]) -> Result<CsrMatrix, String> {
+    match matrix_source(args)? {
+        MatrixSource::File(f) => {
+            io::read_matrix_market_file(&f).map_err(|e| format!("{f}: {e}"))
+        }
+        MatrixSource::Poisson2d(k) => gen::poisson2d(k).map_err(|e| e.to_string()),
+        MatrixSource::Poisson3d(k) => gen::poisson3d(k).map_err(|e| e.to_string()),
+        MatrixSource::Random(n, d, s) => gen::random_spd(n, d, s).map_err(|e| e.to_string()),
+        MatrixSource::IllCond(n, d, c, s) => {
+            gen::random_spd_illcond(n, d, c, s).map_err(|e| e.to_string())
+        }
+        MatrixSource::Paper(id, scale) => ftcg::sim::matrices::by_id(id)
+            .map(|spec| spec.generate(scale))
+            .ok_or_else(|| format!("unknown paper matrix id {id}")),
+    }
+}
+
+fn parse_scheme(args: &[String]) -> Result<Scheme, String> {
+    match value(args, "--scheme").unwrap_or("correction") {
+        "online" => Ok(Scheme::OnlineDetection),
+        "detection" => Ok(Scheme::AbftDetection),
+        "correction" => Ok(Scheme::AbftCorrection),
+        other => Err(format!(
+            "unknown scheme `{other}` (online | detection | correction)"
+        )),
+    }
+}
+
+/// `ftcg solve`.
+pub fn solve(args: &[String]) -> i32 {
+    let result = (|| -> Result<(), String> {
+        let a = load_matrix(args)?;
+        if !a.is_square() {
+            return Err("matrix must be square".into());
+        }
+        let scheme = parse_scheme(args)?;
+        let alpha = match value(args, "--alpha") {
+            Some(s) => parse_alpha(s).ok_or_else(|| format!("bad --alpha `{s}`"))?,
+            None => 0.0,
+        };
+        let seed: u64 = parse_or(args, "--seed", 0u64);
+        let n = a.n_rows();
+        let b = vec![1.0; n];
+        eprintln!(
+            "solving: n={n} nnz={} scheme={} alpha={alpha} seed={seed}",
+            a.nnz(),
+            scheme.name()
+        );
+        let mut builder = ftcg::ResilientCg::new(&a).scheme(scheme).seed(seed);
+        if alpha > 0.0 {
+            builder = builder.fault_alpha(alpha);
+        }
+        let out = builder.solve(&b);
+        println!("converged            {}", out.converged);
+        println!("productive iters     {}", out.productive_iterations);
+        println!("executed iters       {}", out.executed_iterations);
+        println!("simulated time       {:.1} Titer", out.simulated_time);
+        println!("checkpoints          {}", out.checkpoints);
+        println!("rollbacks            {}", out.rollbacks);
+        println!(
+            "corrections          {} (ABFT {}, TMR {})",
+            out.forward_corrections + out.tmr_corrections,
+            out.forward_corrections,
+            out.tmr_corrections
+        );
+        println!("injected faults      {}", out.ledger.len());
+        let s = out.ledger.summary();
+        println!(
+            "fault outcomes       corrected {} / rolled-back {} / undetected {}",
+            s.corrected, s.rolled_back, s.undetected
+        );
+        println!("true residual        {:.3e}", out.true_residual);
+        if !out.converged {
+            return Err("did not converge".into());
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+/// `ftcg stats`.
+pub fn stats(args: &[String]) -> i32 {
+    match load_matrix(args) {
+        Ok(a) => {
+            let st = MatrixStats::compute(&a);
+            println!("{}", st.summary_line());
+            println!("memory words (fault-model M contribution): {}", st.memory_words);
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+/// `ftcg table1`.
+pub fn table1(args: &[String]) -> i32 {
+    let params = Table1Params {
+        scale: parse_or(args, "--scale", 32),
+        reps: parse_or(args, "--reps", 20),
+        threads: parse_or(args, "--threads", 8),
+        ..Table1Params::default()
+    };
+    eprintln!(
+        "Table 1: scale=1/{}, reps={}, alpha=1/16",
+        params.scale, params.reps
+    );
+    let rows = run_table1(&PAPER_MATRICES, &params);
+    println!("{}", table1_markdown(&rows));
+    std::fs::write("table1.csv", table1_csv(&rows)).ok();
+    eprintln!("wrote table1.csv");
+    0
+}
+
+/// `ftcg figure1`.
+pub fn figure1(args: &[String]) -> i32 {
+    let params = Figure1Params {
+        scale: parse_or(args, "--scale", 32),
+        reps: parse_or(args, "--reps", 20),
+        mtbf_grid: log_grid(2e1, 2e4, parse_or(args, "--points", 6)),
+        threads: parse_or(args, "--threads", 8),
+        ..Figure1Params::default()
+    };
+    let n_matrices = parse_or(args, "--matrices", PAPER_MATRICES.len());
+    let mut panels = Vec::new();
+    for spec in PAPER_MATRICES.iter().take(n_matrices) {
+        eprintln!("running matrix #{} ...", spec.id);
+        let panel = run_panel(spec, &params);
+        println!("{}", figure1_ascii(&panel, 64, 14));
+        panels.push(panel);
+    }
+    std::fs::write("figure1.csv", figure1_csv(&panels)).ok();
+    eprintln!("wrote figure1.csv");
+    0
+}

@@ -1,0 +1,32 @@
+//! `ftcg` — command-line front end for the fault-tolerant CG library.
+//!
+//! ```console
+//! $ ftcg solve --gen poisson2d:40 --scheme correction --alpha 0.0625
+//! $ ftcg solve --matrix system.mtx --scheme online --alpha 0.01 --seed 7
+//! $ ftcg stats --gen random:2000:0.005
+//! $ ftcg table1 --scale 32 --reps 20
+//! $ ftcg figure1 --scale 32 --reps 20 --points 6 --matrices 3
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("solve") => commands::solve(&argv[1..]),
+        Some("stats") => commands::stats(&argv[1..]),
+        Some("table1") => commands::table1(&argv[1..]),
+        Some("figure1") => commands::figure1(&argv[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", commands::USAGE);
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n");
+            eprint!("{}", commands::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,266 @@
+//! # ftcg — fault-tolerant Conjugate Gradient
+//!
+//! A full reproduction of *Fasi, Robert & Uçar, "Combining backward and
+//! forward recovery to cope with silent errors in iterative solvers"*
+//! (PDSEC 2015): ABFT-protected sparse matrix–vector products that
+//! detect up to two silent errors and correct one **in place** (forward
+//! recovery), combined with verified checkpointing (backward recovery),
+//! plus the abstract performance model that picks the optimal
+//! checkpoint/verification intervals.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ftcg::prelude::*;
+//!
+//! // An SPD system.
+//! let a = gen::poisson2d(12).unwrap();
+//! let b = vec![1.0; a.n_rows()];
+//!
+//! // Solve under silent-error injection with forward+backward recovery.
+//! let report = ResilientCg::new(&a)
+//!     .scheme(Scheme::AbftCorrection)
+//!     .fault_alpha(1.0 / 16.0) // expected faults per iteration
+//!     .seed(42)
+//!     .solve(&b);
+//!
+//! assert!(report.converged);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | `ftcg-sparse` | CSR/COO/CSC, MatrixMarket I/O, SPD generators, parallel SpMxV |
+//! | `ftcg-fault` | bit-flip injection, exponential/Poisson arrivals, fault ledger |
+//! | `ftcg-abft` | weighted checksums, detect-2/correct-1 SpMxV, TMR, FP tolerance |
+//! | `ftcg-checkpoint` | solver-state snapshots, stores, binary codec |
+//! | `ftcg-model` | expected frame time (eq. 5), optimal intervals (eq. 6), DP schedule |
+//! | `ftcg-solvers` | CG/PCG/BiCGSTAB/CGNE + the three resilient drivers |
+//! | `ftcg-sim` | Table 1 / Figure 1 experiment harness and reports |
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub use ftcg_abft as abft;
+pub use ftcg_checkpoint as checkpoint;
+pub use ftcg_fault as fault;
+pub use ftcg_model as model;
+pub use ftcg_sim as sim;
+pub use ftcg_solvers as solvers;
+pub use ftcg_sparse as sparse;
+
+use ftcg_checkpoint::ResilienceCosts;
+use ftcg_model::{optimize, Scheme};
+use ftcg_solvers::resilient::{solve_resilient, ResilientConfig, ResilientOutcome};
+use ftcg_solvers::StoppingCriterion;
+use ftcg_sparse::CsrMatrix;
+
+/// Everything a typical user needs.
+pub mod prelude {
+    pub use crate::ResilientCg;
+    pub use ftcg_model::Scheme;
+    pub use ftcg_solvers::resilient::{ResilientConfig, ResilientOutcome};
+    pub use ftcg_solvers::{cg_solve, CgConfig, StoppingCriterion};
+    pub use ftcg_sparse::{gen, io, vector, CooMatrix, CsrMatrix};
+}
+
+/// High-level builder for a resilient CG solve.
+///
+/// Defaults: ABFT-CORRECTION, model-optimal checkpoint interval for the
+/// configured fault rate, paper-like resilience costs, relative 1e-8
+/// stopping, no fault injection unless [`ResilientCg::fault_alpha`] is
+/// set.
+#[derive(Debug, Clone)]
+pub struct ResilientCg<'a> {
+    a: &'a CsrMatrix,
+    scheme: Scheme,
+    interval: Option<usize>,
+    verif_interval: Option<usize>,
+    costs: ResilienceCosts,
+    stopping: StoppingCriterion,
+    alpha: Option<f64>,
+    seed: u64,
+    max_iters: usize,
+}
+
+impl<'a> ResilientCg<'a> {
+    /// Starts a builder for the given SPD matrix.
+    pub fn new(a: &'a CsrMatrix) -> Self {
+        Self {
+            a,
+            scheme: Scheme::AbftCorrection,
+            interval: None,
+            verif_interval: None,
+            costs: ResilienceCosts::abft_default(),
+            stopping: StoppingCriterion::default_relative(),
+            alpha: None,
+            seed: 0,
+            max_iters: 10_000,
+        }
+    }
+
+    /// Selects the resilience scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        if scheme == Scheme::OnlineDetection {
+            self.costs = ResilienceCosts::online_default();
+        }
+        self
+    }
+
+    /// Fixes the checkpoint interval `s` (otherwise model-optimal).
+    pub fn checkpoint_interval(mut self, s: usize) -> Self {
+        self.interval = Some(s.max(1));
+        self
+    }
+
+    /// Fixes the verification interval `d` (ONLINE-DETECTION only;
+    /// otherwise model-optimal).
+    pub fn verif_interval(mut self, d: usize) -> Self {
+        self.verif_interval = Some(d.max(1));
+        self
+    }
+
+    /// Overrides the resilience cost parameters.
+    pub fn costs(mut self, costs: ResilienceCosts) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Sets the stopping criterion.
+    pub fn stopping(mut self, stopping: StoppingCriterion) -> Self {
+        self.stopping = stopping;
+        self
+    }
+
+    /// Enables fault injection at `alpha` expected faults per iteration.
+    pub fn fault_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha >= 0.0 && alpha.is_finite());
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Seeds the fault injector (deterministic runs).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the productive iteration count.
+    pub fn max_iters(mut self, n: usize) -> Self {
+        self.max_iters = n;
+        self
+    }
+
+    /// Resolves the configuration this builder would run with.
+    pub fn config(&self) -> ResilientConfig {
+        let alpha = self.alpha.unwrap_or(0.0).max(1e-9);
+        let (s, d) = match self.scheme {
+            Scheme::OnlineDetection => {
+                let plan = optimize::optimal_online_interval(alpha, 1.0, &self.costs, 64, 1000);
+                (
+                    self.interval.unwrap_or(plan.s),
+                    self.verif_interval.unwrap_or(plan.d),
+                )
+            }
+            _ => {
+                let opt =
+                    optimize::optimal_abft_interval(self.scheme, alpha, 1.0, &self.costs, 4000);
+                (self.interval.unwrap_or(opt.s), 1)
+            }
+        };
+        let mut cfg = ResilientConfig::new(self.scheme, s);
+        cfg.verif_interval = d;
+        cfg.costs = self.costs;
+        cfg.stopping = self.stopping;
+        cfg.max_productive_iters = self.max_iters;
+        cfg
+    }
+
+    /// Runs the solve.
+    pub fn solve(&self, b: &[f64]) -> ResilientOutcome {
+        let cfg = self.config();
+        match self.alpha {
+            Some(alpha) if alpha > 0.0 => {
+                let mut inj = ftcg_sim::runner::paper_injector(self.a, alpha, self.seed);
+                solve_resilient(self.a, b, &cfg, Some(&mut inj))
+            }
+            _ => solve_resilient(self.a, b, &cfg, None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcg_sparse::gen;
+
+    #[test]
+    fn builder_defaults_solve() {
+        let a = gen::poisson2d(10).unwrap();
+        let b = vec![1.0; 100];
+        let out = ResilientCg::new(&a).solve(&b);
+        assert!(out.converged);
+        assert!(out.ledger.is_empty());
+    }
+
+    #[test]
+    fn builder_with_faults_converges() {
+        let a = gen::random_spd(150, 0.04, 1).unwrap();
+        let b = vec![1.0; 150];
+        let out = ResilientCg::new(&a)
+            .scheme(Scheme::AbftCorrection)
+            .fault_alpha(1.0 / 16.0)
+            .seed(7)
+            .solve(&b);
+        assert!(out.converged);
+        assert!(out.true_residual < 1e-5);
+    }
+
+    #[test]
+    fn auto_interval_scales_with_rate() {
+        let a = gen::random_spd(100, 0.05, 2).unwrap();
+        let low = ResilientCg::new(&a).fault_alpha(1e-4).config();
+        let high = ResilientCg::new(&a).fault_alpha(0.2).config();
+        assert!(low.checkpoint_interval > high.checkpoint_interval);
+    }
+
+    #[test]
+    fn online_scheme_picks_d() {
+        let a = gen::random_spd(100, 0.05, 3).unwrap();
+        let cfg = ResilientCg::new(&a)
+            .scheme(Scheme::OnlineDetection)
+            .fault_alpha(0.01)
+            .config();
+        assert!(cfg.verif_interval > 1);
+        assert_eq!(cfg.costs, ResilienceCosts::online_default());
+    }
+
+    #[test]
+    fn explicit_intervals_respected() {
+        let a = gen::random_spd(80, 0.05, 4).unwrap();
+        let cfg = ResilientCg::new(&a)
+            .checkpoint_interval(7)
+            .verif_interval(3)
+            .fault_alpha(0.05)
+            .config();
+        assert_eq!(cfg.checkpoint_interval, 7);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = gen::random_spd(100, 0.05, 5).unwrap();
+        let b = vec![1.0; 100];
+        let mk = || {
+            ResilientCg::new(&a)
+                .fault_alpha(0.1)
+                .seed(99)
+                .solve(&b)
+        };
+        let o1 = mk();
+        let o2 = mk();
+        assert_eq!(o1.x, o2.x);
+        assert_eq!(o1.simulated_time, o2.simulated_time);
+    }
+}

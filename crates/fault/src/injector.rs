@@ -1,0 +1,304 @@
+//! The fault injector: draws per-iteration fault plans and applies them.
+//!
+//! "Faults are modeled as bit flips occurring independently at each step,
+//! under an exponential distribution of parameter λ … each memory location
+//! or operation is given the chance to fail just once per iteration"
+//! (Section 5.1). With `Titer = 1` this makes the per-iteration fault
+//! count Poisson with mean `α = λ·M`; each fault strikes a uniformly
+//! random word of the registered unreliable memory.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use ftcg_sparse::CsrMatrix;
+
+use crate::bitflip::{self, BitRange};
+use crate::mtbf::FaultRate;
+use crate::process::poisson_count;
+use crate::target::{FaultTarget, MemoryLayout, VectorId};
+
+/// A single planned bit flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Memory region struck.
+    pub target: FaultTarget,
+    /// Word offset within the region.
+    pub offset: usize,
+    /// Bit position flipped.
+    pub bit: u32,
+}
+
+/// Injector configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectorConfig {
+    /// Fault rate (`α`, `M`).
+    pub rate: FaultRate,
+    /// Bits eligible in `f64` targets (`Val` and vectors).
+    pub value_bits: BitRange,
+    /// Bits eligible in index targets (`Colid`, `Rowidx`); pass
+    /// [`BitRange::for_index_bound`] to keep most flips in-bounds.
+    pub index_bits: BitRange,
+    /// Whether vector words are corruptible (matrix-only mode for kernel
+    /// micro-experiments).
+    pub include_vectors: bool,
+}
+
+impl InjectorConfig {
+    /// Paper-default configuration for a given matrix: full 64-bit flips
+    /// on values, index flips confined near the valid range, vectors
+    /// included.
+    pub fn paper_default(rate: FaultRate, a: &CsrMatrix) -> Self {
+        Self {
+            rate,
+            value_bits: BitRange::Full,
+            index_bits: BitRange::for_index_bound(a.n_cols().max(a.nnz() + 1)),
+            include_vectors: true,
+        }
+    }
+}
+
+/// Stateful fault injector with a deterministic seeded RNG.
+#[derive(Debug)]
+pub struct Injector {
+    config: InjectorConfig,
+    layout: MemoryLayout,
+    rng: StdRng,
+}
+
+impl Injector {
+    /// Creates an injector for a matrix of the given dimensions.
+    pub fn new(config: InjectorConfig, nnz: usize, n: usize, seed: u64) -> Self {
+        let layout = if config.include_vectors {
+            MemoryLayout::with_vectors(nnz, n)
+        } else {
+            MemoryLayout::matrix_only(nnz, n)
+        };
+        Self {
+            config,
+            layout,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Convenience constructor reading dimensions off the matrix.
+    pub fn for_matrix(config: InjectorConfig, a: &CsrMatrix, seed: u64) -> Self {
+        Self::new(config, a.nnz(), a.n_rows(), seed)
+    }
+
+    /// The memory layout this injector draws over.
+    pub fn layout(&self) -> MemoryLayout {
+        self.layout
+    }
+
+    /// Expected faults per iteration.
+    pub fn alpha(&self) -> f64 {
+        self.config.rate.per_iteration()
+    }
+
+    /// Draws the fault plan for one iteration: a Poisson(`α`) number of
+    /// flips at uniformly random words.
+    pub fn plan_iteration(&mut self) -> Vec<FaultEvent> {
+        let k = poisson_count(&mut self.rng, self.config.rate.per_iteration());
+        (0..k).map(|_| self.draw_event()).collect()
+    }
+
+    /// Draws a single fault at a uniformly random word (used by targeted
+    /// unit tests and the correction-exactness experiments).
+    pub fn draw_event(&mut self) -> FaultEvent {
+        let total = self.layout.total_words();
+        assert!(total > 0, "empty memory layout");
+        let word = self.rng.random_range(0..total);
+        let (target, offset) = self.layout.locate(word);
+        let bits = match target {
+            FaultTarget::MatrixColid | FaultTarget::MatrixRowidx => self.config.index_bits,
+            _ => self.config.value_bits,
+        };
+        let bit = bits.position(self.rng.random_range(0..bits.width()));
+        FaultEvent {
+            target,
+            offset,
+            bit,
+        }
+    }
+
+    /// Applies a matrix-targeted event to the CSR arrays. Returns `true`
+    /// if applied, `false` when the event targets a vector.
+    pub fn apply_to_matrix(event: &FaultEvent, a: &mut CsrMatrix) -> bool {
+        match event.target {
+            FaultTarget::MatrixVal => {
+                let v = &mut a.val_mut()[event.offset];
+                *v = bitflip::flip_f64(*v, event.bit);
+                true
+            }
+            FaultTarget::MatrixColid => {
+                let c = &mut a.colid_mut()[event.offset];
+                *c = bitflip::flip_usize(*c, event.bit);
+                true
+            }
+            FaultTarget::MatrixRowidx => {
+                let r = &mut a.rowptr_mut()[event.offset];
+                *r = bitflip::flip_usize(*r, event.bit);
+                true
+            }
+            FaultTarget::Vector(_) => false,
+        }
+    }
+
+    /// Applies a vector-targeted event to the matching vector slice.
+    /// Returns `true` if the event targeted `which`.
+    pub fn apply_to_vector(event: &FaultEvent, which: VectorId, v: &mut [f64]) -> bool {
+        if event.target != FaultTarget::Vector(which) {
+            return false;
+        }
+        let x = &mut v[event.offset];
+        *x = bitflip::flip_f64(*x, event.bit);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcg_sparse::gen;
+
+    fn setup(alpha: f64, seed: u64) -> (CsrMatrix, Injector) {
+        let a = gen::random_spd(50, 0.05, 1).unwrap();
+        let layout = MemoryLayout::with_vectors(a.nnz(), a.n_rows());
+        let rate = FaultRate::from_alpha(alpha, layout.total_words());
+        let cfg = InjectorConfig::paper_default(rate, &a);
+        let inj = Injector::for_matrix(cfg, &a, seed);
+        (a, inj)
+    }
+
+    #[test]
+    fn plan_rate_matches_alpha() {
+        let (_, mut inj) = setup(0.25, 9);
+        let iters = 40_000;
+        let total: usize = (0..iters).map(|_| inj.plan_iteration().len()).sum();
+        let emp = total as f64 / iters as f64;
+        assert!((emp - 0.25).abs() < 0.02, "empirical alpha {emp}");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let (_, mut a1) = setup(0.5, 42);
+        let (_, mut a2) = setup(0.5, 42);
+        for _ in 0..100 {
+            assert_eq!(a1.plan_iteration(), a2.plan_iteration());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (_, mut a1) = setup(0.9, 1);
+        let (_, mut a2) = setup(0.9, 2);
+        let p1: Vec<_> = (0..50).flat_map(|_| a1.plan_iteration()).collect();
+        let p2: Vec<_> = (0..50).flat_map(|_| a2.plan_iteration()).collect();
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn events_hit_every_region_eventually() {
+        let (_, mut inj) = setup(1.0, 3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            for e in inj.plan_iteration() {
+                seen.insert(std::mem::discriminant(&e.target));
+            }
+        }
+        // Val, Colid, Rowidx, Vector
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn matrix_fault_applies_and_reverts() {
+        let (mut a, _) = setup(0.0, 0);
+        let before = a.val()[3];
+        let e = FaultEvent {
+            target: FaultTarget::MatrixVal,
+            offset: 3,
+            bit: 52,
+        };
+        assert!(Injector::apply_to_matrix(&e, &mut a));
+        assert_ne!(a.val()[3].to_bits(), before.to_bits());
+        Injector::apply_to_matrix(&e, &mut a);
+        assert_eq!(a.val()[3].to_bits(), before.to_bits());
+    }
+
+    #[test]
+    fn colid_fault_changes_index() {
+        let (mut a, _) = setup(0.0, 0);
+        let before = a.colid()[5];
+        let e = FaultEvent {
+            target: FaultTarget::MatrixColid,
+            offset: 5,
+            bit: 1,
+        };
+        Injector::apply_to_matrix(&e, &mut a);
+        assert_eq!(a.colid()[5], before ^ 2);
+    }
+
+    #[test]
+    fn rowidx_fault_changes_pointer() {
+        let (mut a, _) = setup(0.0, 0);
+        let before = a.rowptr()[2];
+        let e = FaultEvent {
+            target: FaultTarget::MatrixRowidx,
+            offset: 2,
+            bit: 0,
+        };
+        Injector::apply_to_matrix(&e, &mut a);
+        assert_eq!(a.rowptr()[2], before ^ 1);
+    }
+
+    #[test]
+    fn vector_fault_only_hits_matching_vector() {
+        let e = FaultEvent {
+            target: FaultTarget::Vector(VectorId::P),
+            offset: 1,
+            bit: 63,
+        };
+        let mut p = vec![1.0, 2.0, 3.0];
+        let mut r = p.clone();
+        assert!(!Injector::apply_to_vector(&e, VectorId::R, &mut r));
+        assert_eq!(r, vec![1.0, 2.0, 3.0]);
+        assert!(Injector::apply_to_vector(&e, VectorId::P, &mut p));
+        assert_eq!(p, vec![1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn matrix_event_not_applied_to_vector_path() {
+        let e = FaultEvent {
+            target: FaultTarget::MatrixVal,
+            offset: 0,
+            bit: 0,
+        };
+        let mut v = vec![1.0];
+        assert!(!Injector::apply_to_vector(&e, VectorId::X, &mut v));
+    }
+
+    #[test]
+    fn zero_alpha_never_faults() {
+        let (_, mut inj) = setup(0.0, 11);
+        for _ in 0..1000 {
+            assert!(inj.plan_iteration().is_empty());
+        }
+    }
+
+    #[test]
+    fn index_bits_keep_most_flips_near_range() {
+        let (a, mut inj) = setup(1.0, 13);
+        // Flipping a single bit below the configured width keeps the
+        // corrupted index below 2^width (both operands fit in width bits).
+        let width = BitRange::for_index_bound(a.n_cols().max(a.nnz() + 1)).width();
+        let cap = 1usize << width;
+        for _ in 0..5000 {
+            for e in inj.plan_iteration() {
+                if e.target == FaultTarget::MatrixColid {
+                    let worst = a.colid()[e.offset] ^ (1usize << e.bit);
+                    assert!(worst < cap, "corrupted index {worst} >= {cap}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Silent-error injection substrate for the `ftcg` reproduction.
+//!
+//! Implements the fault model of Section 5.1 of the paper:
+//!
+//! * faults are **bit flips** striking either the sparse matrix arrays
+//!   (`Val`, `Colid`, `Rowidx`) or any entry of the CG iteration vectors
+//!   `r`, `q`, `p`, `x`;
+//! * inter-arrival times are **exponential** with rate `λ`; per iteration
+//!   (with `Titer` normalized to 1) each memory word gets at most one
+//!   chance to fail, so the per-iteration fault count is Poisson with mean
+//!   `λ·M` where `M` is the memory footprint in words;
+//! * the rate is chosen as `λ = α / M` with `α ∈ (0, 1)` so that the
+//!   expected number of iterations between faults, `1/α` (the paper's
+//!   *normalized MTBF*), is independent of the matrix;
+//! * **selective reliability**: checksum data and checksum computations
+//!   are never targeted — only buffers explicitly registered with the
+//!   injector can be struck.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bitflip;
+pub mod injector;
+pub mod ledger;
+pub mod mtbf;
+pub mod process;
+pub mod target;
+
+pub use bitflip::BitRange;
+pub use injector::{FaultEvent, Injector, InjectorConfig};
+pub use ledger::{FaultLedger, LedgerSummary};
+pub use mtbf::FaultRate;
+pub use process::{poisson_count, sample_exponential};
+pub use target::FaultTarget;

@@ -1,0 +1,160 @@
+//! Stochastic arrival processes.
+//!
+//! The paper assumes exponentially distributed fault inter-arrival times
+//! (Section 4.1), equivalently a Poisson process: the probability of
+//! exactly `k` errors in time `T` is `(λT)^k/k! · e^{−λT}` (Section 4.2.3).
+//! `rand_distr` is not in the allowed offline dependency set, so the two
+//! samplers are implemented directly (inverse CDF and Knuth's product
+//! method — the per-iteration means here are ≤ 1, where Knuth's method is
+//! both exact and fast).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Draws an `Exp(rate)` variate via inverse CDF: `−ln(1−U)/rate`.
+///
+/// # Panics
+/// Panics if `rate <= 0` or not finite.
+pub fn sample_exponential(rng: &mut StdRng, rate: f64) -> f64 {
+    assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+    let u: f64 = rng.random();
+    // 1 − u ∈ (0, 1]; ln of it is finite and ≤ 0.
+    -(1.0 - u).ln() / rate
+}
+
+/// Draws a `Poisson(mean)` count via Knuth's product-of-uniforms method.
+///
+/// Exact for any mean; O(mean) expected iterations, which is fine for the
+/// per-iteration means `α ≤ 1` used throughout the experiments.
+///
+/// # Panics
+/// Panics if `mean` is negative or not finite.
+pub fn poisson_count(rng: &mut StdRng, mean: f64) -> usize {
+    assert!(mean >= 0.0 && mean.is_finite(), "mean must be >= 0");
+    if mean == 0.0 {
+        return 0;
+    }
+    let limit = (-mean).exp();
+    let mut product: f64 = 1.0;
+    let mut k = 0usize;
+    loop {
+        product *= rng.random::<f64>();
+        if product <= limit {
+            return k;
+        }
+        k += 1;
+        // Defensive cap: at mean ≤ 64 the probability of reaching this is
+        // astronomically small; prevents pathological loops on NaN misuse.
+        if k > 10_000 {
+            return k;
+        }
+    }
+}
+
+/// Event times of a Poisson process with the given `rate` inside `[0, horizon)`.
+pub fn arrival_times(rng: &mut StdRng, rate: f64, horizon: f64) -> Vec<f64> {
+    let mut times = Vec::new();
+    if rate <= 0.0 {
+        return times;
+    }
+    let mut t = sample_exponential(rng, rate);
+    while t < horizon {
+        times.push(t);
+        t += sample_exponential(rng, rate);
+    }
+    times
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut r = rng(1);
+        let rate = 0.5;
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| sample_exponential(&mut r, rate)).sum::<f64>() / n as f64;
+        assert!(
+            (mean - 1.0 / rate).abs() < 0.05,
+            "empirical mean {mean} far from {}",
+            1.0 / rate
+        );
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut r = rng(2);
+        for _ in 0..1000 {
+            assert!(sample_exponential(&mut r, 3.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        sample_exponential(&mut rng(0), 0.0);
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut r = rng(3);
+        for _ in 0..100 {
+            assert_eq!(poisson_count(&mut r, 0.0), 0);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_and_variance() {
+        let mut r = rng(4);
+        let mean = 0.7;
+        let n = 100_000;
+        let counts: Vec<usize> = (0..n).map(|_| poisson_count(&mut r, mean)).collect();
+        let emp_mean = counts.iter().sum::<usize>() as f64 / n as f64;
+        let emp_var = counts
+            .iter()
+            .map(|&c| (c as f64 - emp_mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((emp_mean - mean).abs() < 0.02, "mean {emp_mean}");
+        // Poisson: variance == mean.
+        assert!((emp_var - mean).abs() < 0.03, "variance {emp_var}");
+    }
+
+    #[test]
+    fn poisson_small_mean_mostly_zero_or_one() {
+        let mut r = rng(5);
+        let mean = 0.01;
+        let n = 10_000;
+        let twos = (0..n)
+            .filter(|_| poisson_count(&mut r, mean) >= 2)
+            .count();
+        // P(k >= 2) ≈ mean²/2 = 5e-5; over 10k draws expect ~0.5 events.
+        assert!(twos <= 5, "too many multi-fault draws: {twos}");
+    }
+
+    #[test]
+    fn arrival_times_ordered_within_horizon() {
+        let mut r = rng(6);
+        let times = arrival_times(&mut r, 2.0, 10.0);
+        for w in times.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &t in &times {
+            assert!((0.0..10.0).contains(&t));
+        }
+        // rate 2 over horizon 10 → about 20 events.
+        assert!(times.len() > 5 && times.len() < 60);
+    }
+
+    #[test]
+    fn arrival_times_zero_rate_empty() {
+        let mut r = rng(7);
+        assert!(arrival_times(&mut r, 0.0, 100.0).is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Classic closed-form checkpoint periods for reference.
+//!
+//! The paper contrasts its numeric optimization with the pure periodic
+//! checkpointing approximations of Young \[35\] and Daly \[10\], which
+//! exist only for the *fail-stop* model (no verification). They serve as
+//! sanity anchors for the model's asymptotics: as `Tverif → 0` and
+//! `λ → 0`, the optimal frame length `s*·T` should approach
+//! `√(2·Tcp/λ)`.
+
+/// Young's first-order optimum: `T_period = √(2·Tcp/λ)`.
+pub fn young_period(tcp: f64, lambda: f64) -> f64 {
+    assert!(tcp >= 0.0 && lambda > 0.0, "need positive rate");
+    (2.0 * tcp / lambda).sqrt()
+}
+
+/// Daly's higher-order refinement:
+/// `T_period = √(2·Tcp·(1/λ + Trec)) − Tcp` when the expression is
+/// positive, else `Tcp` (checkpointing dominated).
+pub fn daly_period(tcp: f64, trec: f64, lambda: f64) -> f64 {
+    assert!(tcp >= 0.0 && trec >= 0.0 && lambda > 0.0, "need positive rate");
+    let t = (2.0 * tcp * (1.0 / lambda + trec)).sqrt() - tcp;
+    if t > 0.0 {
+        t
+    } else {
+        tcp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimize::optimal_s;
+    use ftcg_checkpoint::ResilienceCosts;
+
+    #[test]
+    fn young_scales_inverse_sqrt() {
+        let p1 = young_period(2.0, 1e-4);
+        let p2 = young_period(2.0, 4e-4);
+        assert!((p1 / p2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn daly_close_to_young_at_low_rate() {
+        let (tcp, trec, l) = (2.0, 2.0, 1e-6);
+        let y = young_period(tcp, l);
+        let d = daly_period(tcp, trec, l);
+        assert!((y - d).abs() / y < 0.01, "young={y} daly={d}");
+    }
+
+    #[test]
+    fn model_asymptotics_match_young() {
+        // With negligible verification cost, s*·T from the frame model
+        // should be within a factor ~2 of Young's period.
+        let lambda = 1e-4;
+        let costs = ResilienceCosts::new(2.0, 2.0, 0.0);
+        let q = crate::success::q_detection(lambda, 1.0);
+        let s = optimal_s(1.0, &costs, q, 100_000).s as f64;
+        let young = young_period(costs.tcp, lambda);
+        let ratio = s / young;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "model period {s} vs young {young} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn daly_fallback_when_dominated() {
+        // Huge checkpoint cost at huge rate: expression goes negative.
+        let d = daly_period(100.0, 0.0, 10.0);
+        assert_eq!(d, 100.0);
+    }
+}

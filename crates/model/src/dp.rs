@@ -1,0 +1,170 @@
+//! Dynamic-programming schedule for a *finite* run.
+//!
+//! The stationary optimum of eq. (6) assumes an infinite stream of
+//! frames. For a run known to be `N` iterations long, reference \[3\]
+//! (Benoit, Cavelan, Robert & Sun) computes the optimal repartition of
+//! checkpoints and verifications by dynamic programming. This module
+//! implements that idea for the iterative-solver setting: split `N`
+//! iterations into frames, each frame being `s` chunks of `⌈L/s⌉`
+//! iterations, and minimize total expected time.
+
+use ftcg_checkpoint::ResilienceCosts;
+
+use crate::frame::expected_frame_time;
+use crate::Scheme;
+
+/// A frame decision: `iters` iterations split into `chunks` verified chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameSpec {
+    /// Iterations in the frame.
+    pub iters: usize,
+    /// Number of verified chunks the frame is split into.
+    pub chunks: usize,
+}
+
+/// An optimal finite-horizon schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Frames in execution order; their `iters` sum to `N`.
+    pub frames: Vec<FrameSpec>,
+    /// Total expected execution time (in `titer` units).
+    pub expected_time: f64,
+}
+
+/// Computes the optimal schedule for `n_iters` iterations by dynamic
+/// programming over the remaining-iteration count.
+///
+/// `max_frame` bounds the frame length considered (the DP is
+/// `O(N·max_frame·√max_frame)`); pass `0` to use a heuristic bound.
+pub fn optimal_schedule(
+    n_iters: usize,
+    scheme: Scheme,
+    lambda: f64,
+    titer: f64,
+    costs: &ResilienceCosts,
+    max_frame: usize,
+) -> Schedule {
+    assert!(n_iters >= 1, "need at least one iteration");
+    let max_frame = if max_frame == 0 {
+        // Heuristic: a few times the Young period, capped.
+        let young = (2.0 * costs.tcp / lambda.max(1e-12)).sqrt();
+        ((4.0 * young) as usize).clamp(8, 512).min(n_iters)
+    } else {
+        max_frame.min(n_iters)
+    };
+
+    // best[i] = minimal expected time to finish i remaining iterations.
+    let mut best = vec![f64::INFINITY; n_iters + 1];
+    let mut choice = vec![FrameSpec { iters: 0, chunks: 0 }; n_iters + 1];
+    best[0] = 0.0;
+    for rem in 1..=n_iters {
+        for len in 1..=max_frame.min(rem) {
+            // Chunk counts dividing the frame reasonably: all s ≤ len.
+            for s in 1..=len {
+                if len % s != 0 {
+                    continue; // equal chunks only (the paper's model shape)
+                }
+                let t = (len / s) as f64 * titer;
+                let q = scheme.chunk_success(lambda, t);
+                let cost = expected_frame_time(s, t, costs, q);
+                let total = cost + best[rem - len];
+                if total < best[rem] {
+                    best[rem] = total;
+                    choice[rem] = FrameSpec {
+                        iters: len,
+                        chunks: s,
+                    };
+                }
+            }
+        }
+    }
+
+    let mut frames = Vec::new();
+    let mut rem = n_iters;
+    while rem > 0 {
+        let c = choice[rem];
+        frames.push(c);
+        rem -= c.iters;
+    }
+    Schedule {
+        frames,
+        expected_time: best[n_iters],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> ResilienceCosts {
+        ResilienceCosts::new(2.0, 2.0, 0.05)
+    }
+
+    #[test]
+    fn schedule_covers_all_iterations() {
+        let s = optimal_schedule(100, Scheme::AbftDetection, 0.05, 1.0, &costs(), 0);
+        let total: usize = s.frames.iter().map(|f| f.iters).sum();
+        assert_eq!(total, 100);
+        assert!(s.expected_time.is_finite());
+    }
+
+    #[test]
+    fn beats_single_frame() {
+        // One giant frame loses everything on error; the DP must do better
+        // at a non-trivial rate.
+        let n = 200;
+        let lambda = 0.05;
+        let c = costs();
+        let dp = optimal_schedule(n, Scheme::AbftDetection, lambda, 1.0, &c, n);
+        let q1 = Scheme::AbftDetection.chunk_success(lambda, n as f64);
+        let single = expected_frame_time(1, n as f64, &c, q1);
+        assert!(dp.expected_time < single, "{} vs {}", dp.expected_time, single);
+    }
+
+    #[test]
+    fn beats_checkpoint_every_iteration() {
+        let n = 200;
+        let lambda = 0.01;
+        let c = costs();
+        let dp = optimal_schedule(n, Scheme::AbftDetection, lambda, 1.0, &c, n);
+        let q = Scheme::AbftDetection.chunk_success(lambda, 1.0);
+        let every = n as f64 * expected_frame_time(1, 1.0, &c, q);
+        assert!(dp.expected_time < every);
+    }
+
+    #[test]
+    fn large_n_matches_stationary_optimum_rate() {
+        // Per-iteration cost of the DP solution should be close to the
+        // stationary optimum's overhead.
+        let n = 600;
+        let lambda = 1.0 / 16.0;
+        let c = costs();
+        let dp = optimal_schedule(n, Scheme::AbftCorrection, lambda, 1.0, &c, 0);
+        let q = Scheme::AbftCorrection.chunk_success(lambda, 1.0);
+        let stat = crate::optimize::optimal_s(1.0, &c, q, 4000);
+        let per_iter = dp.expected_time / n as f64;
+        assert!(
+            (per_iter - stat.overhead).abs() / stat.overhead < 0.10,
+            "dp per-iter {per_iter} vs stationary {}",
+            stat.overhead
+        );
+    }
+
+    #[test]
+    fn zero_rate_uses_few_frames() {
+        let s = optimal_schedule(64, Scheme::AbftDetection, 1e-9, 1.0, &costs(), 64);
+        // Essentially fault-free: one frame, one chunk is optimal.
+        assert_eq!(s.frames.len(), 1);
+        assert_eq!(s.frames[0].chunks, 1);
+    }
+
+    #[test]
+    fn correction_schedule_no_worse_than_detection() {
+        let n = 150;
+        let lambda = 0.08;
+        let c = costs();
+        let det = optimal_schedule(n, Scheme::AbftDetection, lambda, 1.0, &c, 0);
+        let cor = optimal_schedule(n, Scheme::AbftCorrection, lambda, 1.0, &c, 0);
+        assert!(cor.expected_time <= det.expected_time + 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+//! Chunk success probabilities (Section 4.2).
+
+/// Success probability of a chunk of length `t` under a Poisson fault
+/// process of rate `lambda` when the scheme only *detects*: the chunk
+/// succeeds iff **zero** errors strike — `q = e^{−λt}`.
+pub fn q_detection(lambda: f64, t: f64) -> f64 {
+    assert!(lambda >= 0.0 && t >= 0.0, "rate and length must be >= 0");
+    (-lambda * t).exp()
+}
+
+/// Success probability when the scheme corrects a single error: the
+/// chunk succeeds iff **zero or one** error strikes —
+/// `q = e^{−λt} + λt·e^{−λt}` (Section 4.2.3).
+pub fn q_correction(lambda: f64, t: f64) -> f64 {
+    assert!(lambda >= 0.0 && t >= 0.0, "rate and length must be >= 0");
+    let lt = lambda * t;
+    (-lt).exp() * (1.0 + lt)
+}
+
+/// Probability that the error (conditioned on an error in the frame)
+/// strikes at chunk `i ∈ 1..=s`: `fᵢ = q^{i−1}(1−q)/(1−qˢ)` (Section 4.1).
+pub fn f_error_at_chunk(q: f64, s: usize, i: usize) -> f64 {
+    assert!((1..=s).contains(&i), "chunk index out of range");
+    assert!((0.0..1.0).contains(&q), "q must be in [0,1)");
+    q.powi((i - 1) as i32) * (1.0 - q) / (1.0 - q.powi(s as i32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_zero_rate_is_certain() {
+        assert_eq!(q_detection(0.0, 5.0), 1.0);
+        assert_eq!(q_correction(0.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn detection_matches_poisson_zero_term() {
+        let (l, t) = (0.3, 2.0);
+        assert!((q_detection(l, t) - (-0.6f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn correction_matches_poisson_first_two_terms() {
+        let (l, t) = (0.3, 2.0);
+        let want = (-0.6f64).exp() * (1.0 + 0.6);
+        assert!((q_correction(l, t) - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn correction_dominates_detection() {
+        for &(l, t) in &[(0.01, 1.0), (0.5, 1.0), (1.0, 3.0)] {
+            assert!(q_correction(l, t) > q_detection(l, t));
+            assert!(q_correction(l, t) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        for i in 0..50 {
+            let l = 0.05 * i as f64;
+            let q = q_correction(l, 1.0);
+            assert!((0.0..=1.0).contains(&q), "q={q} at lambda={l}");
+        }
+    }
+
+    #[test]
+    fn f_sums_to_one() {
+        let q = 0.9;
+        let s = 7;
+        let total: f64 = (1..=s).map(|i| f_error_at_chunk(q, s, i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_decreasing_in_i() {
+        let q = 0.8;
+        let s = 5;
+        for i in 1..s {
+            assert!(f_error_at_chunk(q, s, i) > f_error_at_chunk(q, s, i + 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn f_rejects_bad_chunk() {
+        f_error_at_chunk(0.9, 3, 4);
+    }
+}

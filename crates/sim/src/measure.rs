@@ -1,0 +1,212 @@
+//! Measures the real relative costs of the resilience machinery on a
+//! given matrix, producing the `Tverif`/`Tcp`/`Trec` inputs of the
+//! performance model in units of one CG iteration.
+//!
+//! The paper takes these as abstract parameters; instantiating them from
+//! the actual Rust kernels keeps Figure 1's *shapes* honest (e.g.
+//! ONLINE-DETECTION's verification really costs about one extra SpMxV).
+
+use std::time::Instant;
+
+use ftcg_abft::{ProtectedSpmv, SingleChecksum, XRef};
+use ftcg_checkpoint::ResilienceCosts;
+use ftcg_model::Scheme;
+use ftcg_sparse::{vector, CsrMatrix};
+
+/// Measured per-matrix cost profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredCosts {
+    /// Raw CG iteration cost in seconds (SpMxV + 2 dots + 3 axpys).
+    pub titer_secs: f64,
+    /// Single-checksum verification overhead, in iterations.
+    pub tverif_detect: f64,
+    /// Dual-checksum verification overhead, in iterations.
+    pub tverif_correct: f64,
+    /// ONLINE-DETECTION verification (residual recompute + tests), iters.
+    pub tverif_online: f64,
+    /// Checkpoint cost (state clone), iterations.
+    pub tcp: f64,
+    /// Recovery cost (state restore), iterations.
+    pub trec: f64,
+}
+
+/// How the experiments instantiate the model's cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostMode {
+    /// The paper's magnitudes: `Tcp = Trec = 2` iterations (checkpointing
+    /// matrix + vectors to stable storage), ABFT verification a few
+    /// percent of an iteration, online verification one full extra
+    /// SpMxV. Default, so the reproduced tables share the paper's scale.
+    PaperLike,
+    /// Measure the implemented kernels on this machine (ablation A4/A5:
+    /// in-memory checkpoints are far cheaper than the paper's, which
+    /// shifts the optimal intervals up).
+    Measured,
+}
+
+/// The fixed paper-like cost profile.
+pub fn paper_like_costs() -> MeasuredCosts {
+    MeasuredCosts {
+        titer_secs: 1.0,
+        tverif_detect: 0.1,
+        tverif_correct: 0.2,
+        tverif_online: 1.0,
+        tcp: 2.0,
+        trec: 2.0,
+    }
+}
+
+/// Resolves a cost mode against a matrix.
+pub fn resolve_costs(mode: CostMode, a: &CsrMatrix, reps: usize) -> MeasuredCosts {
+    match mode {
+        CostMode::PaperLike => paper_like_costs(),
+        CostMode::Measured => measure_costs(a, reps),
+    }
+}
+
+impl MeasuredCosts {
+    /// The model cost triple for a scheme.
+    pub fn for_scheme(&self, scheme: Scheme) -> ResilienceCosts {
+        let tverif = match scheme {
+            Scheme::OnlineDetection => self.tverif_online,
+            Scheme::AbftDetection => self.tverif_detect,
+            Scheme::AbftCorrection => self.tverif_correct,
+        };
+        ResilienceCosts::new(self.tcp, self.trec, tverif.max(1e-6))
+    }
+}
+
+fn time_it<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    // One warmup, then median-ish: mean over reps (cheap and stable
+    // enough for cost *ratios*).
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Measures all costs on the given matrix. `reps` controls timing
+/// stability (10–50 is plenty; kernels are deterministic).
+pub fn measure_costs(a: &CsrMatrix, reps: usize) -> MeasuredCosts {
+    let n = a.n_rows();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).sin() + 1.0).collect();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+    let mut y = vec![0.0; n];
+    let mut w = x.clone();
+
+    // Raw iteration: 1 SpMxV + 2 dots + 3 axpys.
+    let titer = time_it(reps, || {
+        a.spmv_into(&x, &mut y);
+        let _ = std::hint::black_box(vector::dot(&x, &y));
+        let _ = std::hint::black_box(vector::norm2_sq(&y));
+        vector::axpy(0.5, &y, &mut w);
+        vector::axpy(-0.5, &y, &mut w);
+        vector::axpy(0.25, &x, &mut w);
+    });
+
+    // ABFT verifications (kernel excluded: overhead only).
+    let protected = ProtectedSpmv::new(a);
+    let single = SingleChecksum::new(a);
+    let xref = XRef::capture(&x);
+    a.spmv_into(&x, &mut y);
+    let t_detect = time_it(reps, || {
+        let _ = std::hint::black_box(single.verify(a, &x, &xref, &y));
+    });
+    let t_correct = time_it(reps, || {
+        let _ = std::hint::black_box(protected.verify(a, &x, &xref, &y));
+    });
+    // TMR adds ~2 extra passes over the vector ops; charge that to the
+    // ABFT schemes' verification overhead for honesty.
+    let t_tmr_extra = time_it(reps, || {
+        let _ = std::hint::black_box(vector::dot(&x, &y));
+        let _ = std::hint::black_box(vector::dot(&x, &y));
+        let _ = std::hint::black_box(vector::norm2_sq(&y));
+        let _ = std::hint::black_box(vector::norm2_sq(&y));
+    });
+
+    // ONLINE-DETECTION verification: residual recompute (SpMxV) + tests.
+    let t_online = time_it(reps, || {
+        a.spmv_into(&w, &mut y);
+        let mut drift = 0.0f64;
+        for i in 0..n {
+            drift = drift.max((b[i] - y[i]).abs());
+        }
+        let _ = std::hint::black_box(drift);
+        let _ = std::hint::black_box(vector::dot(&x, &y));
+    });
+
+    // Checkpoint: clone vectors + matrix arrays. Recovery: copy back.
+    let mut store: Option<ftcg_checkpoint::SolverState> = None;
+    let t_cp = time_it(reps, || {
+        store = Some(ftcg_checkpoint::SolverState::capture(
+            0, &x, &b, &w, 1.0, a,
+        ));
+    });
+    let snapshot = store.take().unwrap();
+    let mut xa = x.clone();
+    let mut ra = b.clone();
+    let mut pa = w.clone();
+    let mut am = a.clone();
+    let t_rec = time_it(reps, || {
+        xa.copy_from_slice(&snapshot.x);
+        ra.copy_from_slice(&snapshot.r);
+        pa.copy_from_slice(&snapshot.p);
+        am = snapshot.matrix.clone();
+    });
+
+    let per_iter = |t: f64| (t / titer).max(1e-6);
+    MeasuredCosts {
+        titer_secs: titer,
+        tverif_detect: per_iter(t_detect + t_tmr_extra),
+        tverif_correct: per_iter(t_correct + t_tmr_extra),
+        tverif_online: per_iter(t_online),
+        tcp: per_iter(t_cp),
+        trec: per_iter(t_rec),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcg_sparse::gen;
+
+    #[test]
+    fn costs_have_sane_relative_order() {
+        let a = gen::random_spd(1500, 0.008, 7).unwrap();
+        let c = measure_costs(&a, 5);
+        assert!(c.titer_secs > 0.0);
+        // The dual checksum costs at least as much as the single one
+        // (allow timing noise of 3x).
+        assert!(c.tverif_correct > 0.0 && c.tverif_detect > 0.0);
+        assert!(c.tverif_correct < 3.0 * (c.tverif_detect + 1.0));
+        // Online verification contains a full SpMxV: roughly >= 0.2 iter.
+        assert!(
+            c.tverif_online > 0.1,
+            "online verification {} should cost a large fraction of Titer",
+            c.tverif_online
+        );
+        // ABFT checksum tests are cheaper than the online residual check.
+        assert!(
+            c.tverif_detect < c.tverif_online * 2.0,
+            "detect {} vs online {}",
+            c.tverif_detect,
+            c.tverif_online
+        );
+        // Checkpoint clones the matrix: at least a fraction of an iter.
+        assert!(c.tcp > 0.0 && c.trec > 0.0);
+    }
+
+    #[test]
+    fn scheme_mapping() {
+        let a = gen::random_spd(400, 0.02, 8).unwrap();
+        let c = measure_costs(&a, 3);
+        let online = c.for_scheme(Scheme::OnlineDetection);
+        let det = c.for_scheme(Scheme::AbftDetection);
+        let cor = c.for_scheme(Scheme::AbftCorrection);
+        assert_eq!(online.tcp, det.tcp);
+        assert_eq!(det.trec, cor.trec);
+        assert!((online.tverif - c.tverif_online).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,210 @@
+//! Repetition runner: executes a resilient solve many times with
+//! distinct seeds (50 in the paper) and aggregates statistics, in
+//! parallel across repetitions with crossbeam scoped threads.
+
+use parking_lot::Mutex;
+
+use ftcg_fault::{BitRange, FaultRate, Injector, InjectorConfig};
+use ftcg_fault::target::MemoryLayout;
+use ftcg_solvers::resilient::{solve_resilient, ResilientConfig};
+use ftcg_sparse::CsrMatrix;
+
+/// Aggregate over repetitions of one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Repetitions executed.
+    pub reps: usize,
+    /// Mean simulated execution time (`Titer` units).
+    pub mean_time: f64,
+    /// Sample standard deviation of the simulated time.
+    pub std_time: f64,
+    /// Minimum / maximum simulated time.
+    pub min_time: f64,
+    /// Maximum simulated time.
+    pub max_time: f64,
+    /// Mean executed iterations.
+    pub mean_executed: f64,
+    /// Mean rollbacks per run.
+    pub mean_rollbacks: f64,
+    /// Mean forward corrections per run (ABFT-CORRECTION).
+    pub mean_corrections: f64,
+    /// Mean injected faults per run.
+    pub mean_faults: f64,
+    /// Fraction of repetitions that converged.
+    pub convergence_rate: f64,
+}
+
+/// The memory layout / fault rate used by all experiments: matrix arrays
+/// plus the four CG vectors, `α` faults per iteration in expectation.
+pub fn paper_injector(a: &CsrMatrix, alpha: f64, seed: u64) -> Injector {
+    let layout = MemoryLayout::with_vectors(a.nnz(), a.n_rows());
+    let rate = FaultRate::from_alpha(alpha, layout.total_words());
+    let cfg = InjectorConfig {
+        rate,
+        value_bits: BitRange::Full,
+        index_bits: BitRange::for_index_bound(a.n_cols().max(a.nnz() + 1)),
+        include_vectors: true,
+    };
+    Injector::for_matrix(cfg, a, seed)
+}
+
+/// A calibrated injector for model-validation experiments: faults strike
+/// the matrix arrays only, and value flips are confined to the top bits,
+/// so every fault is large and detectable — matching the abstract
+/// model's assumption that any error in a chunk is caught by the
+/// verification (ablation A4).
+pub fn calibrated_injector(a: &CsrMatrix, alpha: f64, seed: u64) -> Injector {
+    let layout = MemoryLayout::matrix_only(a.nnz(), a.n_rows());
+    let rate = FaultRate::from_alpha(alpha, layout.total_words());
+    let cfg = InjectorConfig {
+        rate,
+        value_bits: BitRange::High(12),
+        index_bits: BitRange::for_index_bound(a.n_cols().max(a.nnz() + 1)),
+        include_vectors: false,
+    };
+    Injector::for_matrix(cfg, a, seed)
+}
+
+/// Like [`run_many`] but with a custom injector factory (seed → injector).
+#[allow(clippy::too_many_arguments)]
+pub fn run_many_with<F>(
+    a: &CsrMatrix,
+    b: &[f64],
+    cfg: &ResilientConfig,
+    make_injector: F,
+    reps: usize,
+    base_seed: u64,
+    threads: usize,
+) -> RunSummary
+where
+    F: Fn(u64) -> Injector + Sync,
+{
+    assert!(reps >= 1);
+    let results: Mutex<Vec<(f64, f64, f64, f64, f64, bool)>> =
+        Mutex::new(Vec::with_capacity(reps));
+    let threads = threads.clamp(1, reps);
+    let counter = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= reps {
+                    break;
+                }
+                let mut inj = make_injector(base_seed + i as u64);
+                let out = solve_resilient(a, b, cfg, Some(&mut inj));
+                results.lock().push((
+                    out.simulated_time,
+                    out.executed_iterations as f64,
+                    out.rollbacks as f64,
+                    (out.forward_corrections + out.tmr_corrections) as f64,
+                    out.ledger.len() as f64,
+                    out.converged,
+                ));
+            });
+        }
+    })
+    .expect("runner worker panicked");
+    summarize(results.into_inner())
+}
+
+/// Runs `reps` independent repetitions (seeds `base_seed..base_seed+reps`)
+/// and aggregates. Repetitions are spread over `threads` workers.
+#[allow(clippy::too_many_arguments)]
+pub fn run_many(
+    a: &CsrMatrix,
+    b: &[f64],
+    cfg: &ResilientConfig,
+    alpha: f64,
+    reps: usize,
+    base_seed: u64,
+    threads: usize,
+) -> RunSummary {
+    run_many_with(
+        a,
+        b,
+        cfg,
+        |seed| paper_injector(a, alpha, seed),
+        reps,
+        base_seed,
+        threads,
+    )
+}
+
+fn summarize(rows: Vec<(f64, f64, f64, f64, f64, bool)>) -> RunSummary {
+    let nf = rows.len() as f64;
+    let mean = |f: &dyn Fn(&(f64, f64, f64, f64, f64, bool)) -> f64| {
+        rows.iter().map(f).sum::<f64>() / nf
+    };
+    let mean_time = mean(&|r| r.0);
+    let var = rows
+        .iter()
+        .map(|r| (r.0 - mean_time).powi(2))
+        .sum::<f64>()
+        / (nf - 1.0).max(1.0);
+    RunSummary {
+        reps: rows.len(),
+        mean_time,
+        std_time: var.sqrt(),
+        min_time: rows.iter().map(|r| r.0).fold(f64::INFINITY, f64::min),
+        max_time: rows.iter().map(|r| r.0).fold(0.0, f64::max),
+        mean_executed: mean(&|r| r.1),
+        mean_rollbacks: mean(&|r| r.2),
+        mean_corrections: mean(&|r| r.3),
+        mean_faults: mean(&|r| r.4),
+        convergence_rate: rows.iter().filter(|r| r.5).count() as f64 / nf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcg_model::Scheme;
+    use ftcg_sparse::gen;
+
+    fn system() -> (CsrMatrix, Vec<f64>) {
+        let a = gen::random_spd(150, 0.04, 5).unwrap();
+        let b: Vec<f64> = (0..150).map(|i| 1.0 + (i as f64 * 0.4).sin()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let (a, b) = system();
+        let cfg = ResilientConfig::new(Scheme::AbftCorrection, 12);
+        let s = run_many(&a, &b, &cfg, 1.0 / 16.0, 8, 0, 4);
+        assert_eq!(s.reps, 8);
+        assert!(s.min_time <= s.mean_time && s.mean_time <= s.max_time);
+        assert!(s.std_time >= 0.0);
+        assert!(s.convergence_rate > 0.9, "rate {}", s.convergence_rate);
+        assert!(s.mean_faults > 0.0);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let (a, b) = system();
+        let cfg = ResilientConfig::new(Scheme::AbftDetection, 10);
+        let mut s1 = run_many(&a, &b, &cfg, 1.0 / 8.0, 6, 3, 1);
+        let mut s4 = run_many(&a, &b, &cfg, 1.0 / 8.0, 6, 3, 4);
+        // Order of accumulation differs; compare sorted invariants.
+        s1.reps = 0;
+        s4.reps = 0;
+        assert!((s1.mean_time - s4.mean_time).abs() < 1e-9 * s1.mean_time.max(1.0));
+        assert_eq!(s1.min_time, s4.min_time);
+        assert_eq!(s1.max_time, s4.max_time);
+    }
+
+    #[test]
+    fn higher_alpha_costs_more_time() {
+        let (a, b) = system();
+        let cfg = ResilientConfig::new(Scheme::AbftDetection, 10);
+        let slow = run_many(&a, &b, &cfg, 0.25, 10, 0, 4);
+        let fast = run_many(&a, &b, &cfg, 1.0 / 512.0, 10, 0, 4);
+        assert!(
+            slow.mean_time > fast.mean_time,
+            "{} !> {}",
+            slow.mean_time,
+            fast.mean_time
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Table 1 — experimental validation of the performance model.
+//!
+//! For each matrix, at `λ_word = 1/(16·M)` (i.e. `α = 1/16`), and for
+//! both ABFT schemes:
+//!
+//! * `s̃` — checkpoint interval predicted by the model (eq. 6 with the
+//!   measured cost profile);
+//! * `Eₜ(s̃)` — mean simulated time over `reps` repetitions at `s̃`;
+//! * `s*` — empirically best interval over a sweep;
+//! * `Eₜ(s*)` — its mean time;
+//! * `l = (Eₜ(s̃) − Eₜ(s*))/Eₜ(s*)·100` — the loss of trusting the model.
+
+use ftcg_model::{optimize, Scheme};
+use ftcg_solvers::resilient::ResilientConfig;
+use ftcg_sparse::CsrMatrix;
+
+use crate::matrices::MatrixSpec;
+use crate::measure::{resolve_costs, CostMode, MeasuredCosts};
+use crate::runner::run_many;
+
+/// Result row for one (matrix, scheme) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Entry {
+    /// Paper matrix id.
+    pub id: u32,
+    /// Actual order used (after scaling).
+    pub n: usize,
+    /// Actual density.
+    pub density: f64,
+    /// Scheme.
+    pub scheme: Scheme,
+    /// Model-optimal interval `s̃`.
+    pub s_model: usize,
+    /// Mean time at `s̃`.
+    pub time_model: f64,
+    /// Empirically best interval `s*`.
+    pub s_best: usize,
+    /// Mean time at `s*`.
+    pub time_best: f64,
+    /// Loss `l` in percent.
+    pub loss_pct: f64,
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Params {
+    /// Matrix scale divisor (1 = paper-size; 16 = miniature).
+    pub scale: usize,
+    /// Repetitions per configuration (paper: 50).
+    pub reps: usize,
+    /// Expected faults per iteration (paper: 1/16).
+    pub alpha: f64,
+    /// Candidate intervals swept for the empirical `s*`.
+    pub sweep: &'static [usize],
+    /// Worker threads for the repetition runner.
+    pub threads: usize,
+    /// Cost-parameter instantiation.
+    pub cost_mode: CostMode,
+}
+
+impl Default for Table1Params {
+    fn default() -> Self {
+        Self {
+            scale: 16,
+            reps: 50,
+            alpha: 1.0 / 16.0,
+            sweep: &[1, 2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 20, 25, 30, 40],
+            threads: 4,
+            cost_mode: CostMode::PaperLike,
+        }
+    }
+}
+
+fn scheme_config(scheme: Scheme, s: usize, costs: &MeasuredCosts) -> ResilientConfig {
+    let mut cfg = ResilientConfig::new(scheme, s);
+    cfg.costs = costs.for_scheme(scheme);
+    cfg
+}
+
+/// Runs the Table 1 experiment for one matrix and one scheme.
+pub fn run_entry(
+    spec: &MatrixSpec,
+    a: &CsrMatrix,
+    costs: &MeasuredCosts,
+    scheme: Scheme,
+    params: &Table1Params,
+) -> Table1Entry {
+    let b = spec.rhs(a.n_rows());
+    let model_costs = costs.for_scheme(scheme);
+    let s_model = optimize::optimal_abft_interval(scheme, params.alpha, 1.0, &model_costs, 4000).s;
+
+    let eval = |s: usize, seed: u64| {
+        let cfg = scheme_config(scheme, s, costs);
+        run_many(a, &b, &cfg, params.alpha, params.reps, seed, params.threads).mean_time
+    };
+
+    let time_model = eval(s_model, 10_000);
+    let mut s_best = s_model;
+    let mut time_best = time_model;
+    for (k, &s) in params.sweep.iter().enumerate() {
+        if s == s_model {
+            continue;
+        }
+        let t = eval(s, 20_000 + (k as u64) * 1000);
+        if t < time_best {
+            s_best = s;
+            time_best = t;
+        }
+    }
+    Table1Entry {
+        id: spec.id,
+        n: a.n_rows(),
+        density: a.density(),
+        scheme,
+        s_model,
+        time_model,
+        s_best,
+        time_best,
+        loss_pct: (time_model - time_best) / time_best * 100.0,
+    }
+}
+
+/// Runs the full Table 1 over the given matrix specs.
+pub fn run_table1(specs: &[MatrixSpec], params: &Table1Params) -> Vec<Table1Entry> {
+    let mut rows = Vec::new();
+    for spec in specs {
+        let a = spec.generate(params.scale);
+        let costs = resolve_costs(params.cost_mode, &a, 9);
+        for scheme in [Scheme::AbftDetection, Scheme::AbftCorrection] {
+            rows.push(run_entry(spec, &a, &costs, scheme, params));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrices::by_id;
+
+    fn quick_params() -> Table1Params {
+        Table1Params {
+            scale: 48,
+            reps: 6,
+            alpha: 1.0 / 16.0,
+            sweep: &[4, 10, 20],
+            threads: 4,
+            cost_mode: CostMode::PaperLike,
+        }
+    }
+
+    #[test]
+    fn entry_has_consistent_fields() {
+        let spec = by_id(2213).unwrap();
+        let a = spec.generate(48);
+        let costs = resolve_costs(CostMode::PaperLike, &a, 3);
+        let e = run_entry(&spec, &a, &costs, Scheme::AbftCorrection, &quick_params());
+        assert_eq!(e.id, 2213);
+        assert!(e.s_model >= 1);
+        assert!(e.time_model > 0.0 && e.time_best > 0.0);
+        // By construction time_best <= time_model, so loss >= 0.
+        assert!(e.time_best <= e.time_model);
+        assert!(e.loss_pct >= 0.0);
+    }
+
+    #[test]
+    fn model_interval_in_sweep_ballpark() {
+        // The model's s̃ for α=1/16 should be in the paper's 10–20 range
+        // (Table 1 reports s̃ ∈ [10, 18]).
+        let spec = by_id(341).unwrap();
+        let a = spec.generate(48);
+        let costs = resolve_costs(CostMode::PaperLike, &a, 3);
+        let model_costs = costs.for_scheme(Scheme::AbftDetection);
+        let s = optimize::optimal_abft_interval(
+            Scheme::AbftDetection,
+            1.0 / 16.0,
+            1.0,
+            &model_costs,
+            4000,
+        )
+        .s;
+        assert!((3..=60).contains(&s), "s̃={s} implausible for Table 1");
+    }
+}

@@ -1,0 +1,206 @@
+//! The Conjugate Gradient method (Algorithm 1 of the paper), fault-free
+//! reference implementation.
+
+use ftcg_sparse::{vector, CsrMatrix};
+
+use crate::stopping::StoppingCriterion;
+
+/// Configuration shared by the plain solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgConfig {
+    /// Convergence criterion.
+    pub stopping: StoppingCriterion,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        Self {
+            stopping: StoppingCriterion::default_relative(),
+            max_iters: 10_000,
+        }
+    }
+}
+
+/// Outcome of a plain solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveStats {
+    /// The computed solution.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the stopping criterion was met.
+    pub converged: bool,
+    /// Final recursive residual norm `‖r‖₂`.
+    pub residual_norm: f64,
+}
+
+/// Solves `Ax = b` for SPD `A` by conjugate gradients, starting from `x0`.
+///
+/// # Panics
+/// Panics on dimension mismatches or a non-square matrix.
+pub fn cg_solve(a: &CsrMatrix, b: &[f64], x0: &[f64], cfg: &CgConfig) -> SolveStats {
+    assert!(a.is_square(), "cg: matrix must be square");
+    let n = a.n_rows();
+    assert_eq!(b.len(), n, "cg: b length mismatch");
+    assert_eq!(x0.len(), n, "cg: x0 length mismatch");
+
+    let mut x = x0.to_vec();
+    // r0 = b − A x0
+    let mut r = b.to_vec();
+    let ax = a.spmv(&x);
+    vector::sub_assign(&mut r, &ax);
+    let mut p = r.clone();
+    let mut q = vec![0.0; n];
+
+    let mut rnorm_sq = vector::norm2_sq(&r);
+    let threshold = cfg
+        .stopping
+        .threshold(a, vector::norm2(b), rnorm_sq.sqrt());
+
+    let mut it = 0usize;
+    while rnorm_sq.sqrt() > threshold && it < cfg.max_iters {
+        a.spmv_into(&p, &mut q);
+        let pq = vector::dot(&p, &q);
+        if pq <= 0.0 || !pq.is_finite() {
+            // Breakdown: A not SPD (or severe ill-conditioning).
+            break;
+        }
+        let alpha = rnorm_sq / pq;
+        vector::axpy(alpha, &p, &mut x);
+        vector::axpy(-alpha, &q, &mut r);
+        let new_rnorm_sq = vector::norm2_sq(&r);
+        let beta = new_rnorm_sq / rnorm_sq;
+        rnorm_sq = new_rnorm_sq;
+        // p ← r + β p
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        it += 1;
+    }
+
+    SolveStats {
+        converged: rnorm_sq.sqrt() <= threshold,
+        residual_norm: rnorm_sq.sqrt(),
+        iterations: it,
+        x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcg_sparse::gen;
+
+    fn check_solution(a: &CsrMatrix, b: &[f64], stats: &SolveStats, tol: f64) {
+        assert!(stats.converged, "did not converge: {stats:?}");
+        let ax = a.spmv(&stats.x);
+        let err = vector::max_abs_diff(&ax, b);
+        assert!(err < tol, "true residual {err} above {tol}");
+    }
+
+    #[test]
+    fn solves_identity() {
+        let a = CsrMatrix::identity(5);
+        let b = vec![1.0, -2.0, 3.0, 0.5, 4.0];
+        let s = cg_solve(&a, &b, &[0.0; 5], &CgConfig::default());
+        assert!(s.iterations <= 2);
+        check_solution(&a, &b, &s, 1e-10);
+    }
+
+    #[test]
+    fn solves_tridiagonal() {
+        let a = gen::tridiagonal(50, 4.0, -1.0).unwrap();
+        let b = vec![1.0; 50];
+        let s = cg_solve(&a, &b, &[0.0; 50], &CgConfig::default());
+        check_solution(&a, &b, &s, 1e-6);
+    }
+
+    #[test]
+    fn solves_poisson2d() {
+        let a = gen::poisson2d(12).unwrap();
+        let n = a.n_rows();
+        let xstar: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let b = a.spmv(&xstar);
+        let s = cg_solve(&a, &b, &vec![0.0; n], &CgConfig::default());
+        assert!(s.converged);
+        let err = vector::max_abs_diff(&s.x, &xstar);
+        assert!(err < 1e-5, "solution error {err}");
+    }
+
+    #[test]
+    fn solves_random_spd() {
+        let a = gen::random_spd(120, 0.05, 5).unwrap();
+        let b: Vec<f64> = (0..120).map(|i| (i as f64 * 0.2).sin()).collect();
+        let s = cg_solve(&a, &b, &vec![0.0; 120], &CgConfig::default());
+        check_solution(&a, &b, &s, 1e-6);
+    }
+
+    #[test]
+    fn warm_start_converges_faster() {
+        let a = gen::poisson2d(10).unwrap();
+        let n = a.n_rows();
+        let xstar: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let b = a.spmv(&xstar);
+        let cold = cg_solve(&a, &b, &vec![0.0; n], &CgConfig::default());
+        // start very close to the solution
+        let near: Vec<f64> = xstar.iter().map(|v| v + 1e-6).collect();
+        let warm = cg_solve(&a, &b, &near, &CgConfig::default());
+        assert!(warm.iterations < cold.iterations);
+    }
+
+    #[test]
+    fn respects_max_iters() {
+        let a = gen::poisson2d(16).unwrap();
+        let n = a.n_rows();
+        let b = vec![1.0; n];
+        let cfg = CgConfig {
+            max_iters: 3,
+            ..CgConfig::default()
+        };
+        let s = cg_solve(&a, &b, &vec![0.0; n], &cfg);
+        assert_eq!(s.iterations, 3);
+        assert!(!s.converged);
+    }
+
+    #[test]
+    fn paper_stopping_criterion_works() {
+        let a = gen::tridiagonal(30, 4.0, -1.0).unwrap();
+        let b = vec![1.0; 30];
+        let cfg = CgConfig {
+            stopping: StoppingCriterion::Paper { eps: 1e-12 },
+            ..CgConfig::default()
+        };
+        let s = cg_solve(&a, &b, &[0.0; 30], &cfg);
+        assert!(s.converged);
+    }
+
+    #[test]
+    fn zero_rhs_is_immediate() {
+        let a = gen::tridiagonal(10, 4.0, -1.0).unwrap();
+        let s = cg_solve(&a, &[0.0; 10], &[0.0; 10], &CgConfig::default());
+        assert_eq!(s.iterations, 0);
+        assert!(s.converged);
+        assert_eq!(s.x, vec![0.0; 10]);
+    }
+
+    #[test]
+    fn residual_decreases_monotonically_for_cg_energy_norm() {
+        // CG's 2-norm residual is not strictly monotone, but final must be
+        // far below initial.
+        let a = gen::random_spd(80, 0.06, 9).unwrap();
+        let b = vec![1.0; 80];
+        let s = cg_solve(&a, &b, &vec![0.0; 80], &CgConfig::default());
+        assert!(s.residual_norm < 1e-6 * vector::norm2(&b));
+    }
+
+    #[test]
+    fn non_spd_breaks_down_gracefully() {
+        // Indefinite diagonal: CG must stop without panicking.
+        let a = gen::diagonal(&[1.0, -1.0, 2.0]);
+        let s = cg_solve(&a, &[1.0, 1.0, 1.0], &[0.0; 3], &CgConfig::default());
+        // Either converged by luck or broke down; both acceptable, no panic.
+        assert!(s.iterations <= CgConfig::default().max_iters);
+    }
+}

@@ -1,0 +1,132 @@
+//! CGNE — conjugate gradients on the normal equations `AAᵀy = b`,
+//! `x = Aᵀy`.
+//!
+//! Listed by the paper among the solvers its techniques extend to; CGNE
+//! is interesting for the ABFT layer because every iteration performs a
+//! sparse *transpose* product `Aᵀv` as well, exercising the column-
+//! oriented code paths.
+
+use ftcg_sparse::{vector, CsrMatrix};
+
+use crate::cg::{CgConfig, SolveStats};
+
+/// Solves `Ax = b` for nonsingular square `A` via the normal equations.
+///
+/// # Panics
+/// Panics on dimension mismatch or non-square matrix.
+pub fn cgne_solve(a: &CsrMatrix, b: &[f64], x0: &[f64], cfg: &CgConfig) -> SolveStats {
+    assert!(a.is_square(), "cgne: matrix must be square");
+    let n = a.n_rows();
+    assert_eq!(b.len(), n, "cgne: b length mismatch");
+    assert_eq!(x0.len(), n, "cgne: x0 length mismatch");
+
+    let mut x = x0.to_vec();
+    // r = b − A x (residual of the original system)
+    let mut r = b.to_vec();
+    let ax = a.spmv(&x);
+    vector::sub_assign(&mut r, &ax);
+    // p = Aᵀ r
+    let mut p = vec![0.0; n];
+    a.spmv_transpose_into(&r, &mut p);
+    let mut q = vec![0.0; n];
+    let mut rtr = vector::norm2_sq(&p); // ‖Aᵀr‖²
+
+    let threshold = cfg
+        .stopping
+        .threshold(a, vector::norm2(b), vector::norm2(&r));
+
+    let mut it = 0usize;
+    let mut rnorm = vector::norm2(&r);
+    while rnorm > threshold && it < cfg.max_iters {
+        if rtr == 0.0 || !rtr.is_finite() {
+            break;
+        }
+        a.spmv_into(&p, &mut q); // q = A p
+        let qq = vector::norm2_sq(&q);
+        if qq == 0.0 || !qq.is_finite() {
+            break;
+        }
+        let alpha = rtr / qq;
+        vector::axpy(alpha, &p, &mut x);
+        vector::axpy(-alpha, &q, &mut r);
+        // z = Aᵀ r
+        let mut z = vec![0.0; n];
+        a.spmv_transpose_into(&r, &mut z);
+        let rtr_new = vector::norm2_sq(&z);
+        let beta = rtr_new / rtr;
+        rtr = rtr_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+        rnorm = vector::norm2(&r);
+        it += 1;
+    }
+
+    SolveStats {
+        converged: rnorm <= threshold,
+        residual_norm: rnorm,
+        iterations: it,
+        x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftcg_sparse::{gen, CooMatrix};
+
+    #[test]
+    fn solves_spd_system() {
+        let a = gen::tridiagonal(40, 4.0, -1.0).unwrap();
+        let xstar: Vec<f64> = (0..40).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b = a.spmv(&xstar);
+        let cfg = CgConfig {
+            max_iters: 100_000,
+            ..CgConfig::default()
+        };
+        let s = cgne_solve(&a, &b, &vec![0.0; 40], &cfg);
+        assert!(s.converged);
+        assert!(vector::max_abs_diff(&s.x, &xstar) < 1e-4);
+    }
+
+    #[test]
+    fn solves_nonsymmetric_system() {
+        let n = 30;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 6.0);
+            if i + 1 < n {
+                coo.push(i, i + 1, 1.0);
+            }
+            if i >= 2 {
+                coo.push(i, i - 2, -0.5);
+            }
+        }
+        let a = coo.to_csr();
+        let xstar: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let b = a.spmv(&xstar);
+        let cfg = CgConfig {
+            max_iters: 100_000,
+            ..CgConfig::default()
+        };
+        let s = cgne_solve(&a, &b, &vec![0.0; n], &cfg);
+        assert!(s.converged, "{s:?}");
+        assert!(vector::max_abs_diff(&s.x, &xstar) < 1e-4);
+    }
+
+    #[test]
+    fn zero_rhs_immediate() {
+        let a = gen::tridiagonal(10, 4.0, -1.0).unwrap();
+        let s = cgne_solve(&a, &[0.0; 10], &[0.0; 10], &CgConfig::default());
+        assert_eq!(s.iterations, 0);
+        assert!(s.converged);
+    }
+
+    #[test]
+    fn identity_fast() {
+        let a = CsrMatrix::identity(7);
+        let s = cgne_solve(&a, &[3.0; 7], &[0.0; 7], &CgConfig::default());
+        assert!(s.converged);
+        assert!(s.iterations <= 2);
+    }
+}

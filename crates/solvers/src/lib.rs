@@ -1,0 +1,29 @@
+//! Iterative solvers with pluggable silent-error resilience.
+//!
+//! The plain solvers ([`cg`], [`pcg`], [`bicgstab`], [`cgne`]) are the
+//! textbook algorithms (Algorithm 1 of the paper for CG). The
+//! [`resilient`] module wraps CG with the paper's three schemes:
+//!
+//! * **ONLINE-DETECTION** — Chen's periodic stability tests
+//!   (orthogonality + recomputed residual) every `d` iterations,
+//!   checkpoint every `s` chunks, rollback on detection;
+//! * **ABFT-DETECTION** — single-checksum ABFT verification of every
+//!   SpMxV (chunk = 1 iteration), rollback on detection;
+//! * **ABFT-CORRECTION** — dual-checksum ABFT that corrects single
+//!   errors *forward* and rolls back only when two or more errors strike
+//!   one iteration.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bicgstab;
+pub mod cg;
+pub mod cgne;
+pub mod pcg;
+pub mod resilient;
+pub mod stopping;
+pub mod verify;
+
+pub use cg::{cg_solve, CgConfig, SolveStats};
+pub use resilient::{solve_resilient, ResilientConfig, ResilientOutcome};
+pub use stopping::StoppingCriterion;

@@ -1,0 +1,303 @@
+//! The ABFT-DETECTION and ABFT-CORRECTION drivers.
+//!
+//! Per iteration (chunk = 1 iteration, Section 4.2.2–4.2.3):
+//!
+//! 1. faults strike the unreliable region (matrix arrays, `p`, `q`, and
+//!    one replica of the TMR-held `r` and `x`);
+//! 2. the SpMxV `q ← A·p` runs under ABFT protection — the single
+//!    checksum (detection) or the dual weighted checksums
+//!    (detection-2/correction-1);
+//! 3. vector data faults in `r`/`x` are outvoted by TMR; the dots and
+//!    axpys run in resilient (triplicated) mode;
+//! 4. on any unrecovered detection the driver rolls back to the last
+//!    checkpoint; after `s` verified iterations it checkpoints.
+
+use ftcg_abft::tmr::TmrVector;
+use ftcg_abft::{ProtectedSpmv, SingleChecksum, SpmvOutcome, XRef};
+use ftcg_checkpoint::{CheckpointStore, MemoryStore, SolverState};
+use ftcg_fault::ledger::{FaultLedger, FaultOutcome};
+use ftcg_fault::target::{FaultTarget, VectorId};
+use ftcg_fault::{FaultEvent, Injector};
+use ftcg_sparse::{vector, CsrMatrix};
+
+use super::{
+    rollback, take_checkpoint, true_residual, EscalationGuard, ResilientConfig, ResilientOutcome,
+    RunStats, SimTime,
+};
+
+/// Applies this iteration's fault plan to the unreliable state.
+/// `q` faults are returned for application after the kernel (they model
+/// errors in the computation/output of the product).
+fn apply_faults(
+    events: &[FaultEvent],
+    a: &mut CsrMatrix,
+    p: &mut [f64],
+    r: &mut TmrVector,
+    x: &mut TmrVector,
+    replica_rot: &mut usize,
+) -> Vec<FaultEvent> {
+    let mut q_faults = Vec::new();
+    for e in events {
+        match e.target {
+            FaultTarget::Vector(VectorId::P) => {
+                let v = &mut p[e.offset];
+                *v = f64::from_bits(v.to_bits() ^ (1u64 << e.bit));
+            }
+            FaultTarget::Vector(VectorId::Q) => q_faults.push(*e),
+            FaultTarget::Vector(VectorId::R) => {
+                let rep = *replica_rot % 3;
+                *replica_rot += 1;
+                let v = &mut r.replica_mut(rep)[e.offset];
+                *v = f64::from_bits(v.to_bits() ^ (1u64 << e.bit));
+            }
+            FaultTarget::Vector(VectorId::X) => {
+                let rep = *replica_rot % 3;
+                *replica_rot += 1;
+                let v = &mut x.replica_mut(rep)[e.offset];
+                *v = f64::from_bits(v.to_bits() ^ (1u64 << e.bit));
+            }
+            _ => {
+                Injector::apply_to_matrix(e, a);
+            }
+        }
+    }
+    q_faults
+}
+
+pub(super) fn solve_abft(
+    a0: &CsrMatrix,
+    b: &[f64],
+    cfg: &ResilientConfig,
+    mut injector: Option<&mut Injector>,
+    correction: bool,
+) -> ResilientOutcome {
+    let n = a0.n_rows();
+    // Reliable, once-per-matrix checksum setup (Section 3.2's
+    // amortization note).
+    let protected = ProtectedSpmv::new(a0);
+    let single = SingleChecksum::new(a0);
+
+    // Working (corruptible) state.
+    let mut a = a0.clone();
+    let r0 = b.to_vec(); // x0 = 0 ⇒ r0 = b
+    let mut x = TmrVector::zeros(n);
+    let mut r = TmrVector::new(&r0);
+    let mut p = r0.clone();
+    let mut q = vec![0.0; n];
+    let mut rnorm_sq = vector::norm2_sq(&r0);
+    let threshold = cfg.stopping.threshold(a0, vector::norm2(b), rnorm_sq.sqrt());
+
+    // The pristine input data ("for the first frame we recover by reading
+    // initial data again") and the rolling checkpoint store.
+    let initial = SolverState::capture(0, x.primary(), r.primary(), &p, rnorm_sq, a0);
+    let mut store = MemoryStore::new();
+    store.save(&initial).unwrap();
+    let mut guard = EscalationGuard::default();
+
+    let mut time = SimTime::default();
+    let mut stats = RunStats::default();
+    let mut ledger = FaultLedger::new();
+    let mut xref = XRef::capture(&p);
+    let mut productive = 0usize;
+    let mut since_ckpt = 0usize;
+    let mut replica_rot = 0usize;
+    let mut converged = rnorm_sq.sqrt() <= threshold;
+
+    while !converged
+        && productive < cfg.max_productive_iters
+        && stats.executed < cfg.max_executed_iters
+    {
+        stats.executed += 1;
+        time.add(1.0 + cfg.costs.tverif);
+
+        // 1. Fault injection for this iteration.
+        let events = injector
+            .as_deref_mut()
+            .map(|i| i.plan_iteration())
+            .unwrap_or_default();
+        for e in &events {
+            ledger.record(stats.executed, *e);
+        }
+        guard.note_faults(events.len());
+        let q_faults = apply_faults(&events, &mut a, &mut p, &mut r, &mut x, &mut replica_rot);
+
+        // 2. Protected SpMxV.
+        protected.spmv(&a, &p, &mut q); // same kernel for both schemes
+        for e in &q_faults {
+            let v = &mut q[e.offset];
+            *v = f64::from_bits(v.to_bits() ^ (1u64 << e.bit));
+        }
+        let trusted = if correction {
+            let res = protected.verify(&a, &p, &xref, &q);
+            if res.clean() {
+                true
+            } else {
+                stats.detections += 1;
+                match protected.correct(&mut a, &mut p, &xref, &mut q, &res) {
+                    SpmvOutcome::Corrected(_) => {
+                        stats.forward_corrections += 1;
+                        ledger.resolve_iteration_where(
+                            stats.executed,
+                            FaultOutcome::Corrected,
+                            |rec| {
+                                rec.event.target.is_matrix()
+                                    || matches!(
+                                        rec.event.target,
+                                        FaultTarget::Vector(VectorId::P | VectorId::Q)
+                                    )
+                            },
+                        );
+                        true
+                    }
+                    SpmvOutcome::Clean => true,
+                    SpmvOutcome::Detected(_) => false,
+                }
+            }
+        } else {
+            let out = single.verify(&a, &p, &xref, &q);
+            if out.is_trusted() {
+                true
+            } else {
+                stats.detections += 1;
+                false
+            }
+        };
+        if !trusted {
+            let (it, rns) = rollback(
+                &mut store,
+                &initial,
+                &mut guard,
+                &mut a,
+                &mut x,
+                &mut r,
+                &mut p,
+                &mut time,
+                &mut stats,
+                &mut ledger,
+                cfg.costs.trec,
+            );
+            productive = it;
+            rnorm_sq = rns;
+            since_ckpt = 0;
+            xref = XRef::capture(&p);
+            continue;
+        }
+
+        // 3. TMR vote on the vector data (the resilient-mode vector ops).
+        let vr = r.vote();
+        let vx = x.vote();
+        if !vr.is_trusted() || !vx.is_trusted() {
+            // Colliding replica faults: detected, not correctable.
+            stats.detections += 1;
+            let (it, rns) = rollback(
+                &mut store,
+                &initial,
+                &mut guard,
+                &mut a,
+                &mut x,
+                &mut r,
+                &mut p,
+                &mut time,
+                &mut stats,
+                &mut ledger,
+                cfg.costs.trec,
+            );
+            productive = it;
+            rnorm_sq = rns;
+            since_ckpt = 0;
+            xref = XRef::capture(&p);
+            continue;
+        }
+        let tmr_fixed = vr.corrected + vx.corrected;
+        if tmr_fixed > 0 {
+            stats.tmr_corrections += tmr_fixed;
+            ledger.resolve_iteration_where(stats.executed, FaultOutcome::Corrected, |rec| {
+                matches!(
+                    rec.event.target,
+                    FaultTarget::Vector(VectorId::R | VectorId::X)
+                )
+            });
+        }
+
+        // 4. CG update in resilient mode (scalars are reliable under the
+        // selective-reliability model).
+        let pq = vector::dot(&p, &q);
+        if !pq.is_finite() || pq <= 0.0 {
+            // Numerical breakdown caused by an undetected perturbation:
+            // treat as detection and roll back.
+            stats.detections += 1;
+            let (it, rns) = rollback(
+                &mut store,
+                &initial,
+                &mut guard,
+                &mut a,
+                &mut x,
+                &mut r,
+                &mut p,
+                &mut time,
+                &mut stats,
+                &mut ledger,
+                cfg.costs.trec,
+            );
+            productive = it;
+            rnorm_sq = rns;
+            since_ckpt = 0;
+            xref = XRef::capture(&p);
+            continue;
+        }
+        let alpha = rnorm_sq / pq;
+        x.update_each(|rep| vector::axpy(alpha, &p, rep));
+        {
+            let qs = &q;
+            r.update_each(|rep| vector::axpy(-alpha, qs, rep));
+        }
+        let rv = r.primary();
+        let new_rnorm_sq = vector::norm2_sq(rv);
+        let beta = new_rnorm_sq / rnorm_sq;
+        rnorm_sq = new_rnorm_sq;
+        for i in 0..n {
+            p[i] = rv[i] + beta * p[i];
+        }
+        productive += 1;
+        since_ckpt += 1;
+        converged = rnorm_sq.sqrt() <= threshold;
+
+        // 5. Checkpoint at the verified frame boundary.
+        if !converged && since_ckpt >= cfg.checkpoint_interval {
+            take_checkpoint(
+                &mut store,
+                productive,
+                x.primary(),
+                r.primary(),
+                &p,
+                rnorm_sq,
+                &a,
+                &mut time,
+                &mut stats,
+                cfg.costs.tcp,
+            );
+            guard.note_checkpoint();
+            since_ckpt = 0;
+        }
+        xref = XRef::capture(&p);
+    }
+
+    // Whatever is still pending was never detected.
+    ledger.resolve_all_pending(FaultOutcome::Undetected);
+    let xv = x.primary().to_vec();
+    let tr = true_residual(a0, b, &xv);
+    ResilientOutcome {
+        converged,
+        productive_iterations: productive,
+        executed_iterations: stats.executed,
+        simulated_time: time.total,
+        checkpoints: stats.checkpoints,
+        rollbacks: stats.rollbacks,
+        forward_corrections: stats.forward_corrections,
+        tmr_corrections: stats.tmr_corrections,
+        detections: stats.detections,
+        ledger,
+        true_residual: tr,
+        x: xv,
+    }
+}

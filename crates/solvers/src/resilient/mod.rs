@@ -1,0 +1,262 @@
+//! Resilient CG drivers: the paper's three schemes over one protocol.
+//!
+//! Shared protocol (Section 4): work proceeds in *chunks* ending with a
+//! verification; after `s` verified chunks a checkpoint is taken — so a
+//! checkpoint is only ever taken right after a passing verification and
+//! **the last checkpoint is always valid** (claim C1). On detection the
+//! driver restores the last checkpoint (or the initial state) and
+//! re-executes. ABFT-CORRECTION additionally repairs single errors in
+//! place and only rolls back when correction fails.
+//!
+//! Time is accounted in units of `Titer ≡ 1` (the paper's normalization)
+//! through [`SimTime`]: each executed iteration costs `1 + Tverif`
+//! (ABFT verifies every iteration; ONLINE-DETECTION pays `Tverif` only
+//! at chunk ends), checkpoints cost `Tcp`, rollbacks `Trec`.
+
+mod abft;
+mod online;
+
+use ftcg_abft::tmr::TmrVector;
+use ftcg_checkpoint::{CheckpointStore, MemoryStore, ResilienceCosts, SolverState};
+use ftcg_fault::ledger::{FaultLedger, FaultOutcome};
+use ftcg_fault::Injector;
+use ftcg_model::Scheme;
+use ftcg_sparse::{vector, CsrMatrix};
+
+use crate::stopping::StoppingCriterion;
+use crate::verify::OnlineTolerances;
+
+/// Configuration of a resilient solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientConfig {
+    /// Which scheme drives verification/recovery.
+    pub scheme: Scheme,
+    /// Chunks per frame (`s`): checkpoint every `s` verified chunks.
+    pub checkpoint_interval: usize,
+    /// Iterations per chunk (`d`): 1 for the ABFT schemes; ONLINE-
+    /// DETECTION verifies every `d` iterations.
+    pub verif_interval: usize,
+    /// Cost parameters for simulated-time accounting.
+    pub costs: ResilienceCosts,
+    /// Convergence criterion.
+    pub stopping: StoppingCriterion,
+    /// Cap on *productive* iterations (the solver's iteration count).
+    pub max_productive_iters: usize,
+    /// Cap on total executed iterations including re-execution (runaway
+    /// guard at extreme fault rates).
+    pub max_executed_iters: usize,
+    /// Thresholds for Chen's stability tests (ONLINE-DETECTION only).
+    pub online_tol: OnlineTolerances,
+}
+
+impl ResilientConfig {
+    /// A reasonable configuration for the given scheme with interval `s`.
+    pub fn new(scheme: Scheme, checkpoint_interval: usize) -> Self {
+        let costs = match scheme {
+            Scheme::OnlineDetection => ResilienceCosts::online_default(),
+            _ => ResilienceCosts::abft_default(),
+        };
+        Self {
+            scheme,
+            checkpoint_interval: checkpoint_interval.max(1),
+            verif_interval: 1,
+            costs,
+            stopping: StoppingCriterion::default_relative(),
+            max_productive_iters: 10_000,
+            max_executed_iters: 200_000,
+            online_tol: OnlineTolerances::default(),
+        }
+    }
+}
+
+/// Statistics and results of a resilient solve.
+#[derive(Debug, Clone)]
+pub struct ResilientOutcome {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Whether the stopping criterion was met.
+    pub converged: bool,
+    /// Iteration count of the final state (rollbacks rewind it).
+    pub productive_iterations: usize,
+    /// Total iterations executed, including re-executed work.
+    pub executed_iterations: usize,
+    /// Simulated time in `Titer` units: iterations + verifications +
+    /// checkpoints + recoveries.
+    pub simulated_time: f64,
+    /// Checkpoints taken.
+    pub checkpoints: usize,
+    /// Rollbacks performed.
+    pub rollbacks: usize,
+    /// Single errors repaired forward by ABFT.
+    pub forward_corrections: usize,
+    /// Vector-replica faults outvoted by TMR.
+    pub tmr_corrections: usize,
+    /// Verification failures (each triggers a rollback).
+    pub detections: usize,
+    /// Ground-truth fault ledger.
+    pub ledger: FaultLedger,
+    /// True final residual `‖b − A·x‖₂` computed against the *pristine*
+    /// input matrix (reporting only; the solver never sees it).
+    pub true_residual: f64,
+}
+
+/// Simulated-time ledger.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SimTime {
+    pub total: f64,
+}
+
+impl SimTime {
+    pub fn add(&mut self, t: f64) {
+        self.total += t;
+    }
+}
+
+/// Mutable run counters shared by the drivers.
+#[derive(Debug, Default)]
+pub(crate) struct RunStats {
+    pub executed: usize,
+    pub checkpoints: usize,
+    pub rollbacks: usize,
+    pub forward_corrections: usize,
+    pub tmr_corrections: usize,
+    pub detections: usize,
+}
+
+/// Solves `Ax = b` (SPD `A`, zero initial guess) under the configured
+/// resilience scheme, optionally with fault injection. Without an
+/// injector the run is fault-free (useful to measure pure overheads).
+pub fn solve_resilient(
+    a: &CsrMatrix,
+    b: &[f64],
+    cfg: &ResilientConfig,
+    injector: Option<&mut Injector>,
+) -> ResilientOutcome {
+    assert!(a.is_square(), "resilient solve: matrix must be square");
+    assert_eq!(b.len(), a.n_rows(), "resilient solve: b length mismatch");
+    assert!(cfg.checkpoint_interval >= 1, "need s >= 1");
+    assert!(cfg.verif_interval >= 1, "need d >= 1");
+    match cfg.scheme {
+        Scheme::OnlineDetection => online::solve_online(a, b, cfg, injector),
+        Scheme::AbftDetection => abft::solve_abft(a, b, cfg, injector, false),
+        Scheme::AbftCorrection => abft::solve_abft(a, b, cfg, injector, true),
+    }
+}
+
+/// Tracks whether the latest checkpoint can still be trusted.
+///
+/// A verification can pass while the state carries a *sub-tolerance*
+/// corruption (the price of the rigorous no-false-positive bound); that
+/// corruption is then checkpointed and may cross the detection threshold
+/// many iterations later as the Krylov directions rotate. Rolling back
+/// to the tainted checkpoint then re-detects forever. The tell-tale is a
+/// detection with **zero faults injected since the last restore** —
+/// replay is deterministic, so the failure must come from the restored
+/// state itself — in which case the driver escalates to the paper's
+/// first-frame recovery: "we recover by reading initial data again".
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct EscalationGuard {
+    /// Faults injected since the last restore/checkpoint boundary.
+    pub faults_since_restore: usize,
+    /// Consecutive rollbacks without a new checkpoint (hard safety cap).
+    pub consecutive_rollbacks: usize,
+}
+
+impl EscalationGuard {
+    /// Hard cap on consecutive rollbacks before forcing a restart even
+    /// when new faults kept arriving (extremely high rates).
+    const MAX_CONSECUTIVE: usize = 25;
+
+    /// `true` when the next rollback should restart from the input data.
+    pub fn must_escalate(&self) -> bool {
+        self.faults_since_restore == 0 || self.consecutive_rollbacks >= Self::MAX_CONSECUTIVE
+    }
+
+    /// Note an iteration's injected fault count.
+    pub fn note_faults(&mut self, n: usize) {
+        self.faults_since_restore += n;
+    }
+
+    /// Note that a fresh checkpoint was taken (verified progress).
+    pub fn note_checkpoint(&mut self) {
+        self.consecutive_rollbacks = 0;
+    }
+
+    /// Note a restore; returns ready-to-count state for the replay.
+    pub fn note_restore(&mut self) {
+        self.faults_since_restore = 0;
+        self.consecutive_rollbacks += 1;
+    }
+}
+
+/// Restores solver state from the latest checkpoint — or, when the guard
+/// says the checkpoint is tainted, from the pristine initial data (which
+/// also resets the checkpoint store). Returns the restored
+/// `(productive_iteration, rnorm_sq)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rollback(
+    store: &mut MemoryStore,
+    initial: &SolverState,
+    guard: &mut EscalationGuard,
+    a: &mut CsrMatrix,
+    x: &mut TmrVector,
+    r: &mut TmrVector,
+    p: &mut Vec<f64>,
+    time: &mut SimTime,
+    stats: &mut RunStats,
+    ledger: &mut FaultLedger,
+    trec: f64,
+) -> (usize, f64) {
+    time.add(trec);
+    stats.rollbacks += 1;
+    let st = if guard.must_escalate() {
+        // Re-read input data: discard the tainted checkpoint entirely.
+        store.save(initial).expect("memory store cannot fail");
+        guard.consecutive_rollbacks = 0;
+        initial.clone()
+    } else {
+        store
+            .load()
+            .expect("memory store cannot fail")
+            .expect("initial checkpoint always present")
+    };
+    guard.note_restore();
+    *a = st.matrix.clone();
+    x.store(&st.x);
+    r.store(&st.r);
+    p.clear();
+    p.extend_from_slice(&st.p);
+    ledger.resolve_all_pending(FaultOutcome::RolledBack);
+    (st.iteration, st.rnorm_sq)
+}
+
+/// Computes the true residual norm against the pristine matrix.
+pub(crate) fn true_residual(a0: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
+    let mut r = b.to_vec();
+    let ax = a0.spmv(x);
+    vector::sub_assign(&mut r, &ax);
+    vector::norm2(&r)
+}
+
+/// Takes a checkpoint (always immediately after a passing verification —
+/// claim C1 is enforced by the call sites, which are all directly behind
+/// a verified chunk boundary).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn take_checkpoint(
+    store: &mut MemoryStore,
+    iteration: usize,
+    x: &[f64],
+    r: &[f64],
+    p: &[f64],
+    rnorm_sq: f64,
+    a: &CsrMatrix,
+    time: &mut SimTime,
+    stats: &mut RunStats,
+    tcp: f64,
+) {
+    time.add(tcp);
+    store
+        .save(&SolverState::capture(iteration, x, r, p, rnorm_sq, a))
+        .expect("memory store cannot fail");
+    stats.checkpoints += 1;
+}

@@ -1,0 +1,200 @@
+//! The ONLINE-DETECTION driver — Chen's scheme extended (as in the
+//! paper) to checkpoint the sparse matrix as well.
+//!
+//! Iterations run *unprotected*; every `d` iterations (a chunk) the
+//! stability tests run (orthogonality + recomputed residual — the
+//! recomputation is the dominant verification cost `Tverif`); every `s`
+//! verified chunks a checkpoint is taken. Any detection rolls the run
+//! back to the last checkpoint, which also restores the matrix image.
+//! Convergence is only accepted after a passing verification, so a
+//! corrupted residual cannot fake success.
+
+use ftcg_abft::spmv::spmv_defensive;
+use ftcg_checkpoint::{CheckpointStore, MemoryStore, SolverState};
+use ftcg_fault::ledger::{FaultLedger, FaultOutcome};
+use ftcg_fault::target::{FaultTarget, VectorId};
+use ftcg_fault::{FaultEvent, Injector};
+use ftcg_sparse::{vector, CsrMatrix};
+
+use super::{true_residual, EscalationGuard, ResilientConfig, ResilientOutcome, RunStats, SimTime};
+use crate::verify::verify_online;
+
+/// Applies a fault plan to the fully unprotected state.
+fn apply_faults(
+    events: &[FaultEvent],
+    a: &mut CsrMatrix,
+    p: &mut [f64],
+    q: &mut [f64],
+    r: &mut [f64],
+    x: &mut [f64],
+) {
+    for e in events {
+        let flip = |v: &mut f64, bit: u32| *v = f64::from_bits(v.to_bits() ^ (1u64 << bit));
+        match e.target {
+            FaultTarget::Vector(VectorId::P) => flip(&mut p[e.offset], e.bit),
+            FaultTarget::Vector(VectorId::Q) => flip(&mut q[e.offset], e.bit),
+            FaultTarget::Vector(VectorId::R) => flip(&mut r[e.offset], e.bit),
+            FaultTarget::Vector(VectorId::X) => flip(&mut x[e.offset], e.bit),
+            _ => {
+                Injector::apply_to_matrix(e, a);
+            }
+        }
+    }
+}
+
+pub(super) fn solve_online(
+    a0: &CsrMatrix,
+    b: &[f64],
+    cfg: &ResilientConfig,
+    mut injector: Option<&mut Injector>,
+) -> ResilientOutcome {
+    let n = a0.n_rows();
+    let d = cfg.verif_interval;
+    let norm1_a = a0.norm1(); // from the clean matrix, once
+
+    let mut a = a0.clone();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec(); // x0 = 0
+    let mut p = r.clone();
+    let mut q = vec![0.0; n];
+    let mut rnorm_sq = vector::norm2_sq(&r);
+    let threshold = cfg.stopping.threshold(a0, vector::norm2(b), rnorm_sq.sqrt());
+
+    let initial = SolverState::capture(0, &x, &r, &p, rnorm_sq, a0);
+    let mut store = MemoryStore::new();
+    store.save(&initial).unwrap();
+    let mut guard = EscalationGuard::default();
+
+    let mut time = SimTime::default();
+    let mut stats = RunStats::default();
+    let mut ledger = FaultLedger::new();
+    let mut productive = 0usize;
+    let mut iters_in_chunk = 0usize;
+    let mut chunks_since_ckpt = 0usize;
+    let mut converged = rnorm_sq.sqrt() <= threshold;
+
+    // Restores the latest checkpoint into the plain-vector state — or,
+    // when the escalation guard flags a tainted checkpoint (detection
+    // with no new faults since the restore: deterministic replay), the
+    // pristine initial data.
+    macro_rules! restore {
+        () => {{
+            time.add(cfg.costs.trec);
+            stats.rollbacks += 1;
+            let st = if guard.must_escalate() {
+                store.save(&initial).unwrap();
+                initial.clone()
+            } else {
+                store.load().unwrap().unwrap()
+            };
+            guard.note_restore();
+            a = st.matrix.clone();
+            x.copy_from_slice(&st.x);
+            r.copy_from_slice(&st.r);
+            p.copy_from_slice(&st.p);
+            rnorm_sq = st.rnorm_sq;
+            productive = st.iteration;
+            iters_in_chunk = 0;
+            chunks_since_ckpt = 0;
+            ledger.resolve_all_pending(FaultOutcome::RolledBack);
+        }};
+    }
+
+    while !converged
+        && productive < cfg.max_productive_iters
+        && stats.executed < cfg.max_executed_iters
+    {
+        stats.executed += 1;
+        time.add(1.0);
+
+        let events = injector
+            .as_deref_mut()
+            .map(|i| i.plan_iteration())
+            .unwrap_or_default();
+        for e in &events {
+            ledger.record(stats.executed, *e);
+        }
+        guard.note_faults(events.len());
+        apply_faults(&events, &mut a, &mut p, &mut q, &mut r, &mut x);
+
+        // Unprotected CG iteration (defensive kernel only for memory
+        // safety; it computes exactly the plain product on clean data).
+        spmv_defensive(&a, &p, &mut q);
+        let pq = vector::dot(&p, &q);
+        if !pq.is_finite() || pq <= 0.0 {
+            stats.detections += 1;
+            restore!();
+            continue;
+        }
+        let alpha = rnorm_sq / pq;
+        vector::axpy(alpha, &p, &mut x);
+        vector::axpy(-alpha, &q, &mut r);
+        let new_rnorm_sq = vector::norm2_sq(&r);
+        let beta = new_rnorm_sq / rnorm_sq;
+        rnorm_sq = new_rnorm_sq;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        productive += 1;
+        iters_in_chunk += 1;
+
+        let mut verified_this_chunk = false;
+        let recursive_converged = rnorm_sq.is_finite() && rnorm_sq.sqrt() <= threshold;
+
+        if iters_in_chunk >= d || recursive_converged {
+            // Chunk boundary (or convergence claim): verify.
+            time.add(cfg.costs.tverif);
+            let verdict = verify_online(&a, b, &x, &r, &p, &q, norm1_a, &cfg.online_tol);
+            if verdict.detected {
+                stats.detections += 1;
+                restore!();
+                continue;
+            }
+            verified_this_chunk = true;
+            iters_in_chunk = 0;
+        }
+
+        if recursive_converged {
+            // Verification above passed: accept convergence.
+            converged = true;
+            break;
+        }
+
+        if verified_this_chunk {
+            chunks_since_ckpt += 1;
+            if chunks_since_ckpt >= cfg.checkpoint_interval {
+                super::take_checkpoint(
+                    &mut store,
+                    productive,
+                    &x,
+                    &r,
+                    &p,
+                    rnorm_sq,
+                    &a,
+                    &mut time,
+                    &mut stats,
+                    cfg.costs.tcp,
+                );
+                guard.note_checkpoint();
+                chunks_since_ckpt = 0;
+            }
+        }
+    }
+
+    ledger.resolve_all_pending(FaultOutcome::Undetected);
+    let tr = true_residual(a0, b, &x);
+    ResilientOutcome {
+        converged,
+        productive_iterations: productive,
+        executed_iterations: stats.executed,
+        simulated_time: time.total,
+        checkpoints: stats.checkpoints,
+        rollbacks: stats.rollbacks,
+        forward_corrections: 0,
+        tmr_corrections: 0,
+        detections: stats.detections,
+        ledger,
+        true_residual: tr,
+        x,
+    }
+}

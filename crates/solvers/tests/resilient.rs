@@ -1,0 +1,258 @@
+//! End-to-end tests of the three resilient schemes under fault injection.
+
+use ftcg_fault::{BitRange, FaultRate, Injector, InjectorConfig};
+use ftcg_model::Scheme;
+use ftcg_solvers::resilient::{solve_resilient, ResilientConfig};
+use ftcg_sparse::{gen, vector, CsrMatrix};
+
+fn test_system(n: usize, seed: u64) -> (CsrMatrix, Vec<f64>) {
+    let a = gen::random_spd(n, 0.05, seed).unwrap();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.37).sin()).collect();
+    (a, b)
+}
+
+fn injector_for(a: &CsrMatrix, alpha: f64, seed: u64) -> Injector {
+    let layout = ftcg_fault::target::MemoryLayout::with_vectors(a.nnz(), a.n_rows());
+    let rate = FaultRate::from_alpha(alpha, layout.total_words());
+    let cfg = InjectorConfig {
+        rate,
+        value_bits: BitRange::Full,
+        index_bits: BitRange::for_index_bound(a.n_cols().max(a.nnz() + 1)),
+        include_vectors: true,
+    };
+    Injector::for_matrix(cfg, a, seed)
+}
+
+fn solves_correctly(_a: &CsrMatrix, b: &[f64], out: &ftcg_solvers::resilient::ResilientOutcome) {
+    assert!(out.converged, "did not converge: rollbacks={} detections={}", out.rollbacks, out.detections);
+    let rel = out.true_residual / vector::norm2(b);
+    assert!(
+        rel < 1e-6,
+        "true residual too large: {rel} (undetected faults: {})",
+        out.ledger.summary().undetected
+    );
+}
+
+#[test]
+fn all_schemes_converge_fault_free() {
+    let (a, b) = test_system(150, 1);
+    for scheme in Scheme::ALL {
+        let cfg = ResilientConfig::new(scheme, 10);
+        let out = solve_resilient(&a, &b, &cfg, None);
+        solves_correctly(&a, &b, &out);
+        assert_eq!(out.rollbacks, 0, "{scheme:?}");
+        assert_eq!(out.detections, 0, "{scheme:?}: no faults, no detections");
+        assert!(out.ledger.is_empty());
+        assert_eq!(out.executed_iterations, out.productive_iterations);
+    }
+}
+
+#[test]
+fn fault_free_abft_takes_periodic_checkpoints() {
+    let (a, b) = test_system(120, 2);
+    let cfg = ResilientConfig::new(Scheme::AbftCorrection, 5);
+    let out = solve_resilient(&a, &b, &cfg, None);
+    assert!(out.converged);
+    // roughly one checkpoint per 5 iterations
+    let expected = out.productive_iterations / 5;
+    assert!(
+        out.checkpoints + 1 >= expected && out.checkpoints <= expected + 1,
+        "{} checkpoints for {} iterations",
+        out.checkpoints,
+        out.productive_iterations
+    );
+}
+
+#[test]
+fn abft_correction_survives_moderate_fault_rate() {
+    let (a, b) = test_system(150, 3);
+    let cfg = ResilientConfig::new(Scheme::AbftCorrection, 14);
+    for seed in 0..5 {
+        let mut inj = injector_for(&a, 1.0 / 16.0, seed);
+        let out = solve_resilient(&a, &b, &cfg, Some(&mut inj));
+        solves_correctly(&a, &b, &out);
+        assert!(
+            !out.ledger.is_empty(),
+            "at alpha=1/16 over {} iterations some faults must strike",
+            out.executed_iterations
+        );
+    }
+}
+
+#[test]
+fn abft_detection_survives_moderate_fault_rate() {
+    let (a, b) = test_system(150, 4);
+    let cfg = ResilientConfig::new(Scheme::AbftDetection, 10);
+    for seed in 0..5 {
+        let mut inj = injector_for(&a, 1.0 / 16.0, seed);
+        let out = solve_resilient(&a, &b, &cfg, Some(&mut inj));
+        solves_correctly(&a, &b, &out);
+    }
+}
+
+#[test]
+fn online_detection_survives_moderate_fault_rate() {
+    let (a, b) = test_system(150, 5);
+    let mut cfg = ResilientConfig::new(Scheme::OnlineDetection, 4);
+    cfg.verif_interval = 4;
+    for seed in 0..5 {
+        let mut inj = injector_for(&a, 1.0 / 32.0, seed);
+        let out = solve_resilient(&a, &b, &cfg, Some(&mut inj));
+        solves_correctly(&a, &b, &out);
+    }
+}
+
+#[test]
+fn correction_rolls_back_less_than_detection() {
+    // Claim C2: forward recovery avoids most rollbacks.
+    let (a, b) = test_system(200, 6);
+    let mut det_rollbacks = 0usize;
+    let mut cor_rollbacks = 0usize;
+    let mut cor_corrections = 0usize;
+    for seed in 0..8 {
+        let mut inj = injector_for(&a, 1.0 / 8.0, seed);
+        let out = solve_resilient(
+            &a,
+            &b,
+            &ResilientConfig::new(Scheme::AbftDetection, 10),
+            Some(&mut inj),
+        );
+        det_rollbacks += out.rollbacks;
+        let mut inj = injector_for(&a, 1.0 / 8.0, seed);
+        let out = solve_resilient(
+            &a,
+            &b,
+            &ResilientConfig::new(Scheme::AbftCorrection, 10),
+            Some(&mut inj),
+        );
+        cor_rollbacks += out.rollbacks;
+        cor_corrections += out.forward_corrections + out.tmr_corrections;
+    }
+    assert!(
+        cor_rollbacks < det_rollbacks,
+        "correction {cor_rollbacks} rollbacks vs detection {det_rollbacks}"
+    );
+    assert!(cor_corrections > 0, "correction scheme never corrected");
+}
+
+#[test]
+fn rollback_restores_exact_progress() {
+    // After any run, productive_iterations must equal the fault-free CG
+    // iteration count when every error was rolled back or corrected
+    // exactly (undetected sub-tolerance flips may change it slightly).
+    let (a, b) = test_system(100, 7);
+    let clean = solve_resilient(&a, &b, &ResilientConfig::new(Scheme::AbftCorrection, 8), None);
+    let mut inj = injector_for(&a, 1.0 / 16.0, 11);
+    let faulty = solve_resilient(
+        &a,
+        &b,
+        &ResilientConfig::new(Scheme::AbftCorrection, 8),
+        Some(&mut inj),
+    );
+    assert!(faulty.converged);
+    let diff = (clean.productive_iterations as i64 - faulty.productive_iterations as i64).abs();
+    assert!(
+        diff <= clean.productive_iterations as i64 / 2 + 5,
+        "productive iterations far apart: clean {} vs faulty {}",
+        clean.productive_iterations,
+        faulty.productive_iterations
+    );
+}
+
+#[test]
+fn executed_time_grows_with_fault_rate() {
+    let (a, b) = test_system(150, 8);
+    let cfg = ResilientConfig::new(Scheme::AbftDetection, 10);
+    let mut times = Vec::new();
+    for alpha in [1.0 / 256.0, 1.0 / 16.0, 1.0 / 4.0] {
+        // average over seeds to damp variance
+        let mut total = 0.0;
+        for seed in 0..6 {
+            let mut inj = injector_for(&a, alpha, 100 + seed);
+            let out = solve_resilient(&a, &b, &cfg, Some(&mut inj));
+            total += out.simulated_time;
+        }
+        times.push(total / 6.0);
+    }
+    assert!(
+        times[0] < times[2],
+        "time should grow with fault rate: {times:?}"
+    );
+}
+
+#[test]
+fn ledger_accounts_every_fault() {
+    let (a, b) = test_system(120, 9);
+    let mut inj = injector_for(&a, 1.0 / 8.0, 21);
+    let out = solve_resilient(
+        &a,
+        &b,
+        &ResilientConfig::new(Scheme::AbftCorrection, 10),
+        Some(&mut inj),
+    );
+    let s = out.ledger.summary();
+    assert_eq!(s.pending, 0, "all faults must be classified at run end");
+    assert_eq!(
+        s.total,
+        s.corrected + s.rolled_back + s.undetected,
+        "classification must partition the ledger"
+    );
+}
+
+#[test]
+fn high_fault_rate_still_terminates() {
+    // At alpha close to 1 the run may not converge, but it must stop at
+    // the executed-iterations cap without panicking.
+    let (a, b) = test_system(80, 10);
+    let mut cfg = ResilientConfig::new(Scheme::AbftDetection, 5);
+    cfg.max_executed_iters = 2_000;
+    let mut inj = injector_for(&a, 0.9, 33);
+    let out = solve_resilient(&a, &b, &cfg, Some(&mut inj));
+    assert!(out.executed_iterations <= 2_000);
+}
+
+#[test]
+fn online_verifies_only_at_chunk_ends() {
+    let (a, b) = test_system(100, 11);
+    let mut cfg = ResilientConfig::new(Scheme::OnlineDetection, 3);
+    cfg.verif_interval = 5;
+    let out = solve_resilient(&a, &b, &cfg, None);
+    assert!(out.converged);
+    // Simulated time = iterations + verifications·tverif + checkpoints·tcp.
+    let n_ver = (out.productive_iterations / 5) as f64 + 1.0; // + convergence check
+    let expect = out.productive_iterations as f64
+        + n_ver * cfg.costs.tverif
+        + out.checkpoints as f64 * cfg.costs.tcp;
+    assert!(
+        (out.simulated_time - expect).abs() <= cfg.costs.tverif * 3.0,
+        "time {} vs expected {expect}",
+        out.simulated_time
+    );
+}
+
+#[test]
+fn works_on_poisson_grid() {
+    let a = gen::poisson2d(14).unwrap();
+    let n = a.n_rows();
+    let xstar: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+    let b = a.spmv(&xstar);
+    let cfg = ResilientConfig::new(Scheme::AbftCorrection, 12);
+    let mut inj = injector_for(&a, 1.0 / 16.0, 5);
+    let out = solve_resilient(&a, &b, &cfg, Some(&mut inj));
+    assert!(out.converged);
+    let err = vector::max_abs_diff(&out.x, &xstar);
+    assert!(err < 1e-4, "solution error {err}");
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let (a, b) = test_system(100, 12);
+    let cfg = ResilientConfig::new(Scheme::AbftCorrection, 10);
+    let mut i1 = injector_for(&a, 1.0 / 8.0, 77);
+    let o1 = solve_resilient(&a, &b, &cfg, Some(&mut i1));
+    let mut i2 = injector_for(&a, 1.0 / 8.0, 77);
+    let o2 = solve_resilient(&a, &b, &cfg, Some(&mut i2));
+    assert_eq!(o1.simulated_time, o2.simulated_time);
+    assert_eq!(o1.x, o2.x);
+    assert_eq!(o1.rollbacks, o2.rollbacks);
+}

@@ -1,0 +1,181 @@
+//! Compressed sparse column (CSC) view.
+//!
+//! The ABFT column-checksum construction (`Cᵀ = WᵀA`) is naturally a
+//! column-oriented computation; having an explicit CSC conversion lets the
+//! checksum builder and the correction routine locate "the element of `Val`
+//! corresponding to row d and column f" in O(col nnz) instead of scanning.
+
+use crate::csr::CsrMatrix;
+
+/// A sparse matrix in compressed sparse column format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    colptr: Vec<usize>,
+    rowid: Vec<usize>,
+    val: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from a CSR matrix (O(nnz) counting sort).
+    pub fn from_csr(a: &CsrMatrix) -> Self {
+        let nnz = a.nnz();
+        let mut colptr = vec![0usize; a.n_cols() + 1];
+        for &c in a.colid() {
+            colptr[c + 1] += 1;
+        }
+        for j in 0..a.n_cols() {
+            colptr[j + 1] += colptr[j];
+        }
+        let mut rowid = vec![0usize; nnz];
+        let mut val = vec![0.0; nnz];
+        let mut next = colptr.clone();
+        for i in 0..a.n_rows() {
+            for k in a.row_range(i) {
+                let c = a.colid()[k];
+                let dst = next[c];
+                rowid[dst] = i;
+                val[dst] = a.val()[k];
+                next[c] += 1;
+            }
+        }
+        Self {
+            n_rows: a.n_rows(),
+            n_cols: a.n_cols(),
+            colptr,
+            rowid,
+            val,
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.val.len()
+    }
+
+    /// Column pointer array.
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// Row index array.
+    pub fn rowid(&self) -> &[usize] {
+        &self.rowid
+    }
+
+    /// Value array.
+    pub fn val(&self) -> &[f64] {
+        &self.val
+    }
+
+    /// Iterator over `(row, value)` pairs of column `j`.
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let r = self.colptr[j]..self.colptr[j + 1];
+        self.rowid[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.val[r].iter().copied())
+    }
+
+    /// Column sums `Σᵢ aᵢⱼ` — the unshifted ABFT checksum.
+    pub fn column_sums(&self) -> Vec<f64> {
+        (0..self.n_cols)
+            .map(|j| self.col(j).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Converts back to CSR.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let nnz = self.nnz();
+        let mut rowptr = vec![0usize; self.n_rows + 1];
+        for &r in &self.rowid {
+            rowptr[r + 1] += 1;
+        }
+        for i in 0..self.n_rows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut colid = vec![0usize; nnz];
+        let mut val = vec![0.0; nnz];
+        let mut next = rowptr.clone();
+        for j in 0..self.n_cols {
+            for k in self.colptr[j]..self.colptr[j + 1] {
+                let i = self.rowid[k];
+                let dst = next[i];
+                colid[dst] = j;
+                val[dst] = self.val[k];
+                next[i] += 1;
+            }
+        }
+        CsrMatrix::from_parts_unchecked(self.n_rows, self.n_cols, rowptr, colid, val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+
+    fn sample() -> CsrMatrix {
+        // [ 4 1 0 ]
+        // [ 1 3 1 ]
+        // [ 0 1 2 ]
+        CsrMatrix::new(
+            3,
+            3,
+            vec![0, 2, 5, 7],
+            vec![0, 1, 0, 1, 2, 1, 2],
+            vec![4.0, 1.0, 1.0, 3.0, 1.0, 1.0, 2.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_csr_csc_csr() {
+        let a = sample();
+        let back = CscMatrix::from_csr(&a).to_csr();
+        assert_eq!(back.to_dense(), a.to_dense());
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn column_access() {
+        let c = CscMatrix::from_csr(&sample());
+        let col1: Vec<_> = c.col(1).collect();
+        assert_eq!(col1, vec![(0, 1.0), (1, 3.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn column_sums_match_csr() {
+        let a = sample();
+        let c = CscMatrix::from_csr(&a);
+        assert_eq!(c.column_sums(), a.column_sums());
+    }
+
+    #[test]
+    fn rectangular_roundtrip() {
+        let a =
+            CsrMatrix::new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap();
+        let c = CscMatrix::from_csr(&a);
+        assert_eq!(c.n_rows(), 2);
+        assert_eq!(c.n_cols(), 3);
+        assert_eq!(c.to_csr().to_dense(), a.to_dense());
+    }
+
+    #[test]
+    fn empty_csc() {
+        let a = CsrMatrix::new(0, 0, vec![0], vec![], vec![]).unwrap();
+        let c = CscMatrix::from_csr(&a);
+        assert_eq!(c.nnz(), 0);
+    }
+}

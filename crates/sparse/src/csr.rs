@@ -1,0 +1,611 @@
+//! Compressed sparse row (CSR) matrix.
+//!
+//! The storage layout is exactly the one Algorithm 2 of the paper protects:
+//! three arrays `Val ∈ R^{nnz}`, `Colid ∈ N^{nnz}` and `Rowidx ∈ N^{n+1}`
+//! (named `val`, `colid`, `rowptr` here; the paper indexes rows from 1, we
+//! index from 0). The fault injector corrupts these arrays directly through
+//! the `*_mut` accessors, so the invariants documented on [`CsrMatrix::new`]
+//! are *not* guaranteed to hold on a corrupted instance; use
+//! [`CsrMatrix::validate`] to re-check them.
+
+use crate::coo::CooMatrix;
+use crate::error::SparseError;
+use crate::Result;
+
+/// A sparse matrix in compressed sparse row format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    /// Row pointer array (`Rowidx` in the paper), length `n_rows + 1`.
+    rowptr: Vec<usize>,
+    /// Column indices (`Colid` in the paper), length `nnz`.
+    colid: Vec<usize>,
+    /// Nonzero values (`Val` in the paper), length `nnz`.
+    val: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix after validating the invariants:
+    ///
+    /// * `rowptr.len() == n_rows + 1`, `rowptr[0] == 0`,
+    ///   `rowptr[n_rows] == val.len()`, monotone non-decreasing;
+    /// * `colid.len() == val.len()`;
+    /// * every column index is `< n_cols`.
+    pub fn new(
+        n_rows: usize,
+        n_cols: usize,
+        rowptr: Vec<usize>,
+        colid: Vec<usize>,
+        val: Vec<f64>,
+    ) -> Result<Self> {
+        let m = Self {
+            n_rows,
+            n_cols,
+            rowptr,
+            colid,
+            val,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Builds a CSR matrix without validation. Used by trusted generators
+    /// and by the fault injector when *deliberately* producing corrupted
+    /// instances.
+    pub fn from_parts_unchecked(
+        n_rows: usize,
+        n_cols: usize,
+        rowptr: Vec<usize>,
+        colid: Vec<usize>,
+        val: Vec<f64>,
+    ) -> Self {
+        Self {
+            n_rows,
+            n_cols,
+            rowptr,
+            colid,
+            val,
+        }
+    }
+
+    /// Re-checks all structural invariants; `Ok(())` iff the instance is a
+    /// well-formed CSR matrix.
+    pub fn validate(&self) -> Result<()> {
+        if self.rowptr.len() != self.n_rows + 1 {
+            return Err(SparseError::MalformedRowPtr {
+                detail: format!(
+                    "rowptr has length {}, expected {}",
+                    self.rowptr.len(),
+                    self.n_rows + 1
+                ),
+            });
+        }
+        if self.rowptr[0] != 0 {
+            return Err(SparseError::MalformedRowPtr {
+                detail: format!("rowptr[0] = {}, expected 0", self.rowptr[0]),
+            });
+        }
+        if *self.rowptr.last().unwrap() != self.val.len() {
+            return Err(SparseError::MalformedRowPtr {
+                detail: format!(
+                    "rowptr[n] = {}, expected nnz = {}",
+                    self.rowptr.last().unwrap(),
+                    self.val.len()
+                ),
+            });
+        }
+        if self.rowptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SparseError::MalformedRowPtr {
+                detail: "rowptr is not monotone non-decreasing".into(),
+            });
+        }
+        if self.colid.len() != self.val.len() {
+            return Err(SparseError::DimensionMismatch {
+                detail: format!(
+                    "colid has {} entries, val has {}",
+                    self.colid.len(),
+                    self.val.len()
+                ),
+            });
+        }
+        if let Some(&bad) = self.colid.iter().find(|&&c| c >= self.n_cols) {
+            return Err(SparseError::IndexOutOfBounds {
+                index: bad,
+                bound: self.n_cols,
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of explicitly stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.val.len()
+    }
+
+    /// `true` iff the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.n_rows == self.n_cols
+    }
+
+    /// Fill ratio `nnz / (n_rows · n_cols)`.
+    pub fn density(&self) -> f64 {
+        if self.n_rows == 0 || self.n_cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.n_rows as f64 * self.n_cols as f64)
+    }
+
+    /// Number of machine words occupied by the three CSR arrays
+    /// (`Val` + `Colid` + `Rowidx`), the quantity the paper's fault model
+    /// scales the error rate by.
+    pub fn memory_words(&self) -> usize {
+        2 * self.nnz() + self.n_rows + 1
+    }
+
+    /// Row pointer array (read-only).
+    #[inline]
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// Column index array (read-only).
+    #[inline]
+    pub fn colid(&self) -> &[usize] {
+        &self.colid
+    }
+
+    /// Value array (read-only).
+    #[inline]
+    pub fn val(&self) -> &[f64] {
+        &self.val
+    }
+
+    /// Mutable row pointer array — exposed for fault injection and ABFT
+    /// correction only.
+    #[inline]
+    pub fn rowptr_mut(&mut self) -> &mut [usize] {
+        &mut self.rowptr
+    }
+
+    /// Mutable column index array — exposed for fault injection and ABFT
+    /// correction only.
+    #[inline]
+    pub fn colid_mut(&mut self) -> &mut [usize] {
+        &mut self.colid
+    }
+
+    /// Mutable value array — exposed for fault injection and ABFT
+    /// correction only.
+    #[inline]
+    pub fn val_mut(&mut self) -> &mut [f64] {
+        &mut self.val
+    }
+
+    /// The half-open range of storage positions for row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= n_rows`.
+    #[inline]
+    pub fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.rowptr[i]..self.rowptr[i + 1]
+    }
+
+    /// Iterator over `(col, value)` pairs of row `i`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let r = self.row_range(i);
+        self.colid[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.val[r].iter().copied())
+    }
+
+    /// Value at `(i, j)`, or `0.0` if not stored. Linear in the row length.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.row(i)
+            .find(|&(c, _)| c == j)
+            .map(|(_, v)| v)
+            .unwrap_or(0.0)
+    }
+
+    /// Sparse matrix–vector product `y ← A·x` into a caller-provided buffer.
+    ///
+    /// This is the *unprotected* kernel; the ABFT-protected version lives in
+    /// `ftcg-abft::spmv` and reproduces this loop with checksum accumulation.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n_cols` or `y.len() != n_rows`.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols, "spmv: x length mismatch");
+        assert_eq!(y.len(), self.n_rows, "spmv: y length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for k in self.rowptr[i]..self.rowptr[i + 1] {
+                acc += self.val[k] * x[self.colid[k]];
+            }
+            *yi = acc;
+        }
+    }
+
+    /// Allocating convenience wrapper around [`CsrMatrix::spmv_into`].
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n_rows];
+        self.spmv_into(x, &mut y);
+        y
+    }
+
+    /// Transpose-vector product `y ← Aᵀ·x` into a caller-provided buffer.
+    /// Needed by CGNE/BiCG variants.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n_rows` or `y.len() != n_cols`.
+    pub fn spmv_transpose_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_rows, "spmv_t: x length mismatch");
+        assert_eq!(y.len(), self.n_cols, "spmv_t: y length mismatch");
+        y.fill(0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            for k in self.rowptr[i]..self.rowptr[i + 1] {
+                y[self.colid[k]] += self.val[k] * xi;
+            }
+        }
+    }
+
+    /// Returns the transposed matrix in CSR form (counting sort over columns).
+    pub fn transpose(&self) -> CsrMatrix {
+        let nnz = self.nnz();
+        let mut rowptr_t = vec![0usize; self.n_cols + 1];
+        for &c in &self.colid {
+            rowptr_t[c + 1] += 1;
+        }
+        for i in 0..self.n_cols {
+            rowptr_t[i + 1] += rowptr_t[i];
+        }
+        let mut colid_t = vec![0usize; nnz];
+        let mut val_t = vec![0.0; nnz];
+        let mut next = rowptr_t.clone();
+        for i in 0..self.n_rows {
+            for k in self.rowptr[i]..self.rowptr[i + 1] {
+                let c = self.colid[k];
+                let dst = next[c];
+                colid_t[dst] = i;
+                val_t[dst] = self.val[k];
+                next[c] += 1;
+            }
+        }
+        CsrMatrix {
+            n_rows: self.n_cols,
+            n_cols: self.n_rows,
+            rowptr: rowptr_t,
+            colid: colid_t,
+            val: val_t,
+        }
+    }
+
+    /// `true` iff `A == Aᵀ` up to absolute tolerance `tol` on every entry.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let t = self.transpose();
+        if t.rowptr != self.rowptr {
+            // Structures may still match values after reordering; fall back
+            // to entrywise comparison.
+        }
+        for i in 0..self.n_rows {
+            for (j, v) in self.row(i) {
+                if (v - t.get(i, j)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Extracts the diagonal as a dense vector (zeros where absent).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn diag(&self) -> Vec<f64> {
+        assert!(self.is_square(), "diag: matrix must be square");
+        (0..self.n_rows).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Matrix 1-norm: maximum absolute column sum (eq. 8 of the paper).
+    pub fn norm1(&self) -> f64 {
+        let mut colsum = vec![0.0_f64; self.n_cols];
+        for (k, &c) in self.colid.iter().enumerate() {
+            colsum[c] += self.val[k].abs();
+        }
+        colsum.into_iter().fold(0.0, f64::max)
+    }
+
+    /// Matrix ∞-norm: maximum absolute row sum.
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.n_rows)
+            .map(|i| self.row(i).map(|(_, v)| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Per-column plain sums `Σᵢ aᵢⱼ` (the unshifted checksum of eq. 1).
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut s = vec![0.0; self.n_cols];
+        for (k, &c) in self.colid.iter().enumerate() {
+            s[c] += self.val[k];
+        }
+        s
+    }
+
+    /// `true` iff the matrix is strictly diagonally dominant by rows —
+    /// the restriction Shantharam et al. need and the paper's shifted
+    /// checksums remove.
+    pub fn is_strictly_diagonally_dominant(&self) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.n_rows {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (j, v) in self.row(i) {
+                if j == i {
+                    diag = v.abs();
+                } else {
+                    off += v.abs();
+                }
+            }
+            if diag <= off {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Maximum number of nonzeros in any column (`n'` in Theorem 2's
+    /// error analysis of the norm computation).
+    pub fn max_col_nnz(&self) -> usize {
+        let mut counts = vec![0usize; self.n_cols];
+        for &c in &self.colid {
+            counts[c] += 1;
+        }
+        counts.into_iter().max().unwrap_or(0)
+    }
+
+    /// Converts to a COO (triplet) representation.
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut coo = CooMatrix::new(self.n_rows, self.n_cols);
+        for i in 0..self.n_rows {
+            for (j, v) in self.row(i) {
+                coo.push(i, j, v);
+            }
+        }
+        coo
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> CsrMatrix {
+        CsrMatrix {
+            n_rows: n,
+            n_cols: n,
+            rowptr: (0..=n).collect(),
+            colid: (0..n).collect(),
+            val: vec![1.0; n],
+        }
+    }
+
+    /// Dense row-major rendering (test/debug helper; O(n·m) memory).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.n_cols]; self.n_rows];
+        for i in 0..self.n_rows {
+            for (j, v) in self.row(i) {
+                d[i][j] = v;
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3x3 test matrix:
+    /// [ 4 1 0 ]
+    /// [ 1 3 1 ]
+    /// [ 0 1 2 ]
+    fn sample() -> CsrMatrix {
+        CsrMatrix::new(
+            3,
+            3,
+            vec![0, 2, 5, 7],
+            vec![0, 1, 0, 1, 2, 1, 2],
+            vec![4.0, 1.0, 1.0, 3.0, 1.0, 1.0, 2.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_ok() {
+        let m = sample();
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.nnz(), 7);
+        assert!(m.is_square());
+    }
+
+    #[test]
+    fn new_rejects_bad_rowptr_len() {
+        let e = CsrMatrix::new(3, 3, vec![0, 2, 7], vec![0; 7], vec![0.0; 7]);
+        assert!(matches!(e, Err(SparseError::MalformedRowPtr { .. })));
+    }
+
+    #[test]
+    fn new_rejects_nonzero_first_rowptr() {
+        let e = CsrMatrix::new(1, 1, vec![1, 1], vec![], vec![]);
+        assert!(matches!(e, Err(SparseError::MalformedRowPtr { .. })));
+    }
+
+    #[test]
+    fn new_rejects_wrong_last_rowptr() {
+        let e = CsrMatrix::new(1, 1, vec![0, 2], vec![0], vec![1.0]);
+        assert!(matches!(e, Err(SparseError::MalformedRowPtr { .. })));
+    }
+
+    #[test]
+    fn new_rejects_decreasing_rowptr() {
+        let e = CsrMatrix::new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]);
+        assert!(matches!(e, Err(SparseError::MalformedRowPtr { .. })));
+    }
+
+    #[test]
+    fn new_rejects_colid_out_of_bounds() {
+        let e = CsrMatrix::new(1, 2, vec![0, 1], vec![5], vec![1.0]);
+        assert!(matches!(e, Err(SparseError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn new_rejects_len_mismatch() {
+        let e = CsrMatrix::new(1, 2, vec![0, 1], vec![0, 1], vec![1.0]);
+        assert!(matches!(e, Err(SparseError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn validate_detects_corruption() {
+        let mut m = sample();
+        m.colid_mut()[0] = 99;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0];
+        let y = m.spmv(&x);
+        assert_eq!(y, vec![6.0, 10.0, 8.0]);
+    }
+
+    #[test]
+    fn spmv_identity_is_noop() {
+        let id = CsrMatrix::identity(4);
+        let x = [1.0, -2.0, 3.5, 0.0];
+        assert_eq!(id.spmv(&x), x.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "x length mismatch")]
+    fn spmv_rejects_wrong_x() {
+        sample().spmv_into(&[1.0], &mut [0.0; 3]);
+    }
+
+    #[test]
+    fn spmv_transpose_matches_transpose_spmv() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0];
+        let mut y1 = vec![0.0; 3];
+        m.spmv_transpose_into(&x, &mut y1);
+        let y2 = m.transpose().spmv(&x);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose().to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn transpose_rectangular() {
+        // 2x3 matrix [1 0 2; 0 3 0]
+        let m = CsrMatrix::new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.get(0, 0), 1.0);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.get(1, 1), 3.0);
+    }
+
+    #[test]
+    fn symmetric_sample() {
+        assert!(sample().is_symmetric(0.0));
+    }
+
+    #[test]
+    fn asymmetric_detected() {
+        let m = CsrMatrix::new(2, 2, vec![0, 2, 3], vec![0, 1, 1], vec![1.0, 5.0, 1.0]).unwrap();
+        assert!(!m.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn diag_extraction() {
+        assert_eq!(sample().diag(), vec![4.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let m = sample();
+        // column sums of abs: [5, 5, 3] -> norm1 = 5
+        assert_eq!(m.norm1(), 5.0);
+        // row sums of abs: [5, 5, 3] -> norm_inf = 5
+        assert_eq!(m.norm_inf(), 5.0);
+    }
+
+    #[test]
+    fn column_sums_match() {
+        assert_eq!(sample().column_sums(), vec![5.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn diagonal_dominance() {
+        assert!(sample().is_strictly_diagonally_dominant());
+        // Laplacian-like row sums equal diag -> NOT strict.
+        let m =
+            CsrMatrix::new(2, 2, vec![0, 2, 4], vec![0, 1, 0, 1], vec![1.0, -1.0, -1.0, 1.0])
+                .unwrap();
+        assert!(!m.is_strictly_diagonally_dominant());
+    }
+
+    #[test]
+    fn get_missing_is_zero() {
+        assert_eq!(sample().get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn density_and_words() {
+        let m = sample();
+        assert!((m.density() - 7.0 / 9.0).abs() < 1e-15);
+        assert_eq!(m.memory_words(), 2 * 7 + 3 + 1);
+    }
+
+    #[test]
+    fn max_col_nnz_counts() {
+        assert_eq!(sample().max_col_nnz(), 3); // column 1 has 3 entries
+    }
+
+    #[test]
+    fn coo_roundtrip() {
+        let m = sample();
+        let back = m.to_coo().to_csr();
+        assert_eq!(back.to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::new(0, 0, vec![0], vec![], vec![]).unwrap();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.density(), 0.0);
+        let y = m.spmv(&[]);
+        assert!(y.is_empty());
+    }
+}

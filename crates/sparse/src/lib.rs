@@ -1,0 +1,40 @@
+//! Sparse linear-algebra substrate for the `ftcg` reproduction of
+//! Fasi, Robert & Uçar, *"Combining backward and forward recovery to cope
+//! with silent errors in iterative solvers"* (PDSEC 2015).
+//!
+//! This crate provides everything below the resilience layer:
+//!
+//! * [`CsrMatrix`] — compressed sparse row storage with the exact three-array
+//!   layout the paper's ABFT scheme protects (`Val`, `Colid`, `Rowidx`),
+//! * [`CooMatrix`] / [`CscMatrix`] — assembly and column-oriented views,
+//! * dense vector kernels ([`vector`]) used by the Conjugate Gradient solver,
+//! * synthetic SPD matrix generators ([`gen`]) matched to the paper's test
+//!   set from the UFL collection,
+//! * MatrixMarket I/O ([`io`]) so real UFL files can be dropped in,
+//! * a crossbeam-based parallel SpMxV ([`parallel`]) mirroring the paper's
+//!   row-partitioned MPI discussion on shared memory.
+//!
+//! The crate is deliberately dependency-light and allocation-conscious: all
+//! hot kernels (`spmv_into`, `dot`, `axpy`) write into caller-provided
+//! buffers and never allocate.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod error;
+pub mod gen;
+pub mod io;
+pub mod parallel;
+pub mod stats;
+pub mod vector;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+
+/// Convenience result alias for fallible sparse operations.
+pub type Result<T> = std::result::Result<T, SparseError>;

@@ -1,0 +1,140 @@
+//! Property-based tests for the sparse substrate.
+
+use ftcg_sparse::{gen, io, vector, CooMatrix, CscMatrix, CsrMatrix};
+use proptest::prelude::*;
+
+/// Strategy: a random small COO matrix with valid coordinates.
+fn coo_strategy(max_n: usize, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
+    (1..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, -100.0..100.0f64), 0..=max_nnz).prop_map(
+            move |trips| {
+                let mut coo = CooMatrix::new(n, n);
+                for (i, j, v) in trips {
+                    coo.push(i, j, v);
+                }
+                coo
+            },
+        )
+    })
+}
+
+/// Strategy: a vector of the given length.
+fn vec_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0..10.0f64, n..=n)
+}
+
+proptest! {
+    #[test]
+    fn csr_roundtrips_through_coo(coo in coo_strategy(20, 60)) {
+        let a = coo.to_csr();
+        a.validate().unwrap();
+        let back = a.to_coo().to_csr();
+        prop_assert_eq!(a.to_dense(), back.to_dense());
+    }
+
+    #[test]
+    fn csr_roundtrips_through_csc(coo in coo_strategy(20, 60)) {
+        let a = coo.to_csr();
+        let back = CscMatrix::from_csr(&a).to_csr();
+        prop_assert_eq!(a.to_dense(), back.to_dense());
+    }
+
+    #[test]
+    fn transpose_is_involution(coo in coo_strategy(15, 50)) {
+        let a = coo.to_csr();
+        prop_assert_eq!(a.transpose().transpose().to_dense(), a.to_dense());
+    }
+
+    #[test]
+    fn spmv_matches_dense_reference(coo in coo_strategy(12, 40)) {
+        let a = coo.to_csr();
+        let n = a.n_cols();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) * 0.3).collect();
+        let y = a.spmv(&x);
+        let dense = a.to_dense();
+        for (i, row) in dense.iter().enumerate() {
+            let want: f64 = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+            prop_assert!((y[i] - want).abs() <= 1e-9 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn spmv_is_linear(coo in coo_strategy(10, 30), alpha in -5.0..5.0f64) {
+        let a = coo.to_csr();
+        let n = a.n_cols();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let ax = a.spmv(&x);
+        let sx: Vec<f64> = x.iter().map(|v| alpha * v).collect();
+        let asx = a.spmv(&sx);
+        for i in 0..n {
+            prop_assert!((asx[i] - alpha * ax[i]).abs() <= 1e-9 * (1.0 + ax[i].abs()));
+        }
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(coo in coo_strategy(15, 40)) {
+        let a = coo.to_csr();
+        let mut buf = Vec::new();
+        io::write_matrix_market(&mut buf, &a).unwrap();
+        let b = io::read_matrix_market(buf.as_slice()).unwrap();
+        // Values serialized with 17 significant digits: exact for f64.
+        prop_assert_eq!(a.to_dense(), b.to_dense());
+    }
+
+    #[test]
+    fn dot_commutes(x in vec_strategy(16), y in vec_strategy(16)) {
+        prop_assert_eq!(vector::dot(&x, &y), vector::dot(&y, &x));
+    }
+
+    #[test]
+    fn cauchy_schwarz(x in vec_strategy(16), y in vec_strategy(16)) {
+        let lhs = vector::dot(&x, &y).abs();
+        let rhs = vector::norm2(&x) * vector::norm2(&y);
+        prop_assert!(lhs <= rhs * (1.0 + 1e-12) + 1e-12);
+    }
+
+    #[test]
+    fn triangle_inequality(x in vec_strategy(16), y in vec_strategy(16)) {
+        let s: Vec<f64> = x.iter().zip(y.iter()).map(|(a, b)| a + b).collect();
+        prop_assert!(vector::norm2(&s) <= vector::norm2(&x) + vector::norm2(&y) + 1e-12);
+    }
+
+    #[test]
+    fn axpy_matches_definition(a in -3.0..3.0f64, x in vec_strategy(12), y in vec_strategy(12)) {
+        let mut z = y.clone();
+        vector::axpy(a, &x, &mut z);
+        for i in 0..12 {
+            prop_assert!((z[i] - (a * x[i] + y[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_spd_always_valid(n in 10usize..120, density in 0.01..0.2f64, seed in 0u64..1000) {
+        let a = gen::random_spd(n, density, seed).unwrap();
+        a.validate().unwrap();
+        prop_assert!(a.is_symmetric(1e-13));
+        prop_assert!(a.is_strictly_diagonally_dominant());
+    }
+
+    #[test]
+    fn norm1_is_max_column_sum(coo in coo_strategy(10, 30)) {
+        let a = coo.to_csr();
+        let dense = a.to_dense();
+        let mut want = 0.0_f64;
+        for j in 0..a.n_cols() {
+            let s: f64 = dense.iter().map(|row| row[j].abs()).sum();
+            want = want.max(s);
+        }
+        prop_assert!((a.norm1() - want).abs() <= 1e-9 * (1.0 + want));
+    }
+
+    #[test]
+    fn parallel_spmv_equals_sequential(coo in coo_strategy(40, 200), nt in 1usize..6) {
+        let a = coo.to_csr();
+        let x: Vec<f64> = (0..a.n_cols()).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let seq = a.spmv(&x);
+        let mut par = vec![0.0; a.n_rows()];
+        ftcg_sparse::parallel::spmv_parallel_auto(&a, &x, &mut par, nt);
+        prop_assert_eq!(seq, par);
+    }
+}

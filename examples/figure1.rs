@@ -1,0 +1,67 @@
+//! Regenerates Figure 1 of the paper: execution time of the three
+//! schemes against the normalized MTBF `1/α`, one panel per matrix.
+//!
+//! Run with:
+//! `cargo run --release --example figure1 [-- --scale 16 --reps 50 --points 7 --threads 8 --matrices 3]`
+
+use ftcg::sim::figure1::{log_grid, run_panel, Figure1Params};
+use ftcg::sim::report::{figure1_ascii, figure1_csv};
+use ftcg::sim::PAPER_MATRICES;
+
+fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_matrices = parse_flag(&args, "--matrices", PAPER_MATRICES.len());
+    let params = Figure1Params {
+        scale: parse_flag(&args, "--scale", 16),
+        reps: parse_flag(&args, "--reps", 50),
+        mtbf_grid: log_grid(2e1, 2e4, parse_flag(&args, "--points", 7)),
+        threads: parse_flag(&args, "--threads", 8),
+        ..Figure1Params::default()
+    };
+    eprintln!(
+        "Figure 1: scale=1/{}, reps={}, {} MTBF points, {} matrices\n",
+        params.scale,
+        params.reps,
+        params.mtbf_grid.len(),
+        n_matrices
+    );
+
+    let mut panels = Vec::new();
+    for spec in PAPER_MATRICES.iter().take(n_matrices) {
+        eprintln!("running matrix #{} ...", spec.id);
+        let panel = run_panel(spec, &params);
+        println!("{}", figure1_ascii(&panel, 64, 14));
+        panels.push(panel);
+    }
+
+    let path = "figure1.csv";
+    std::fs::write(path, figure1_csv(&panels)).expect("write csv");
+    eprintln!("wrote {path}");
+
+    // Check the paper's qualitative findings on the collected data.
+    let mut correction_wins = 0usize;
+    let mut total = 0usize;
+    for p in &panels {
+        let time_at = |scheme_idx: usize, pt: usize| p.curves[scheme_idx].1[pt].mean_time;
+        // Low-MTBF third of the grid (several faults per run): the
+        // paper's regime where ABFT-CORRECTION (idx 2) wins.
+        for pt in 0..p.curves[0].1.len().div_ceil(3) {
+            total += 1;
+            if time_at(2, pt) <= time_at(0, pt) && time_at(2, pt) <= time_at(1, pt) {
+                correction_wins += 1;
+            }
+        }
+    }
+    eprintln!(
+        "\nABFT-CORRECTION fastest at {correction_wins}/{total} high-fault-rate points \
+         (paper: wins for a wide range of fault rates)"
+    );
+}
