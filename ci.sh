@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, release build, full test suite.
+# Usage: ./ci.sh [--no-clippy] [--no-fmt]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run_fmt=1
+run_clippy=1
+for arg in "$@"; do
+    case "$arg" in
+        --no-fmt) run_fmt=0 ;;
+        --no-clippy) run_clippy=0 ;;
+        *) echo "unknown flag $arg" >&2; exit 2 ;;
+    esac
+done
+
+if [ "$run_fmt" = 1 ]; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all --check
+fi
+
+if [ "$run_clippy" = 1 ]; then
+    if cargo clippy --version >/dev/null 2>&1; then
+        echo "==> cargo clippy -- -D warnings"
+        cargo clippy --workspace --all-targets -- -D warnings
+    else
+        echo "==> clippy not installed; skipping"
+    fi
+fi
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI gate passed."

@@ -64,8 +64,7 @@ impl BlockProtectedSpmv {
             let mut rp = [0u128; 2];
             for (r, acc) in rp.iter_mut().enumerate() {
                 for i in b.start..=b.end {
-                    *acc = acc
-                        .wrapping_add(int_weight(r, i).wrapping_mul(a.rowptr()[i] as u128));
+                    *acc = acc.wrapping_add(int_weight(r, i).wrapping_mul(a.rowptr()[i] as u128));
                 }
             }
             col.push(c);
@@ -115,17 +114,15 @@ impl BlockProtectedSpmv {
                 let mut sr = [0u128; 2];
                 for (r, acc) in sr.iter_mut().enumerate() {
                     for i in b.start..=b.end.min(self.n) {
-                        *acc = acc
-                            .wrapping_add(int_weight(r, i).wrapping_mul(a.rowptr()[i] as u128));
+                        *acc =
+                            acc.wrapping_add(int_weight(r, i).wrapping_mul(a.rowptr()[i] as u128));
                     }
                 }
                 let dr_fail = sr != self.rowptr[bi];
                 // Local dx: block-weighted output vs block checksums.
                 let mut dx = [0.0f64; 2];
                 for (r, d) in dx.iter_mut().enumerate() {
-                    let lhs: f64 = (b.start..b.end)
-                        .map(|i| weights::weight(r, i) * y[i])
-                        .sum();
+                    let lhs: f64 = (b.start..b.end).map(|i| weights::weight(r, i) * y[i]).sum();
                     let rhs: f64 = self.col[bi][r]
                         .iter()
                         .zip(x.iter())
@@ -133,8 +130,7 @@ impl BlockProtectedSpmv {
                         .sum();
                     *d = lhs - rhs;
                 }
-                let dx_fail =
-                    (0..2).any(|r| self.tol[r].is_error(dx[r], x_norm)) || !input_clean;
+                let dx_fail = (0..2).any(|r| self.tol[r].is_error(dx[r], x_norm)) || !input_clean;
                 let _ = nnz;
                 BlockVerdict {
                     block: bi,
@@ -147,13 +143,7 @@ impl BlockProtectedSpmv {
 
     /// Convenience: parallel kernel + local verification; returns the
     /// indices of faulty blocks (empty ⇒ trusted).
-    pub fn spmv_detect(
-        &self,
-        a: &CsrMatrix,
-        x: &[f64],
-        xref: &XRef,
-        y: &mut [f64],
-    ) -> Vec<usize> {
+    pub fn spmv_detect(&self, a: &CsrMatrix, x: &[f64], xref: &XRef, y: &mut [f64]) -> Vec<usize> {
         self.spmv(a, x, y);
         self.verify(a, x, xref, y)
             .into_iter()
@@ -225,7 +215,11 @@ mod tests {
         let b2 = bp.blocks()[2];
         y[b2.start + 1] += 5.0;
         let verdicts = bp.verify(&a, &x, &xref, &y);
-        let faulty: Vec<usize> = verdicts.iter().filter(|v| v.faulty).map(|v| v.block).collect();
+        let faulty: Vec<usize> = verdicts
+            .iter()
+            .filter(|v| v.faulty)
+            .map(|v| v.block)
+            .collect();
         assert_eq!(faulty, vec![2]);
         assert!((verdicts[2].dx0 - 5.0).abs() < 1e-8);
     }

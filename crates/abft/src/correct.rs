@@ -198,8 +198,7 @@ impl ProtectedSpmv {
                 (0..2).any(|r| {
                     let diff = cprime[r][j] - self.checks.col[r][j];
                     !diff.is_finite()
-                        || (diff * x[j]).abs()
-                            > 0.25 * self.tol[r].threshold(res.x_norm_inf)
+                        || (diff * x[j]).abs() > 0.25 * self.tol[r].threshold(res.x_norm_inf)
                 })
             })
             .collect();
@@ -341,16 +340,17 @@ impl ProtectedSpmv {
         // (the paper's construction); overflow/NaN flips defeat it, in
         // which case the reliable copy itself pinpoints the single
         // bit-level difference directly.
-        let e = weights::locate_from_ratio(res.dxp[0], res.dxp[1], n, self.ratio_eps).or_else(|| {
-            let diffs: Vec<usize> = (0..n)
-                .filter(|&i| x[i].to_bits() != xref.xcopy[i].to_bits())
-                .collect();
-            if diffs.len() == 1 {
-                Some(diffs[0])
-            } else {
-                None
-            }
-        });
+        let e =
+            weights::locate_from_ratio(res.dxp[0], res.dxp[1], n, self.ratio_eps).or_else(|| {
+                let diffs: Vec<usize> = (0..n)
+                    .filter(|&i| x[i].to_bits() != xref.xcopy[i].to_bits())
+                    .collect();
+                if diffs.len() == 1 {
+                    Some(diffs[0])
+                } else {
+                    None
+                }
+            });
         let Some(e) = e else {
             return SpmvOutcome::Detected(res.clone());
         };
@@ -424,7 +424,9 @@ mod tests {
     fn setup(n: usize, seed: u64) -> (CsrMatrix, ProtectedSpmv, Vec<f64>, XRef) {
         let a = gen::random_spd(n, 0.08, seed).unwrap();
         let p = ProtectedSpmv::new(&a);
-        let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.43).sin() * 2.0 + 0.1).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i as f64) * 0.43).sin() * 2.0 + 0.1)
+            .collect();
         let xref = XRef::capture(&x);
         (a, p, x, xref)
     }

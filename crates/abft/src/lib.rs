@@ -31,8 +31,8 @@ pub mod correct;
 pub mod single;
 pub mod spmv;
 pub mod tmr;
-pub mod triple;
 pub mod tolerance;
+pub mod triple;
 pub mod weights;
 
 pub use blocked::BlockProtectedSpmv;
@@ -41,5 +41,5 @@ pub use correct::{CorrectionKind, CorrectionReport};
 pub use single::{SingleChecksum, SingleOutcome};
 pub use spmv::{ProtectedSpmv, SpmvOutcome, XRef};
 pub use tmr::TmrVector;
-pub use triple::{TripleChecksum, TripleOutcome};
 pub use tolerance::ToleranceBound;
+pub use triple::{TripleChecksum, TripleOutcome};

@@ -399,14 +399,8 @@ mod tests {
     fn rowptr_weighted_sum_handles_huge_values() {
         let s = rowptr_weighted_sum(&[usize::MAX, usize::MAX, 0]);
         // no panic; exact wrapping arithmetic
-        assert_eq!(
-            s[0],
-            (usize::MAX as u128) + (usize::MAX as u128)
-        );
-        assert_eq!(
-            s[1],
-            (usize::MAX as u128) + 2 * (usize::MAX as u128)
-        );
+        assert_eq!(s[0], (usize::MAX as u128) + (usize::MAX as u128));
+        assert_eq!(s[1], (usize::MAX as u128) + 2 * (usize::MAX as u128));
     }
 
     #[test]

@@ -101,11 +101,7 @@ impl TripleChecksum {
                 _ => w3(i),
             };
             let lhs: f64 = y.iter().enumerate().map(|(i, &v)| w(i) * v).sum();
-            let rhs: f64 = self.col[r]
-                .iter()
-                .zip(x.iter())
-                .map(|(c, xv)| c * xv)
-                .sum();
+            let rhs: f64 = self.col[r].iter().zip(x.iter()).map(|(c, xv)| c * xv).sum();
             *dr = lhs - rhs;
         }
         let xni = vector::norm_inf(x);

@@ -1,0 +1,48 @@
+//! Bench target for the **campaign engine**: throughput of a full
+//! multi-configuration campaign (grid expansion + work-stealing pool +
+//! streaming aggregation) at several worker counts, against the serial
+//! baseline of running the same jobs inline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftcg_bench::experiment_criterion;
+use ftcg_engine::prelude::*;
+use ftcg_engine::spec::DefaultResolver;
+
+fn spec(threads: usize) -> CampaignSpec {
+    CampaignSpec::parse(&format!(
+        "name = bench\n\
+         seed = 5\n\
+         reps = 8\n\
+         threads = {threads}\n\
+         matrices = poisson2d:16, random:200:0.03:1\n\
+         schemes = detection, correction\n\
+         alphas = 1/32, 1/16\n"
+    ))
+    .expect("bench spec is valid")
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+    for threads in [1usize, 2, 4, 8] {
+        let s = spec(threads);
+        g.bench_function(format!("grid8x8reps/threads_{threads}"), |b| {
+            b.iter(|| {
+                let r = run_campaign(&s, &DefaultResolver, None).expect("campaign runs");
+                assert_eq!(r.panics, 0);
+                r.summaries.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_campaign(c);
+}
+
+criterion_group! {
+    name = campaign_throughput;
+    config = experiment_criterion();
+    targets = benches
+}
+criterion_main!(campaign_throughput);

@@ -48,9 +48,7 @@ fn benches(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("vector_ops");
     let w = rhs(n);
-    g.bench_function("dot_plain", |b| {
-        b.iter(|| black_box(vector::dot(&x, &w)))
-    });
+    g.bench_function("dot_plain", |b| b.iter(|| black_box(vector::dot(&x, &w))));
     g.bench_function("dot_tmr", |b| b.iter(|| black_box(tmr_dot(&x, &w, None))));
     let mut tv = TmrVector::new(&w);
     let mut pv = w.clone();

@@ -12,10 +12,7 @@ use std::hint::black_box;
 fn benches(c: &mut Criterion) {
     let a = gen::random_spd(20_000, 1.2e-3, 13).expect("generator");
     let n = a.n_rows();
-    println!(
-        "\n=== Parallel SpMxV scaling (n={n}, nnz={}) ===",
-        a.nnz()
-    );
+    println!("\n=== Parallel SpMxV scaling (n={n}, nnz={}) ===", a.nnz());
     let x = rhs(n);
     let mut y = vec![0.0; n];
 

@@ -46,7 +46,9 @@ fn detection_profile() {
     // False-positive audit on clean products.
     let mut fp = 0;
     for t in 0..500u64 {
-        let xs: Vec<f64> = (0..n).map(|i| ((i as u64 + t) as f64 * 0.7).sin()).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|i| ((i as u64 + t) as f64 * 0.7).sin())
+            .collect();
         let xr = XRef::capture(&xs);
         let mut y = vec![0.0; n];
         if !matches!(p.spmv_detect(&a, &xs, &xr, &mut y), SpmvOutcome::Clean) {

@@ -7,22 +7,25 @@ use ftcg_sparse::CsrMatrix;
 use proptest::prelude::*;
 
 fn state_strategy() -> impl Strategy<Value = SolverState> {
-    (1usize..24, 0usize..1000, proptest::collection::vec(-1e6..1e6f64, 0..40))
+    (
+        1usize..24,
+        0usize..1000,
+        proptest::collection::vec(-1e6..1e6f64, 0..40),
+    )
         .prop_map(|(n, iter, pool)| {
             let pick = |off: usize| -> Vec<f64> {
                 (0..n)
-                    .map(|i| pool.get((i + off) % pool.len().max(1)).copied().unwrap_or(0.5))
+                    .map(|i| {
+                        pool.get((i + off) % pool.len().max(1))
+                            .copied()
+                            .unwrap_or(0.5)
+                    })
                     .collect()
             };
             // simple diagonal matrix image so dimensions always agree
             let vals: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
-            let a = CsrMatrix::from_parts_unchecked(
-                n,
-                n,
-                (0..=n).collect(),
-                (0..n).collect(),
-                vals,
-            );
+            let a =
+                CsrMatrix::from_parts_unchecked(n, n, (0..=n).collect(), (0..n).collect(), vals);
             SolverState::capture(iter, &pick(0), &pick(1), &pick(2), 3.25, &a)
         })
 }

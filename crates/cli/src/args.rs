@@ -17,76 +17,25 @@ pub fn parse_or<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -
 }
 
 /// Parses a fault rate: plain float (`0.0625`) or a fraction (`1/16`).
+/// One grammar for the whole workspace: delegates to the engine's
+/// spec parser.
 pub fn parse_alpha(s: &str) -> Option<f64> {
-    if let Some((num, den)) = s.split_once('/') {
-        let n: f64 = num.trim().parse().ok()?;
-        let d: f64 = den.trim().parse().ok()?;
-        if d == 0.0 {
-            return None;
-        }
-        Some(n / d)
-    } else {
-        s.parse().ok()
-    }
+    ftcg_engine::spec::parse_alpha(s).ok()
 }
 
-/// Matrix sources accepted by `--matrix` / `--gen`.
-pub enum MatrixSource {
-    /// A MatrixMarket file.
-    File(String),
-    /// `poisson2d:K`
-    Poisson2d(usize),
-    /// `poisson3d:K`
-    Poisson3d(usize),
-    /// `random:N:DENSITY[:SEED]`
-    Random(usize, f64, u64),
-    /// `illcond:N:DENSITY:COND[:SEED]`
-    IllCond(usize, f64, f64, u64),
-    /// `paper:ID[:SCALE]` — one of the nine Table 1 matrices.
-    Paper(u32, usize),
-}
-
-/// Parses `--matrix FILE` or `--gen SPEC`.
-pub fn matrix_source(args: &[String]) -> Result<MatrixSource, String> {
+/// Parses `--matrix FILE` or `--gen SPEC` into the engine's
+/// [`MatrixSource`](ftcg_engine::MatrixSource) — one source grammar for
+/// the whole workspace (`ftcg solve`, `ftcg stats`, and `ftcg
+/// campaign` all accept the same generators, including `paper:` via
+/// the sim resolver).
+pub fn matrix_source(args: &[String]) -> Result<ftcg_engine::MatrixSource, String> {
     if let Some(f) = value(args, "--matrix") {
-        return Ok(MatrixSource::File(f.to_string()));
+        return Ok(ftcg_engine::MatrixSource::File(f.to_string()));
     }
     let Some(g) = value(args, "--gen") else {
         return Err("need --matrix FILE or --gen SPEC (try `ftcg help`)".into());
     };
-    let parts: Vec<&str> = g.split(':').collect();
-    let num = |i: usize| -> Result<usize, String> {
-        parts
-            .get(i)
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| format!("bad generator spec `{g}`"))
-    };
-    let flt = |i: usize| -> Result<f64, String> {
-        parts
-            .get(i)
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| format!("bad generator spec `{g}`"))
-    };
-    match parts[0] {
-        "poisson2d" => Ok(MatrixSource::Poisson2d(num(1)?)),
-        "poisson3d" => Ok(MatrixSource::Poisson3d(num(1)?)),
-        "random" => Ok(MatrixSource::Random(
-            num(1)?,
-            flt(2)?,
-            num(3).unwrap_or(0) as u64,
-        )),
-        "illcond" => Ok(MatrixSource::IllCond(
-            num(1)?,
-            flt(2)?,
-            flt(3)?,
-            num(4).unwrap_or(0) as u64,
-        )),
-        "paper" => Ok(MatrixSource::Paper(
-            num(1)? as u32,
-            num(2).unwrap_or(16),
-        )),
-        other => Err(format!("unknown generator `{other}`")),
-    }
+    ftcg_engine::MatrixSource::parse(g).map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -124,6 +73,7 @@ mod tests {
 
     #[test]
     fn generator_specs() {
+        use ftcg_engine::MatrixSource;
         assert!(matches!(
             matrix_source(&sv(&["--gen", "poisson2d:30"])),
             Ok(MatrixSource::Poisson2d(30))
@@ -132,11 +82,12 @@ mod tests {
             matrix_source(&sv(&["--gen", "random:500:0.01:9"])),
             Ok(MatrixSource::Random(500, _, 9))
         ));
+        // Unknown heads become Named sources for the campaign resolver
+        // (paper: resolves via ftcg-sim, bogus: errors at resolve time).
         assert!(matches!(
             matrix_source(&sv(&["--gen", "paper:341:32"])),
-            Ok(MatrixSource::Paper(341, 32))
+            Ok(MatrixSource::Named(_))
         ));
-        assert!(matrix_source(&sv(&["--gen", "bogus:1"])).is_err());
         assert!(matrix_source(&sv(&[])).is_err());
     }
 
@@ -144,7 +95,7 @@ mod tests {
     fn file_source() {
         assert!(matches!(
             matrix_source(&sv(&["--matrix", "m.mtx"])),
-            Ok(MatrixSource::File(_))
+            Ok(ftcg_engine::MatrixSource::File(_))
         ));
     }
 }

@@ -3,22 +3,26 @@
 use ftcg::model::Scheme;
 use ftcg::prelude::*;
 use ftcg::sim::figure1::{log_grid, run_panel, Figure1Params};
+use ftcg::sim::matrices::PaperMatrixResolver;
 use ftcg::sim::report::{figure1_ascii, figure1_csv, table1_csv, table1_markdown};
 use ftcg::sim::table1::{run_table1, Table1Params};
 use ftcg::sim::PAPER_MATRICES;
 use ftcg::sparse::stats::MatrixStats;
+use ftcg_engine::{run_campaign, sink, spec, CampaignSpec};
 
-use crate::args::{matrix_source, parse_alpha, parse_or, value, MatrixSource};
+use crate::args::{matrix_source, parse_alpha, parse_or, value};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
 ftcg — fault-tolerant Conjugate Gradient (Fasi, Robert & Uçar, PDSEC 2015)
 
 USAGE:
-  ftcg solve   (--matrix F.mtx | --gen SPEC) [--scheme S] [--alpha A] [--seed N]
-  ftcg stats   (--matrix F.mtx | --gen SPEC)
-  ftcg table1  [--scale N] [--reps N] [--threads N]
-  ftcg figure1 [--scale N] [--reps N] [--points N] [--matrices N] [--threads N]
+  ftcg solve    (--matrix F.mtx | --gen SPEC) [--scheme S] [--alpha A] [--seed N]
+  ftcg stats    (--matrix F.mtx | --gen SPEC)
+  ftcg campaign (--spec FILE | inline flags) [--out F.jsonl] [--csv F.csv]
+                [--reps N] [--seed N] [--threads N] [--quiet]
+  ftcg table1   [--scale N] [--reps N] [--threads N]
+  ftcg figure1  [--scale N] [--reps N] [--points N] [--matrices N] [--threads N]
 
 GENERATORS (--gen):
   poisson2d:K              5-point Laplacian on a KxK grid
@@ -30,24 +34,33 @@ GENERATORS (--gen):
 OPTIONS:
   --scheme   online | detection | correction (default: correction)
   --alpha    expected faults/iteration, float or fraction (e.g. 1/16)
-  --seed     injector seed (default 0)
+  --seed     injector / campaign seed (default 0)
+
+CAMPAIGNS:
+  A campaign sweeps {matrices x schemes x alphas} with `--reps`
+  repetitions per configuration, concurrently across worker threads,
+  and aggregates per-configuration statistics. Same spec + seed =>
+  byte-identical JSONL/CSV output.
+
+  --spec FILE   declarative spec: `key = value` lines or a JSON object
+                (keys: name seed reps threads max_iters matrices
+                schemes alphas interval). `-` reads stdin.
+  Inline flags instead of a file:
+    --gen SPECS --schemes LIST --alphas LIST [--interval model|fixed:N]
+    [--name S] [--max-iters N]
+  --out F       write JSONL summaries (default: print to stdout)
+  --csv F       also write CSV
+  --quiet       suppress the progress ticker
 ";
 
 fn load_matrix(args: &[String]) -> Result<CsrMatrix, String> {
-    match matrix_source(args)? {
-        MatrixSource::File(f) => {
-            io::read_matrix_market_file(&f).map_err(|e| format!("{f}: {e}"))
-        }
-        MatrixSource::Poisson2d(k) => gen::poisson2d(k).map_err(|e| e.to_string()),
-        MatrixSource::Poisson3d(k) => gen::poisson3d(k).map_err(|e| e.to_string()),
-        MatrixSource::Random(n, d, s) => gen::random_spd(n, d, s).map_err(|e| e.to_string()),
-        MatrixSource::IllCond(n, d, c, s) => {
-            gen::random_spd_illcond(n, d, c, s).map_err(|e| e.to_string())
-        }
-        MatrixSource::Paper(id, scale) => ftcg::sim::matrices::by_id(id)
-            .map(|spec| spec.generate(scale))
-            .ok_or_else(|| format!("unknown paper matrix id {id}")),
-    }
+    use ftcg_engine::MatrixResolver;
+    let source = matrix_source(args)?;
+    // One resolver everywhere: built-in generators + MatrixMarket files
+    // + the paper's Table 1 test set (`paper:ID[:SCALE]`).
+    PaperMatrixResolver
+        .resolve(&source)
+        .map_err(|e| e.to_string())
 }
 
 fn parse_scheme(args: &[String]) -> Result<Scheme, String> {
@@ -125,9 +138,159 @@ pub fn stats(args: &[String]) -> i32 {
         Ok(a) => {
             let st = MatrixStats::compute(&a);
             println!("{}", st.summary_line());
-            println!("memory words (fault-model M contribution): {}", st.memory_words);
+            println!(
+                "memory words (fault-model M contribution): {}",
+                st.memory_words
+            );
             0
         }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn campaign_spec(args: &[String]) -> Result<CampaignSpec, String> {
+    let mut cs = if let Some(path) = value(args, "--spec") {
+        // Grid flags only apply to inline campaigns; silently ignoring
+        // them next to --spec would let users run the wrong grid.
+        const GRID_FLAGS: [&str; 6] = [
+            "--gen",
+            "--schemes",
+            "--alphas",
+            "--interval",
+            "--name",
+            "--max-iters",
+        ];
+        if let Some(flag) = GRID_FLAGS.iter().find(|f| args.iter().any(|a| a == *f)) {
+            return Err(format!(
+                "{flag} cannot be combined with --spec (edit the spec file instead; \
+                 only --reps/--seed/--threads override a file)"
+            ));
+        }
+        let text = if path == "-" {
+            use std::io::Read;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("stdin: {e}"))?;
+            buf
+        } else {
+            std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+        };
+        CampaignSpec::parse(&text).map_err(|e| e.to_string())?
+    } else {
+        // Inline flags. List flags use the engine's list grammar
+        // (trimmed, trailing commas harmless) — same as spec files.
+        let gens = value(args, "--gen")
+            .ok_or_else(|| "need --spec FILE or --gen SPECS (try `ftcg help`)".to_string())?;
+        let mut cs = CampaignSpec {
+            matrices: spec::split_list(gens)
+                .map(|s| spec::MatrixSource::parse(s).map_err(|e| e.to_string()))
+                .collect::<Result<_, _>>()?,
+            ..CampaignSpec::default()
+        };
+        cs.name = value(args, "--name").unwrap_or("campaign").to_string();
+        if let Some(list) = value(args, "--schemes") {
+            cs.schemes = spec::split_list(list)
+                .map(spec::parse_scheme)
+                .collect::<Result<_, _>>()
+                .map_err(|e| e.to_string())?;
+        }
+        if let Some(list) = value(args, "--alphas") {
+            cs.alphas = spec::split_list(list)
+                .map(spec::parse_alpha)
+                .collect::<Result<_, _>>()
+                .map_err(|e| e.to_string())?;
+        }
+        cs.max_iters = parse_strict(args, "--max-iters", cs.max_iters)?;
+        if let Some(iv) = value(args, "--interval") {
+            cs.interval = spec::parse_interval(iv).map_err(|e| e.to_string())?;
+        }
+        cs
+    };
+    // Command-line overrides apply to file specs too. A malformed value
+    // is a hard error — silently running the spec's value would produce
+    // an artifact the user believes came from different parameters.
+    cs.reps = parse_strict(args, "--reps", cs.reps)?;
+    cs.seed = parse_strict(args, "--seed", cs.seed)?;
+    cs.threads = parse_strict(args, "--threads", cs.threads)?;
+    Ok(cs)
+}
+
+/// Like [`parse_or`], but a present-yet-unparseable value errors
+/// instead of silently keeping the default.
+fn parse_strict<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, String> {
+    match value(args, flag) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad {flag} `{v}`")),
+    }
+}
+
+/// `ftcg campaign`.
+pub fn campaign(args: &[String]) -> i32 {
+    let result = (|| -> Result<(), String> {
+        let cs = campaign_spec(args)?;
+        let quiet = args.iter().any(|a| a == "--quiet");
+        eprintln!(
+            "campaign `{}`: {} configurations x {} reps = {} jobs (seed {})",
+            cs.name,
+            cs.n_configs(),
+            cs.reps,
+            cs.n_jobs(),
+            cs.seed,
+        );
+        let ticker = |done: usize, total: usize| {
+            // Coarse ticker: every ~5% and the final job.
+            let step = (total / 20).max(1);
+            if done.is_multiple_of(step) || done == total {
+                eprint!("\r{done}/{total} jobs");
+                if done == total {
+                    eprintln!();
+                }
+            }
+        };
+        let outcome = run_campaign(
+            &cs,
+            &PaperMatrixResolver,
+            if quiet { None } else { Some(&ticker) },
+        )
+        .map_err(|e| e.to_string())?;
+        match value(args, "--out") {
+            Some(path) => {
+                sink::save_jsonl(path, &outcome.summaries).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("wrote {path}");
+            }
+            None => {
+                print!("{}", sink::jsonl_string(&outcome.summaries));
+            }
+        }
+        if let Some(path) = value(args, "--csv") {
+            sink::save_csv(path, &outcome.summaries).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        eprintln!(
+            "{} jobs on {} threads in {:.2}s",
+            outcome.total_jobs, outcome.threads, outcome.elapsed_secs
+        );
+        // Degraded artifacts are still written (for debugging), but a
+        // campaign with panicked jobs is not a successful reproduction
+        // — scripts must see a failing exit code.
+        if outcome.panics > 0 {
+            return Err(format!(
+                "{} job(s) panicked; summaries cover the surviving repetitions only",
+                outcome.panics
+            ));
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => 0,
         Err(e) => {
             eprintln!("error: {e}");
             1

@@ -4,6 +4,8 @@
 //! $ ftcg solve --gen poisson2d:40 --scheme correction --alpha 0.0625
 //! $ ftcg solve --matrix system.mtx --scheme online --alpha 0.01 --seed 7
 //! $ ftcg stats --gen random:2000:0.005
+//! $ ftcg campaign --spec sweep.campaign --out results.jsonl --threads 8
+//! $ ftcg campaign --gen poisson2d:24 --schemes detection,correction --alphas 0,1/16
 //! $ ftcg table1 --scale 32 --reps 20
 //! $ ftcg figure1 --scale 32 --reps 20 --points 6 --matrices 3
 //! ```
@@ -16,6 +18,7 @@ fn main() {
     let code = match argv.first().map(String::as_str) {
         Some("solve") => commands::solve(&argv[1..]),
         Some("stats") => commands::stats(&argv[1..]),
+        Some("campaign") => commands::campaign(&argv[1..]),
         Some("table1") => commands::table1(&argv[1..]),
         Some("figure1") => commands::figure1(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {

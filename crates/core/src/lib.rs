@@ -37,13 +37,15 @@
 //! | `ftcg-checkpoint` | solver-state snapshots, stores, binary codec |
 //! | `ftcg-model` | expected frame time (eq. 5), optimal intervals (eq. 6), DP schedule |
 //! | `ftcg-solvers` | CG/PCG/BiCGSTAB/CGNE + the three resilient drivers |
-//! | `ftcg-sim` | Table 1 / Figure 1 experiment harness and reports |
+//! | `ftcg-engine` | concurrent campaign engine: declarative sweeps, worker pool, JSONL/CSV sinks |
+//! | `ftcg-sim` | Table 1 / Figure 1 experiment harness (engine campaigns) and reports |
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub use ftcg_abft as abft;
 pub use ftcg_checkpoint as checkpoint;
+pub use ftcg_engine as engine;
 pub use ftcg_fault as fault;
 pub use ftcg_model as model;
 pub use ftcg_sim as sim;
@@ -59,6 +61,9 @@ use ftcg_sparse::CsrMatrix;
 /// Everything a typical user needs.
 pub mod prelude {
     pub use crate::ResilientCg;
+    pub use ftcg_engine::{
+        run_campaign, CampaignResult, CampaignSpec, ConfigSummary, DefaultResolver,
+    };
     pub use ftcg_model::Scheme;
     pub use ftcg_solvers::resilient::{ResilientConfig, ResilientOutcome};
     pub use ftcg_solvers::{cg_solve, CgConfig, StoppingCriterion};
@@ -252,12 +257,7 @@ mod tests {
     fn deterministic_by_seed() {
         let a = gen::random_spd(100, 0.05, 5).unwrap();
         let b = vec![1.0; 100];
-        let mk = || {
-            ResilientCg::new(&a)
-                .fault_alpha(0.1)
-                .seed(99)
-                .solve(&b)
-        };
+        let mk = || ResilientCg::new(&a).fault_alpha(0.1).seed(99).solve(&b);
         let o1 = mk();
         let o2 = mk();
         assert_eq!(o1.x, o2.x);

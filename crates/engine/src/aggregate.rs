@@ -1,0 +1,326 @@
+//! Streaming per-configuration aggregation.
+//!
+//! Workers push one [`JobMetrics`] per finished repetition — the heavy
+//! solve output (the iterate itself) is dropped at the job boundary, so
+//! a campaign's memory footprint is O(configs × reps) scalars however
+//! large the matrices are. Summaries are computed in repetition order at
+//! the end, which makes every statistic independent of thread
+//! scheduling: same spec + seed ⇒ identical summaries, byte for byte.
+
+use ftcg_solvers::resilient::ResilientOutcome;
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use crate::grid::ConfigJob;
+
+/// The scalars kept from one resilient solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobMetrics {
+    /// Simulated time (`Titer` units).
+    pub simulated_time: f64,
+    /// Total executed iterations (including re-execution).
+    pub executed_iterations: usize,
+    /// Rollbacks performed.
+    pub rollbacks: usize,
+    /// Forward corrections (ABFT in-place + TMR outvotes).
+    pub corrections: usize,
+    /// Faults injected.
+    pub faults: usize,
+    /// Whether the stopping criterion was met.
+    pub converged: bool,
+    /// True residual against the pristine system.
+    pub true_residual: f64,
+}
+
+impl From<&ResilientOutcome> for JobMetrics {
+    fn from(out: &ResilientOutcome) -> Self {
+        JobMetrics {
+            simulated_time: out.simulated_time,
+            executed_iterations: out.executed_iterations,
+            rollbacks: out.rollbacks,
+            corrections: out.forward_corrections + out.tmr_corrections,
+            faults: out.ledger.len(),
+            converged: out.converged,
+            true_residual: out.true_residual,
+        }
+    }
+}
+
+/// Order statistics summary of one metric across repetitions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SummaryStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single repetition).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (nearest-rank on the sorted sample).
+    pub p50: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
+}
+
+impl SummaryStats {
+    /// Computes stats over `values` (empty input yields all zeros).
+    pub fn from_values(values: &[f64]) -> SummaryStats {
+        if values.is_empty() {
+            return SummaryStats {
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+            };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric values must not be NaN"));
+        let pct = |p: f64| {
+            let idx = (p * (sorted.len() - 1) as f64).round() as usize;
+            sorted[idx]
+        };
+        SummaryStats {
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: pct(0.50),
+            p90: pct(0.90),
+        }
+    }
+}
+
+/// One output row: a configuration with its aggregated repetitions.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ConfigSummary {
+    /// Campaign name.
+    pub campaign: String,
+    /// Matrix label.
+    pub matrix: String,
+    /// Matrix order.
+    pub n: usize,
+    /// Scheme name (paper spelling, e.g. `ABFT-CORRECTION`).
+    pub scheme: String,
+    /// Expected faults per iteration.
+    pub alpha: f64,
+    /// Checkpoint interval `s`.
+    pub s: usize,
+    /// Verification interval `d`.
+    pub d: usize,
+    /// Repetitions that completed (requested minus panicked).
+    pub reps: usize,
+    /// Repetitions lost to panics.
+    pub panics: usize,
+    /// Simulated execution time.
+    pub time: SummaryStats,
+    /// Executed iterations.
+    pub executed: SummaryStats,
+    /// Mean rollbacks per repetition.
+    pub mean_rollbacks: f64,
+    /// Mean forward corrections per repetition.
+    pub mean_corrections: f64,
+    /// Mean injected faults per repetition.
+    pub mean_faults: f64,
+    /// Fraction of completed repetitions that converged.
+    pub convergence_rate: f64,
+    /// Worst true residual across completed repetitions.
+    pub max_true_residual: f64,
+}
+
+/// Collects [`JobMetrics`] from concurrently finishing jobs and folds
+/// them into ordered [`ConfigSummary`] rows.
+#[derive(Debug)]
+pub struct Aggregator {
+    reps: usize,
+    slots: Mutex<Vec<Vec<Option<JobMetrics>>>>,
+}
+
+impl Aggregator {
+    /// An aggregator for `n_configs` configurations × `reps` reps.
+    pub fn new(n_configs: usize, reps: usize) -> Self {
+        Aggregator {
+            reps,
+            slots: Mutex::new(vec![vec![None; reps]; n_configs]),
+        }
+    }
+
+    /// Records the metrics of repetition `rep` of configuration
+    /// `config`. Thread-safe; any arrival order produces the same
+    /// summaries.
+    pub fn push(&self, config: usize, rep: usize, metrics: JobMetrics) {
+        let mut slots = self.slots.lock();
+        debug_assert!(slots[config][rep].is_none(), "duplicate (config, rep)");
+        slots[config][rep] = Some(metrics);
+    }
+
+    /// Folds everything into per-configuration summaries, in
+    /// configuration order.
+    pub fn finish(self, campaign: &str, configs: &[ConfigJob]) -> Vec<ConfigSummary> {
+        let slots = self.slots.into_inner();
+        assert_eq!(slots.len(), configs.len());
+        slots
+            .iter()
+            .zip(configs)
+            .map(|(rows, job)| summarize(campaign, self.reps, rows, job))
+            .collect()
+    }
+}
+
+fn summarize(
+    campaign: &str,
+    requested: usize,
+    rows: &[Option<JobMetrics>],
+    job: &ConfigJob,
+) -> ConfigSummary {
+    let done: Vec<&JobMetrics> = rows.iter().flatten().collect();
+    let nf = done.len() as f64;
+    let mean = |f: &dyn Fn(&JobMetrics) -> f64| {
+        if done.is_empty() {
+            0.0
+        } else {
+            done.iter().map(|m| f(m)).sum::<f64>() / nf
+        }
+    };
+    let times: Vec<f64> = done.iter().map(|m| m.simulated_time).collect();
+    let executed: Vec<f64> = done.iter().map(|m| m.executed_iterations as f64).collect();
+    ConfigSummary {
+        campaign: campaign.to_string(),
+        matrix: job.key.matrix.clone(),
+        n: job.key.n,
+        scheme: job.key.scheme.name().to_string(),
+        alpha: job.key.alpha,
+        s: job.key.s,
+        d: job.key.d,
+        reps: done.len(),
+        panics: requested - done.len(),
+        time: SummaryStats::from_values(&times),
+        executed: SummaryStats::from_values(&executed),
+        mean_rollbacks: mean(&|m| m.rollbacks as f64),
+        mean_corrections: mean(&|m| m.corrections as f64),
+        mean_faults: mean(&|m| m.faults as f64),
+        convergence_rate: if done.is_empty() {
+            0.0
+        } else {
+            done.iter().filter(|m| m.converged).count() as f64 / nf
+        },
+        // NaN-propagating max: a diverged repetition (NaN residual) must
+        // poison this column, not vanish — `f64::max` would ignore it.
+        max_true_residual: done.iter().map(|m| m.true_residual).fold(0.0, |a, b| {
+            if a.is_nan() || b.is_nan() {
+                f64::NAN
+            } else {
+                a.max(b)
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basics() {
+        let s = SummaryStats::from_values(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 3.0); // nearest-rank at index round(1.5) = 2
+        assert_eq!(s.p90, 4.0);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_single_and_empty() {
+        let one = SummaryStats::from_values(&[7.0]);
+        assert_eq!(one.mean, 7.0);
+        assert_eq!(one.std, 0.0);
+        assert_eq!(one.p90, 7.0);
+        let none = SummaryStats::from_values(&[]);
+        assert_eq!(none.mean, 0.0);
+        assert_eq!(none.max, 0.0);
+    }
+
+    #[test]
+    fn push_order_does_not_change_summary() {
+        use crate::grid::{ConfigJob, InjectorSpec};
+        use ftcg_model::Scheme;
+        use ftcg_solvers::resilient::ResilientConfig;
+        use ftcg_sparse::gen;
+        use std::sync::Arc;
+
+        let a = Arc::new(gen::poisson2d(4).unwrap());
+        let rhs = Arc::new(vec![1.0; a.n_rows()]);
+        let job = ConfigJob::new(
+            "poisson2d:4",
+            a,
+            rhs,
+            ResilientConfig::new(Scheme::AbftDetection, 5),
+            0.1,
+            InjectorSpec::Paper,
+        );
+        let m = |t: f64| JobMetrics {
+            simulated_time: t,
+            executed_iterations: (t * 10.0) as usize,
+            rollbacks: 1,
+            corrections: 0,
+            faults: 2,
+            converged: true,
+            true_residual: 1e-9,
+        };
+        let fwd = Aggregator::new(1, 3);
+        fwd.push(0, 0, m(1.0));
+        fwd.push(0, 1, m(2.0));
+        fwd.push(0, 2, m(3.0));
+        let rev = Aggregator::new(1, 3);
+        rev.push(0, 2, m(3.0));
+        rev.push(0, 0, m(1.0));
+        rev.push(0, 1, m(2.0));
+        let cfgs = vec![job];
+        assert_eq!(fwd.finish("c", &cfgs), rev.finish("c", &cfgs));
+    }
+
+    #[test]
+    fn missing_reps_count_as_panics() {
+        use crate::grid::{ConfigJob, InjectorSpec};
+        use ftcg_model::Scheme;
+        use ftcg_solvers::resilient::ResilientConfig;
+        use ftcg_sparse::gen;
+        use std::sync::Arc;
+
+        let a = Arc::new(gen::poisson2d(4).unwrap());
+        let rhs = Arc::new(vec![1.0; a.n_rows()]);
+        let job = ConfigJob::new(
+            "poisson2d:4",
+            a,
+            rhs,
+            ResilientConfig::new(Scheme::AbftDetection, 5),
+            0.0,
+            InjectorSpec::None,
+        );
+        let agg = Aggregator::new(1, 4);
+        agg.push(
+            0,
+            1,
+            JobMetrics {
+                simulated_time: 5.0,
+                executed_iterations: 50,
+                rollbacks: 0,
+                corrections: 0,
+                faults: 0,
+                converged: true,
+                true_residual: 1e-10,
+            },
+        );
+        let rows = agg.finish("c", &[job]);
+        assert_eq!(rows[0].reps, 1);
+        assert_eq!(rows[0].panics, 3);
+        assert_eq!(rows[0].convergence_rate, 1.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Campaign orchestration: spec → configs → jobs → pool → summaries.
+
+use std::time::Instant;
+
+use ftcg_solvers::resilient::solve_resilient;
+
+use crate::aggregate::{Aggregator, ConfigSummary, JobMetrics};
+use crate::grid::{expand, ConfigJob, InjectorSpec};
+use crate::inject::{calibrated_injector, paper_injector};
+use crate::pool::{effective_threads, run_indexed, ProgressFn};
+use crate::seedstream::derive_seed;
+use crate::spec::{CampaignSpec, MatrixResolver};
+use crate::EngineError;
+
+/// The outcome of a campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Campaign name.
+    pub name: String,
+    /// Per-configuration summaries, in grid order.
+    pub summaries: Vec<ConfigSummary>,
+    /// Jobs executed (configurations × repetitions).
+    pub total_jobs: usize,
+    /// Jobs lost to panics.
+    pub panics: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds (not part of any serialized artifact —
+    /// artifacts stay byte-deterministic).
+    pub elapsed_secs: f64,
+}
+
+/// Runs one repetition of one configuration with a derived seed.
+fn run_one(job: &ConfigJob, seed: u64) -> JobMetrics {
+    let a = job.matrix.as_ref();
+    let alpha = job.key.alpha;
+    let out = match job.injector {
+        InjectorSpec::None => solve_resilient(a, &job.rhs, &job.cfg, None),
+        InjectorSpec::Paper if alpha > 0.0 => {
+            let mut inj = paper_injector(a, alpha, seed);
+            solve_resilient(a, &job.rhs, &job.cfg, Some(&mut inj))
+        }
+        InjectorSpec::Calibrated if alpha > 0.0 => {
+            let mut inj = calibrated_injector(a, alpha, seed);
+            solve_resilient(a, &job.rhs, &job.cfg, Some(&mut inj))
+        }
+        _ => solve_resilient(a, &job.rhs, &job.cfg, None),
+    };
+    JobMetrics::from(&out)
+}
+
+/// Executes `reps` repetitions of each configuration on the worker
+/// pool. This is the programmatic entry point used by the `ftcg-sim`
+/// harness; [`run_campaign`] wraps it for declarative specs.
+pub fn run_configs(
+    name: &str,
+    campaign_seed: u64,
+    reps: usize,
+    threads: usize,
+    configs: Vec<ConfigJob>,
+    progress: Option<ProgressFn<'_>>,
+) -> CampaignResult {
+    let started = Instant::now();
+    // reps = 0 would "succeed" with one all-zero row per configuration —
+    // a complete-looking but fabricated result table. Fail loudly, like
+    // the declarative path does via EmptyGrid.
+    assert!(reps >= 1, "run_configs: reps must be >= 1");
+    let n_configs = configs.len();
+    let total = n_configs * reps;
+    let threads = effective_threads(threads, total);
+    let agg = Aggregator::new(n_configs, reps);
+    let results = run_indexed(
+        threads,
+        total,
+        |idx| {
+            let (config, rep) = (idx / reps.max(1), idx % reps.max(1));
+            let seed = derive_seed(campaign_seed, config as u64, rep as u64);
+            let metrics = run_one(&configs[config], seed);
+            agg.push(config, rep, metrics);
+        },
+        progress,
+    );
+    let panics = results.iter().filter(|r| r.is_err()).count();
+    CampaignResult {
+        name: name.to_string(),
+        summaries: agg.finish(name, &configs),
+        total_jobs: total,
+        panics,
+        threads,
+        elapsed_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Expands and executes a declarative campaign.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    resolver: &dyn MatrixResolver,
+    progress: Option<ProgressFn<'_>>,
+) -> Result<CampaignResult, EngineError> {
+    let configs = expand(spec, resolver)?;
+    Ok(run_configs(
+        &spec.name,
+        spec.seed,
+        spec.reps,
+        spec.threads,
+        configs,
+        progress,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DefaultResolver;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::parse(
+            "name = tiny\n\
+             seed = 9\n\
+             reps = 3\n\
+             threads = 4\n\
+             matrices = poisson2d:8\n\
+             schemes = correction\n\
+             alphas = 1/16\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn runs_and_aggregates() {
+        let r = run_campaign(&tiny_spec(), &DefaultResolver, None).unwrap();
+        assert_eq!(r.total_jobs, 3);
+        assert_eq!(r.panics, 0);
+        assert_eq!(r.summaries.len(), 1);
+        let s = &r.summaries[0];
+        assert_eq!(s.reps, 3);
+        assert!(s.time.mean > 0.0);
+        assert!(s.convergence_rate > 0.0);
+    }
+
+    #[test]
+    fn reruns_are_identical() {
+        let a = run_campaign(&tiny_spec(), &DefaultResolver, None).unwrap();
+        let b = run_campaign(&tiny_spec(), &DefaultResolver, None).unwrap();
+        assert_eq!(a.summaries, b.summaries);
+    }
+
+    #[test]
+    fn different_campaign_seeds_differ() {
+        let mut spec2 = tiny_spec();
+        spec2.seed = 10;
+        let a = run_campaign(&tiny_spec(), &DefaultResolver, None).unwrap();
+        let b = run_campaign(&spec2, &DefaultResolver, None).unwrap();
+        assert_ne!(a.summaries, b.summaries);
+    }
+}

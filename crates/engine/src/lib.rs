@@ -1,0 +1,95 @@
+//! # ftcg-engine — concurrent campaign execution
+//!
+//! The paper's evaluation is a grid sweep: {matrix × scheme × fault rate
+//! α × 50 seeds}. This crate turns such sweeps — and any other workload
+//! over resilient solves — into *campaigns*: declarative specifications
+//! expanded into schedulable jobs, executed by a work-stealing worker
+//! pool across all cores, and folded by a streaming aggregator into
+//! per-configuration summaries with JSONL/CSV sinks.
+//!
+//! * [`spec`] — [`CampaignSpec`]: the declarative grid (key=value or
+//!   JSON text, or built programmatically), matrix sources, and the
+//!   [`MatrixResolver`] extension point for custom matrix providers;
+//! * [`grid`] — expansion of a spec into fully resolved
+//!   [`ConfigJob`]s (model-optimal or fixed intervals per point);
+//! * [`seedstream`] — SplitMix-style derivation of independent per-job
+//!   RNG seeds from one campaign seed;
+//! * [`pool`] — the work-stealing executor with per-job panic isolation
+//!   and progress callbacks;
+//! * [`inject`] — the paper's fault-injector configurations;
+//! * [`aggregate`] — streaming per-configuration statistics
+//!   (mean/std/min/max/percentiles, convergence and correction rates);
+//! * [`sink`] — deterministic JSONL and CSV renderers: the same spec
+//!   and seed always produce byte-identical artifacts;
+//! * [`campaign`] — the orchestration entry points
+//!   [`run_campaign`] and [`run_configs`].
+//!
+//! ## Example
+//!
+//! ```
+//! use ftcg_engine::prelude::*;
+//!
+//! let spec = CampaignSpec::parse(
+//!     "name = demo\n\
+//!      seed = 7\n\
+//!      reps = 4\n\
+//!      matrices = poisson2d:12\n\
+//!      schemes = detection, correction\n\
+//!      alphas = 0, 1/16\n",
+//! )
+//! .unwrap();
+//! let result = run_campaign(&spec, &DefaultResolver, None).unwrap();
+//! assert_eq!(result.summaries.len(), 4); // 1 matrix × 2 schemes × 2 α
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod aggregate;
+pub mod campaign;
+pub mod grid;
+pub mod inject;
+pub mod pool;
+pub mod seedstream;
+pub mod sink;
+pub mod spec;
+
+pub use aggregate::{Aggregator, ConfigSummary, JobMetrics, SummaryStats};
+pub use campaign::{run_campaign, run_configs, CampaignResult};
+pub use grid::{plan_config, ConfigJob, ConfigKey, InjectorSpec};
+pub use pool::{run_indexed, JobPanic};
+pub use spec::{CampaignSpec, DefaultResolver, IntervalPolicy, MatrixResolver, MatrixSource};
+
+/// Everything a typical engine user needs.
+pub mod prelude {
+    pub use crate::aggregate::{ConfigSummary, SummaryStats};
+    pub use crate::campaign::{run_campaign, run_configs, CampaignResult};
+    pub use crate::grid::{ConfigJob, ConfigKey, InjectorSpec};
+    pub use crate::sink::{write_csv, write_jsonl};
+    pub use crate::spec::{
+        CampaignSpec, DefaultResolver, IntervalPolicy, MatrixResolver, MatrixSource,
+    };
+}
+
+/// Engine errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The campaign spec text could not be parsed.
+    Spec(String),
+    /// A matrix source could not be resolved or generated.
+    Matrix(String),
+    /// The expanded grid is empty (no matrices/schemes/alphas/reps).
+    EmptyGrid,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Spec(m) => write!(f, "spec error: {m}"),
+            EngineError::Matrix(m) => write!(f, "matrix error: {m}"),
+            EngineError::EmptyGrid => write!(f, "campaign expands to an empty grid"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,183 @@
+//! The work-stealing executor.
+//!
+//! Jobs are identified by index; workers are crossbeam scoped threads
+//! pulling indices off a shared injector queue until it drains. Each job
+//! runs under `catch_unwind`, so one panicking repetition (a pathological
+//! fault pattern, say) costs that repetition only — the rest of the
+//! campaign completes and the panic is reported in the job's slot.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::deque::{Injector, Steal};
+use parking_lot::Mutex;
+
+/// A job that panicked, with the extracted panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the failed job.
+    pub job: usize,
+    /// Panic payload rendered to text.
+    pub message: String,
+}
+
+/// Progress callback: `(jobs_done, jobs_total)`, invoked after every
+/// job completion from whichever worker finished it.
+pub type ProgressFn<'a> = &'a (dyn Fn(usize, usize) + Sync);
+
+/// Runs `n_jobs` jobs across `threads` workers; `job(i)` produces the
+/// result of job `i`. Results come back indexed (scheduling order never
+/// leaks into the output), with panics isolated per job.
+pub fn run_indexed<T, F>(
+    threads: usize,
+    n_jobs: usize,
+    job: F,
+    progress: Option<ProgressFn<'_>>,
+) -> Vec<Result<T, JobPanic>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = effective_threads(threads, n_jobs);
+    let queue: Injector<usize> = Injector::new();
+    for i in 0..n_jobs {
+        queue.push(i);
+    }
+    let slots: Vec<Mutex<Option<Result<T, JobPanic>>>> =
+        (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let done = AtomicUsize::new(0);
+    let reported = Mutex::new(0usize);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = match queue.steal() {
+                    Steal::Success(i) => i,
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                };
+                let result =
+                    catch_unwind(AssertUnwindSafe(|| job(i))).map_err(|payload| JobPanic {
+                        job: i,
+                        // NB: `payload.as_ref()`, not `&payload` — the
+                        // latter would coerce the Box itself into the
+                        // `dyn Any` and every downcast would miss.
+                        message: panic_message(payload.as_ref()),
+                    });
+                *slots[i].lock() = Some(result);
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(report) = progress {
+                    // Monotonic guard: the lock covers the callback too,
+                    // so a preempted worker can never emit a lower count
+                    // after a higher one went out (the CLI ticker would
+                    // end on a stale line otherwise). Jobs dwarf the
+                    // callback, so the serialization is immaterial.
+                    let mut highest = reported.lock();
+                    if finished > *highest {
+                        *highest = finished;
+                        report(finished, n_jobs);
+                    }
+                }
+            });
+        }
+    })
+    .expect("campaign worker pool panicked outside a job");
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner().unwrap_or_else(|| {
+                Err(JobPanic {
+                    job: i,
+                    message: "job was never executed".into(),
+                })
+            })
+        })
+        .collect()
+}
+
+/// Resolves a thread-count request: 0 means all available cores, and
+/// never more workers than jobs.
+pub fn effective_threads(requested: usize, n_jobs: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let t = if requested == 0 { available } else { requested };
+    t.clamp(1, n_jobs.max(1))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_indexed_not_scheduled() {
+        let out = run_indexed(4, 100, |i| i * i, None);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), i * i);
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated() {
+        let out = run_indexed(
+            3,
+            10,
+            |i| {
+                if i == 4 {
+                    panic!("job four exploded");
+                }
+                i
+            },
+            None,
+        );
+        assert_eq!(out.iter().filter(|r| r.is_err()).count(), 1);
+        let err = out[4].as_ref().unwrap_err();
+        assert_eq!(err.job, 4);
+        assert!(err.message.contains("exploded"));
+        assert_eq!(*out[5].as_ref().unwrap(), 5);
+    }
+
+    #[test]
+    fn progress_reaches_total() {
+        let max_seen = AtomicUsize::new(0);
+        let record = |done: usize, total: usize| {
+            assert!(done <= total);
+            max_seen.fetch_max(done, Ordering::SeqCst);
+        };
+        run_indexed(2, 17, |i| i, Some(&record));
+        assert_eq!(max_seen.load(Ordering::SeqCst), 17);
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out = run_indexed(4, 0, |i| i, None);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(2, 100), 2);
+        assert!(effective_threads(0, 1000) >= 1);
+        assert_eq!(effective_threads(0, 0), 1);
+    }
+
+    #[test]
+    fn single_thread_still_completes_all() {
+        let out = run_indexed(1, 25, |i| i + 1, None);
+        assert!(out
+            .iter()
+            .enumerate()
+            .all(|(i, r)| *r.as_ref().unwrap() == i + 1));
+    }
+}

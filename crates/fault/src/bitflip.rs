@@ -122,8 +122,8 @@ mod tests {
         assert_eq!(r.width(), 12);
         assert_eq!(r.position(0), 52); // lowest exponent bit
         assert_eq!(r.position(11), 63); // sign bit
-        // Every high-bit flip of a normal float changes it massively
-        // (possibly all the way to NaN/Inf).
+                                        // Every high-bit flip of a normal float changes it massively
+                                        // (possibly all the way to NaN/Inf).
         for d in 0..12 {
             let v = 1.2345;
             let w = flip_f64(v, r.position(d));

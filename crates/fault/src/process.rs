@@ -79,7 +79,10 @@ mod tests {
         let mut r = rng(1);
         let rate = 0.5;
         let n = 50_000;
-        let mean: f64 = (0..n).map(|_| sample_exponential(&mut r, rate)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_exponential(&mut r, rate))
+            .sum::<f64>()
+            / n as f64;
         assert!(
             (mean - 1.0 / rate).abs() < 0.05,
             "empirical mean {mean} far from {}",
@@ -131,9 +134,7 @@ mod tests {
         let mut r = rng(5);
         let mean = 0.01;
         let n = 10_000;
-        let twos = (0..n)
-            .filter(|_| poisson_count(&mut r, mean) >= 2)
-            .count();
+        let twos = (0..n).filter(|_| poisson_count(&mut r, mean) >= 2).count();
         // P(k >= 2) ≈ mean²/2 = 5e-5; over 10k draws expect ~0.5 events.
         assert!(twos <= 5, "too many multi-fault draws: {twos}");
     }

@@ -17,7 +17,10 @@ pub fn young_period(tcp: f64, lambda: f64) -> f64 {
 /// `T_period = √(2·Tcp·(1/λ + Trec)) − Tcp` when the expression is
 /// positive, else `Tcp` (checkpointing dominated).
 pub fn daly_period(tcp: f64, trec: f64, lambda: f64) -> f64 {
-    assert!(tcp >= 0.0 && trec >= 0.0 && lambda > 0.0, "need positive rate");
+    assert!(
+        tcp >= 0.0 && trec >= 0.0 && lambda > 0.0,
+        "need positive rate"
+    );
     let t = (2.0 * tcp * (1.0 / lambda + trec)).sqrt() - tcp;
     if t > 0.0 {
         t

@@ -55,7 +55,13 @@ pub fn optimal_schedule(
 
     // best[i] = minimal expected time to finish i remaining iterations.
     let mut best = vec![f64::INFINITY; n_iters + 1];
-    let mut choice = vec![FrameSpec { iters: 0, chunks: 0 }; n_iters + 1];
+    let mut choice = vec![
+        FrameSpec {
+            iters: 0,
+            chunks: 0
+        };
+        n_iters + 1
+    ];
     best[0] = 0.0;
     for rem in 1..=n_iters {
         for len in 1..=max_frame.min(rem) {
@@ -118,7 +124,12 @@ mod tests {
         let dp = optimal_schedule(n, Scheme::AbftDetection, lambda, 1.0, &c, n);
         let q1 = Scheme::AbftDetection.chunk_success(lambda, n as f64);
         let single = expected_frame_time(1, n as f64, &c, q1);
-        assert!(dp.expected_time < single, "{} vs {}", dp.expected_time, single);
+        assert!(
+            dp.expected_time < single,
+            "{} vs {}",
+            dp.expected_time,
+            single
+        );
     }
 
     #[test]

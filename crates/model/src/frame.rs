@@ -10,7 +10,10 @@ use ftcg_checkpoint::ResilienceCosts;
 /// ```
 pub fn expected_lost_time(s: usize, t: f64, tverif: f64, q: f64) -> f64 {
     assert!(s >= 1, "frame needs at least one chunk");
-    assert!((0.0..1.0).contains(&q), "lost time undefined without errors");
+    assert!(
+        (0.0..1.0).contains(&q),
+        "lost time undefined without errors"
+    );
     let sf = s as f64;
     let qs = q.powi(s as i32);
     (t + tverif) * (sf * qs * q - (sf + 1.0) * qs + 1.0) / ((1.0 - qs) * (1.0 - q))
@@ -80,8 +83,8 @@ mod tests {
                     let e = expected_frame_time(s, t, &c, q);
                     let qs = q.powi(s as i32);
                     let elost = expected_lost_time(s, t, c.tverif, q);
-                    let rhs =
-                        qs * (s as f64 * (t + c.tverif) + c.tcp) + (1.0 - qs) * (elost + c.trec + e);
+                    let rhs = qs * (s as f64 * (t + c.tverif) + c.tcp)
+                        + (1.0 - qs) * (elost + c.trec + e);
                     assert!((e - rhs).abs() < 1e-7 * e.max(1.0), "s={s} q={q} t={t}");
                 }
             }

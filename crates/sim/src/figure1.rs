@@ -7,12 +7,15 @@
 //! joint `(d, s)` optimum for ONLINE-DETECTION (standing in for Chen's
 //! closed form, which our abstract model subsumes).
 
+use std::sync::Arc;
+
+use ftcg_engine::{run_configs, ConfigJob, InjectorSpec};
 use ftcg_model::{optimize, Scheme};
 use ftcg_solvers::resilient::ResilientConfig;
+use ftcg_sparse::CsrMatrix;
 
 use crate::matrices::MatrixSpec;
 use crate::measure::{resolve_costs, CostMode, MeasuredCosts};
-use crate::runner::run_many;
 
 /// One point of one curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,34 +106,78 @@ pub fn optimal_config(scheme: Scheme, alpha: f64, costs: &MeasuredCosts) -> Resi
     cfg
 }
 
-/// Runs one matrix's panel.
+/// Builds one scheme's curve campaign: one configuration per MTBF grid
+/// point at the scheme's model-optimal intervals.
+///
+/// Each scheme runs as its *own* campaign with the same campaign seed,
+/// so configuration `gi` (the grid point) draws identical fault streams
+/// under every scheme — the common-random-numbers pairing the paper's
+/// scheme comparison relies on for variance reduction.
+pub fn curve_campaign(
+    spec: &MatrixSpec,
+    a: &Arc<CsrMatrix>,
+    costs: &MeasuredCosts,
+    scheme: Scheme,
+    params: &Figure1Params,
+) -> Vec<ConfigJob> {
+    let b = Arc::new(spec.rhs(a.n_rows()));
+    params
+        .mtbf_grid
+        .iter()
+        .map(|&mtbf| {
+            let alpha = 1.0 / mtbf;
+            ConfigJob::new(
+                format!("paper:{}", spec.id),
+                Arc::clone(a),
+                Arc::clone(&b),
+                optimal_config(scheme, alpha, costs),
+                alpha,
+                InjectorSpec::Paper,
+            )
+        })
+        .collect()
+}
+
+/// Runs one matrix's panel: one engine campaign per scheme (all grid
+/// points concurrent on the worker pool), fault streams paired across
+/// schemes via a shared campaign seed.
 pub fn run_panel(spec: &MatrixSpec, params: &Figure1Params) -> Figure1Panel {
-    let a = spec.generate(params.scale);
+    let a = Arc::new(spec.generate(params.scale));
     let costs = resolve_costs(params.cost_mode, &a, 9);
-    let b = spec.rhs(a.n_rows());
+    let campaign_seed = 1_000_000 + spec.id as u64;
     let mut curves: Vec<(Scheme, Vec<Figure1Point>)> = Vec::with_capacity(3);
     for scheme in Scheme::ALL {
-        let mut points = Vec::with_capacity(params.mtbf_grid.len());
-        for (gi, &mtbf) in params.mtbf_grid.iter().enumerate() {
-            let alpha = 1.0 / mtbf;
-            let cfg = optimal_config(scheme, alpha, &costs);
-            let sum = run_many(
-                &a,
-                &b,
-                &cfg,
-                alpha,
-                params.reps,
-                1_000_000 + gi as u64 * 10_000,
-                params.threads,
-            );
-            points.push(Figure1Point {
+        let configs = curve_campaign(spec, &a, &costs, scheme, params);
+        let result = run_configs(
+            "figure1",
+            campaign_seed,
+            params.reps,
+            params.threads,
+            configs,
+            None,
+        );
+        // As in table1: a silently shrunken sample must not become a
+        // plotted data point.
+        assert_eq!(
+            result.panics,
+            0,
+            "figure1: {} repetition(s) panicked for matrix {} / {}",
+            result.panics,
+            spec.id,
+            scheme.name()
+        );
+        let points = result
+            .summaries
+            .iter()
+            .zip(&params.mtbf_grid)
+            .map(|(row, &mtbf)| Figure1Point {
                 mtbf,
-                mean_time: sum.mean_time,
-                std_time: sum.std_time,
-                s: cfg.checkpoint_interval,
-                d: cfg.verif_interval,
-            });
-        }
+                mean_time: row.time.mean,
+                std_time: row.time.std,
+                s: row.s,
+                d: row.d,
+            })
+            .collect();
         curves.push((scheme, points));
     }
     Figure1Panel {

@@ -6,12 +6,13 @@
 //! * [`measure`] — measures the *actual* relative costs `Tverif`, `Tcp`,
 //!   `Trec` of the implemented kernels, so the model is instantiated
 //!   with real overheads rather than guesses;
-//! * [`runner`] — repetition runner with deterministic seeding and
-//!   parallel execution across repetitions;
+//! * [`runner`] — repetition runner with deterministic seeding, built
+//!   on the `ftcg-engine` worker pool;
 //! * [`table1`] — model validation: model-optimal checkpoint interval
-//!   `s̃` vs empirically best `s*`, execution times and loss `l`;
+//!   `s̃` vs empirically best `s*`, execution times and loss `l`
+//!   (each entry's interval sweep runs as one engine campaign);
 //! * [`figure1`] — execution time of the three schemes against the
-//!   normalized MTBF `1/α`;
+//!   normalized MTBF `1/α` (each panel runs as one engine campaign);
 //! * [`report`] — markdown / CSV / ASCII-plot rendering.
 
 #![warn(missing_docs)]

@@ -68,20 +68,101 @@ impl MatrixSpec {
 /// The nine matrices of Table 1 / Figure 1, with the paper's published
 /// `n` and density.
 pub const PAPER_MATRICES: [MatrixSpec; 9] = [
-    MatrixSpec { id: 341, paper_n: 23052, paper_density: 2.15e-3 },
-    MatrixSpec { id: 752, paper_n: 74752, paper_density: 1.07e-4 },
-    MatrixSpec { id: 924, paper_n: 60000, paper_density: 2.11e-4 },
-    MatrixSpec { id: 1288, paper_n: 30401, paper_density: 5.10e-4 },
-    MatrixSpec { id: 1289, paper_n: 36441, paper_density: 4.26e-4 },
-    MatrixSpec { id: 1311, paper_n: 48962, paper_density: 2.14e-4 },
-    MatrixSpec { id: 1312, paper_n: 40000, paper_density: 1.24e-4 },
-    MatrixSpec { id: 1848, paper_n: 65025, paper_density: 2.44e-4 },
-    MatrixSpec { id: 2213, paper_n: 20000, paper_density: 1.39e-3 },
+    MatrixSpec {
+        id: 341,
+        paper_n: 23052,
+        paper_density: 2.15e-3,
+    },
+    MatrixSpec {
+        id: 752,
+        paper_n: 74752,
+        paper_density: 1.07e-4,
+    },
+    MatrixSpec {
+        id: 924,
+        paper_n: 60000,
+        paper_density: 2.11e-4,
+    },
+    MatrixSpec {
+        id: 1288,
+        paper_n: 30401,
+        paper_density: 5.10e-4,
+    },
+    MatrixSpec {
+        id: 1289,
+        paper_n: 36441,
+        paper_density: 4.26e-4,
+    },
+    MatrixSpec {
+        id: 1311,
+        paper_n: 48962,
+        paper_density: 2.14e-4,
+    },
+    MatrixSpec {
+        id: 1312,
+        paper_n: 40000,
+        paper_density: 1.24e-4,
+    },
+    MatrixSpec {
+        id: 1848,
+        paper_n: 65025,
+        paper_density: 2.44e-4,
+    },
+    MatrixSpec {
+        id: 2213,
+        paper_n: 20000,
+        paper_density: 1.39e-3,
+    },
 ];
 
 /// Looks a spec up by paper id.
 pub fn by_id(id: u32) -> Option<MatrixSpec> {
     PAPER_MATRICES.iter().copied().find(|m| m.id == id)
+}
+
+/// A campaign-engine [`MatrixResolver`](ftcg_engine::MatrixResolver)
+/// that understands `paper:ID[:SCALE]` sources (the Table 1 test set)
+/// on top of the engine's built-in generators, so declarative campaigns
+/// can sweep the paper's matrices:
+///
+/// ```text
+/// matrices = paper:341:32, paper:2213:32, poisson2d:40
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PaperMatrixResolver;
+
+impl ftcg_engine::MatrixResolver for PaperMatrixResolver {
+    fn resolve(
+        &self,
+        source: &ftcg_engine::MatrixSource,
+    ) -> Result<CsrMatrix, ftcg_engine::EngineError> {
+        if let ftcg_engine::MatrixSource::Named(name) = source {
+            if let Some(rest) = name.strip_prefix("paper:") {
+                let mut parts = rest.split(':');
+                let id: u32 = parts.next().and_then(|p| p.parse().ok()).ok_or_else(|| {
+                    ftcg_engine::EngineError::Matrix(format!("bad paper source `{name}`"))
+                })?;
+                let scale: usize = match parts.next() {
+                    None => 16,
+                    Some(p) => p.parse().map_err(|_| {
+                        ftcg_engine::EngineError::Matrix(format!("bad paper scale in `{name}`"))
+                    })?,
+                };
+                // Strict arity, matching the engine's source grammar:
+                // trailing segments are a typo, not something to drop.
+                if parts.next().is_some() {
+                    return Err(ftcg_engine::EngineError::Matrix(format!(
+                        "bad paper source `{name}` (expected paper:ID[:SCALE])"
+                    )));
+                }
+                let spec = by_id(id).ok_or_else(|| {
+                    ftcg_engine::EngineError::Matrix(format!("unknown paper matrix id {id}"))
+                })?;
+                return Ok(spec.generate(scale));
+            }
+        }
+        ftcg_engine::DefaultResolver.resolve(source)
+    }
 }
 
 #[cfg(test)]

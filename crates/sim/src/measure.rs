@@ -140,9 +140,7 @@ pub fn measure_costs(a: &CsrMatrix, reps: usize) -> MeasuredCosts {
     // Checkpoint: clone vectors + matrix arrays. Recovery: copy back.
     let mut store: Option<ftcg_checkpoint::SolverState> = None;
     let t_cp = time_it(reps, || {
-        store = Some(ftcg_checkpoint::SolverState::capture(
-            0, &x, &b, &w, 1.0, a,
-        ));
+        store = Some(ftcg_checkpoint::SolverState::capture(0, &x, &b, &w, 1.0, a));
     });
     let snapshot = store.take().unwrap();
     let mut xa = x.clone();

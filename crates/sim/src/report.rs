@@ -31,11 +31,19 @@ pub fn table1_markdown(rows: &[Table1Entry]) -> String {
 
 /// Renders Table 1 as CSV.
 pub fn table1_csv(rows: &[Table1Entry]) -> String {
-    let mut out = String::from("id,n,density,scheme,s_model,time_model,s_best,time_best,loss_pct\n");
+    let mut out =
+        String::from("id,n,density,scheme,s_model,time_model,s_best,time_best,loss_pct\n");
     for r in rows {
         out.push_str(&format!(
             "{},{},{:.6e},{},{},{:.6},{},{:.6},{:.4}\n",
-            r.id, r.n, r.density, r.scheme.name(), r.s_model, r.time_model, r.s_best, r.time_best,
+            r.id,
+            r.n,
+            r.density,
+            r.scheme.name(),
+            r.s_model,
+            r.time_model,
+            r.s_best,
+            r.time_best,
             r.loss_pct
         ));
     }
@@ -89,9 +97,15 @@ pub fn figure1_ascii(panel: &Figure1Panel, width: usize, height: usize) -> Strin
         return String::from("(no data)\n");
     }
     let xmin = all_points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
-    let xmax = all_points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let xmax = all_points
+        .iter()
+        .map(|p| p.0)
+        .fold(f64::NEG_INFINITY, f64::max);
     let ymin = all_points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
-    let ymax = all_points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let ymax = all_points
+        .iter()
+        .map(|p| p.1)
+        .fold(f64::NEG_INFINITY, f64::max);
     let xspan = (xmax - xmin).max(1e-12);
     let yspan = (ymax - ymin).max(1e-12);
 
@@ -151,9 +165,27 @@ mod tests {
     fn sample_panel() -> Figure1Panel {
         let mk = |base: f64| {
             vec![
-                Figure1Point { mtbf: 100.0, mean_time: base + 3.0, std_time: 0.2, s: 5, d: 1 },
-                Figure1Point { mtbf: 1000.0, mean_time: base + 1.0, std_time: 0.1, s: 15, d: 1 },
-                Figure1Point { mtbf: 10000.0, mean_time: base, std_time: 0.1, s: 40, d: 1 },
+                Figure1Point {
+                    mtbf: 100.0,
+                    mean_time: base + 3.0,
+                    std_time: 0.2,
+                    s: 5,
+                    d: 1,
+                },
+                Figure1Point {
+                    mtbf: 1000.0,
+                    mean_time: base + 1.0,
+                    std_time: 0.1,
+                    s: 15,
+                    d: 1,
+                },
+                Figure1Point {
+                    mtbf: 10000.0,
+                    mean_time: base,
+                    std_time: 0.1,
+                    s: 40,
+                    d: 1,
+                },
             ]
         };
         Figure1Panel {

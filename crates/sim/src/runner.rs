@@ -1,13 +1,19 @@
 //! Repetition runner: executes a resilient solve many times with
-//! distinct seeds (50 in the paper) and aggregates statistics, in
-//! parallel across repetitions with crossbeam scoped threads.
+//! distinct seeds (50 in the paper) and aggregates statistics.
+//!
+//! Since the campaign engine landed, this module is a thin veneer over
+//! [`ftcg_engine::pool`]: repetitions are indexed jobs on the
+//! work-stealing pool, results come back in repetition order (so the
+//! aggregate is independent of thread scheduling), and the injector
+//! configurations live in [`ftcg_engine::inject`] (re-exported here for
+//! compatibility).
 
-use parking_lot::Mutex;
-
-use ftcg_fault::{BitRange, FaultRate, Injector, InjectorConfig};
-use ftcg_fault::target::MemoryLayout;
+use ftcg_engine::aggregate::{JobMetrics, SummaryStats};
+use ftcg_fault::Injector;
 use ftcg_solvers::resilient::{solve_resilient, ResilientConfig};
 use ftcg_sparse::CsrMatrix;
+
+pub use ftcg_engine::inject::{calibrated_injector, paper_injector};
 
 /// Aggregate over repetitions of one configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,37 +40,6 @@ pub struct RunSummary {
     pub convergence_rate: f64,
 }
 
-/// The memory layout / fault rate used by all experiments: matrix arrays
-/// plus the four CG vectors, `α` faults per iteration in expectation.
-pub fn paper_injector(a: &CsrMatrix, alpha: f64, seed: u64) -> Injector {
-    let layout = MemoryLayout::with_vectors(a.nnz(), a.n_rows());
-    let rate = FaultRate::from_alpha(alpha, layout.total_words());
-    let cfg = InjectorConfig {
-        rate,
-        value_bits: BitRange::Full,
-        index_bits: BitRange::for_index_bound(a.n_cols().max(a.nnz() + 1)),
-        include_vectors: true,
-    };
-    Injector::for_matrix(cfg, a, seed)
-}
-
-/// A calibrated injector for model-validation experiments: faults strike
-/// the matrix arrays only, and value flips are confined to the top bits,
-/// so every fault is large and detectable — matching the abstract
-/// model's assumption that any error in a chunk is caught by the
-/// verification (ablation A4).
-pub fn calibrated_injector(a: &CsrMatrix, alpha: f64, seed: u64) -> Injector {
-    let layout = MemoryLayout::matrix_only(a.nnz(), a.n_rows());
-    let rate = FaultRate::from_alpha(alpha, layout.total_words());
-    let cfg = InjectorConfig {
-        rate,
-        value_bits: BitRange::High(12),
-        index_bits: BitRange::for_index_bound(a.n_cols().max(a.nnz() + 1)),
-        include_vectors: false,
-    };
-    Injector::for_matrix(cfg, a, seed)
-}
-
 /// Like [`run_many`] but with a custom injector factory (seed → injector).
 #[allow(clippy::too_many_arguments)]
 pub fn run_many_with<F>(
@@ -80,32 +55,20 @@ where
     F: Fn(u64) -> Injector + Sync,
 {
     assert!(reps >= 1);
-    let results: Mutex<Vec<(f64, f64, f64, f64, f64, bool)>> =
-        Mutex::new(Vec::with_capacity(reps));
     let threads = threads.clamp(1, reps);
-    let counter = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= reps {
-                    break;
-                }
-                let mut inj = make_injector(base_seed + i as u64);
-                let out = solve_resilient(a, b, cfg, Some(&mut inj));
-                results.lock().push((
-                    out.simulated_time,
-                    out.executed_iterations as f64,
-                    out.rollbacks as f64,
-                    (out.forward_corrections + out.tmr_corrections) as f64,
-                    out.ledger.len() as f64,
-                    out.converged,
-                ));
-            });
-        }
-    })
-    .expect("runner worker panicked");
-    summarize(results.into_inner())
+    let rows: Vec<JobMetrics> = ftcg_engine::pool::run_indexed(
+        threads,
+        reps,
+        |i| {
+            let mut inj = make_injector(base_seed + i as u64);
+            JobMetrics::from(&solve_resilient(a, b, cfg, Some(&mut inj)))
+        },
+        None,
+    )
+    .into_iter()
+    .map(|r| r.expect("runner worker panicked"))
+    .collect();
+    summarize(&rows)
 }
 
 /// Runs `reps` independent repetitions (seeds `base_seed..base_seed+reps`)
@@ -131,28 +94,25 @@ pub fn run_many(
     )
 }
 
-fn summarize(rows: Vec<(f64, f64, f64, f64, f64, bool)>) -> RunSummary {
+/// Folds repetition metrics into a [`RunSummary`], reusing the engine's
+/// order statistics for the time column (one stats implementation in
+/// the workspace).
+fn summarize(rows: &[JobMetrics]) -> RunSummary {
     let nf = rows.len() as f64;
-    let mean = |f: &dyn Fn(&(f64, f64, f64, f64, f64, bool)) -> f64| {
-        rows.iter().map(f).sum::<f64>() / nf
-    };
-    let mean_time = mean(&|r| r.0);
-    let var = rows
-        .iter()
-        .map(|r| (r.0 - mean_time).powi(2))
-        .sum::<f64>()
-        / (nf - 1.0).max(1.0);
+    let mean = |f: &dyn Fn(&JobMetrics) -> f64| rows.iter().map(f).sum::<f64>() / nf;
+    let times: Vec<f64> = rows.iter().map(|m| m.simulated_time).collect();
+    let time = SummaryStats::from_values(&times);
     RunSummary {
         reps: rows.len(),
-        mean_time,
-        std_time: var.sqrt(),
-        min_time: rows.iter().map(|r| r.0).fold(f64::INFINITY, f64::min),
-        max_time: rows.iter().map(|r| r.0).fold(0.0, f64::max),
-        mean_executed: mean(&|r| r.1),
-        mean_rollbacks: mean(&|r| r.2),
-        mean_corrections: mean(&|r| r.3),
-        mean_faults: mean(&|r| r.4),
-        convergence_rate: rows.iter().filter(|r| r.5).count() as f64 / nf,
+        mean_time: time.mean,
+        std_time: time.std,
+        min_time: time.min,
+        max_time: time.max,
+        mean_executed: mean(&|m| m.executed_iterations as f64),
+        mean_rollbacks: mean(&|m| m.rollbacks as f64),
+        mean_corrections: mean(&|m| m.corrections as f64),
+        mean_faults: mean(&|m| m.faults as f64),
+        convergence_rate: rows.iter().filter(|m| m.converged).count() as f64 / nf,
     }
 }
 
@@ -174,7 +134,11 @@ mod tests {
         let cfg = ResilientConfig::new(Scheme::AbftCorrection, 12);
         let s = run_many(&a, &b, &cfg, 1.0 / 16.0, 8, 0, 4);
         assert_eq!(s.reps, 8);
-        assert!(s.min_time <= s.mean_time && s.mean_time <= s.max_time);
+        // Mean is compared with an ulp-scale slack: when every rep takes
+        // the same time, naive summation can put the mean a few ulps
+        // above the max.
+        let eps = 1e-12 * s.max_time.max(1.0);
+        assert!(s.min_time <= s.mean_time + eps && s.mean_time <= s.max_time + eps);
         assert!(s.std_time >= 0.0);
         assert!(s.convergence_rate > 0.9, "rate {}", s.convergence_rate);
         assert!(s.mean_faults > 0.0);
@@ -184,14 +148,10 @@ mod tests {
     fn parallel_equals_serial() {
         let (a, b) = system();
         let cfg = ResilientConfig::new(Scheme::AbftDetection, 10);
-        let mut s1 = run_many(&a, &b, &cfg, 1.0 / 8.0, 6, 3, 1);
-        let mut s4 = run_many(&a, &b, &cfg, 1.0 / 8.0, 6, 3, 4);
-        // Order of accumulation differs; compare sorted invariants.
-        s1.reps = 0;
-        s4.reps = 0;
-        assert!((s1.mean_time - s4.mean_time).abs() < 1e-9 * s1.mean_time.max(1.0));
-        assert_eq!(s1.min_time, s4.min_time);
-        assert_eq!(s1.max_time, s4.max_time);
+        let s1 = run_many(&a, &b, &cfg, 1.0 / 8.0, 6, 3, 1);
+        let s4 = run_many(&a, &b, &cfg, 1.0 / 8.0, 6, 3, 4);
+        // Indexed results: thread count must not change anything at all.
+        assert_eq!(s1, s4);
     }
 
     #[test]

@@ -10,13 +10,15 @@
 //! * `Eₜ(s*)` — its mean time;
 //! * `l = (Eₜ(s̃) − Eₜ(s*))/Eₜ(s*)·100` — the loss of trusting the model.
 
+use std::sync::Arc;
+
+use ftcg_engine::{run_configs, ConfigJob, InjectorSpec};
 use ftcg_model::{optimize, Scheme};
 use ftcg_solvers::resilient::ResilientConfig;
 use ftcg_sparse::CsrMatrix;
 
 use crate::matrices::MatrixSpec;
 use crate::measure::{resolve_costs, CostMode, MeasuredCosts};
-use crate::runner::run_many;
 
 /// Result row for one (matrix, scheme) pair.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,34 +79,72 @@ fn scheme_config(scheme: Scheme, s: usize, costs: &MeasuredCosts) -> ResilientCo
     cfg
 }
 
-/// Runs the Table 1 experiment for one matrix and one scheme.
+/// Builds the campaign for one (matrix, scheme) entry: one
+/// configuration per candidate interval, with `s̃` always first.
+pub fn entry_campaign(
+    spec: &MatrixSpec,
+    a: &Arc<CsrMatrix>,
+    costs: &MeasuredCosts,
+    scheme: Scheme,
+    params: &Table1Params,
+) -> Vec<ConfigJob> {
+    let model_costs = costs.for_scheme(scheme);
+    let s_model = optimize::optimal_abft_interval(scheme, params.alpha, 1.0, &model_costs, 4000).s;
+    let b = Arc::new(spec.rhs(a.n_rows()));
+    let mut intervals = vec![s_model];
+    intervals.extend(params.sweep.iter().copied().filter(|&s| s != s_model));
+    intervals
+        .into_iter()
+        .map(|s| {
+            ConfigJob::new(
+                format!("paper:{}", spec.id),
+                Arc::clone(a),
+                Arc::clone(&b),
+                scheme_config(scheme, s, costs),
+                params.alpha,
+                InjectorSpec::Paper,
+            )
+        })
+        .collect()
+}
+
+/// Runs the Table 1 experiment for one matrix and one scheme: the
+/// interval sweep is a single engine campaign (one configuration per
+/// candidate `s`, concurrent across the worker pool).
 pub fn run_entry(
     spec: &MatrixSpec,
-    a: &CsrMatrix,
+    a: &Arc<CsrMatrix>,
     costs: &MeasuredCosts,
     scheme: Scheme,
     params: &Table1Params,
 ) -> Table1Entry {
-    let b = spec.rhs(a.n_rows());
-    let model_costs = costs.for_scheme(scheme);
-    let s_model = optimize::optimal_abft_interval(scheme, params.alpha, 1.0, &model_costs, 4000).s;
-
-    let eval = |s: usize, seed: u64| {
-        let cfg = scheme_config(scheme, s, costs);
-        run_many(a, &b, &cfg, params.alpha, params.reps, seed, params.threads).mean_time
-    };
-
-    let time_model = eval(s_model, 10_000);
-    let mut s_best = s_model;
-    let mut time_best = time_model;
-    for (k, &s) in params.sweep.iter().enumerate() {
-        if s == s_model {
-            continue;
-        }
-        let t = eval(s, 20_000 + (k as u64) * 1000);
-        if t < time_best {
-            s_best = s;
-            time_best = t;
+    let configs = entry_campaign(spec, a, costs, scheme, params);
+    let result = run_configs(
+        "table1",
+        10_000 + spec.id as u64,
+        params.reps,
+        params.threads,
+        configs,
+        None,
+    );
+    // Panicked repetitions would silently skew (or zero) the means and
+    // could even be picked as the "best" interval; fail loudly like the
+    // pre-engine runner did.
+    assert_eq!(
+        result.panics,
+        0,
+        "table1: {} repetition(s) panicked for matrix {} / {}",
+        result.panics,
+        spec.id,
+        scheme.name()
+    );
+    let s_model = result.summaries[0].s;
+    let time_model = result.summaries[0].time.mean;
+    let (mut s_best, mut time_best) = (s_model, time_model);
+    for row in &result.summaries[1..] {
+        if row.time.mean < time_best {
+            s_best = row.s;
+            time_best = row.time.mean;
         }
     }
     Table1Entry {
@@ -124,7 +164,7 @@ pub fn run_entry(
 pub fn run_table1(specs: &[MatrixSpec], params: &Table1Params) -> Vec<Table1Entry> {
     let mut rows = Vec::new();
     for spec in specs {
-        let a = spec.generate(params.scale);
+        let a = Arc::new(spec.generate(params.scale));
         let costs = resolve_costs(params.cost_mode, &a, 9);
         for scheme in [Scheme::AbftDetection, Scheme::AbftCorrection] {
             rows.push(run_entry(spec, &a, &costs, scheme, params));
@@ -152,7 +192,7 @@ mod tests {
     #[test]
     fn entry_has_consistent_fields() {
         let spec = by_id(2213).unwrap();
-        let a = spec.generate(48);
+        let a = Arc::new(spec.generate(48));
         let costs = resolve_costs(CostMode::PaperLike, &a, 3);
         let e = run_entry(&spec, &a, &costs, Scheme::AbftCorrection, &quick_params());
         assert_eq!(e.id, 2213);

@@ -55,9 +55,7 @@ pub fn cg_solve(a: &CsrMatrix, b: &[f64], x0: &[f64], cfg: &CgConfig) -> SolveSt
     let mut q = vec![0.0; n];
 
     let mut rnorm_sq = vector::norm2_sq(&r);
-    let threshold = cfg
-        .stopping
-        .threshold(a, vector::norm2(b), rnorm_sq.sqrt());
+    let threshold = cfg.stopping.threshold(a, vector::norm2(b), rnorm_sq.sqrt());
 
     let mut it = 0usize;
     while rnorm_sq.sqrt() > threshold && it < cfg.max_iters {

@@ -85,7 +85,9 @@ pub(super) fn solve_abft(
     let mut p = r0.clone();
     let mut q = vec![0.0; n];
     let mut rnorm_sq = vector::norm2_sq(&r0);
-    let threshold = cfg.stopping.threshold(a0, vector::norm2(b), rnorm_sq.sqrt());
+    let threshold = cfg
+        .stopping
+        .threshold(a0, vector::norm2(b), rnorm_sq.sqrt());
 
     // The pristine input data ("for the first frame we recover by reading
     // initial data again") and the rolling checkpoint store.

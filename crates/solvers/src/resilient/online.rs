@@ -58,7 +58,9 @@ pub(super) fn solve_online(
     let mut p = r.clone();
     let mut q = vec![0.0; n];
     let mut rnorm_sq = vector::norm2_sq(&r);
-    let threshold = cfg.stopping.threshold(a0, vector::norm2(b), rnorm_sq.sqrt());
+    let threshold = cfg
+        .stopping
+        .threshold(a0, vector::norm2(b), rnorm_sq.sqrt());
 
     let initial = SolverState::capture(0, &x, &r, &p, rnorm_sq, a0);
     let mut store = MemoryStore::new();

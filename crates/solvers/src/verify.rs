@@ -69,11 +69,7 @@ pub fn verify_online(
     // Orthogonality: p_{i+1} ⟂ q (A-conjugacy of successive directions).
     let pq = vector::dot(p_next, q);
     let denom = vector::norm2(p_next) * vector::norm2(q);
-    let orthogonality = if denom > 0.0 {
-        (pq / denom).abs()
-    } else {
-        0.0
-    };
+    let orthogonality = if denom > 0.0 { (pq / denom).abs() } else { 0.0 };
 
     // Residual: recompute b − A·x defensively and compare to r.
     let mut true_r = vec![0.0; n];
@@ -87,7 +83,8 @@ pub fn verify_online(
 
     // `f64::max` ignores NaN operands, so non-finite corruption must be
     // screened explicitly (a flipped exponent bit easily produces Inf/NaN).
-    let any_nonfinite = x.iter()
+    let any_nonfinite = x
+        .iter()
         .chain(r.iter())
         .chain(p_next.iter())
         .chain(q.iter())
@@ -143,7 +140,16 @@ mod tests {
         let b: Vec<f64> = (0..60).map(|i| (i as f64 * 0.3).sin()).collect();
         for iters in [1usize, 3, 10, 25] {
             let (x, r, p, q) = clean_cg_state(&a, &b, iters);
-            let v = verify_online(&a, &b, &x, &r, &p, &q, a.norm1(), &OnlineTolerances::default());
+            let v = verify_online(
+                &a,
+                &b,
+                &x,
+                &r,
+                &p,
+                &q,
+                a.norm1(),
+                &OnlineTolerances::default(),
+            );
             assert!(!v.detected, "false positive after {iters} iters: {v:?}");
         }
     }
@@ -154,7 +160,16 @@ mod tests {
         let b: Vec<f64> = vec![1.0; 60];
         let (mut x, r, p, q) = clean_cg_state(&a, &b, 5);
         x[10] += 1.0;
-        let v = verify_online(&a, &b, &x, &r, &p, &q, a.norm1(), &OnlineTolerances::default());
+        let v = verify_online(
+            &a,
+            &b,
+            &x,
+            &r,
+            &p,
+            &q,
+            a.norm1(),
+            &OnlineTolerances::default(),
+        );
         assert!(v.detected);
         assert!(v.residual_drift > 1e-6);
     }
@@ -165,7 +180,16 @@ mod tests {
         let b: Vec<f64> = vec![1.0; 60];
         let (x, mut r, p, q) = clean_cg_state(&a, &b, 5);
         r[0] -= 0.5;
-        let v = verify_online(&a, &b, &x, &r, &p, &q, a.norm1(), &OnlineTolerances::default());
+        let v = verify_online(
+            &a,
+            &b,
+            &x,
+            &r,
+            &p,
+            &q,
+            a.norm1(),
+            &OnlineTolerances::default(),
+        );
         assert!(v.detected);
     }
 
@@ -177,7 +201,16 @@ mod tests {
         let mut bad = a.clone();
         bad.val_mut()[7] += 1.0;
         // Recomputed residual uses the corrupted matrix: drift appears.
-        let v = verify_online(&bad, &b, &x, &r, &p, &q, a.norm1(), &OnlineTolerances::default());
+        let v = verify_online(
+            &bad,
+            &b,
+            &x,
+            &r,
+            &p,
+            &q,
+            a.norm1(),
+            &OnlineTolerances::default(),
+        );
         assert!(v.detected);
     }
 
@@ -187,7 +220,16 @@ mod tests {
         let b: Vec<f64> = vec![1.0; 60];
         let (x, r, mut p, q) = clean_cg_state(&a, &b, 5);
         p[3] += 10.0; // break A-conjugacy
-        let v = verify_online(&a, &b, &x, &r, &p, &q, a.norm1(), &OnlineTolerances::default());
+        let v = verify_online(
+            &a,
+            &b,
+            &x,
+            &r,
+            &p,
+            &q,
+            a.norm1(),
+            &OnlineTolerances::default(),
+        );
         assert!(v.detected);
         assert!(v.orthogonality > 1e-8);
     }
@@ -198,7 +240,16 @@ mod tests {
         let b: Vec<f64> = vec![1.0; 30];
         let (mut x, r, p, q) = clean_cg_state(&a, &b, 3);
         x[0] = f64::NAN;
-        let v = verify_online(&a, &b, &x, &r, &p, &q, a.norm1(), &OnlineTolerances::default());
+        let v = verify_online(
+            &a,
+            &b,
+            &x,
+            &r,
+            &p,
+            &q,
+            a.norm1(),
+            &OnlineTolerances::default(),
+        );
         assert!(v.detected);
     }
 
@@ -210,7 +261,16 @@ mod tests {
         let mut bad = a.clone();
         bad.rowptr_mut()[5] = usize::MAX;
         // Must not panic; must detect.
-        let v = verify_online(&bad, &b, &x, &r, &p, &q, a.norm1(), &OnlineTolerances::default());
+        let v = verify_online(
+            &bad,
+            &b,
+            &x,
+            &r,
+            &p,
+            &q,
+            a.norm1(),
+            &OnlineTolerances::default(),
+        );
         assert!(v.detected);
     }
 
@@ -232,7 +292,16 @@ mod tests {
         let ax = a.spmv(&s.x);
         vector::sub_assign(&mut r, &ax);
         let (x2, r2, p2, q2) = clean_cg_state(&a, &b, 30);
-        let v = verify_online(&a, &b, &x2, &r2, &p2, &q2, a.norm1(), &OnlineTolerances::default());
+        let v = verify_online(
+            &a,
+            &b,
+            &x2,
+            &r2,
+            &p2,
+            &q2,
+            a.norm1(),
+            &OnlineTolerances::default(),
+        );
         assert!(!v.detected, "{v:?}");
         let _ = (s, r);
     }

@@ -24,7 +24,11 @@ fn injector_for(a: &CsrMatrix, alpha: f64, seed: u64) -> Injector {
 }
 
 fn solves_correctly(_a: &CsrMatrix, b: &[f64], out: &ftcg_solvers::resilient::ResilientOutcome) {
-    assert!(out.converged, "did not converge: rollbacks={} detections={}", out.rollbacks, out.detections);
+    assert!(
+        out.converged,
+        "did not converge: rollbacks={} detections={}",
+        out.rollbacks, out.detections
+    );
     let rel = out.true_residual / vector::norm2(b);
     assert!(
         rel < 1e-6,
@@ -67,16 +71,19 @@ fn fault_free_abft_takes_periodic_checkpoints() {
 fn abft_correction_survives_moderate_fault_rate() {
     let (a, b) = test_system(150, 3);
     let cfg = ResilientConfig::new(Scheme::AbftCorrection, 14);
+    // A single short run can get zero faults (the per-run expectation is
+    // only ~1.5), so require strikes in aggregate across the seeds.
+    let mut total_faults = 0usize;
     for seed in 0..5 {
         let mut inj = injector_for(&a, 1.0 / 16.0, seed);
         let out = solve_resilient(&a, &b, &cfg, Some(&mut inj));
         solves_correctly(&a, &b, &out);
-        assert!(
-            !out.ledger.is_empty(),
-            "at alpha=1/16 over {} iterations some faults must strike",
-            out.executed_iterations
-        );
+        total_faults += out.ledger.len();
     }
+    assert!(
+        total_faults > 0,
+        "at alpha=1/16 across five runs some faults must strike"
+    );
 }
 
 #[test]
@@ -141,7 +148,12 @@ fn rollback_restores_exact_progress() {
     // iteration count when every error was rolled back or corrected
     // exactly (undetected sub-tolerance flips may change it slightly).
     let (a, b) = test_system(100, 7);
-    let clean = solve_resilient(&a, &b, &ResilientConfig::new(Scheme::AbftCorrection, 8), None);
+    let clean = solve_resilient(
+        &a,
+        &b,
+        &ResilientConfig::new(Scheme::AbftCorrection, 8),
+        None,
+    );
     let mut inj = injector_for(&a, 1.0 / 16.0, 11);
     let faulty = solve_resilient(
         &a,

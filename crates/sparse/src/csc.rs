@@ -164,8 +164,7 @@ mod tests {
 
     #[test]
     fn rectangular_roundtrip() {
-        let a =
-            CsrMatrix::new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap();
+        let a = CsrMatrix::new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap();
         let c = CscMatrix::from_csr(&a);
         assert_eq!(c.n_rows(), 2);
         assert_eq!(c.n_cols(), 3);

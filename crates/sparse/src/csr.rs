@@ -408,9 +408,9 @@ impl CsrMatrix {
     /// Dense row-major rendering (test/debug helper; O(n·m) memory).
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut d = vec![vec![0.0; self.n_cols]; self.n_rows];
-        for i in 0..self.n_rows {
+        for (i, row) in d.iter_mut().enumerate() {
             for (j, v) in self.row(i) {
-                d[i][j] = v;
+                row[j] = v;
             }
         }
         d
@@ -570,9 +570,14 @@ mod tests {
     fn diagonal_dominance() {
         assert!(sample().is_strictly_diagonally_dominant());
         // Laplacian-like row sums equal diag -> NOT strict.
-        let m =
-            CsrMatrix::new(2, 2, vec![0, 2, 4], vec![0, 1, 0, 1], vec![1.0, -1.0, -1.0, 1.0])
-                .unwrap();
+        let m = CsrMatrix::new(
+            2,
+            2,
+            vec![0, 2, 4],
+            vec![0, 1, 0, 1],
+            vec![1.0, -1.0, -1.0, 1.0],
+        )
+        .unwrap();
         assert!(!m.is_strictly_diagonally_dominant());
     }
 

@@ -259,13 +259,7 @@ pub fn random_spd_illcond(
 /// and tests).
 pub fn diagonal(entries: &[f64]) -> CsrMatrix {
     let n = entries.len();
-    CsrMatrix::from_parts_unchecked(
-        n,
-        n,
-        (0..=n).collect(),
-        (0..n).collect(),
-        entries.to_vec(),
-    )
+    CsrMatrix::from_parts_unchecked(n, n, (0..=n).collect(), (0..n).collect(), entries.to_vec())
 }
 
 #[cfg(test)]
@@ -296,6 +290,7 @@ mod tests {
         a.validate().unwrap();
         assert!(a.is_symmetric(0.0));
         // center point (1,1,1) has full 7-point stencil
+        #[allow(clippy::identity_op)] // keep the idx(1,1,1) shape readable
         let center = (1 * 3 + 1) * 3 + 1;
         assert_eq!(a.row(center).count(), 7);
         assert_eq!(a.get(center, center), 6.0);

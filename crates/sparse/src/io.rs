@@ -136,20 +136,20 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CsrMatrix> {
             continue;
         }
         let mut it = t.split_whitespace();
-        let i: usize = it
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| SparseError::Parse {
-                line: lineno,
-                detail: "bad row index".into(),
-            })?;
-        let j: usize = it
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| SparseError::Parse {
-                line: lineno,
-                detail: "bad column index".into(),
-            })?;
+        let i: usize =
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| SparseError::Parse {
+                    line: lineno,
+                    detail: "bad row index".into(),
+                })?;
+        let j: usize =
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| SparseError::Parse {
+                    line: lineno,
+                    detail: "bad column index".into(),
+                })?;
         let v: f64 = if pattern {
             1.0
         } else {

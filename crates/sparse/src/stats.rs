@@ -54,7 +54,11 @@ impl MatrixStats {
             density: a.density(),
             min_row_nnz: min_row,
             max_row_nnz: max_row,
-            avg_row_nnz: if n == 0 { 0.0 } else { a.nnz() as f64 / n as f64 },
+            avg_row_nnz: if n == 0 {
+                0.0
+            } else {
+                a.nnz() as f64 / n as f64
+            },
             bandwidth,
             symmetric: a.is_symmetric(1e-12),
             diagonally_dominant: a.is_strictly_diagonally_dominant(),

@@ -1,6 +1,6 @@
 //! Property-based tests for the sparse substrate.
 
-use ftcg_sparse::{gen, io, vector, CooMatrix, CscMatrix, CsrMatrix};
+use ftcg_sparse::{gen, io, vector, CooMatrix, CscMatrix};
 use proptest::prelude::*;
 
 /// Strategy: a random small COO matrix with valid coordinates.
@@ -136,5 +136,43 @@ proptest! {
         let mut par = vec![0.0; a.n_rows()];
         ftcg_sparse::parallel::spmv_parallel_auto(&a, &x, &mut par, nt);
         prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn partition_tiles_rows_exactly(coo in coo_strategy(60, 300), nb in 1usize..12) {
+        let a = coo.to_csr();
+        let blocks = ftcg_sparse::parallel::partition_rows_balanced(&a, nb);
+        // Never more blocks than requested (or than rows).
+        prop_assert!(blocks.len() <= nb.min(a.n_rows()));
+        // Non-overlapping, increasing, exact cover of [0, n_rows).
+        let mut cursor = 0usize;
+        for b in &blocks {
+            prop_assert_eq!(b.start, cursor, "gap or overlap at row {}", cursor);
+            prop_assert!(b.end > b.start, "empty block");
+            cursor = b.end;
+        }
+        prop_assert_eq!(cursor, a.n_rows());
+    }
+
+    #[test]
+    fn partition_balances_nnz(n in 50usize..250, density in 0.02..0.1f64, seed in 0u64..200, nb in 2usize..9) {
+        // Balance is only meaningful on matrices with work to split:
+        // random SPD keeps every row non-empty (diagonal) and roughly
+        // uniform, where the greedy prefix partitioning has slack
+        // max_row_nnz per block. Bound each block by the ideal share
+        // plus that slack (and require it not to be trivially empty).
+        let a = gen::random_spd(n, density, seed).unwrap();
+        let blocks = ftcg_sparse::parallel::partition_rows_balanced(&a, nb);
+        let total = a.nnz();
+        let ideal = total as f64 / blocks.len() as f64;
+        let max_row: usize = (0..a.n_rows()).map(|i| a.row_range(i).len()).max().unwrap_or(0);
+        for b in &blocks {
+            let nnz: usize = (b.start..b.end).map(|i| a.row_range(i).len()).sum();
+            prop_assert!(
+                (nnz as f64) <= ideal + 2.0 * max_row as f64 + 1.0,
+                "block [{}, {}) holds {} nnz, ideal {:.1} + slack {}",
+                b.start, b.end, nnz, ideal, max_row
+            );
+        }
     }
 }

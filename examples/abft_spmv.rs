@@ -26,7 +26,8 @@ fn main() {
     let xref = XRef::capture(&x);
     let clean_y = a.spmv(&x);
 
-    let run = |label: &str, corrupt: &dyn Fn(&mut CsrMatrix, &mut Vec<f64>, &mut Vec<f64>)| {
+    type Corruptor<'a> = &'a dyn Fn(&mut CsrMatrix, &mut Vec<f64>, &mut Vec<f64>);
+    let run = |label: &str, corrupt: Corruptor| {
         let mut am = a.clone();
         let mut xm = x.clone();
         let mut y = vec![0.0; n];
@@ -45,7 +46,10 @@ fn main() {
             .zip(clean_y.iter())
             .map(|(u, v)| (u - v).abs())
             .fold(0.0_f64, f64::max);
-        println!("{label:<42} -> {:<40} residual error {max_err:.2e}", show(&outcome));
+        println!(
+            "{label:<42} -> {:<40} residual error {max_err:.2e}",
+            show(&outcome)
+        );
     };
 
     println!("single errors (all recovered forward):");

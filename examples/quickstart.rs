@@ -22,7 +22,10 @@ fn main() {
 
     // Fault rate: one expected silent error every 16 iterations.
     let alpha = 1.0 / 16.0;
-    println!("fault rate: alpha = {alpha} (normalized MTBF = {} iterations)\n", 1.0 / alpha);
+    println!(
+        "fault rate: alpha = {alpha} (normalized MTBF = {} iterations)\n",
+        1.0 / alpha
+    );
 
     println!(
         "{:<18} {:>6} {:>9} {:>9} {:>7} {:>9} {:>9} {:>10}",

@@ -31,7 +31,10 @@ fn main() {
         "Table 1: scale=1/{}, reps={}, alpha=1/16, threads={}",
         params.scale, params.reps, params.threads
     );
-    eprintln!("(this sweeps {} checkpoint intervals per matrix and scheme)\n", params.sweep.len());
+    eprintln!(
+        "(this sweeps {} checkpoint intervals per matrix and scheme)\n",
+        params.sweep.len()
+    );
 
     let rows = run_table1(&PAPER_MATRICES, &params);
 

@@ -17,10 +17,7 @@ fn main() {
     // sums exactly zero — the adversarial case for plain checksums.
     let a = gen::graph_laplacian(500, 1500, 0.0, 7).expect("valid generator input");
     let n = a.n_rows();
-    let colsum_max = a
-        .column_sums()
-        .iter()
-        .fold(0.0_f64, |m, v| m.max(v.abs()));
+    let colsum_max = a.column_sums().iter().fold(0.0_f64, |m, v| m.max(v.abs()));
     println!("graph Laplacian: n = {n}, nnz = {}", a.nnz());
     println!("largest |column sum| = {colsum_max:.2e} (all zero)\n");
 
@@ -55,7 +52,10 @@ fn main() {
     println!("{trials} large input-vector errors injected:");
     println!("  unshifted checksum missed  {missed}/{trials}");
     println!("  shifted checksum caught    {caught}/{trials}");
-    assert_eq!(missed, trials, "zero column sums hide every x error from the plain checksum");
+    assert_eq!(
+        missed, trials,
+        "zero column sums hide every x error from the plain checksum"
+    );
     assert_eq!(caught, trials, "the shift restores detection");
     println!("\nThe shift turns a 100% miss rate into a 100% detection rate —");
     println!("without requiring diagonal dominance of the matrix.");

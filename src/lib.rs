@@ -1,0 +1,7 @@
+//! Workspace umbrella package.
+//!
+//! Exists to own the repo-level `tests/` (end-to-end and paper-claim
+//! suites) and `examples/`; the library surface is just a re-export of
+//! the [`ftcg`] facade crate.
+
+pub use ftcg;

@@ -97,7 +97,10 @@ fn plain_and_resilient_agree_fault_free() {
         .zip(resilient.x.iter())
         .map(|(u, v)| (u - v).abs())
         .fold(0.0_f64, f64::max);
-    assert!(diff < 1e-10, "fault-free resilient CG must match plain CG, diff {diff}");
+    assert!(
+        diff < 1e-10,
+        "fault-free resilient CG must match plain CG, diff {diff}"
+    );
     assert_eq!(plain.iterations, resilient.productive_iterations);
 }
 

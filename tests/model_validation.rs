@@ -52,8 +52,13 @@ fn simulated_time_tracks_model_with_calibrated_faults() {
             4,
         );
         let clean = solve_resilient(&a, &b, &cfg, None);
-        let predicted =
-            model_total_time(Scheme::AbftDetection, clean.productive_iterations, s, alpha, &costs);
+        let predicted = model_total_time(
+            Scheme::AbftDetection,
+            clean.productive_iterations,
+            s,
+            alpha,
+            &costs,
+        );
         let ratio = sum.mean_time / predicted;
         assert!(
             (0.8..1.25).contains(&ratio),
@@ -76,8 +81,13 @@ fn model_upper_bounds_paper_default_injection() {
         cfg.costs = costs;
         let sum = run_many(&a, &b, &cfg, alpha, 40, 900, 4);
         let clean = solve_resilient(&a, &b, &cfg, None);
-        let predicted =
-            model_total_time(Scheme::AbftDetection, clean.productive_iterations, s, alpha, &costs);
+        let predicted = model_total_time(
+            Scheme::AbftDetection,
+            clean.productive_iterations,
+            s,
+            alpha,
+            &costs,
+        );
         assert!(
             sum.mean_time <= predicted * 1.10,
             "s={s}: simulated {} should not exceed model {predicted}",
@@ -141,7 +151,8 @@ fn model_optimal_interval_is_near_empirical_optimum() {
     let (a, b) = system(180, 4);
     let costs = ResilienceCosts::new(2.0, 2.0, 0.1);
     let alpha = 1.0 / 16.0;
-    let s_model = optimize::optimal_abft_interval(Scheme::AbftDetection, alpha, 1.0, &costs, 2000).s;
+    let s_model =
+        optimize::optimal_abft_interval(Scheme::AbftDetection, alpha, 1.0, &costs, 2000).s;
 
     let eval = |s: usize| {
         let mut cfg = ResilientConfig::new(Scheme::AbftDetection, s);
@@ -177,7 +188,8 @@ fn correction_beats_detection_at_table1_rate() {
     let alpha = 1.0 / 16.0;
     let det_costs = ResilienceCosts::new(2.0, 2.0, 0.1);
     let cor_costs = ResilienceCosts::new(2.0, 2.0, 0.2);
-    let s_det = optimize::optimal_abft_interval(Scheme::AbftDetection, alpha, 1.0, &det_costs, 2000).s;
+    let s_det =
+        optimize::optimal_abft_interval(Scheme::AbftDetection, alpha, 1.0, &det_costs, 2000).s;
     let s_cor =
         optimize::optimal_abft_interval(Scheme::AbftCorrection, alpha, 1.0, &cor_costs, 2000).s;
 

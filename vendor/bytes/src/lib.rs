@@ -1,0 +1,226 @@
+//! Offline stand-in for the `bytes` crate: cursor-backed [`Bytes`] and
+//! growable [`BytesMut`] with the little-endian [`Buf`]/[`BufMut`]
+//! accessors the checkpoint codec uses. No refcounted zero-copy slicing
+//! — checkpoint buffers here are owned, linear, and read once.
+
+#![warn(missing_docs)]
+
+/// Read-side accessors over a byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Copies out the next `n` bytes, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` bytes remain.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+/// Write-side accessors.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `f64` (bit-exact).
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes {
+            data: src.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// The unread bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// Copies the unread bytes into a `Vec`.
+    #[allow(clippy::wrong_self_convention)]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// A new buffer holding a copy of the given sub-range of the
+    /// unread bytes.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes::copy_from_slice(&self.as_slice()[range])
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// `true` iff fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.remaining(), "copy_to_bytes past end");
+        let out = Bytes::copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        out
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "get_u8 past end");
+        let v = self.data[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        assert!(self.remaining() >= 8, "get_u64_le past end");
+        let mut le = [0u8; 8];
+        le.copy_from_slice(&self.data[self.pos..self.pos + 8]);
+        self.pos += 8;
+        u64::from_le_bytes(le)
+    }
+}
+
+/// A growable write buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Written length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` iff nothing written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts to an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u8(7);
+        w.put_u64_le(0xDEAD_BEEF_0123_4567);
+        w.put_f64_le(-0.0);
+        w.put_slice(b"xy");
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 1 + 8 + 8 + 2);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u64_le(), 0xDEAD_BEEF_0123_4567);
+        assert_eq!(r.get_f64_le().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(&r.copy_to_bytes(2)[..], b"xy");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn deref_views_unread_tail() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        let _ = b.get_u8();
+        assert_eq!(&b[..], &[2, 3, 4]);
+        assert_eq!(b.to_vec(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        let mut w = BytesMut::new();
+        let weird = f64::from_bits(0x7ff8_dead_beef_0001);
+        w.put_f64_le(weird);
+        assert_eq!(w.freeze().get_f64_le().to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn overread_panics() {
+        Bytes::new().get_u8();
+    }
+}

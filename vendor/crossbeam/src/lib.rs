@@ -1,0 +1,197 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two pieces the workspace uses, implemented on
+//! `std::thread::scope`:
+//!
+//! * [`scope`] — crossbeam-style scoped threads (the closure passed to
+//!   `spawn` receives a `&Scope` so workers may themselves spawn);
+//! * [`deque`] — an injector-style shared work queue with the
+//!   `Injector`/`Steal` API used by the campaign engine's worker pool.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+
+/// A scope handle: threads spawned through it are joined before
+/// [`scope`] returns.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives this scope, so
+    /// nested spawning works like in crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing local data across threads is
+/// safe; all spawned threads are joined on exit.
+///
+/// Returns `Ok(result)` — a panicking child propagates its panic when
+/// joined (matching the `.expect(..)` call sites written against
+/// crossbeam's `Result` API).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Work-queue primitives.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// Transient contention; try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Extracts the task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// `true` iff the queue reported empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A FIFO injector queue shared between workers.
+    ///
+    /// crossbeam's lock-free injector is replaced by a mutexed
+    /// `VecDeque`; the campaign jobs each run a full resilient solve, so
+    /// queue contention is nowhere near the critical path.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            Injector {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task to the back of the queue.
+        pub fn push(&self, task: T) {
+            self.q.lock().unwrap().push_back(task);
+        }
+
+        /// Steals a task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock() {
+                Ok(mut q) => match q.pop_front() {
+                    Some(t) => Steal::Success(t),
+                    None => Steal::Empty,
+                },
+                Err(_) => Steal::Retry,
+            }
+        }
+
+        /// `true` iff no tasks are queued right now.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.q.lock().unwrap().len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let mut data = vec![0u64; 8];
+        let r = super::scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 + 1);
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+        assert_eq!(data, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn injector_fifo_order() {
+        let q = Injector::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.steal(), Steal::Success(1));
+        assert_eq!(q.steal(), Steal::Success(2));
+        assert_eq!(q.steal(), Steal::Success(3));
+        assert!(q.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_concurrent_drain() {
+        let q = Injector::new();
+        let n = 1000usize;
+        for i in 0..n {
+            q.push(i);
+        }
+        let sum = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| loop {
+                    match q.steal() {
+                        Steal::Success(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::SeqCst), n * (n - 1) / 2);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Collection strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length range for generated collections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `element` and a length
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = if self.size.lo == self.size.hi {
+            self.size.lo
+        } else {
+            rng.random_range(self.size.lo..self.size.hi + 1)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_bounds_hold() {
+        let mut rng = TestRng::for_test("collection-tests");
+        let s = vec(0usize..10, 2..=5);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn exact_length_from_usize_and_singleton_range() {
+        let mut rng = TestRng::for_test("collection-exact");
+        assert_eq!(vec(0u64..3, 4usize).generate(&mut rng).len(), 4);
+        assert_eq!(vec(0u64..3, 6usize..=6).generate(&mut rng).len(), 6);
+    }
+
+    #[test]
+    fn half_open_range_excludes_upper() {
+        let mut rng = TestRng::for_test("collection-halfopen");
+        let s = vec(0usize..2, 1..4);
+        for _ in 0..200 {
+            assert!((1..=3).contains(&s.generate(&mut rng).len()));
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container has no registry access, so the workspace vendors the
+//! tiny slice of the `rand` API the code base actually uses: a seedable
+//! deterministic generator ([`rngs::StdRng`], xoshiro256++ seeded via
+//! SplitMix64), the [`SeedableRng`] constructor trait, and [`RngExt`]
+//! providing `random::<T>()` and `random_range(..)`. The streams are
+//! stable across platforms and releases — experiment reproducibility
+//! depends on that, so the generator is pinned here rather than to a
+//! third-party crate's versioning policy.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Low-level generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next uniform 64-bit word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Constructor trait for seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step; used for seeding and for derived streams.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The default deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A type that can be sampled uniformly from a generator.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// An integer type `random_range` can sample over a `Range`.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[lo, hi)`; callers guarantee `lo < hi`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+#[inline]
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    // Lemire's unbiased widening-multiply rejection sampler.
+    debug_assert!(span > 0);
+    let mut m = (rng.next_u64() as u128).wrapping_mul(span as u128);
+    let mut lo = m as u64;
+    if lo < span {
+        let threshold = span.wrapping_neg() % span; // (2^64 - span) mod span
+        while lo < threshold {
+            m = (rng.next_u64() as u128).wrapping_mul(span as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8, i64, i32);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// Ergonomic sampling methods, implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Draws a value of `T` from its standard distribution
+    /// (`f64`/`f32`: uniform `[0, 1)`; integers: full range).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range` (half-open `lo..hi`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn random_range<T: SampleUniform + PartialOrd>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "random_range: empty range");
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut r = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v = r.random_range(10usize..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(6);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(7);
+        let _ = r.random_range(5usize..5);
+    }
+
+    #[test]
+    fn uniform_u64_unbiased_smoke() {
+        // span 3 over many draws: each residue within 2% of 1/3.
+        let mut r = StdRng::seed_from_u64(8);
+        let mut counts = [0usize; 3];
+        let n = 90_000;
+        for _ in 0..n {
+            counts[r.random_range(0usize..3)] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "frac {frac}");
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! structs with named fields (the only shapes this workspace derives),
+//! without `syn`/`quote`: the input token stream is walked directly to
+//! extract the struct name and field list, and the impl is emitted as a
+//! string. Unsupported shapes (enums, tuple structs, generics) produce a
+//! compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.next() {
+            None => return Err("no `struct` item found".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracket group that follows.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        // Possible `pub(crate)` — skip the group if present.
+                        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                        {
+                            iter.next();
+                        }
+                    }
+                    "struct" => {
+                        let name = match iter.next() {
+                            Some(TokenTree::Ident(n)) => n.to_string(),
+                            _ => return Err("expected struct name".into()),
+                        };
+                        match iter.next() {
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                                return Ok(StructShape {
+                                    name,
+                                    fields: parse_named_fields(g.stream())?,
+                                });
+                            }
+                            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                                return Err(format!(
+                                    "serde shim: generic struct `{name}` is not supported"
+                                ));
+                            }
+                            _ => {
+                                return Err(format!(
+                                    "serde shim: struct `{name}` must have named fields"
+                                ));
+                            }
+                        }
+                    }
+                    "enum" | "union" => {
+                        return Err(format!("serde shim: `{word}` derives are not supported"));
+                    }
+                    _ => {}
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    'fields: loop {
+        // Skip attributes (doc comments included) and visibility.
+        let field_name = loop {
+            match iter.next() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) => {
+                    let word = id.to_string();
+                    if word == "pub" {
+                        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                        {
+                            iter.next();
+                        }
+                        continue;
+                    }
+                    break word;
+                }
+                Some(other) => {
+                    return Err(format!("serde shim: unexpected token `{other}` in fields"));
+                }
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "serde shim: expected `:` after field `{field_name}`"
+                ))
+            }
+        }
+        // Consume the type: everything until a comma at angle-depth 0.
+        let mut depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => {
+                    fields.push(field_name);
+                    break 'fields;
+                }
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == ',' && depth == 0 {
+                        iter.next();
+                        break;
+                    }
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    }
+                    iter.next();
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push(field_name);
+    }
+    Ok(fields)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives `serde::Serialize` for a struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut entries = String::new();
+    for f in &shape.fields {
+        entries.push_str(&format!(
+            "(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    format!(
+        "impl serde::Serialize for {} {{\n\
+             fn to_value(&self) -> serde::json::Value {{\n\
+                 serde::json::Value::Obj(vec![{entries}])\n\
+             }}\n\
+         }}",
+        shape.name
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives `serde::Deserialize` for a struct with named fields.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut inits = String::new();
+    for f in &shape.fields {
+        inits.push_str(&format!(
+            "{f}: serde::Deserialize::from_value(\
+                 v.get(\"{f}\").ok_or_else(|| serde::Error::missing_field(\"{f}\"))?\
+             )?,"
+        ));
+    }
+    format!(
+        "impl serde::Deserialize for {} {{\n\
+             fn from_value(v: &serde::json::Value) -> Result<Self, serde::Error> {{\n\
+                 Ok(Self {{ {inits} }})\n\
+             }}\n\
+         }}",
+        shape.name
+    )
+    .parse()
+    .unwrap()
+}
