@@ -31,6 +31,9 @@ fi
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo bench --no-run (smoke-compile the bench targets)"
+cargo bench --no-run
+
 echo "==> cargo test -q"
 cargo test -q
 

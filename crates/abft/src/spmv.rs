@@ -12,6 +12,21 @@
 //!    Theorem 2 tolerance), `dx′` (input vs. its reliable copy, exact);
 //! 3. [`ProtectedSpmv::correct`] (in [`crate::correct`]) — attempts
 //!    single-error localization and in-place repair, then re-verifies.
+//!
+//! ## Composing with non-CSR kernels
+//!
+//! The verification step is *kernel-agnostic*: [`ProtectedSpmv::verify`]
+//! reads only the matrix arrays, the input `x` with its reliable copy
+//! `x′`, and the product output `y`. It never assumes `y` came from the
+//! CSR loop, so the checksum tests apply unchanged to the output of any
+//! `ftcg-kernels` backend (BCSR, SELL-C-σ, parallel CSR), all of which
+//! compute each `yᵢ` as the same ordered floating-point sum — the
+//! Theorem 2 tolerance already covers their summation-order rounding.
+//! Forward *correction* is the exception: it localizes and repairs
+//! errors in the **CSR arrays** (the master copy of the unreliable
+//! data), so it stays CSR-specific however `y` was produced. The
+//! resilient drivers therefore run any backend defensively against the
+//! live CSR image and keep detection + correction semantics intact.
 
 use ftcg_sparse::{vector, CsrMatrix};
 
@@ -85,33 +100,19 @@ impl SpmvOutcome {
 /// are clamped to `[0, nnz]`, inverted ranges are treated as empty rows
 /// and out-of-range column indices are skipped. On a well-formed matrix
 /// this computes exactly what [`CsrMatrix::spmv_into`] computes, in the
-/// same order.
+/// same order. (Delegates to the canonical clamped traversal in
+/// [`CsrMatrix::spmv_clamped_into`], which `ftcg-kernels` shares.)
 pub fn spmv_defensive(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
-    let nnz = a.val().len();
-    let n = a.n_rows();
-    assert_eq!(y.len(), n, "spmv_defensive: y length mismatch");
-    for (i, yi) in y.iter_mut().enumerate() {
-        *yi = row_product_defensive(a, x, i, nnz);
-    }
-    let _ = n;
+    a.spmv_clamped_into(x, y);
 }
 
 /// Defensive product of row `i` with `x` (shared by the kernel and the
-/// row-recomputation steps of the correction procedure).
+/// row-recomputation steps of the correction procedure). `nnz` is
+/// redundant with `a` and kept for call-site compatibility.
 #[inline]
 pub fn row_product_defensive(a: &CsrMatrix, x: &[f64], i: usize, nnz: usize) -> f64 {
-    let start = a.rowptr()[i].min(nnz);
-    let end = a.rowptr()[i + 1].min(nnz);
-    let mut acc = 0.0;
-    if start < end {
-        for k in start..end {
-            let j = a.colid()[k];
-            if j < x.len() {
-                acc += a.val()[k] * x[j];
-            }
-        }
-    }
-    acc
+    debug_assert_eq!(nnz, a.val().len());
+    a.row_product_clamped(x, i)
 }
 
 /// Weighted checksum of a row-pointer array *as stored* (the running sum

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use ftcg_bench::experiment_criterion;
 use ftcg_model::Scheme;
 use ftcg_sim::figure1::{optimal_config, run_panel, Figure1Params};
-use ftcg_sim::measure::{paper_like_costs, CostMode};
+use ftcg_sim::measure::paper_like_costs;
 use ftcg_sim::report::figure1_ascii;
 use ftcg_sim::runner::run_many;
 use ftcg_sim::PAPER_MATRICES;
@@ -19,7 +19,7 @@ fn regenerate_figure1() {
         reps: 10,
         mtbf_grid: vec![1e2, 4.6e2, 2.2e3, 1e4],
         threads: 8,
-        cost_mode: CostMode::PaperLike,
+        ..Figure1Params::default()
     };
     println!("\n=== Figure 1 (reduced: scale 1/48, 10 reps, 4 MTBF points) ===");
     for spec in PAPER_MATRICES.iter().take(3) {

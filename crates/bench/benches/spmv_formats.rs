@@ -1,0 +1,70 @@
+//! Bench target for the **kernel subsystem**: compares every SpMV
+//! backend on the Table 1 matrix suite at the CI scale divisor (the
+//! same 1/48 miniatures the test suites use), after asserting each
+//! backend agrees with the serial CSR reference within the documented
+//! tolerance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftcg_bench::{experiment_criterion, rhs};
+use ftcg_kernels::{KernelRegistry, KERNEL_RTOL};
+use ftcg_sim::PAPER_MATRICES;
+use std::hint::black_box;
+
+/// The scale divisor CI-sized runs use throughout the workspace.
+const CI_SCALE: usize = 48;
+
+const KERNELS: [&str; 6] = ["csr", "csr-par", "bcsr:2", "bcsr:4", "sell:8:32", "auto"];
+
+fn benches(c: &mut Criterion) {
+    let reg = KernelRegistry::builtin();
+
+    // Correctness sweep across the full suite first: every backend must
+    // match the reference on all nine matrices.
+    println!("\n=== SpMV formats on the Table 1 suite (scale 1/{CI_SCALE}) ===");
+    for spec in PAPER_MATRICES.iter() {
+        let a = spec.generate(CI_SCALE);
+        let x = rhs(a.n_cols());
+        let want = a.spmv(&x);
+        let scale = 1.0 + want.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        for name in KERNELS {
+            let prepared = reg
+                .get(name)
+                .expect("builtin kernel")
+                .prepare(&a)
+                .expect("preparation succeeds");
+            let got = prepared.spmv(&x);
+            let worst = got
+                .iter()
+                .zip(&want)
+                .fold(0.0f64, |m, (g, w)| m.max((g - w).abs()));
+            assert!(
+                worst <= KERNEL_RTOL * scale,
+                "matrix #{} kernel {name}: deviation {worst:e}",
+                spec.id
+            );
+        }
+    }
+    println!("all kernels agree with the serial CSR reference on all 9 matrices: ok");
+
+    // Timing: representative matrices (densest, sparsest, largest rows).
+    for spec in [&PAPER_MATRICES[0], &PAPER_MATRICES[1], &PAPER_MATRICES[8]] {
+        let a = spec.generate(CI_SCALE);
+        let x = rhs(a.n_cols());
+        let mut y = vec![0.0; a.n_rows()];
+        let mut g = c.benchmark_group(format!("spmv_formats/{}", spec.id));
+        for name in KERNELS {
+            let prepared = reg.get(name).unwrap().prepare(&a).unwrap();
+            g.bench_function(name, |b| {
+                b.iter(|| prepared.spmv_into(black_box(&x), &mut y))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = spmv_formats;
+    config = experiment_criterion();
+    targets = benches
+}
+criterion_main!(spmv_formats);

@@ -1,5 +1,6 @@
 //! Subcommand implementations.
 
+use ftcg::kernels::{self, KernelRegistry, KernelSpec};
 use ftcg::model::Scheme;
 use ftcg::prelude::*;
 use ftcg::sim::figure1::{log_grid, run_panel, Figure1Params};
@@ -18,11 +19,13 @@ ftcg — fault-tolerant Conjugate Gradient (Fasi, Robert & Uçar, PDSEC 2015)
 
 USAGE:
   ftcg solve    (--matrix F.mtx | --gen SPEC) [--scheme S] [--alpha A] [--seed N]
+                [--kernel K] [--threads N]
   ftcg stats    (--matrix F.mtx | --gen SPEC)
   ftcg campaign (--spec FILE | inline flags) [--out F.jsonl] [--csv F.csv]
                 [--reps N] [--seed N] [--threads N] [--quiet]
-  ftcg table1   [--scale N] [--reps N] [--threads N]
+  ftcg table1   [--scale N] [--reps N] [--threads N] [--kernel K]
   ftcg figure1  [--scale N] [--reps N] [--points N] [--matrices N] [--threads N]
+                [--kernel K]
 
 GENERATORS (--gen):
   poisson2d:K              5-point Laplacian on a KxK grid
@@ -35,6 +38,13 @@ OPTIONS:
   --scheme   online | detection | correction (default: correction)
   --alpha    expected faults/iteration, float or fraction (e.g. 1/16)
   --seed     injector / campaign seed (default 0)
+  --kernel   SpMV backend: csr | csr-par[:T] | bcsr[:B] | sell[:C[:S]]
+             | auto | auto:bench (default csr); `--kernel list` prints
+             the catalog. `ftcg stats` prints the `auto` heuristic's
+             recommendation for a matrix.
+  --threads  solve: worker threads for the csr-par kernel;
+             campaign/table1/figure1: engine worker-pool size
+             (0 = all cores)
 
 CAMPAIGNS:
   A campaign sweeps {matrices x schemes x alphas} with `--reps`
@@ -44,10 +54,13 @@ CAMPAIGNS:
 
   --spec FILE   declarative spec: `key = value` lines or a JSON object
                 (keys: name seed reps threads max_iters matrices
-                schemes alphas interval). `-` reads stdin.
+                schemes alphas kernels interval). `-` reads stdin.
   Inline flags instead of a file:
-    --gen SPECS --schemes LIST --alphas LIST [--interval model|fixed:N]
-    [--name S] [--max-iters N]
+    --gen SPECS --schemes LIST --alphas LIST [--kernels LIST]
+    [--interval model|fixed:N] [--name S] [--max-iters N]
+  The `kernels` axis sweeps SpMV backends (artifact rows gain a
+  `kernel` column); `auto:bench` is rejected there because its choice
+  is wall-clock dependent.
   --out F       write JSONL summaries (default: print to stdout)
   --csv F       also write CSV
   --quiet       suppress the progress ticker
@@ -74,8 +87,31 @@ fn parse_scheme(args: &[String]) -> Result<Scheme, String> {
     }
 }
 
+/// Prints the kernel catalog (the `--kernel list` escape hatch).
+fn print_kernel_list() {
+    println!("available kernels:");
+    for (name, desc) in KernelRegistry::builtin().catalog() {
+        println!("  {name:<10} {desc}");
+    }
+    println!("  (parameterized forms work too: bcsr:4, sell:16:64, csr-par:8, auto:bench)");
+}
+
+/// Parses `--kernel` as given; thread-count policy is per command
+/// (`solve` feeds `--threads` into the kernel, the experiment commands
+/// reserve `--threads` for the engine worker pool).
+fn parse_kernel_flag(args: &[String]) -> Result<KernelSpec, String> {
+    match value(args, "--kernel") {
+        None => Ok(KernelSpec::Csr),
+        Some(s) => KernelSpec::parse(s).map_err(|e| e.to_string()),
+    }
+}
+
 /// `ftcg solve`.
 pub fn solve(args: &[String]) -> i32 {
+    if value(args, "--kernel") == Some("list") {
+        print_kernel_list();
+        return 0;
+    }
     let result = (|| -> Result<(), String> {
         let a = load_matrix(args)?;
         if !a.is_square() {
@@ -87,14 +123,25 @@ pub fn solve(args: &[String]) -> i32 {
             None => 0.0,
         };
         let seed: u64 = parse_or(args, "--seed", 0u64);
+        // Pin `auto` here so the banner names the backend that runs;
+        // `--threads` applies after resolution so it reaches a csr-par
+        // backend the heuristic picked, not just an explicit one.
+        let kernel =
+            parse_kernel_flag(args)?
+                .resolve(&a)
+                .with_threads(parse_or(args, "--threads", 0usize));
         let n = a.n_rows();
         let b = vec![1.0; n];
         eprintln!(
-            "solving: n={n} nnz={} scheme={} alpha={alpha} seed={seed}",
+            "solving: n={n} nnz={} scheme={} alpha={alpha} seed={seed} kernel={}",
             a.nnz(),
-            scheme.name()
+            scheme.name(),
+            kernel.label()
         );
-        let mut builder = ftcg::ResilientCg::new(&a).scheme(scheme).seed(seed);
+        let mut builder = ftcg::ResilientCg::new(&a)
+            .scheme(scheme)
+            .seed(seed)
+            .kernel(kernel);
         if alpha > 0.0 {
             builder = builder.fault_alpha(alpha);
         }
@@ -134,6 +181,10 @@ pub fn solve(args: &[String]) -> i32 {
 
 /// `ftcg stats`.
 pub fn stats(args: &[String]) -> i32 {
+    if value(args, "--kernel") == Some("list") {
+        print_kernel_list();
+        return 0;
+    }
     match load_matrix(args) {
         Ok(a) => {
             let st = MatrixStats::compute(&a);
@@ -141,6 +192,15 @@ pub fn stats(args: &[String]) -> i32 {
             println!(
                 "memory words (fault-model M contribution): {}",
                 st.memory_words
+            );
+            // The same decision the `auto` kernel makes, with its why —
+            // derived from the statistics printed above plus the block
+            // fill ratios.
+            let rec = kernels::recommend(&a);
+            println!(
+                "kernel recommendation: {} — {}",
+                rec.spec.label(),
+                rec.reason
             );
             0
         }
@@ -155,10 +215,11 @@ fn campaign_spec(args: &[String]) -> Result<CampaignSpec, String> {
     let mut cs = if let Some(path) = value(args, "--spec") {
         // Grid flags only apply to inline campaigns; silently ignoring
         // them next to --spec would let users run the wrong grid.
-        const GRID_FLAGS: [&str; 6] = [
+        const GRID_FLAGS: [&str; 7] = [
             "--gen",
             "--schemes",
             "--alphas",
+            "--kernels",
             "--interval",
             "--name",
             "--max-iters",
@@ -201,6 +262,12 @@ fn campaign_spec(args: &[String]) -> Result<CampaignSpec, String> {
         if let Some(list) = value(args, "--alphas") {
             cs.alphas = spec::split_list(list)
                 .map(spec::parse_alpha)
+                .collect::<Result<_, _>>()
+                .map_err(|e| e.to_string())?;
+        }
+        if let Some(list) = value(args, "--kernels") {
+            cs.kernels = spec::split_list(list)
+                .map(spec::parse_kernel)
                 .collect::<Result<_, _>>()
                 .map_err(|e| e.to_string())?;
         }
@@ -300,15 +367,29 @@ pub fn campaign(args: &[String]) -> i32 {
 
 /// `ftcg table1`.
 pub fn table1(args: &[String]) -> i32 {
+    if value(args, "--kernel") == Some("list") {
+        print_kernel_list();
+        return 0;
+    }
+    let kernel = match parse_kernel_flag(args) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
     let params = Table1Params {
         scale: parse_or(args, "--scale", 32),
         reps: parse_or(args, "--reps", 20),
         threads: parse_or(args, "--threads", 8),
+        kernel,
         ..Table1Params::default()
     };
     eprintln!(
-        "Table 1: scale=1/{}, reps={}, alpha=1/16",
-        params.scale, params.reps
+        "Table 1: scale=1/{}, reps={}, alpha=1/16, kernel={}",
+        params.scale,
+        params.reps,
+        params.kernel.label()
     );
     let rows = run_table1(&PAPER_MATRICES, &params);
     println!("{}", table1_markdown(&rows));
@@ -319,11 +400,23 @@ pub fn table1(args: &[String]) -> i32 {
 
 /// `ftcg figure1`.
 pub fn figure1(args: &[String]) -> i32 {
+    if value(args, "--kernel") == Some("list") {
+        print_kernel_list();
+        return 0;
+    }
+    let kernel = match parse_kernel_flag(args) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
     let params = Figure1Params {
         scale: parse_or(args, "--scale", 32),
         reps: parse_or(args, "--reps", 20),
         mtbf_grid: log_grid(2e1, 2e4, parse_or(args, "--points", 6)),
         threads: parse_or(args, "--threads", 8),
+        kernel,
         ..Figure1Params::default()
     };
     let n_matrices = parse_or(args, "--matrices", PAPER_MATRICES.len());

@@ -113,6 +113,8 @@ pub struct ConfigSummary {
     pub s: usize,
     /// Verification interval `d`.
     pub d: usize,
+    /// SpMV backend label.
+    pub kernel: String,
     /// Repetitions that completed (requested minus panicked).
     pub reps: usize,
     /// Repetitions lost to panics.
@@ -197,6 +199,7 @@ fn summarize(
         alpha: job.key.alpha,
         s: job.key.s,
         d: job.key.d,
+        kernel: job.key.kernel.clone(),
         reps: done.len(),
         panics: requested - done.len(),
         time: SummaryStats::from_values(&times),

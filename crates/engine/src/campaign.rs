@@ -74,7 +74,12 @@ pub fn run_configs(
         total,
         |idx| {
             let (config, rep) = (idx / reps.max(1), idx % reps.max(1));
-            let seed = derive_seed(campaign_seed, config as u64, rep as u64);
+            // Seeds derive from the job's seed group (its own index by
+            // default): configs sharing a group — e.g. the kernel
+            // variants of one grid point — draw identical fault
+            // streams (common random numbers).
+            let group = configs[config].seed_group.unwrap_or(config as u64);
+            let seed = derive_seed(campaign_seed, group, rep as u64);
             let metrics = run_one(&configs[config], seed);
             agg.push(config, rep, metrics);
         },

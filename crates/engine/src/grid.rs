@@ -25,6 +25,8 @@ pub struct ConfigKey {
     pub s: usize,
     /// Verification interval `d`.
     pub d: usize,
+    /// SpMV backend label (canonical [`ftcg_kernels::KernelSpec`] name).
+    pub kernel: String,
 }
 
 /// Which fault model drives a configuration's injector.
@@ -51,6 +53,12 @@ pub struct ConfigJob {
     pub cfg: ResilientConfig,
     /// Fault model.
     pub injector: InjectorSpec,
+    /// Seed-derivation coordinate; `None` means "this config's own grid
+    /// index". [`expand`] sets a *kernel-free* coordinate so every
+    /// kernel at the same (matrix, scheme, α) point draws identical
+    /// fault streams — the common-random-numbers pairing that makes
+    /// kernel columns comparable under injection.
+    pub seed_group: Option<u64>,
 }
 
 impl ConfigJob {
@@ -71,6 +79,7 @@ impl ConfigJob {
             alpha,
             s: cfg.checkpoint_interval,
             d: cfg.verif_interval,
+            kernel: cfg.kernel.label(),
         };
         ConfigJob {
             key,
@@ -78,6 +87,7 @@ impl ConfigJob {
             rhs,
             cfg,
             injector,
+            seed_group: None,
         }
     }
 }
@@ -129,8 +139,10 @@ pub fn default_rhs(n: usize) -> Vec<f64> {
 }
 
 /// Expands a spec into its configuration list, resolving every matrix
-/// once (grid order: matrices → schemes → alphas; this order is the
-/// config-index order seed derivation and output rows use).
+/// once (grid order: matrices → schemes → alphas → kernels; this order
+/// is the config-index order seed derivation and output rows use —
+/// kernels innermost, so specs without a kernel axis keep their
+/// historical config indices and fault streams).
 pub fn expand(
     spec: &CampaignSpec,
     resolver: &dyn MatrixResolver,
@@ -139,6 +151,9 @@ pub fn expand(
         return Err(EngineError::EmptyGrid);
     }
     let mut configs = Vec::with_capacity(spec.n_configs());
+    // Kernel-free coordinate: advances per (matrix, scheme, α) point so
+    // every kernel variant of a point shares one fault-stream seed.
+    let mut point = 0u64;
     for source in &spec.matrices {
         let a = Arc::new(resolver.resolve(source)?);
         if !a.is_square() {
@@ -150,15 +165,25 @@ pub fn expand(
         let rhs = Arc::new(default_rhs(a.n_rows()));
         for &scheme in &spec.schemes {
             for &alpha in &spec.alphas {
-                let cfg = plan_config(scheme, alpha, spec.interval, spec.max_iters);
-                configs.push(ConfigJob::new(
-                    source.label(),
-                    Arc::clone(&a),
-                    Arc::clone(&rhs),
-                    cfg,
-                    alpha,
-                    InjectorSpec::Paper,
-                ));
+                for &kernel in &spec.kernels {
+                    let mut cfg = plan_config(scheme, alpha, spec.interval, spec.max_iters);
+                    // Pin `auto` per matrix now (deterministic heuristic;
+                    // the machine-dependent variant is rejected at spec
+                    // parse), so artifact rows name the backend that
+                    // actually runs instead of the literal "auto".
+                    cfg.kernel = kernel.resolve(&a);
+                    let mut job = ConfigJob::new(
+                        source.label(),
+                        Arc::clone(&a),
+                        Arc::clone(&rhs),
+                        cfg,
+                        alpha,
+                        InjectorSpec::Paper,
+                    );
+                    job.seed_group = Some(point);
+                    configs.push(job);
+                }
+                point += 1;
             }
         }
     }

@@ -29,7 +29,7 @@ pub fn jsonl_string(rows: &[ConfigSummary]) -> String {
 }
 
 /// CSV column order.
-const CSV_HEADER: &str = "campaign,matrix,n,scheme,alpha,s,d,reps,panics,\
+const CSV_HEADER: &str = "campaign,matrix,n,scheme,alpha,s,d,kernel,reps,panics,\
 mean_time,std_time,min_time,max_time,p50_time,p90_time,\
 mean_executed,mean_rollbacks,mean_corrections,mean_faults,\
 convergence_rate,max_true_residual";
@@ -40,7 +40,7 @@ pub fn write_csv<W: Write>(mut w: W, rows: &[ConfigSummary]) -> io::Result<()> {
     for r in rows {
         writeln!(
             w,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             csv_field(&r.campaign),
             csv_field(&r.matrix),
             r.n,
@@ -48,6 +48,7 @@ pub fn write_csv<W: Write>(mut w: W, rows: &[ConfigSummary]) -> io::Result<()> {
             r.alpha,
             r.s,
             r.d,
+            csv_field(&r.kernel),
             r.reps,
             r.panics,
             r.time.mean,
@@ -106,6 +107,7 @@ mod tests {
             alpha: 0.0625,
             s: 14,
             d: 1,
+            kernel: "csr".into(),
             reps: 4,
             panics: 0,
             time: SummaryStats::from_values(&[10.0, 11.0, 12.0, 13.0]),

@@ -15,11 +15,13 @@
 //!   matrices = poisson2d:16, random:300:0.02:1
 //!   schemes  = online, detection, correction
 //!   alphas   = 0, 1/32, 1/16
+//!   kernels  = csr, bcsr:2, sell       # optional SpMV-backend axis
 //!   ```
 //!
 //! * **JSON** — the same keys as an object; lists as arrays
 //!   (`{"name": "demo", "matrices": ["poisson2d:16"], ...}`).
 
+use ftcg_kernels::KernelSpec;
 use ftcg_model::Scheme;
 use ftcg_sparse::{gen, io, CsrMatrix};
 use serde::json::{self, Value};
@@ -171,6 +173,8 @@ pub struct CampaignSpec {
     pub schemes: Vec<Scheme>,
     /// Fault-rate axis (expected faults per iteration).
     pub alphas: Vec<f64>,
+    /// SpMV-backend axis (default: serial CSR only).
+    pub kernels: Vec<KernelSpec>,
     /// Interval policy.
     pub interval: IntervalPolicy,
 }
@@ -186,6 +190,7 @@ impl Default for CampaignSpec {
             matrices: Vec::new(),
             schemes: vec![Scheme::AbftDetection, Scheme::AbftCorrection],
             alphas: vec![1.0 / 16.0],
+            kernels: vec![KernelSpec::Csr],
             interval: IntervalPolicy::ModelOptimal,
         }
     }
@@ -221,6 +226,20 @@ pub fn parse_alpha(s: &str) -> Result<f64, EngineError> {
         return Err(bad());
     }
     Ok(v)
+}
+
+/// Parses a kernel name for the campaign grid. The machine-dependent
+/// `auto:bench` is rejected: its backend *choice* depends on wall-clock
+/// timing, which would break the byte-deterministic artifact contract.
+pub fn parse_kernel(s: &str) -> Result<KernelSpec, EngineError> {
+    let spec = KernelSpec::parse(s).map_err(|e| EngineError::Spec(e.to_string()))?;
+    if spec.is_machine_dependent() {
+        return Err(EngineError::Spec(format!(
+            "kernel `{s}` is machine-dependent (timing-calibrated) and cannot be a \
+             campaign axis; use `auto` for the deterministic heuristic"
+        )));
+    }
+    Ok(spec)
 }
 
 /// Parses an interval policy: `model` or `fixed:N`.
@@ -352,6 +371,11 @@ impl CampaignSpec {
                     .map(parse_alpha)
                     .collect::<Result<_, _>>()?;
             }
+            "kernels" => {
+                self.kernels = split_list(value)
+                    .map(parse_kernel)
+                    .collect::<Result<_, _>>()?;
+            }
             "interval" => self.interval = parse_interval(value)?,
             other => {
                 return Err(EngineError::Spec(format!("unknown key `{other}`")));
@@ -364,6 +388,7 @@ impl CampaignSpec {
         if self.matrices.is_empty()
             || self.schemes.is_empty()
             || self.alphas.is_empty()
+            || self.kernels.is_empty()
             || self.reps == 0
         {
             return Err(EngineError::EmptyGrid);
@@ -373,7 +398,7 @@ impl CampaignSpec {
 
     /// Number of configurations the grid expands to.
     pub fn n_configs(&self) -> usize {
-        self.matrices.len() * self.schemes.len() * self.alphas.len()
+        self.matrices.len() * self.schemes.len() * self.alphas.len() * self.kernels.len()
     }
 
     /// Total jobs (configurations × repetitions).
@@ -481,6 +506,52 @@ mod tests {
         assert!(parse_alpha("1/0").is_err());
         assert!(parse_alpha("-1").is_err());
         assert!(parse_alpha("x").is_err());
+    }
+
+    #[test]
+    fn kernel_axis_parses_in_both_formats() {
+        let kv = CampaignSpec::parse(
+            "matrices = poisson2d:8\nkernels = csr, bcsr:2, sell:8:32, csr-par\n",
+        )
+        .unwrap();
+        assert_eq!(
+            kv.kernels,
+            vec![
+                KernelSpec::Csr,
+                KernelSpec::Bcsr { block: 2 },
+                KernelSpec::Sell {
+                    chunk: 8,
+                    sigma: 32
+                },
+                KernelSpec::CsrPar { threads: 0 },
+            ]
+        );
+        // 1 matrix × 2 default schemes × 1 default alpha × 4 kernels.
+        assert_eq!(kv.n_configs(), 8);
+        let json = CampaignSpec::parse(
+            r#"{"matrices": ["poisson2d:8"], "kernels": ["csr", "bcsr:2", "sell:8:32", "csr-par"]}"#,
+        )
+        .unwrap();
+        assert_eq!(json.kernels, kv.kernels);
+        // Default axis is the serial reference kernel only.
+        let plain = CampaignSpec::parse("matrices = poisson2d:8\n").unwrap();
+        assert_eq!(plain.kernels, vec![KernelSpec::Csr]);
+    }
+
+    #[test]
+    fn machine_dependent_kernel_rejected_in_grid() {
+        let e = CampaignSpec::parse("matrices = poisson2d:8\nkernels = auto:bench\n");
+        assert!(matches!(e, Err(EngineError::Spec(_))), "{e:?}");
+        // The deterministic heuristic is fine.
+        assert!(CampaignSpec::parse("matrices = poisson2d:8\nkernels = auto\n").is_ok());
+    }
+
+    #[test]
+    fn empty_kernel_list_is_empty_grid() {
+        assert!(matches!(
+            CampaignSpec::parse("matrices = poisson2d:8\nkernels = ,\n"),
+            Err(EngineError::EmptyGrid)
+        ));
     }
 
     #[test]

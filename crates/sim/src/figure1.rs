@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use ftcg_engine::{run_configs, ConfigJob, InjectorSpec};
+use ftcg_kernels::KernelSpec;
 use ftcg_model::{optimize, Scheme};
 use ftcg_solvers::resilient::ResilientConfig;
 use ftcg_sparse::CsrMatrix;
@@ -64,6 +65,8 @@ pub struct Figure1Params {
     pub threads: usize,
     /// Cost-parameter instantiation.
     pub cost_mode: CostMode,
+    /// SpMV backend for every solve.
+    pub kernel: KernelSpec,
 }
 
 impl Default for Figure1Params {
@@ -74,6 +77,7 @@ impl Default for Figure1Params {
             mtbf_grid: log_grid(2e1, 2e4, 7),
             threads: 4,
             cost_mode: CostMode::PaperLike,
+            kernel: KernelSpec::Csr,
         }
     }
 }
@@ -121,16 +125,21 @@ pub fn curve_campaign(
     params: &Figure1Params,
 ) -> Vec<ConfigJob> {
     let b = Arc::new(spec.rhs(a.n_rows()));
+    // Pin `auto` once per matrix: every grid point runs (and reports)
+    // the same concrete backend.
+    let kernel = params.kernel.resolve(a);
     params
         .mtbf_grid
         .iter()
         .map(|&mtbf| {
             let alpha = 1.0 / mtbf;
+            let mut cfg = optimal_config(scheme, alpha, costs);
+            cfg.kernel = kernel;
             ConfigJob::new(
                 format!("paper:{}", spec.id),
                 Arc::clone(a),
                 Arc::clone(&b),
-                optimal_config(scheme, alpha, costs),
+                cfg,
                 alpha,
                 InjectorSpec::Paper,
             )
@@ -229,7 +238,7 @@ mod tests {
             reps: 4,
             mtbf_grid: vec![50.0, 5000.0],
             threads: 4,
-            cost_mode: CostMode::PaperLike,
+            ..Figure1Params::default()
         };
         let panel = run_panel(&spec, &params);
         assert_eq!(panel.id, 2213);

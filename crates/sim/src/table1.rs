@@ -13,6 +13,7 @@
 use std::sync::Arc;
 
 use ftcg_engine::{run_configs, ConfigJob, InjectorSpec};
+use ftcg_kernels::KernelSpec;
 use ftcg_model::{optimize, Scheme};
 use ftcg_solvers::resilient::ResilientConfig;
 use ftcg_sparse::CsrMatrix;
@@ -58,6 +59,11 @@ pub struct Table1Params {
     pub threads: usize,
     /// Cost-parameter instantiation.
     pub cost_mode: CostMode,
+    /// SpMV backend for every solve (experiment dimension alongside
+    /// scheme and α; `auto:bench` is allowed here because Table 1 rows
+    /// are wall-clock-free simulated times, but the default stays the
+    /// deterministic reference).
+    pub kernel: KernelSpec,
 }
 
 impl Default for Table1Params {
@@ -69,13 +75,20 @@ impl Default for Table1Params {
             sweep: &[1, 2, 3, 4, 5, 6, 8, 10, 12, 14, 16, 20, 25, 30, 40],
             threads: 4,
             cost_mode: CostMode::PaperLike,
+            kernel: KernelSpec::Csr,
         }
     }
 }
 
-fn scheme_config(scheme: Scheme, s: usize, costs: &MeasuredCosts) -> ResilientConfig {
+fn scheme_config(
+    scheme: Scheme,
+    s: usize,
+    costs: &MeasuredCosts,
+    kernel: KernelSpec,
+) -> ResilientConfig {
     let mut cfg = ResilientConfig::new(scheme, s);
     cfg.costs = costs.for_scheme(scheme);
+    cfg.kernel = kernel;
     cfg
 }
 
@@ -90,6 +103,9 @@ pub fn entry_campaign(
 ) -> Vec<ConfigJob> {
     let model_costs = costs.for_scheme(scheme);
     let s_model = optimize::optimal_abft_interval(scheme, params.alpha, 1.0, &model_costs, 4000).s;
+    // Pin `auto` once against the pristine matrix so every interval's
+    // row reports (and runs) the same concrete backend.
+    let kernel = params.kernel.resolve(a);
     let b = Arc::new(spec.rhs(a.n_rows()));
     let mut intervals = vec![s_model];
     intervals.extend(params.sweep.iter().copied().filter(|&s| s != s_model));
@@ -100,7 +116,7 @@ pub fn entry_campaign(
                 format!("paper:{}", spec.id),
                 Arc::clone(a),
                 Arc::clone(&b),
-                scheme_config(scheme, s, costs),
+                scheme_config(scheme, s, costs, kernel),
                 params.alpha,
                 InjectorSpec::Paper,
             )
@@ -185,7 +201,7 @@ mod tests {
             alpha: 1.0 / 16.0,
             sweep: &[4, 10, 20],
             threads: 4,
-            cost_mode: CostMode::PaperLike,
+            ..Table1Params::default()
         }
     }
 

@@ -6,23 +6,52 @@
 //! van der Vorst BiCGSTAB; each iteration performs two SpMxV that the
 //! ABFT layer can protect exactly like CG's one.
 
+use ftcg_kernels::{CsrSerial, PreparedSpmv, SpmvKernel};
 use ftcg_sparse::{vector, CsrMatrix};
 
 use crate::cg::{CgConfig, SolveStats};
 
-/// Solves `Ax = b` (general square `A`) with BiCGSTAB.
+/// Solves `Ax = b` (general square `A`) with BiCGSTAB and the serial
+/// CSR reference kernel.
 ///
 /// # Panics
 /// Panics on dimension mismatch or non-square matrix.
 pub fn bicgstab_solve(a: &CsrMatrix, b: &[f64], x0: &[f64], cfg: &CgConfig) -> SolveStats {
+    let kernel = CsrSerial.prepare(a).expect("CSR preparation cannot fail");
+    bicgstab_solve_with(a, b, x0, cfg, kernel.as_ref())
+}
+
+/// [`bicgstab_solve`] with an explicit SpMV backend for both products
+/// of each iteration.
+///
+/// # Panics
+/// Panics on dimension mismatch, a non-square matrix, or a kernel
+/// prepared from a matrix of different dimensions.
+pub fn bicgstab_solve_with(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    cfg: &CgConfig,
+    kernel: &dyn PreparedSpmv,
+) -> SolveStats {
     assert!(a.is_square(), "bicgstab: matrix must be square");
     let n = a.n_rows();
     assert_eq!(b.len(), n, "bicgstab: b length mismatch");
     assert_eq!(x0.len(), n, "bicgstab: x0 length mismatch");
+    assert_eq!(
+        kernel.n_rows(),
+        n,
+        "bicgstab: kernel prepared for wrong matrix"
+    );
+    assert_eq!(
+        kernel.n_cols(),
+        n,
+        "bicgstab: kernel prepared for wrong matrix"
+    );
 
     let mut x = x0.to_vec();
     let mut r = b.to_vec();
-    let ax = a.spmv(&x);
+    let ax = kernel.spmv(&x);
     vector::sub_assign(&mut r, &ax);
     let rhat = r.clone(); // shadow residual
     let mut p = r.clone();
@@ -41,7 +70,7 @@ pub fn bicgstab_solve(a: &CsrMatrix, b: &[f64], x0: &[f64], cfg: &CgConfig) -> S
         if rho == 0.0 || !rho.is_finite() {
             break; // breakdown
         }
-        a.spmv_into(&p, &mut v);
+        kernel.spmv_into(&p, &mut v);
         let rhat_v = vector::dot(&rhat, &v);
         if rhat_v == 0.0 || !rhat_v.is_finite() {
             break;
@@ -58,7 +87,7 @@ pub fn bicgstab_solve(a: &CsrMatrix, b: &[f64], x0: &[f64], cfg: &CgConfig) -> S
             it += 1;
             break;
         }
-        a.spmv_into(&s, &mut t);
+        kernel.spmv_into(&s, &mut t);
         let tt = vector::norm2_sq(&t);
         if tt == 0.0 {
             break;

@@ -1,6 +1,12 @@
 //! The Conjugate Gradient method (Algorithm 1 of the paper), fault-free
 //! reference implementation.
+//!
+//! The solver accepts a pluggable SpMV backend through
+//! [`cg_solve_with`]; [`cg_solve`] runs the serial CSR reference kernel,
+//! which computes exactly the sums the historical inlined loop computed
+//! — bit for bit.
 
+use ftcg_kernels::{CsrSerial, PreparedSpmv, SpmvKernel};
 use ftcg_sparse::{vector, CsrMatrix};
 
 use crate::stopping::StoppingCriterion;
@@ -36,20 +42,40 @@ pub struct SolveStats {
     pub residual_norm: f64,
 }
 
-/// Solves `Ax = b` for SPD `A` by conjugate gradients, starting from `x0`.
+/// Solves `Ax = b` for SPD `A` by conjugate gradients, starting from
+/// `x0`, with the serial CSR reference kernel.
 ///
 /// # Panics
 /// Panics on dimension mismatches or a non-square matrix.
 pub fn cg_solve(a: &CsrMatrix, b: &[f64], x0: &[f64], cfg: &CgConfig) -> SolveStats {
+    let kernel = CsrSerial.prepare(a).expect("CSR preparation cannot fail");
+    cg_solve_with(a, b, x0, cfg, kernel.as_ref())
+}
+
+/// [`cg_solve`] with an explicit SpMV backend (prepared from the same
+/// matrix `a`, which is still consulted for the stopping criterion).
+///
+/// # Panics
+/// Panics on dimension mismatches, a non-square matrix, or a kernel
+/// prepared from a matrix of different dimensions.
+pub fn cg_solve_with(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    cfg: &CgConfig,
+    kernel: &dyn PreparedSpmv,
+) -> SolveStats {
     assert!(a.is_square(), "cg: matrix must be square");
     let n = a.n_rows();
     assert_eq!(b.len(), n, "cg: b length mismatch");
     assert_eq!(x0.len(), n, "cg: x0 length mismatch");
+    assert_eq!(kernel.n_rows(), n, "cg: kernel prepared for wrong matrix");
+    assert_eq!(kernel.n_cols(), n, "cg: kernel prepared for wrong matrix");
 
     let mut x = x0.to_vec();
     // r0 = b − A x0
     let mut r = b.to_vec();
-    let ax = a.spmv(&x);
+    let ax = kernel.spmv(&x);
     vector::sub_assign(&mut r, &ax);
     let mut p = r.clone();
     let mut q = vec![0.0; n];
@@ -59,7 +85,7 @@ pub fn cg_solve(a: &CsrMatrix, b: &[f64], x0: &[f64], cfg: &CgConfig) -> SolveSt
 
     let mut it = 0usize;
     while rnorm_sq.sqrt() > threshold && it < cfg.max_iters {
-        a.spmv_into(&p, &mut q);
+        kernel.spmv_into(&p, &mut q);
         let pq = vector::dot(&p, &q);
         if pq <= 0.0 || !pq.is_finite() {
             // Breakdown: A not SPD (or severe ill-conditioning).
@@ -191,6 +217,49 @@ mod tests {
         let b = vec![1.0; 80];
         let s = cg_solve(&a, &b, &vec![0.0; 80], &CgConfig::default());
         assert!(s.residual_norm < 1e-6 * vector::norm2(&b));
+    }
+
+    #[test]
+    fn kernel_backends_reach_the_same_solution() {
+        use ftcg_kernels::KernelSpec;
+        let a = gen::random_spd(150, 0.04, 21).unwrap();
+        let b: Vec<f64> = (0..150).map(|i| (i as f64 * 0.11).sin()).collect();
+        let reference = cg_solve(&a, &b, &vec![0.0; 150], &CgConfig::default());
+        assert!(reference.converged);
+        for name in ["csr", "csr-par:3", "bcsr:2", "bcsr:4", "sell:8:32", "auto"] {
+            let spec = KernelSpec::parse(name).unwrap();
+            let prepared = spec.prepare(&a).unwrap();
+            let s = cg_solve_with(
+                &a,
+                &b,
+                &vec![0.0; 150],
+                &CgConfig::default(),
+                prepared.as_ref(),
+            );
+            assert!(s.converged, "kernel {name}");
+            let err = vector::max_abs_diff(&a.spmv(&s.x), &b);
+            assert!(err < 1e-6, "kernel {name}: true residual {err}");
+            // Products are the same ordered FP sums, so the whole Krylov
+            // trajectory is identical on this column-sorted input.
+            assert_eq!(s.iterations, reference.iterations, "kernel {name}");
+            assert_eq!(s.x, reference.x, "kernel {name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prepared for wrong matrix")]
+    fn kernel_dimension_mismatch_rejected() {
+        use ftcg_kernels::KernelSpec;
+        let a = gen::tridiagonal(10, 4.0, -1.0).unwrap();
+        let other = gen::tridiagonal(8, 4.0, -1.0).unwrap();
+        let prepared = KernelSpec::Csr.prepare(&other).unwrap();
+        cg_solve_with(
+            &a,
+            &[1.0; 10],
+            &[0.0; 10],
+            &CgConfig::default(),
+            prepared.as_ref(),
+        );
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub mod resilient;
 pub mod stopping;
 pub mod verify;
 
-pub use cg::{cg_solve, CgConfig, SolveStats};
+pub use bicgstab::{bicgstab_solve, bicgstab_solve_with};
+pub use cg::{cg_solve, cg_solve_with, CgConfig, SolveStats};
+pub use pcg::{pcg_jacobi_solve, pcg_jacobi_solve_with};
 pub use resilient::{solve_resilient, ResilientConfig, ResilientOutcome};
 pub use stopping::StoppingCriterion;

@@ -5,20 +5,42 @@
 //! application is a pointwise product, protectable by TMR like the other
 //! vector operations).
 
+use ftcg_kernels::{CsrSerial, PreparedSpmv, SpmvKernel};
 use ftcg_sparse::{vector, CsrMatrix};
 
 use crate::cg::{CgConfig, SolveStats};
 
-/// Solves `Ax = b` with Jacobi-preconditioned CG.
+/// Solves `Ax = b` with Jacobi-preconditioned CG and the serial CSR
+/// reference kernel.
 ///
 /// # Panics
 /// Panics on dimension mismatch, non-square `A`, or a zero diagonal
 /// entry (Jacobi undefined).
 pub fn pcg_jacobi_solve(a: &CsrMatrix, b: &[f64], x0: &[f64], cfg: &CgConfig) -> SolveStats {
+    let kernel = CsrSerial.prepare(a).expect("CSR preparation cannot fail");
+    pcg_jacobi_solve_with(a, b, x0, cfg, kernel.as_ref())
+}
+
+/// [`pcg_jacobi_solve`] with an explicit SpMV backend (the diagonal is
+/// still read from `a`; the preconditioner application is a pointwise
+/// product independent of the kernel).
+///
+/// # Panics
+/// See [`pcg_jacobi_solve`]; additionally panics if the kernel was
+/// prepared from a matrix of different dimensions.
+pub fn pcg_jacobi_solve_with(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    cfg: &CgConfig,
+    kernel: &dyn PreparedSpmv,
+) -> SolveStats {
     assert!(a.is_square(), "pcg: matrix must be square");
     let n = a.n_rows();
     assert_eq!(b.len(), n, "pcg: b length mismatch");
     assert_eq!(x0.len(), n, "pcg: x0 length mismatch");
+    assert_eq!(kernel.n_rows(), n, "pcg: kernel prepared for wrong matrix");
+    assert_eq!(kernel.n_cols(), n, "pcg: kernel prepared for wrong matrix");
 
     let diag = a.diag();
     assert!(
@@ -29,7 +51,7 @@ pub fn pcg_jacobi_solve(a: &CsrMatrix, b: &[f64], x0: &[f64], cfg: &CgConfig) ->
 
     let mut x = x0.to_vec();
     let mut r = b.to_vec();
-    let ax = a.spmv(&x);
+    let ax = kernel.spmv(&x);
     vector::sub_assign(&mut r, &ax);
     // z = M⁻¹ r
     let mut z: Vec<f64> = r.iter().zip(minv.iter()).map(|(rv, m)| rv * m).collect();
@@ -44,7 +66,7 @@ pub fn pcg_jacobi_solve(a: &CsrMatrix, b: &[f64], x0: &[f64], cfg: &CgConfig) ->
     let mut it = 0usize;
     let mut rnorm = vector::norm2(&r);
     while rnorm > threshold && it < cfg.max_iters {
-        a.spmv_into(&p, &mut q);
+        kernel.spmv_into(&p, &mut q);
         let pq = vector::dot(&p, &q);
         if pq <= 0.0 || !pq.is_finite() {
             break;

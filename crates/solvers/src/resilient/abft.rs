@@ -18,6 +18,7 @@ use ftcg_checkpoint::{CheckpointStore, MemoryStore, SolverState};
 use ftcg_fault::ledger::{FaultLedger, FaultOutcome};
 use ftcg_fault::target::{FaultTarget, VectorId};
 use ftcg_fault::{FaultEvent, Injector};
+use ftcg_kernels::DefensiveProduct;
 use ftcg_sparse::{vector, CsrMatrix};
 
 use super::{
@@ -73,9 +74,15 @@ pub(super) fn solve_abft(
 ) -> ResilientOutcome {
     let n = a0.n_rows();
     // Reliable, once-per-matrix checksum setup (Section 3.2's
-    // amortization note).
+    // amortization note). The kernel is pinned against the pristine
+    // matrix here (`auto` resolves to a concrete backend); the products
+    // below run it defensively against the live, corruptible image.
     let protected = ProtectedSpmv::new(a0);
     let single = SingleChecksum::new(a0);
+    // Cached defensive product: BCSR/SELL convert once and again only
+    // after the matrix image mutates (matrix fault, forward correction,
+    // rollback) — every such site below calls `kernel.invalidate()`.
+    let mut kernel = DefensiveProduct::new(cfg.kernel.resolve(a0));
 
     // Working (corruptible) state.
     let mut a = a0.clone();
@@ -122,9 +129,15 @@ pub(super) fn solve_abft(
         }
         guard.note_faults(events.len());
         let q_faults = apply_faults(&events, &mut a, &mut p, &mut r, &mut x, &mut replica_rot);
+        if events.iter().any(|e| e.target.is_matrix()) {
+            kernel.invalidate();
+        }
 
-        // 2. Protected SpMxV.
-        protected.spmv(&a, &p, &mut q); // same kernel for both schemes
+        // 2. Protected SpMxV: the selected backend computes the product
+        // from the live matrix image; the checksum tests below verify
+        // its output exactly as they would the CSR kernel's (the tests
+        // are kernel-agnostic — they only read `a`'s arrays and `q`).
+        kernel.product(&a, &p, &mut q); // same kernel for both schemes
         for e in &q_faults {
             let v = &mut q[e.offset];
             *v = f64::from_bits(v.to_bits() ^ (1u64 << e.bit));
@@ -135,6 +148,8 @@ pub(super) fn solve_abft(
                 true
             } else {
                 stats.detections += 1;
+                // Correction may repair (i.e. mutate) the matrix arrays.
+                kernel.invalidate();
                 match protected.correct(&mut a, &mut p, &xref, &mut q, &res) {
                     SpmvOutcome::Corrected(_) => {
                         stats.forward_corrections += 1;
@@ -181,6 +196,7 @@ pub(super) fn solve_abft(
             productive = it;
             rnorm_sq = rns;
             since_ckpt = 0;
+            kernel.invalidate(); // rollback replaced the matrix image
             xref = XRef::capture(&p);
             continue;
         }
@@ -207,6 +223,7 @@ pub(super) fn solve_abft(
             productive = it;
             rnorm_sq = rns;
             since_ckpt = 0;
+            kernel.invalidate(); // rollback replaced the matrix image
             xref = XRef::capture(&p);
             continue;
         }
@@ -244,6 +261,7 @@ pub(super) fn solve_abft(
             productive = it;
             rnorm_sq = rns;
             since_ckpt = 0;
+            kernel.invalidate(); // rollback replaced the matrix image
             xref = XRef::capture(&p);
             continue;
         }

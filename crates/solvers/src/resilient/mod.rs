@@ -20,6 +20,7 @@ use ftcg_abft::tmr::TmrVector;
 use ftcg_checkpoint::{CheckpointStore, MemoryStore, ResilienceCosts, SolverState};
 use ftcg_fault::ledger::{FaultLedger, FaultOutcome};
 use ftcg_fault::Injector;
+use ftcg_kernels::KernelSpec;
 use ftcg_model::Scheme;
 use ftcg_sparse::{vector, CsrMatrix};
 
@@ -47,6 +48,13 @@ pub struct ResilientConfig {
     pub max_executed_iters: usize,
     /// Thresholds for Chen's stability tests (ONLINE-DETECTION only).
     pub online_tol: OnlineTolerances,
+    /// SpMV backend for the per-iteration product. The default (`csr`)
+    /// preserves the historical behavior bit for bit. Non-CSR backends
+    /// are re-materialized *defensively* from the live (corruptible) CSR
+    /// image before every product, so injected matrix faults reach the
+    /// product and the ABFT checksum tests verify the output unchanged;
+    /// `auto` is pinned against the pristine matrix at solve start.
+    pub kernel: KernelSpec,
 }
 
 impl ResilientConfig {
@@ -65,6 +73,7 @@ impl ResilientConfig {
             max_productive_iters: 10_000,
             max_executed_iters: 200_000,
             online_tol: OnlineTolerances::default(),
+            kernel: KernelSpec::Csr,
         }
     }
 }

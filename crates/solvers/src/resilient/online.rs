@@ -9,11 +9,11 @@
 //! Convergence is only accepted after a passing verification, so a
 //! corrupted residual cannot fake success.
 
-use ftcg_abft::spmv::spmv_defensive;
 use ftcg_checkpoint::{CheckpointStore, MemoryStore, SolverState};
 use ftcg_fault::ledger::{FaultLedger, FaultOutcome};
 use ftcg_fault::target::{FaultTarget, VectorId};
 use ftcg_fault::{FaultEvent, Injector};
+use ftcg_kernels::DefensiveProduct;
 use ftcg_sparse::{vector, CsrMatrix};
 
 use super::{true_residual, EscalationGuard, ResilientConfig, ResilientOutcome, RunStats, SimTime};
@@ -51,6 +51,10 @@ pub(super) fn solve_online(
     let n = a0.n_rows();
     let d = cfg.verif_interval;
     let norm1_a = a0.norm1(); // from the clean matrix, once
+
+    // Pin `auto` on pristine data; conversions are cached and dropped
+    // whenever the matrix image mutates (matrix fault or restore).
+    let mut kernel = DefensiveProduct::new(cfg.kernel.resolve(a0));
 
     let mut a = a0.clone();
     let mut x = vec![0.0; n];
@@ -91,6 +95,7 @@ pub(super) fn solve_online(
             };
             guard.note_restore();
             a = st.matrix.clone();
+            kernel.invalidate(); // restore replaced the matrix image
             x.copy_from_slice(&st.x);
             r.copy_from_slice(&st.r);
             p.copy_from_slice(&st.p);
@@ -118,10 +123,14 @@ pub(super) fn solve_online(
         }
         guard.note_faults(events.len());
         apply_faults(&events, &mut a, &mut p, &mut q, &mut r, &mut x);
+        if events.iter().any(|e| e.target.is_matrix()) {
+            kernel.invalidate();
+        }
 
-        // Unprotected CG iteration (defensive kernel only for memory
-        // safety; it computes exactly the plain product on clean data).
-        spmv_defensive(&a, &p, &mut q);
+        // Unprotected CG iteration (defensive dispatch only for memory
+        // safety; every backend computes exactly the plain product on
+        // clean data).
+        kernel.product(&a, &p, &mut q);
         let pq = vector::dot(&p, &q);
         if !pq.is_finite() || pq <= 0.0 {
             stats.detections += 1;

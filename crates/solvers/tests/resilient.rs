@@ -268,3 +268,45 @@ fn deterministic_given_seed() {
     assert_eq!(o1.x, o2.x);
     assert_eq!(o1.rollbacks, o2.rollbacks);
 }
+
+#[test]
+fn kernel_backends_fault_free_match_csr_bitwise() {
+    // On clean (column-sorted) data every backend computes the same
+    // ordered sums, so the whole resilient trajectory is identical.
+    use ftcg_kernels::KernelSpec;
+    let (a, b) = test_system(150, 9);
+    for scheme in Scheme::ALL {
+        let reference = solve_resilient(&a, &b, &ResilientConfig::new(scheme, 10), None);
+        for name in ["csr-par:3", "bcsr:2", "bcsr:4", "sell:8:32", "auto"] {
+            let mut cfg = ResilientConfig::new(scheme, 10);
+            cfg.kernel = KernelSpec::parse(name).unwrap();
+            let out = solve_resilient(&a, &b, &cfg, None);
+            assert_eq!(out.x, reference.x, "{scheme:?} kernel {name}");
+            assert_eq!(
+                out.productive_iterations, reference.productive_iterations,
+                "{scheme:?} kernel {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn kernel_backends_survive_faults_with_abft() {
+    // ABFT checksum verification composes with every backend: the
+    // product comes from the live (corrupted) image whatever the
+    // format, so detection and recovery still deliver a correct solve.
+    use ftcg_kernels::KernelSpec;
+    let (a, b) = test_system(150, 10);
+    let mut total_faults = 0usize;
+    for name in ["csr", "bcsr:2", "sell:8:32", "csr-par:2"] {
+        for scheme in [Scheme::AbftDetection, Scheme::AbftCorrection] {
+            let mut cfg = ResilientConfig::new(scheme, 8);
+            cfg.kernel = KernelSpec::parse(name).unwrap();
+            let mut inj = injector_for(&a, 1.0 / 8.0, 77);
+            let out = solve_resilient(&a, &b, &cfg, Some(&mut inj));
+            solves_correctly(&a, &b, &out);
+            total_faults += out.ledger.len();
+        }
+    }
+    assert!(total_faults > 0, "fault rate too low to exercise recovery");
+}

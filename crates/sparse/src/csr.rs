@@ -248,6 +248,53 @@ impl CsrMatrix {
         y
     }
 
+    /// Storage range of row `i` with the defensive clamping rule: both
+    /// bounds clamped to `[0, nnz]`, an inverted range treated as an
+    /// empty row. The one canonical clamp shared by the ABFT kernel
+    /// (`ftcg-abft`), the pluggable backends (`ftcg-kernels`) and the
+    /// defensive BCSR/SELL converters — change it here, never locally.
+    #[inline]
+    pub fn row_range_clamped(&self, i: usize) -> std::ops::Range<usize> {
+        let nnz = self.val.len();
+        let start = self.rowptr[i].min(nnz);
+        let end = self.rowptr[i + 1].min(nnz);
+        if start < end {
+            start..end
+        } else {
+            0..0
+        }
+    }
+
+    /// Product of row `i` with `x` that tolerates corrupted structure:
+    /// the row range follows [`CsrMatrix::row_range_clamped`] and
+    /// out-of-range column indices are skipped. On a well-formed matrix
+    /// this visits exactly the entries [`CsrMatrix::spmv_into`] visits,
+    /// in the same order.
+    #[inline]
+    pub fn row_product_clamped(&self, x: &[f64], i: usize) -> f64 {
+        let mut acc = 0.0;
+        for k in self.row_range_clamped(i) {
+            let j = self.colid[k];
+            if j < x.len() {
+                acc += self.val[k] * x[j];
+            }
+        }
+        acc
+    }
+
+    /// Defensive `y ← A·x` built on [`CsrMatrix::row_product_clamped`];
+    /// never panics on corrupted `rowptr`/`colid` contents.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != n_rows` (the output buffer is caller state,
+    /// not corruptible matrix data).
+    pub fn spmv_clamped_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(y.len(), self.n_rows, "spmv_clamped: y length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = self.row_product_clamped(x, i);
+        }
+    }
+
     /// Transpose-vector product `y ← Aᵀ·x` into a caller-provided buffer.
     /// Needed by CGNE/BiCG variants.
     ///

@@ -7,6 +7,9 @@
 //! * [`CsrMatrix`] — compressed sparse row storage with the exact three-array
 //!   layout the paper's ABFT scheme protects (`Val`, `Colid`, `Rowidx`),
 //! * [`CooMatrix`] / [`CscMatrix`] — assembly and column-oriented views,
+//! * [`BcsrMatrix`] / [`SellCSigma`] — register-blocked and sliced-ELLPACK
+//!   storage with exact CSR roundtrips, the formats behind the pluggable
+//!   SpMV backends in `ftcg-kernels`,
 //! * dense vector kernels ([`vector`]) used by the Conjugate Gradient solver,
 //! * synthetic SPD matrix generators ([`gen`]) matched to the paper's test
 //!   set from the UFL collection,
@@ -21,6 +24,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod bcsr;
 pub mod coo;
 pub mod csc;
 pub mod csr;
@@ -28,13 +32,16 @@ pub mod error;
 pub mod gen;
 pub mod io;
 pub mod parallel;
+pub mod sell;
 pub mod stats;
 pub mod vector;
 
+pub use bcsr::BcsrMatrix;
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
+pub use sell::SellCSigma;
 
 /// Convenience result alias for fallible sparse operations.
 pub type Result<T> = std::result::Result<T, SparseError>;

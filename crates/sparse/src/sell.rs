@@ -1,0 +1,324 @@
+//! SELL-C-σ (sliced ELLPACK) storage.
+//!
+//! Rows are grouped into *chunks* of `C` consecutive storage positions;
+//! each chunk is stored column-major (`val[off + j*C + lane]`) and
+//! padded to the length of its longest row, so all `C` lanes advance in
+//! lockstep — the layout SIMD/GPU SpMV kernels vectorize over. Before
+//! chunking, rows are sorted by descending length inside windows of `σ`
+//! rows (`σ = 1` disables sorting), which packs similar-length rows into
+//! the same chunk and bounds the padding overhead.
+//!
+//! Per row, entries keep their original CSR order, so each output value
+//! is the same floating-point sum [`CsrMatrix::spmv_into`] computes —
+//! only the row *visit* order changes, which no output cell observes.
+
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::Result;
+
+/// A sparse matrix in SELL-C-σ format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SellCSigma {
+    n_rows: usize,
+    n_cols: usize,
+    /// Chunk height `C`.
+    chunk: usize,
+    /// Sorting window `σ` (in rows).
+    sigma: usize,
+    /// `perm[pos]` = original row stored at position `pos`.
+    perm: Vec<usize>,
+    /// Stored entries per position (true row length, no padding).
+    rowlen: Vec<usize>,
+    /// Chunk offsets into `colid`/`val`, length `n_chunks + 1`.
+    chunkptr: Vec<usize>,
+    /// Column indices, column-major per chunk, padding lanes 0.
+    colid: Vec<usize>,
+    /// Values, column-major per chunk, padding lanes 0.0.
+    val: Vec<f64>,
+    /// Logical stored entries.
+    nnz: usize,
+}
+
+impl SellCSigma {
+    /// Converts a CSR matrix into SELL-C-σ.
+    ///
+    /// Returns an error for `chunk == 0` or `sigma == 0`.
+    pub fn from_csr(a: &CsrMatrix, chunk: usize, sigma: usize) -> Result<SellCSigma> {
+        if chunk == 0 || sigma == 0 {
+            return Err(SparseError::DimensionMismatch {
+                detail: format!(
+                    "SELL-C-σ needs chunk >= 1 and sigma >= 1, got C={chunk} σ={sigma}"
+                ),
+            });
+        }
+        Ok(Self::convert(a, chunk, sigma, false))
+    }
+
+    /// Defensive conversion for possibly corrupted CSR structure (same
+    /// clamping contract as [`crate::bcsr::BcsrMatrix::from_csr_clamped`]).
+    ///
+    /// # Panics
+    /// Panics if `chunk == 0` or `sigma == 0` (trusted callers only).
+    pub fn from_csr_clamped(a: &CsrMatrix, chunk: usize, sigma: usize) -> SellCSigma {
+        assert!(chunk >= 1 && sigma >= 1, "need C >= 1 and σ >= 1");
+        Self::convert(a, chunk, sigma, true)
+    }
+
+    fn convert(a: &CsrMatrix, chunk: usize, sigma: usize, clamped: bool) -> SellCSigma {
+        let n_rows = a.n_rows();
+        let n_cols = a.n_cols();
+        // Clamped per-row entry lists (cheap views for the trusted path;
+        // the clamp itself is the canonical `row_range_clamped` rule).
+        let row_entries = |i: usize| -> (usize, usize) {
+            if clamped {
+                let r = a.row_range_clamped(i);
+                (r.start, r.end)
+            } else {
+                (a.rowptr()[i], a.rowptr()[i + 1])
+            }
+        };
+        // Row lengths computed once up front: the σ-window sort below
+        // evaluates keys repeatedly, and the defensive path's length is
+        // an O(row) scan.
+        let lens: Vec<usize> = (0..n_rows)
+            .map(|i| {
+                let (start, end) = row_entries(i);
+                if clamped {
+                    (start..end).filter(|&k| a.colid()[k] < n_cols).count()
+                } else {
+                    end - start
+                }
+            })
+            .collect();
+        // σ-windowed sort by descending row length (stable: equal-length
+        // rows keep their original order — deterministic layout).
+        let mut perm: Vec<usize> = (0..n_rows).collect();
+        if sigma > 1 {
+            for window in perm.chunks_mut(sigma) {
+                window.sort_by_key(|&i| std::cmp::Reverse(lens[i]));
+            }
+        }
+        let rowlen: Vec<usize> = perm.iter().map(|&i| lens[i]).collect();
+        let n_chunks = n_rows.div_ceil(chunk);
+        let mut chunkptr = Vec::with_capacity(n_chunks + 1);
+        chunkptr.push(0usize);
+        let mut colid = Vec::new();
+        let mut val = Vec::new();
+        let mut nnz = 0usize;
+        for ck in 0..n_chunks {
+            let pos_lo = ck * chunk;
+            let pos_hi = (pos_lo + chunk).min(n_rows);
+            let width = rowlen[pos_lo..pos_hi].iter().copied().max().unwrap_or(0);
+            let off = colid.len();
+            colid.resize(off + width * chunk, 0usize);
+            val.resize(off + width * chunk, 0.0f64);
+            for (lane, pos) in (pos_lo..pos_hi).enumerate() {
+                let i = perm[pos];
+                let (start, end) = row_entries(i);
+                let mut j = 0usize;
+                for k in start..end {
+                    let c = a.colid()[k];
+                    if clamped && c >= n_cols {
+                        continue;
+                    }
+                    colid[off + j * chunk + lane] = c;
+                    val[off + j * chunk + lane] = a.val()[k];
+                    j += 1;
+                }
+                debug_assert_eq!(j, rowlen[pos]);
+                nnz += j;
+            }
+            chunkptr.push(colid.len());
+        }
+        SellCSigma {
+            n_rows,
+            n_cols,
+            chunk,
+            sigma,
+            perm,
+            rowlen,
+            chunkptr,
+            colid,
+            val,
+            nnz,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Chunk height `C`.
+    #[inline]
+    pub fn chunk_size(&self) -> usize {
+        self.chunk
+    }
+
+    /// Sorting window `σ`.
+    #[inline]
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// Logical stored entries (excluding padding).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Fraction of allocated lanes that are padding; 0.0 when empty.
+    pub fn padding_ratio(&self) -> f64 {
+        if self.val.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.nnz as f64 / self.val.len() as f64
+    }
+
+    /// `y ← A·x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n_cols` or `y.len() != n_rows`.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols, "sell spmv: x length mismatch");
+        assert_eq!(y.len(), self.n_rows, "sell spmv: y length mismatch");
+        let c = self.chunk;
+        let n_chunks = self.chunkptr.len() - 1;
+        for ck in 0..n_chunks {
+            let pos_lo = ck * c;
+            let pos_hi = (pos_lo + c).min(self.n_rows);
+            let off = self.chunkptr[ck];
+            for (lane, pos) in (pos_lo..pos_hi).enumerate() {
+                let mut acc = 0.0;
+                for j in 0..self.rowlen[pos] {
+                    let k = off + j * c + lane;
+                    acc += self.val[k] * x[self.colid[k]];
+                }
+                y[self.perm[pos]] = acc;
+            }
+        }
+    }
+
+    /// Converts back to CSR, undoing the σ-window permutation. Stored
+    /// entries are reproduced exactly (padding dropped).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.n_rows];
+        let c = self.chunk;
+        let n_chunks = self.chunkptr.len() - 1;
+        for ck in 0..n_chunks {
+            let pos_lo = ck * c;
+            let pos_hi = (pos_lo + c).min(self.n_rows);
+            let off = self.chunkptr[ck];
+            for (lane, pos) in (pos_lo..pos_hi).enumerate() {
+                let row = &mut rows[self.perm[pos]];
+                for j in 0..self.rowlen[pos] {
+                    let k = off + j * c + lane;
+                    row.push((self.colid[k], self.val[k]));
+                }
+            }
+        }
+        let mut rowptr = Vec::with_capacity(self.n_rows + 1);
+        rowptr.push(0usize);
+        let mut colid = Vec::with_capacity(self.nnz);
+        let mut val = Vec::with_capacity(self.nnz);
+        for row in rows {
+            for (j, v) in row {
+                colid.push(j);
+                val.push(v);
+            }
+            rowptr.push(colid.len());
+        }
+        CsrMatrix::from_parts_unchecked(self.n_rows, self.n_cols, rowptr, colid, val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip_preserves_triplets() {
+        let a = gen::random_spd(80, 0.06, 3).unwrap();
+        for (c, s) in [(1usize, 1usize), (4, 1), (8, 32), (8, 80), (16, 4)] {
+            let sell = SellCSigma::from_csr(&a, c, s).unwrap();
+            let back = sell.to_csr();
+            assert_eq!(back.rowptr(), a.rowptr(), "C={c} σ={s}");
+            assert_eq!(back.colid(), a.colid(), "C={c} σ={s}");
+            assert_eq!(back.val(), a.val(), "C={c} σ={s}");
+        }
+    }
+
+    #[test]
+    fn spmv_matches_csr_bitwise() {
+        for seed in 0..5u64 {
+            let a = gen::random_spd(130, 0.05, seed).unwrap();
+            let x: Vec<f64> = (0..130).map(|i| (i as f64 * 0.23).sin()).collect();
+            let want = a.spmv(&x);
+            for (c, s) in [(4usize, 1usize), (8, 32), (8, 130)] {
+                let sell = SellCSigma::from_csr(&a, c, s).unwrap();
+                let mut y = vec![0.0; 130];
+                sell.spmv_into(&x, &mut y);
+                assert_eq!(y, want, "seed {seed} C={c} σ={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorting_reduces_padding_on_skewed_rows() {
+        // Arrow matrix: first row dense, rest sparse — unsorted chunks
+        // pad every lane of the first chunk to the dense width.
+        let n = 64;
+        let mut coo = crate::coo::CooMatrix::new(n, n);
+        for j in 0..n {
+            coo.push(0, j, 1.0);
+            coo.push(j, j, 2.0);
+        }
+        let a = coo.to_csr();
+        let unsorted = SellCSigma::from_csr(&a, 8, 1).unwrap();
+        let sorted = SellCSigma::from_csr(&a, 8, n).unwrap();
+        assert!(sorted.padding_ratio() <= unsorted.padding_ratio());
+        // Both still compute the same product.
+        let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.1).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        unsorted.spmv_into(&x, &mut y1);
+        sorted.spmv_into(&x, &mut y2);
+        assert_eq!(y1, a.spmv(&x));
+        assert_eq!(y2, a.spmv(&x));
+    }
+
+    #[test]
+    fn clamped_conversion_survives_corruption() {
+        let mut a = gen::poisson2d(4).unwrap();
+        a.rowptr_mut()[3] = usize::MAX;
+        a.colid_mut()[7] = 1 << 33;
+        let sell = SellCSigma::from_csr_clamped(&a, 4, 16); // must not panic
+        let mut y = vec![0.0; 16];
+        sell.spmv_into(&[1.0; 16], &mut y);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let a = gen::tridiagonal(4, 2.0, -1.0).unwrap();
+        assert!(SellCSigma::from_csr(&a, 0, 1).is_err());
+        assert!(SellCSigma::from_csr(&a, 4, 0).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = CsrMatrix::new(0, 0, vec![0], vec![], vec![]).unwrap();
+        let sell = SellCSigma::from_csr(&a, 8, 32).unwrap();
+        assert_eq!(sell.nnz(), 0);
+        assert_eq!(sell.padding_ratio(), 0.0);
+        let mut y = vec![];
+        sell.spmv_into(&[], &mut y);
+    }
+}

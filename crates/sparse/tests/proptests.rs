@@ -1,6 +1,6 @@
 //! Property-based tests for the sparse substrate.
 
-use ftcg_sparse::{gen, io, vector, CooMatrix, CscMatrix};
+use ftcg_sparse::{gen, io, vector, BcsrMatrix, CooMatrix, CscMatrix, SellCSigma};
 use proptest::prelude::*;
 
 /// Strategy: a random small COO matrix with valid coordinates.
@@ -152,6 +152,53 @@ proptest! {
             cursor = b.end;
         }
         prop_assert_eq!(cursor, a.n_rows());
+    }
+
+    #[test]
+    fn bcsr_roundtrip_preserves_triplets(
+        n in 10usize..150, density in 0.01..0.15f64, seed in 0u64..500, b in 1usize..=4
+    ) {
+        // Generator matrices are duplicate-free and column-sorted, so the
+        // roundtrip must reproduce the (row, col, value) arrays exactly.
+        let a = gen::random_spd(n, density, seed).unwrap();
+        let back = BcsrMatrix::from_csr(&a, b).unwrap().to_csr();
+        prop_assert_eq!(back.rowptr(), a.rowptr());
+        prop_assert_eq!(back.colid(), a.colid());
+        prop_assert_eq!(back.val(), a.val());
+    }
+
+    #[test]
+    fn sell_roundtrip_preserves_triplets(
+        n in 10usize..150, density in 0.01..0.15f64, seed in 0u64..500,
+        c in 1usize..12, sigma in 1usize..40
+    ) {
+        let a = gen::random_spd(n, density, seed).unwrap();
+        let back = SellCSigma::from_csr(&a, c, sigma).unwrap().to_csr();
+        prop_assert_eq!(back.rowptr(), a.rowptr());
+        prop_assert_eq!(back.colid(), a.colid());
+        prop_assert_eq!(back.val(), a.val());
+    }
+
+    #[test]
+    fn blocked_formats_spmv_match_csr(coo in coo_strategy(40, 150), b in 1usize..=4, c in 1usize..10) {
+        // Arbitrary assembled matrices (possibly duplicate entries, any
+        // column order): products must agree with the CSR reference up
+        // to summation-order rounding.
+        let a = coo.to_csr();
+        let x: Vec<f64> = (0..a.n_cols()).map(|i| ((i as f64) * 0.37).cos() * 3.0).collect();
+        let want = a.spmv(&x);
+        let scale: f64 = 1.0 + want.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let blocked = BcsrMatrix::from_csr(&a, b).unwrap();
+        let mut y = vec![0.0; a.n_rows()];
+        blocked.spmv_into(&x, &mut y);
+        for i in 0..a.n_rows() {
+            prop_assert!((y[i] - want[i]).abs() <= 1e-12 * scale, "bcsr row {}", i);
+        }
+        let sell = SellCSigma::from_csr(&a, c, 4 * c).unwrap();
+        sell.spmv_into(&x, &mut y);
+        for i in 0..a.n_rows() {
+            prop_assert!((y[i] - want[i]).abs() <= 1e-12 * scale, "sell row {}", i);
+        }
     }
 
     #[test]
