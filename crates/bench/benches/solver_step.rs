@@ -1,0 +1,151 @@
+//! Bench target for the **steppable-solver refactor**: per-iteration
+//! overhead of the state-machine form (`cg_solve_with` driving
+//! `CgMachine` through a `StepContext`) against the historical inlined
+//! CG loop, plus the per-iteration cost of every machine.
+//!
+//! Beyond the Criterion report, the target *asserts* that the state
+//! machine stays within 2% of the legacy loop per iteration (min-of-N
+//! timing, so scheduler noise cancels) — a regression gate for the
+//! `cargo bench` runner; `ci.sh` smoke-compiles it via
+//! `cargo bench --no-run`.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ftcg_bench::{experiment_criterion, rhs};
+use ftcg_kernels::KernelSpec;
+use ftcg_solvers::machine::{PlainContext, SolverKind, StepResult};
+use ftcg_solvers::{cg_solve_with, CgConfig, SolveStats, StoppingCriterion};
+use ftcg_sparse::{gen, vector, CsrMatrix};
+
+const ITERS: usize = 200;
+
+/// The pre-refactor CG loop, verbatim (the baseline the machine form is
+/// gated against).
+fn legacy_cg(a: &CsrMatrix, b: &[f64], x0: &[f64], cfg: &CgConfig) -> SolveStats {
+    let n = a.n_rows();
+    let mut x = x0.to_vec();
+    let mut r = b.to_vec();
+    let ax = a.spmv(&x);
+    vector::sub_assign(&mut r, &ax);
+    let mut p = r.clone();
+    let mut q = vec![0.0; n];
+    let mut rnorm_sq = vector::norm2_sq(&r);
+    let threshold = cfg.stopping.threshold(a, vector::norm2(b), rnorm_sq.sqrt());
+    let mut it = 0usize;
+    while rnorm_sq.sqrt() > threshold && it < cfg.max_iters {
+        a.spmv_into(&p, &mut q);
+        let pq = vector::dot(&p, &q);
+        if pq <= 0.0 || !pq.is_finite() {
+            break;
+        }
+        let alpha = rnorm_sq / pq;
+        vector::axpy(alpha, &p, &mut x);
+        vector::axpy(-alpha, &q, &mut r);
+        let new_rnorm_sq = vector::norm2_sq(&r);
+        let beta = new_rnorm_sq / rnorm_sq;
+        rnorm_sq = new_rnorm_sq;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        it += 1;
+    }
+    SolveStats {
+        converged: rnorm_sq.sqrt() <= threshold,
+        residual_norm: rnorm_sq.sqrt(),
+        iterations: it,
+        x,
+    }
+}
+
+/// A full-iteration-budget configuration (threshold 0 never trips, so
+/// both forms run exactly `ITERS` iterations).
+fn run_all_iters_cfg() -> CgConfig {
+    CgConfig {
+        stopping: StoppingCriterion::Absolute { eps: 0.0 },
+        max_iters: ITERS,
+    }
+}
+
+/// Best-of-N wall time of `f` in nanoseconds (min absorbs scheduler
+/// noise far better than the mean).
+fn best_of<F: FnMut() -> usize>(n: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        let iters = black_box(f());
+        let dt = t0.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+        if dt < best {
+            best = dt;
+        }
+    }
+    best
+}
+
+fn bench_solver_step(c: &mut Criterion) {
+    let a = gen::poisson2d(48).expect("poisson grid");
+    let n = a.n_rows();
+    let b = rhs(n);
+    let x0 = vec![0.0; n];
+    let cfg = run_all_iters_cfg();
+    let kernel = KernelSpec::Csr.prepare(&a).expect("csr prepares");
+
+    let mut g = c.benchmark_group("solver_step");
+    g.bench_function("legacy_cg_loop", |bch| {
+        bch.iter(|| legacy_cg(&a, &b, &x0, &cfg).iterations)
+    });
+    g.bench_function("cg_machine", |bch| {
+        bch.iter(|| cg_solve_with(&a, &b, &x0, &cfg, kernel.as_ref()).iterations)
+    });
+    // Per-iteration cost of every machine (reporting only — the other
+    // solvers have no pre-refactor loop at the same kernel surface).
+    for kind in SolverKind::ALL {
+        g.bench_function(format!("{kind}_machine_steps"), |bch| {
+            bch.iter(|| {
+                let mut ctx = PlainContext {
+                    a: &a,
+                    kernel: kernel.as_ref(),
+                };
+                let mut m = kind.start_zero(&a, &b);
+                m.set_threshold(0.0);
+                let mut done = 0usize;
+                for _ in 0..50 {
+                    if m.step(&mut ctx) != StepResult::Done {
+                        break;
+                    }
+                    done += 1;
+                }
+                done
+            })
+        });
+    }
+    g.finish();
+
+    // Regression gate: the state machine must stay within 2% of the
+    // legacy loop per iteration. Min-of-N timing over identical work.
+    let legacy_ns = best_of(15, || legacy_cg(&a, &b, &x0, &cfg).iterations);
+    let machine_ns = best_of(15, || {
+        cg_solve_with(&a, &b, &x0, &cfg, kernel.as_ref()).iterations
+    });
+    let overhead_pct = (machine_ns / legacy_ns - 1.0) * 100.0;
+    println!(
+        "solver_step: legacy {legacy_ns:.0} ns/iter, machine {machine_ns:.0} ns/iter, \
+         overhead {overhead_pct:+.2}%"
+    );
+    assert!(
+        overhead_pct < 2.0,
+        "state-machine CG is {overhead_pct:.2}% slower per iteration than the legacy loop \
+         (gate: <2%)"
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    bench_solver_step(c);
+}
+
+criterion_group! {
+    name = solver_step;
+    config = experiment_criterion();
+    targets = benches
+}
+criterion_main!(solver_step);

@@ -8,6 +8,7 @@ use ftcg::sim::matrices::PaperMatrixResolver;
 use ftcg::sim::report::{figure1_ascii, figure1_csv, table1_csv, table1_markdown};
 use ftcg::sim::table1::{run_table1, Table1Params};
 use ftcg::sim::PAPER_MATRICES;
+use ftcg::solvers::SolverKind;
 use ftcg::sparse::stats::MatrixStats;
 use ftcg_engine::{run_campaign, sink, spec, CampaignSpec};
 
@@ -18,14 +19,14 @@ pub const USAGE: &str = "\
 ftcg — fault-tolerant Conjugate Gradient (Fasi, Robert & Uçar, PDSEC 2015)
 
 USAGE:
-  ftcg solve    (--matrix F.mtx | --gen SPEC) [--scheme S] [--alpha A] [--seed N]
-                [--kernel K] [--threads N]
+  ftcg solve    (--matrix F.mtx | --gen SPEC) [--scheme S] [--solver S] [--alpha A]
+                [--seed N] [--kernel K] [--threads N]
   ftcg stats    (--matrix F.mtx | --gen SPEC)
   ftcg campaign (--spec FILE | inline flags) [--out F.jsonl] [--csv F.csv]
                 [--reps N] [--seed N] [--threads N] [--quiet]
-  ftcg table1   [--scale N] [--reps N] [--threads N] [--kernel K]
+  ftcg table1   [--scale N] [--reps N] [--threads N] [--kernel K] [--solver S]
   ftcg figure1  [--scale N] [--reps N] [--points N] [--matrices N] [--threads N]
-                [--kernel K]
+                [--kernel K] [--solver S]
 
 GENERATORS (--gen):
   poisson2d:K              5-point Laplacian on a KxK grid
@@ -35,7 +36,10 @@ GENERATORS (--gen):
   paper:ID[:SCALE]         one of the nine Table 1 matrices (e.g. 341)
 
 OPTIONS:
-  --scheme   online | detection | correction (default: correction)
+  --scheme   online | detection | correction (default: correction);
+             the paper's full names work too (e.g. abft-correction)
+  --solver   cg | pcg | bicgstab | cgne (default: cg) — any solver
+             composes with any scheme, kernel and checkpoint policy
   --alpha    expected faults/iteration, float or fraction (e.g. 1/16)
   --seed     injector / campaign seed (default 0)
   --kernel   SpMV backend: csr | csr-par[:T] | bcsr[:B] | sell[:C[:S]]
@@ -47,20 +51,24 @@ OPTIONS:
              (0 = all cores)
 
 CAMPAIGNS:
-  A campaign sweeps {matrices x schemes x alphas} with `--reps`
-  repetitions per configuration, concurrently across worker threads,
-  and aggregates per-configuration statistics. Same spec + seed =>
-  byte-identical JSONL/CSV output.
+  A campaign sweeps {matrices x schemes x alphas x solvers x kernels}
+  with `--reps` repetitions per configuration, concurrently across
+  worker threads, and aggregates per-configuration statistics. Same
+  spec + seed => byte-identical JSONL/CSV output.
 
   --spec FILE   declarative spec: `key = value` lines or a JSON object
                 (keys: name seed reps threads max_iters matrices
-                schemes alphas kernels interval). `-` reads stdin.
+                schemes alphas solvers kernels interval). `-` reads
+                stdin.
   Inline flags instead of a file:
-    --gen SPECS --schemes LIST --alphas LIST [--kernels LIST]
-    [--interval model|fixed:N] [--name S] [--max-iters N]
-  The `kernels` axis sweeps SpMV backends (artifact rows gain a
-  `kernel` column); `auto:bench` is rejected there because its choice
-  is wall-clock dependent.
+    --gen SPECS --schemes LIST --alphas LIST [--solvers LIST]
+    [--kernels LIST] [--interval model|fixed:N] [--name S]
+    [--max-iters N]
+  The `solvers` axis sweeps iteration schemes (cg, pcg, bicgstab,
+  cgne); variants of one (matrix, scheme, alpha) point draw paired
+  fault streams, so solver columns are directly comparable. The
+  `kernels` axis sweeps SpMV backends the same way; `auto:bench` is
+  rejected there because its choice is wall-clock dependent.
   --out F       write JSONL summaries (default: print to stdout)
   --csv F       also write CSV
   --quiet       suppress the progress ticker
@@ -77,13 +85,15 @@ fn load_matrix(args: &[String]) -> Result<CsrMatrix, String> {
 }
 
 fn parse_scheme(args: &[String]) -> Result<Scheme, String> {
-    match value(args, "--scheme").unwrap_or("correction") {
-        "online" => Ok(Scheme::OnlineDetection),
-        "detection" => Ok(Scheme::AbftDetection),
-        "correction" => Ok(Scheme::AbftCorrection),
-        other => Err(format!(
-            "unknown scheme `{other}` (online | detection | correction)"
-        )),
+    // One scheme grammar for the whole workspace (accepts both the
+    // short names and the paper's full spellings).
+    spec::parse_scheme(value(args, "--scheme").unwrap_or("correction")).map_err(|e| e.to_string())
+}
+
+fn parse_solver_flag(args: &[String]) -> Result<SolverKind, String> {
+    match value(args, "--solver") {
+        None => Ok(SolverKind::Cg),
+        Some(s) => SolverKind::parse(s),
     }
 }
 
@@ -118,6 +128,16 @@ pub fn solve(args: &[String]) -> i32 {
             return Err("matrix must be square".into());
         }
         let scheme = parse_scheme(args)?;
+        let solver = parse_solver_flag(args)?;
+        if solver == SolverKind::Pcg && a.diag().contains(&0.0) {
+            // Surface the Jacobi precondition as a diagnostic, not the
+            // machine constructor's panic.
+            return Err(
+                "matrix has a zero diagonal entry; the Jacobi preconditioner \
+                 (--solver pcg) is undefined — pick another solver"
+                    .into(),
+            );
+        }
         let alpha = match value(args, "--alpha") {
             Some(s) => parse_alpha(s).ok_or_else(|| format!("bad --alpha `{s}`"))?,
             None => 0.0,
@@ -133,13 +153,15 @@ pub fn solve(args: &[String]) -> i32 {
         let n = a.n_rows();
         let b = vec![1.0; n];
         eprintln!(
-            "solving: n={n} nnz={} scheme={} alpha={alpha} seed={seed} kernel={}",
+            "solving: n={n} nnz={} scheme={} solver={} alpha={alpha} seed={seed} kernel={}",
             a.nnz(),
             scheme.name(),
+            solver.label(),
             kernel.label()
         );
         let mut builder = ftcg::ResilientCg::new(&a)
             .scheme(scheme)
+            .solver(solver)
             .seed(seed)
             .kernel(kernel);
         if alpha > 0.0 {
@@ -215,10 +237,11 @@ fn campaign_spec(args: &[String]) -> Result<CampaignSpec, String> {
     let mut cs = if let Some(path) = value(args, "--spec") {
         // Grid flags only apply to inline campaigns; silently ignoring
         // them next to --spec would let users run the wrong grid.
-        const GRID_FLAGS: [&str; 7] = [
+        const GRID_FLAGS: [&str; 8] = [
             "--gen",
             "--schemes",
             "--alphas",
+            "--solvers",
             "--kernels",
             "--interval",
             "--name",
@@ -262,6 +285,12 @@ fn campaign_spec(args: &[String]) -> Result<CampaignSpec, String> {
         if let Some(list) = value(args, "--alphas") {
             cs.alphas = spec::split_list(list)
                 .map(spec::parse_alpha)
+                .collect::<Result<_, _>>()
+                .map_err(|e| e.to_string())?;
+        }
+        if let Some(list) = value(args, "--solvers") {
+            cs.solvers = spec::split_list(list)
+                .map(spec::parse_solver)
                 .collect::<Result<_, _>>()
                 .map_err(|e| e.to_string())?;
         }
@@ -378,17 +407,26 @@ pub fn table1(args: &[String]) -> i32 {
             return 1;
         }
     };
+    let solver = match parse_solver_flag(args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
     let params = Table1Params {
         scale: parse_or(args, "--scale", 32),
         reps: parse_or(args, "--reps", 20),
         threads: parse_or(args, "--threads", 8),
         kernel,
+        solver,
         ..Table1Params::default()
     };
     eprintln!(
-        "Table 1: scale=1/{}, reps={}, alpha=1/16, kernel={}",
+        "Table 1: scale=1/{}, reps={}, alpha=1/16, solver={}, kernel={}",
         params.scale,
         params.reps,
+        params.solver.label(),
         params.kernel.label()
     );
     let rows = run_table1(&PAPER_MATRICES, &params);
@@ -411,12 +449,20 @@ pub fn figure1(args: &[String]) -> i32 {
             return 1;
         }
     };
+    let solver = match parse_solver_flag(args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
     let params = Figure1Params {
         scale: parse_or(args, "--scale", 32),
         reps: parse_or(args, "--reps", 20),
         mtbf_grid: log_grid(2e1, 2e4, parse_or(args, "--points", 6)),
         threads: parse_or(args, "--threads", 8),
         kernel,
+        solver,
         ..Figure1Params::default()
     };
     let n_matrices = parse_or(args, "--matrices", PAPER_MATRICES.len());

@@ -37,7 +37,7 @@
 //! | `ftcg-abft` | weighted checksums, detect-2/correct-1 SpMxV, TMR, FP tolerance |
 //! | `ftcg-checkpoint` | solver-state snapshots, stores, binary codec |
 //! | `ftcg-model` | expected frame time (eq. 5), optimal intervals (eq. 6), DP schedule |
-//! | `ftcg-solvers` | CG/PCG/BiCGSTAB/CGNE + the three resilient drivers |
+//! | `ftcg-solvers` | steppable CG/PCG/BiCGSTAB/CGNE state machines + the scheme-generic resilient executor |
 //! | `ftcg-engine` | concurrent campaign engine: declarative sweeps, worker pool, JSONL/CSV sinks |
 //! | `ftcg-sim` | Table 1 / Figure 1 experiment harness (engine campaigns) and reports |
 
@@ -58,7 +58,7 @@ use ftcg_checkpoint::ResilienceCosts;
 use ftcg_kernels::KernelSpec;
 use ftcg_model::{optimize, Scheme};
 use ftcg_solvers::resilient::{solve_resilient, ResilientConfig, ResilientOutcome};
-use ftcg_solvers::StoppingCriterion;
+use ftcg_solvers::{SolverKind, StoppingCriterion};
 use ftcg_sparse::CsrMatrix;
 
 /// Everything a typical user needs.
@@ -69,20 +69,23 @@ pub mod prelude {
     };
     pub use ftcg_model::Scheme;
     pub use ftcg_solvers::resilient::{ResilientConfig, ResilientOutcome};
-    pub use ftcg_solvers::{cg_solve, CgConfig, StoppingCriterion};
+    pub use ftcg_solvers::{cg_solve, CgConfig, SolverKind, StoppingCriterion};
     pub use ftcg_sparse::{gen, io, vector, CooMatrix, CsrMatrix};
 }
 
-/// High-level builder for a resilient CG solve.
+/// High-level builder for a resilient solve (named for its historical
+/// CG default; [`ResilientCg::solver`] swaps in PCG, BiCGStab or CGNE —
+/// every solver composes with every scheme).
 ///
-/// Defaults: ABFT-CORRECTION, model-optimal checkpoint interval for the
-/// configured fault rate, paper-like resilience costs, relative 1e-8
-/// stopping, no fault injection unless [`ResilientCg::fault_alpha`] is
-/// set.
+/// Defaults: CG under ABFT-CORRECTION, model-optimal checkpoint
+/// interval for the configured fault rate, paper-like resilience costs,
+/// relative 1e-8 stopping, no fault injection unless
+/// [`ResilientCg::fault_alpha`] is set.
 #[derive(Debug, Clone)]
 pub struct ResilientCg<'a> {
     a: &'a CsrMatrix,
     scheme: Scheme,
+    solver: SolverKind,
     interval: Option<usize>,
     verif_interval: Option<usize>,
     costs: ResilienceCosts,
@@ -99,6 +102,7 @@ impl<'a> ResilientCg<'a> {
         Self {
             a,
             scheme: Scheme::AbftCorrection,
+            solver: SolverKind::Cg,
             interval: None,
             verif_interval: None,
             costs: ResilienceCosts::abft_default(),
@@ -119,16 +123,35 @@ impl<'a> ResilientCg<'a> {
         self
     }
 
+    /// Selects the solver iterating under the protocol (default CG;
+    /// the builder keeps its historical name).
+    pub fn solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
     /// Fixes the checkpoint interval `s` (otherwise model-optimal).
+    ///
+    /// # Panics
+    /// Panics if `s == 0` (see
+    /// [`ResilientConfig::try_new`](ftcg_solvers::resilient::ResilientConfig::try_new)
+    /// for the typed rejection).
     pub fn checkpoint_interval(mut self, s: usize) -> Self {
-        self.interval = Some(s.max(1));
+        assert!(s >= 1, "checkpoint interval must be >= 1 (got 0)");
+        self.interval = Some(s);
         self
     }
 
     /// Fixes the verification interval `d` (ONLINE-DETECTION only;
     /// otherwise model-optimal).
+    ///
+    /// # Panics
+    /// Panics if `d == 0` (no silent clamp; see
+    /// [`ResilientConfig::validate`](ftcg_solvers::resilient::ResilientConfig::validate)
+    /// for the typed rejection).
     pub fn verif_interval(mut self, d: usize) -> Self {
-        self.verif_interval = Some(d.max(1));
+        assert!(d >= 1, "verification interval must be >= 1 (got 0)");
+        self.verif_interval = Some(d);
         self
     }
 
@@ -188,6 +211,7 @@ impl<'a> ResilientCg<'a> {
             }
         };
         let mut cfg = ResilientConfig::new(self.scheme, s);
+        cfg.solver = self.solver;
         cfg.verif_interval = d;
         cfg.costs = self.costs;
         cfg.stopping = self.stopping;
@@ -277,6 +301,21 @@ mod tests {
                 .solve(&b);
             assert!(out.converged, "kernel {name}");
             assert_eq!(out.x, reference.x, "kernel {name}");
+        }
+    }
+
+    #[test]
+    fn builder_solver_axis_solves_under_faults() {
+        let a = gen::random_spd(120, 0.05, 8).unwrap();
+        let b = vec![1.0; 120];
+        for kind in SolverKind::ALL {
+            let out = ResilientCg::new(&a)
+                .solver(kind)
+                .fault_alpha(1.0 / 16.0)
+                .seed(3)
+                .solve(&b);
+            assert!(out.converged, "{kind}");
+            assert!(out.true_residual < 1e-5, "{kind}");
         }
     }
 

@@ -107,6 +107,8 @@ pub struct ConfigSummary {
     pub n: usize,
     /// Scheme name (paper spelling, e.g. `ABFT-CORRECTION`).
     pub scheme: String,
+    /// Solver label (`cg`, `pcg`, `bicgstab`, `cgne`).
+    pub solver: String,
     /// Expected faults per iteration.
     pub alpha: f64,
     /// Checkpoint interval `s`.
@@ -196,6 +198,7 @@ fn summarize(
         matrix: job.key.matrix.clone(),
         n: job.key.n,
         scheme: job.key.scheme.name().to_string(),
+        solver: job.key.solver.label().to_string(),
         alpha: job.key.alpha,
         s: job.key.s,
         d: job.key.d,

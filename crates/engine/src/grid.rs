@@ -5,6 +5,7 @@ use std::sync::Arc;
 use ftcg_checkpoint::ResilienceCosts;
 use ftcg_model::{optimize, Scheme};
 use ftcg_solvers::resilient::ResilientConfig;
+use ftcg_solvers::SolverKind;
 use ftcg_sparse::CsrMatrix;
 
 use crate::spec::{CampaignSpec, IntervalPolicy, MatrixResolver};
@@ -19,6 +20,8 @@ pub struct ConfigKey {
     pub n: usize,
     /// Resilience scheme.
     pub scheme: Scheme,
+    /// Solver iterating under the protocol.
+    pub solver: SolverKind,
     /// Expected faults per iteration.
     pub alpha: f64,
     /// Checkpoint interval `s`.
@@ -54,10 +57,11 @@ pub struct ConfigJob {
     /// Fault model.
     pub injector: InjectorSpec,
     /// Seed-derivation coordinate; `None` means "this config's own grid
-    /// index". [`expand`] sets a *kernel-free* coordinate so every
-    /// kernel at the same (matrix, scheme, α) point draws identical
-    /// fault streams — the common-random-numbers pairing that makes
-    /// kernel columns comparable under injection.
+    /// index". [`expand`] sets a *solver- and kernel-free* coordinate so
+    /// every solver/kernel variant at the same (matrix, scheme, α)
+    /// point draws identical fault streams — the common-random-numbers
+    /// pairing that makes solver and kernel columns comparable under
+    /// injection.
     pub seed_group: Option<u64>,
 }
 
@@ -76,6 +80,7 @@ impl ConfigJob {
             matrix: matrix_label.into(),
             n: matrix.n_rows(),
             scheme: cfg.scheme,
+            solver: cfg.solver,
             alpha,
             s: cfg.checkpoint_interval,
             d: cfg.verif_interval,
@@ -139,10 +144,10 @@ pub fn default_rhs(n: usize) -> Vec<f64> {
 }
 
 /// Expands a spec into its configuration list, resolving every matrix
-/// once (grid order: matrices → schemes → alphas → kernels; this order
-/// is the config-index order seed derivation and output rows use —
-/// kernels innermost, so specs without a kernel axis keep their
-/// historical config indices and fault streams).
+/// once (grid order: matrices → schemes → alphas → solvers → kernels;
+/// this order is the config-index order seed derivation and output rows
+/// use — solvers and kernels innermost, so specs without those axes
+/// keep their historical config indices and fault streams).
 pub fn expand(
     spec: &CampaignSpec,
     resolver: &dyn MatrixResolver,
@@ -151,8 +156,9 @@ pub fn expand(
         return Err(EngineError::EmptyGrid);
     }
     let mut configs = Vec::with_capacity(spec.n_configs());
-    // Kernel-free coordinate: advances per (matrix, scheme, α) point so
-    // every kernel variant of a point shares one fault-stream seed.
+    // Solver- and kernel-free coordinate: advances per (matrix, scheme,
+    // α) point so every solver/kernel variant of a point shares one
+    // fault-stream seed (paired streams — common random numbers).
     let mut point = 0u64;
     for source in &spec.matrices {
         let a = Arc::new(resolver.resolve(source)?);
@@ -165,23 +171,27 @@ pub fn expand(
         let rhs = Arc::new(default_rhs(a.n_rows()));
         for &scheme in &spec.schemes {
             for &alpha in &spec.alphas {
-                for &kernel in &spec.kernels {
-                    let mut cfg = plan_config(scheme, alpha, spec.interval, spec.max_iters);
-                    // Pin `auto` per matrix now (deterministic heuristic;
-                    // the machine-dependent variant is rejected at spec
-                    // parse), so artifact rows name the backend that
-                    // actually runs instead of the literal "auto".
-                    cfg.kernel = kernel.resolve(&a);
-                    let mut job = ConfigJob::new(
-                        source.label(),
-                        Arc::clone(&a),
-                        Arc::clone(&rhs),
-                        cfg,
-                        alpha,
-                        InjectorSpec::Paper,
-                    );
-                    job.seed_group = Some(point);
-                    configs.push(job);
+                for &solver in &spec.solvers {
+                    for &kernel in &spec.kernels {
+                        let mut cfg = plan_config(scheme, alpha, spec.interval, spec.max_iters);
+                        cfg.solver = solver;
+                        // Pin `auto` per matrix now (deterministic
+                        // heuristic; the machine-dependent variant is
+                        // rejected at spec parse), so artifact rows name
+                        // the backend that actually runs instead of the
+                        // literal "auto".
+                        cfg.kernel = kernel.resolve(&a);
+                        let mut job = ConfigJob::new(
+                            source.label(),
+                            Arc::clone(&a),
+                            Arc::clone(&rhs),
+                            cfg,
+                            alpha,
+                            InjectorSpec::Paper,
+                        );
+                        job.seed_group = Some(point);
+                        configs.push(job);
+                    }
                 }
                 point += 1;
             }

@@ -29,7 +29,7 @@ pub fn jsonl_string(rows: &[ConfigSummary]) -> String {
 }
 
 /// CSV column order.
-const CSV_HEADER: &str = "campaign,matrix,n,scheme,alpha,s,d,kernel,reps,panics,\
+const CSV_HEADER: &str = "campaign,matrix,n,scheme,solver,alpha,s,d,kernel,reps,panics,\
 mean_time,std_time,min_time,max_time,p50_time,p90_time,\
 mean_executed,mean_rollbacks,mean_corrections,mean_faults,\
 convergence_rate,max_true_residual";
@@ -40,11 +40,12 @@ pub fn write_csv<W: Write>(mut w: W, rows: &[ConfigSummary]) -> io::Result<()> {
     for r in rows {
         writeln!(
             w,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             csv_field(&r.campaign),
             csv_field(&r.matrix),
             r.n,
             csv_field(&r.scheme),
+            csv_field(&r.solver),
             r.alpha,
             r.s,
             r.d,
@@ -104,6 +105,7 @@ mod tests {
             matrix: "poisson2d:8".into(),
             n: 64,
             scheme: "ABFT-CORRECTION".into(),
+            solver: "cg".into(),
             alpha: 0.0625,
             s: 14,
             d: 1,

@@ -1,9 +1,9 @@
 //! The declarative campaign specification.
 //!
 //! A [`CampaignSpec`] names a grid: matrix sources × schemes × fault
-//! rates α, with a repetition count, one campaign seed, and interval
-//! policy. Specs can be built programmatically or parsed from text in
-//! either of two formats:
+//! rates α (× solvers × kernels), with a repetition count, one campaign
+//! seed, and interval policy. Specs can be built programmatically or
+//! parsed from text in either of two formats:
 //!
 //! * **key=value** — one `key = value` per line, `#` comments, lists
 //!   comma-separated:
@@ -15,6 +15,7 @@
 //!   matrices = poisson2d:16, random:300:0.02:1
 //!   schemes  = online, detection, correction
 //!   alphas   = 0, 1/32, 1/16
+//!   solvers  = cg, pcg, bicgstab       # optional solver axis
 //!   kernels  = csr, bcsr:2, sell       # optional SpMV-backend axis
 //!   ```
 //!
@@ -23,6 +24,7 @@
 
 use ftcg_kernels::KernelSpec;
 use ftcg_model::Scheme;
+use ftcg_solvers::SolverKind;
 use ftcg_sparse::{gen, io, CsrMatrix};
 use serde::json::{self, Value};
 
@@ -173,6 +175,8 @@ pub struct CampaignSpec {
     pub schemes: Vec<Scheme>,
     /// Fault-rate axis (expected faults per iteration).
     pub alphas: Vec<f64>,
+    /// Solver axis (default: CG only).
+    pub solvers: Vec<SolverKind>,
     /// SpMV-backend axis (default: serial CSR only).
     pub kernels: Vec<KernelSpec>,
     /// Interval policy.
@@ -190,6 +194,7 @@ impl Default for CampaignSpec {
             matrices: Vec::new(),
             schemes: vec![Scheme::AbftDetection, Scheme::AbftCorrection],
             alphas: vec![1.0 / 16.0],
+            solvers: vec![SolverKind::Cg],
             kernels: vec![KernelSpec::Csr],
             interval: IntervalPolicy::ModelOptimal,
         }
@@ -228,6 +233,12 @@ pub fn parse_alpha(s: &str) -> Result<f64, EngineError> {
     Ok(v)
 }
 
+/// Parses a solver name (`cg`, `pcg` | `pcg-jacobi`, `bicgstab`,
+/// `cgne`) for the campaign grid.
+pub fn parse_solver(s: &str) -> Result<SolverKind, EngineError> {
+    SolverKind::parse(s).map_err(EngineError::Spec)
+}
+
 /// Parses a kernel name for the campaign grid. The machine-dependent
 /// `auto:bench` is rejected: its backend *choice* depends on wall-clock
 /// timing, which would break the byte-deterministic artifact contract.
@@ -253,7 +264,15 @@ pub fn parse_interval(s: &str) -> Result<IntervalPolicy, EngineError> {
             .trim()
             .parse()
             .map_err(|_| EngineError::Spec(format!("bad interval `{s}`")))?;
-        return Ok(IntervalPolicy::Fixed(v.max(1)));
+        if v == 0 {
+            // Historically clamped to 1 silently; surface the solver
+            // layer's typed rejection instead of masking a bad spec.
+            return Err(EngineError::Spec(format!(
+                "bad interval `{s}`: {}",
+                ftcg_solvers::ResilientConfigError::ZeroCheckpointInterval
+            )));
+        }
+        return Ok(IntervalPolicy::Fixed(v));
     }
     Err(EngineError::Spec(format!(
         "bad interval `{s}` (model | fixed:N)"
@@ -371,6 +390,11 @@ impl CampaignSpec {
                     .map(parse_alpha)
                     .collect::<Result<_, _>>()?;
             }
+            "solvers" => {
+                self.solvers = split_list(value)
+                    .map(parse_solver)
+                    .collect::<Result<_, _>>()?;
+            }
             "kernels" => {
                 self.kernels = split_list(value)
                     .map(parse_kernel)
@@ -388,6 +412,7 @@ impl CampaignSpec {
         if self.matrices.is_empty()
             || self.schemes.is_empty()
             || self.alphas.is_empty()
+            || self.solvers.is_empty()
             || self.kernels.is_empty()
             || self.reps == 0
         {
@@ -398,7 +423,11 @@ impl CampaignSpec {
 
     /// Number of configurations the grid expands to.
     pub fn n_configs(&self) -> usize {
-        self.matrices.len() * self.schemes.len() * self.alphas.len() * self.kernels.len()
+        self.matrices.len()
+            * self.schemes.len()
+            * self.alphas.len()
+            * self.solvers.len()
+            * self.kernels.len()
     }
 
     /// Total jobs (configurations × repetitions).
@@ -536,6 +565,40 @@ mod tests {
         // Default axis is the serial reference kernel only.
         let plain = CampaignSpec::parse("matrices = poisson2d:8\n").unwrap();
         assert_eq!(plain.kernels, vec![KernelSpec::Csr]);
+    }
+
+    #[test]
+    fn solver_axis_parses_in_both_formats() {
+        let kv = CampaignSpec::parse("matrices = poisson2d:8\nsolvers = cg, pcg, bicgstab, cgne\n")
+            .unwrap();
+        assert_eq!(kv.solvers, SolverKind::ALL.to_vec());
+        // 1 matrix × 2 default schemes × 1 default alpha × 4 solvers.
+        assert_eq!(kv.n_configs(), 8);
+        let json =
+            CampaignSpec::parse(r#"{"matrices": ["poisson2d:8"], "solvers": ["cg", "pcg"]}"#)
+                .unwrap();
+        assert_eq!(json.solvers, vec![SolverKind::Cg, SolverKind::Pcg]);
+        // Default axis is CG only — old specs keep their grids.
+        let plain = CampaignSpec::parse("matrices = poisson2d:8\n").unwrap();
+        assert_eq!(plain.solvers, vec![SolverKind::Cg]);
+        // Unknown solvers are spec errors, empty lists an empty grid.
+        assert!(CampaignSpec::parse("matrices = poisson2d:8\nsolvers = gmres\n").is_err());
+        assert!(matches!(
+            CampaignSpec::parse("matrices = poisson2d:8\nsolvers = ,\n"),
+            Err(EngineError::EmptyGrid)
+        ));
+    }
+
+    #[test]
+    fn zero_fixed_interval_is_a_typed_spec_error() {
+        let e = CampaignSpec::parse("matrices = poisson2d:8\ninterval = fixed:0\n");
+        match e {
+            Err(EngineError::Spec(msg)) => {
+                assert!(msg.contains("s must be >= 1"), "{msg}");
+            }
+            other => panic!("expected Spec error, got {other:?}"),
+        }
+        assert_eq!(parse_interval("fixed:1").unwrap(), IntervalPolicy::Fixed(1));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use ftcg_engine::{run_configs, ConfigJob, InjectorSpec};
 use ftcg_kernels::KernelSpec;
 use ftcg_model::{optimize, Scheme};
 use ftcg_solvers::resilient::ResilientConfig;
+use ftcg_solvers::SolverKind;
 use ftcg_sparse::CsrMatrix;
 
 use crate::matrices::MatrixSpec;
@@ -67,6 +68,8 @@ pub struct Figure1Params {
     pub cost_mode: CostMode,
     /// SpMV backend for every solve.
     pub kernel: KernelSpec,
+    /// Solver iterating under the protocol (the paper plots CG).
+    pub solver: SolverKind,
 }
 
 impl Default for Figure1Params {
@@ -78,6 +81,7 @@ impl Default for Figure1Params {
             threads: 4,
             cost_mode: CostMode::PaperLike,
             kernel: KernelSpec::Csr,
+            solver: SolverKind::Cg,
         }
     }
 }
@@ -135,6 +139,7 @@ pub fn curve_campaign(
             let alpha = 1.0 / mtbf;
             let mut cfg = optimal_config(scheme, alpha, costs);
             cfg.kernel = kernel;
+            cfg.solver = params.solver;
             ConfigJob::new(
                 format!("paper:{}", spec.id),
                 Arc::clone(a),

@@ -16,6 +16,7 @@ use ftcg_engine::{run_configs, ConfigJob, InjectorSpec};
 use ftcg_kernels::KernelSpec;
 use ftcg_model::{optimize, Scheme};
 use ftcg_solvers::resilient::ResilientConfig;
+use ftcg_solvers::SolverKind;
 use ftcg_sparse::CsrMatrix;
 
 use crate::matrices::MatrixSpec;
@@ -64,6 +65,9 @@ pub struct Table1Params {
     /// are wall-clock-free simulated times, but the default stays the
     /// deterministic reference).
     pub kernel: KernelSpec,
+    /// Solver iterating under the protocol (experiment dimension; the
+    /// paper's tables use CG).
+    pub solver: SolverKind,
 }
 
 impl Default for Table1Params {
@@ -76,6 +80,7 @@ impl Default for Table1Params {
             threads: 4,
             cost_mode: CostMode::PaperLike,
             kernel: KernelSpec::Csr,
+            solver: SolverKind::Cg,
         }
     }
 }
@@ -85,10 +90,12 @@ fn scheme_config(
     s: usize,
     costs: &MeasuredCosts,
     kernel: KernelSpec,
+    solver: SolverKind,
 ) -> ResilientConfig {
     let mut cfg = ResilientConfig::new(scheme, s);
     cfg.costs = costs.for_scheme(scheme);
     cfg.kernel = kernel;
+    cfg.solver = solver;
     cfg
 }
 
@@ -116,7 +123,7 @@ pub fn entry_campaign(
                 format!("paper:{}", spec.id),
                 Arc::clone(a),
                 Arc::clone(&b),
-                scheme_config(scheme, s, costs, kernel),
+                scheme_config(scheme, s, costs, kernel, params.solver),
                 params.alpha,
                 InjectorSpec::Paper,
             )

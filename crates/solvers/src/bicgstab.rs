@@ -6,10 +6,211 @@
 //! van der Vorst BiCGSTAB; each iteration performs two SpMxV that the
 //! ABFT layer can protect exactly like CG's one.
 
+use ftcg_checkpoint::SolverState;
 use ftcg_kernels::{CsrSerial, PreparedSpmv, SpmvKernel};
 use ftcg_sparse::{vector, CsrMatrix};
 
 use crate::cg::{CgConfig, SolveStats};
+use crate::machine::{CanonVec, IterativeSolver, PlainContext, StepContext, StepResult};
+use crate::verify::{verify_online_residual, OnlineTolerances, OnlineVerdict};
+
+/// BiCGSTAB as a steppable state machine.
+///
+/// Two forward products run per iteration — both are checksum-verified
+/// under the ABFT schemes ([`verified_products`] = 2). The half-step
+/// early exit consults the stopping threshold handed over by
+/// [`IterativeSolver::set_threshold`]. The shadow residual `r̂ = r₀`
+/// lives in reliable memory (it is constant for the whole solve), so
+/// snapshots need only the canonical vectors: `ρ` is recomputed as
+/// `r̂ᵀr` on restore, bit-identically to the recurrence value at any
+/// iteration boundary.
+///
+/// [`verified_products`]: IterativeSolver::verified_products
+#[derive(Debug, Clone)]
+pub struct BicgstabMachine {
+    b: Vec<f64>,
+    x: Vec<f64>,
+    r: Vec<f64>,
+    rhat: Vec<f64>,
+    p: Vec<f64>,
+    v: Vec<f64>,
+    s: Vec<f64>,
+    t: Vec<f64>,
+    rho: f64,
+    rnorm: f64,
+    threshold: f64,
+}
+
+impl BicgstabMachine {
+    fn from_residual(b: &[f64], x: Vec<f64>, r: Vec<f64>) -> Self {
+        let n = b.len();
+        let rhat = r.clone(); // shadow residual
+        let p = r.clone();
+        let rho = vector::dot(&rhat, &r);
+        let rnorm = vector::norm2(&r);
+        BicgstabMachine {
+            b: b.to_vec(),
+            x,
+            r,
+            rhat,
+            p,
+            v: vec![0.0; n],
+            s: vec![0.0; n],
+            t: vec![0.0; n],
+            rho,
+            rnorm,
+            threshold: 0.0,
+        }
+    }
+
+    /// Starts from an arbitrary `x0` with `r₀ = b − A·x₀` through `ctx`.
+    pub fn start(b: &[f64], x0: &[f64], ctx: &mut dyn StepContext) -> Self {
+        let mut x = x0.to_vec();
+        let mut r = b.to_vec();
+        let mut ax = vec![0.0; b.len()];
+        ctx.product(&mut x, &mut ax);
+        vector::sub_assign(&mut r, &ax);
+        Self::from_residual(b, x, r)
+    }
+
+    /// Starts from `x₀ = 0`, `r₀ = b` (resilient initialization).
+    pub fn start_zero(b: &[f64]) -> Self {
+        Self::from_residual(b, vec![0.0; b.len()], b.to_vec())
+    }
+}
+
+impl IterativeSolver for BicgstabMachine {
+    fn name(&self) -> &'static str {
+        "bicgstab"
+    }
+
+    fn n(&self) -> usize {
+        self.x.len()
+    }
+
+    fn residual_norm(&self) -> f64 {
+        self.rnorm
+    }
+
+    fn set_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold;
+    }
+
+    fn verified_products(&self) -> usize {
+        2
+    }
+
+    fn step(&mut self, ctx: &mut dyn StepContext) -> StepResult {
+        let n = self.x.len();
+        if self.rho == 0.0 || !self.rho.is_finite() {
+            return StepResult::Breakdown;
+        }
+        if ctx.product(&mut self.p, &mut self.v).rejected() {
+            return StepResult::Rejected;
+        }
+        let rhat_v = vector::dot(&self.rhat, &self.v);
+        if rhat_v == 0.0 || !rhat_v.is_finite() {
+            return StepResult::Breakdown;
+        }
+        let alpha = self.rho / rhat_v;
+        // s = r − α v
+        for i in 0..n {
+            self.s[i] = self.r[i] - alpha * self.v[i];
+        }
+        if vector::norm2(&self.s) <= self.threshold {
+            // Half-step exit: already converged at the intermediate
+            // residual. `ρ` stays stale, which is fine — the driver
+            // stops (or, in resilient mode, verifies and then stops)
+            // before it is read again.
+            vector::axpy(alpha, &self.p, &mut self.x);
+            self.r.copy_from_slice(&self.s);
+            self.rnorm = vector::norm2(&self.r);
+            return StepResult::Done;
+        }
+        if ctx.product(&mut self.s, &mut self.t).rejected() {
+            return StepResult::Rejected;
+        }
+        let tt = vector::norm2_sq(&self.t);
+        if tt == 0.0 {
+            return StepResult::Breakdown;
+        }
+        let omega = vector::dot(&self.t, &self.s) / tt;
+        if omega == 0.0 || !omega.is_finite() {
+            return StepResult::Breakdown;
+        }
+        // x += α p + ω s
+        for i in 0..n {
+            self.x[i] += alpha * self.p[i] + omega * self.s[i];
+        }
+        // r = s − ω t
+        for i in 0..n {
+            self.r[i] = self.s[i] - omega * self.t[i];
+        }
+        let rho_new = vector::dot(&self.rhat, &self.r);
+        let beta = (rho_new / self.rho) * (alpha / omega);
+        self.rho = rho_new;
+        // p = r + β (p − ω v)
+        for i in 0..n {
+            self.p[i] = self.r[i] + beta * (self.p[i] - omega * self.v[i]);
+        }
+        self.rnorm = vector::norm2(&self.r);
+        StepResult::Done
+    }
+
+    fn vector(&self, which: CanonVec) -> &[f64] {
+        match which {
+            CanonVec::Direction => &self.p,
+            CanonVec::Product => &self.v,
+            CanonVec::Residual => &self.r,
+            CanonVec::Iterate => &self.x,
+        }
+    }
+
+    fn vector_mut(&mut self, which: CanonVec) -> &mut [f64] {
+        match which {
+            CanonVec::Direction => &mut self.p,
+            CanonVec::Product => &mut self.v,
+            CanonVec::Residual => &mut self.r,
+            CanonVec::Iterate => &mut self.x,
+        }
+    }
+
+    fn snapshot(&self, iteration: usize, a: &CsrMatrix) -> SolverState {
+        SolverState::capture(
+            iteration,
+            &self.x,
+            &self.r,
+            &self.p,
+            self.rnorm * self.rnorm,
+            a,
+        )
+    }
+
+    fn restore(&mut self, st: &SolverState, _a: &CsrMatrix) {
+        self.x.copy_from_slice(&st.x);
+        self.r.copy_from_slice(&st.r);
+        self.p.copy_from_slice(&st.p);
+        // At every full-iteration boundary ρ == r̂ᵀr by the recurrence,
+        // so recomputing it reproduces the checkpointed trajectory bit
+        // for bit (the shadow residual is constant reliable state).
+        self.rho = vector::dot(&self.rhat, &self.r);
+        self.rnorm = vector::norm2(&self.r);
+    }
+
+    fn verify_state(&self, a: &CsrMatrix, norm1_a: f64, tol: &OnlineTolerances) -> OnlineVerdict {
+        // BiCGStab directions are not A-conjugate: only the recomputed
+        // residual test applies.
+        verify_online_residual(
+            a,
+            &self.b,
+            &self.x,
+            &self.r,
+            &[&self.p, &self.v],
+            norm1_a,
+            tol,
+        )
+    }
+}
 
 /// Solves `Ax = b` (general square `A`) with BiCGSTAB and the serial
 /// CSR reference kernel.
@@ -49,77 +250,26 @@ pub fn bicgstab_solve_with(
         "bicgstab: kernel prepared for wrong matrix"
     );
 
-    let mut x = x0.to_vec();
-    let mut r = b.to_vec();
-    let ax = kernel.spmv(&x);
-    vector::sub_assign(&mut r, &ax);
-    let rhat = r.clone(); // shadow residual
-    let mut p = r.clone();
-    let mut v = vec![0.0; n];
-    let mut s = vec![0.0; n];
-    let mut t = vec![0.0; n];
-    let mut rho = vector::dot(&rhat, &r);
-
+    let mut ctx = PlainContext { a, kernel };
+    let mut m = BicgstabMachine::start(b, x0, &mut ctx);
     let threshold = cfg
         .stopping
-        .threshold(a, vector::norm2(b), vector::norm2(&r));
+        .threshold(a, vector::norm2(b), vector::norm2(&m.r));
+    m.set_threshold(threshold);
 
     let mut it = 0usize;
-    let mut rnorm = vector::norm2(&r);
-    while rnorm > threshold && it < cfg.max_iters {
-        if rho == 0.0 || !rho.is_finite() {
-            break; // breakdown
-        }
-        kernel.spmv_into(&p, &mut v);
-        let rhat_v = vector::dot(&rhat, &v);
-        if rhat_v == 0.0 || !rhat_v.is_finite() {
+    while m.residual_norm() > threshold && it < cfg.max_iters {
+        if m.step(&mut ctx) != StepResult::Done {
             break;
         }
-        let alpha = rho / rhat_v;
-        // s = r − α v
-        for i in 0..n {
-            s[i] = r[i] - alpha * v[i];
-        }
-        if vector::norm2(&s) <= threshold {
-            vector::axpy(alpha, &p, &mut x);
-            r.copy_from_slice(&s);
-            rnorm = vector::norm2(&r);
-            it += 1;
-            break;
-        }
-        kernel.spmv_into(&s, &mut t);
-        let tt = vector::norm2_sq(&t);
-        if tt == 0.0 {
-            break;
-        }
-        let omega = vector::dot(&t, &s) / tt;
-        if omega == 0.0 || !omega.is_finite() {
-            break;
-        }
-        // x += α p + ω s
-        for i in 0..n {
-            x[i] += alpha * p[i] + omega * s[i];
-        }
-        // r = s − ω t
-        for i in 0..n {
-            r[i] = s[i] - omega * t[i];
-        }
-        let rho_new = vector::dot(&rhat, &r);
-        let beta = (rho_new / rho) * (alpha / omega);
-        rho = rho_new;
-        // p = r + β (p − ω v)
-        for i in 0..n {
-            p[i] = r[i] + beta * (p[i] - omega * v[i]);
-        }
-        rnorm = vector::norm2(&r);
         it += 1;
     }
 
     SolveStats {
-        converged: rnorm <= threshold,
-        residual_norm: rnorm,
+        converged: m.residual_norm() <= threshold,
+        residual_norm: m.residual_norm(),
         iterations: it,
-        x,
+        x: m.x,
     }
 }
 

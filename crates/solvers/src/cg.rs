@@ -1,15 +1,18 @@
-//! The Conjugate Gradient method (Algorithm 1 of the paper), fault-free
-//! reference implementation.
+//! The Conjugate Gradient method (Algorithm 1 of the paper).
 //!
-//! The solver accepts a pluggable SpMV backend through
-//! [`cg_solve_with`]; [`cg_solve`] runs the serial CSR reference kernel,
-//! which computes exactly the sums the historical inlined loop computed
-//! — bit for bit.
+//! The algorithm lives in the steppable [`CgMachine`]
+//! ([`IterativeSolver`]); [`cg_solve_with`] is a thin wrapper driving
+//! the machine with a pluggable SpMV backend, and [`cg_solve`] runs the
+//! serial CSR reference kernel — both compute exactly the sums the
+//! historical inlined loop computed, bit for bit.
 
+use ftcg_checkpoint::SolverState;
 use ftcg_kernels::{CsrSerial, PreparedSpmv, SpmvKernel};
 use ftcg_sparse::{vector, CsrMatrix};
 
+use crate::machine::{CanonVec, IterativeSolver, PlainContext, StepContext, StepResult};
 use crate::stopping::StoppingCriterion;
+use crate::verify::{verify_online, OnlineTolerances, OnlineVerdict};
 
 /// Configuration shared by the plain solvers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,6 +45,126 @@ pub struct SolveStats {
     pub residual_norm: f64,
 }
 
+/// The CG recurrence as a steppable state machine (see
+/// [`crate::machine`]).
+#[derive(Debug, Clone)]
+pub struct CgMachine {
+    b: Vec<f64>,
+    x: Vec<f64>,
+    r: Vec<f64>,
+    p: Vec<f64>,
+    q: Vec<f64>,
+    rnorm_sq: f64,
+}
+
+impl CgMachine {
+    /// Starts from an arbitrary `x0`, computing `r₀ = b − A·x₀` through
+    /// `ctx` (the wrappers' path — today's exact FP operations).
+    pub fn start(b: &[f64], x0: &[f64], ctx: &mut dyn StepContext) -> Self {
+        let n = b.len();
+        let mut x = x0.to_vec();
+        // r0 = b − A x0
+        let mut r = b.to_vec();
+        let mut ax = vec![0.0; n];
+        ctx.product(&mut x, &mut ax);
+        vector::sub_assign(&mut r, &ax);
+        let p = r.clone();
+        let rnorm_sq = vector::norm2_sq(&r);
+        CgMachine {
+            b: b.to_vec(),
+            x,
+            r,
+            p,
+            q: vec![0.0; n],
+            rnorm_sq,
+        }
+    }
+
+    /// Starts from `x₀ = 0` with `r₀ = b` taken verbatim (the resilient
+    /// drivers' historical initialization — no initial product).
+    pub fn start_zero(b: &[f64]) -> Self {
+        let n = b.len();
+        CgMachine {
+            b: b.to_vec(),
+            x: vec![0.0; n],
+            r: b.to_vec(),
+            p: b.to_vec(),
+            q: vec![0.0; n],
+            rnorm_sq: vector::norm2_sq(b),
+        }
+    }
+}
+
+impl IterativeSolver for CgMachine {
+    fn name(&self) -> &'static str {
+        "cg"
+    }
+
+    fn n(&self) -> usize {
+        self.x.len()
+    }
+
+    fn residual_norm(&self) -> f64 {
+        self.rnorm_sq.sqrt()
+    }
+
+    fn step(&mut self, ctx: &mut dyn StepContext) -> StepResult {
+        let n = self.x.len();
+        if ctx.product(&mut self.p, &mut self.q).rejected() {
+            return StepResult::Rejected;
+        }
+        let pq = vector::dot(&self.p, &self.q);
+        if pq <= 0.0 || !pq.is_finite() {
+            // Breakdown: A not SPD (or severe ill-conditioning).
+            return StepResult::Breakdown;
+        }
+        let alpha = self.rnorm_sq / pq;
+        vector::axpy(alpha, &self.p, &mut self.x);
+        vector::axpy(-alpha, &self.q, &mut self.r);
+        let new_rnorm_sq = vector::norm2_sq(&self.r);
+        let beta = new_rnorm_sq / self.rnorm_sq;
+        self.rnorm_sq = new_rnorm_sq;
+        // p ← r + β p
+        for i in 0..n {
+            self.p[i] = self.r[i] + beta * self.p[i];
+        }
+        StepResult::Done
+    }
+
+    fn vector(&self, which: CanonVec) -> &[f64] {
+        match which {
+            CanonVec::Direction => &self.p,
+            CanonVec::Product => &self.q,
+            CanonVec::Residual => &self.r,
+            CanonVec::Iterate => &self.x,
+        }
+    }
+
+    fn vector_mut(&mut self, which: CanonVec) -> &mut [f64] {
+        match which {
+            CanonVec::Direction => &mut self.p,
+            CanonVec::Product => &mut self.q,
+            CanonVec::Residual => &mut self.r,
+            CanonVec::Iterate => &mut self.x,
+        }
+    }
+
+    fn snapshot(&self, iteration: usize, a: &CsrMatrix) -> SolverState {
+        SolverState::capture(iteration, &self.x, &self.r, &self.p, self.rnorm_sq, a)
+    }
+
+    fn restore(&mut self, st: &SolverState, _a: &CsrMatrix) {
+        self.x.copy_from_slice(&st.x);
+        self.r.copy_from_slice(&st.r);
+        self.p.copy_from_slice(&st.p);
+        self.rnorm_sq = st.rnorm_sq;
+    }
+
+    fn verify_state(&self, a: &CsrMatrix, norm1_a: f64, tol: &OnlineTolerances) -> OnlineVerdict {
+        verify_online(a, &self.b, &self.x, &self.r, &self.p, &self.q, norm1_a, tol)
+    }
+}
+
 /// Solves `Ax = b` for SPD `A` by conjugate gradients, starting from
 /// `x0`, with the serial CSR reference kernel.
 ///
@@ -72,43 +195,25 @@ pub fn cg_solve_with(
     assert_eq!(kernel.n_rows(), n, "cg: kernel prepared for wrong matrix");
     assert_eq!(kernel.n_cols(), n, "cg: kernel prepared for wrong matrix");
 
-    let mut x = x0.to_vec();
-    // r0 = b − A x0
-    let mut r = b.to_vec();
-    let ax = kernel.spmv(&x);
-    vector::sub_assign(&mut r, &ax);
-    let mut p = r.clone();
-    let mut q = vec![0.0; n];
-
-    let mut rnorm_sq = vector::norm2_sq(&r);
-    let threshold = cfg.stopping.threshold(a, vector::norm2(b), rnorm_sq.sqrt());
+    let mut ctx = PlainContext { a, kernel };
+    let mut m = CgMachine::start(b, x0, &mut ctx);
+    let threshold = cfg
+        .stopping
+        .threshold(a, vector::norm2(b), m.residual_norm());
 
     let mut it = 0usize;
-    while rnorm_sq.sqrt() > threshold && it < cfg.max_iters {
-        kernel.spmv_into(&p, &mut q);
-        let pq = vector::dot(&p, &q);
-        if pq <= 0.0 || !pq.is_finite() {
-            // Breakdown: A not SPD (or severe ill-conditioning).
+    while m.residual_norm() > threshold && it < cfg.max_iters {
+        if m.step(&mut ctx) != StepResult::Done {
             break;
-        }
-        let alpha = rnorm_sq / pq;
-        vector::axpy(alpha, &p, &mut x);
-        vector::axpy(-alpha, &q, &mut r);
-        let new_rnorm_sq = vector::norm2_sq(&r);
-        let beta = new_rnorm_sq / rnorm_sq;
-        rnorm_sq = new_rnorm_sq;
-        // p ← r + β p
-        for i in 0..n {
-            p[i] = r[i] + beta * p[i];
         }
         it += 1;
     }
 
     SolveStats {
-        converged: rnorm_sq.sqrt() <= threshold,
-        residual_norm: rnorm_sq.sqrt(),
+        converged: m.residual_norm() <= threshold,
+        residual_norm: m.residual_norm(),
         iterations: it,
-        x,
+        x: m.x,
     }
 }
 

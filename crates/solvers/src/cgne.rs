@@ -6,67 +6,241 @@
 //! sparse *transpose* product `Aᵀv` as well, exercising the column-
 //! oriented code paths.
 
+use ftcg_checkpoint::SolverState;
+use ftcg_kernels::{CsrSerial, PreparedSpmv, SpmvKernel};
 use ftcg_sparse::{vector, CsrMatrix};
 
 use crate::cg::{CgConfig, SolveStats};
+use crate::machine::{CanonVec, IterativeSolver, PlainContext, StepContext, StepResult};
+use crate::verify::{verify_online_residual, OnlineTolerances, OnlineVerdict};
 
-/// Solves `Ax = b` for nonsingular square `A` via the normal equations.
+/// CGNE as a steppable state machine.
+///
+/// Each iteration performs one forward product `q = A·p` (verified by
+/// the ABFT schemes) and one transpose product `z = Aᵀ·r` (defensive in
+/// resilient mode, but *not* checksum-verified — the paper's checksums
+/// protect the row space). The cross-iteration scalar `‖Aᵀr‖²` is a
+/// deterministic function of `r` and the matrix image, so snapshots
+/// need only the canonical vectors and restore recomputes it against
+/// the restored matrix, bit-identically at iteration boundaries.
+#[derive(Debug, Clone)]
+pub struct CgneMachine {
+    b: Vec<f64>,
+    x: Vec<f64>,
+    r: Vec<f64>,
+    p: Vec<f64>,
+    q: Vec<f64>,
+    z: Vec<f64>,
+    rtr: f64,
+    rnorm: f64,
+}
+
+impl CgneMachine {
+    fn from_residual(x: Vec<f64>, r: Vec<f64>, b: &[f64], ctx: &mut dyn StepContext) -> Self {
+        let n = b.len();
+        // p = Aᵀ r
+        let mut p = vec![0.0; n];
+        ctx.product_transpose(&r, &mut p);
+        let rtr = vector::norm2_sq(&p); // ‖Aᵀr‖²
+        let rnorm = vector::norm2(&r);
+        CgneMachine {
+            b: b.to_vec(),
+            x,
+            r,
+            p,
+            q: vec![0.0; n],
+            z: vec![0.0; n],
+            rtr,
+            rnorm,
+        }
+    }
+
+    /// Starts from an arbitrary `x0` with `r₀ = b − A·x₀` and
+    /// `p₀ = Aᵀ·r₀` through `ctx`.
+    pub fn start(b: &[f64], x0: &[f64], ctx: &mut dyn StepContext) -> Self {
+        let mut x = x0.to_vec();
+        // r = b − A x (residual of the original system)
+        let mut r = b.to_vec();
+        let mut ax = vec![0.0; b.len()];
+        ctx.product(&mut x, &mut ax);
+        vector::sub_assign(&mut r, &ax);
+        Self::from_residual(x, r, b, ctx)
+    }
+
+    /// Starts from `x₀ = 0`, `r₀ = b` (resilient initialization); the
+    /// initial transpose product runs against the pristine `a0`.
+    pub fn start_zero(a0: &CsrMatrix, b: &[f64]) -> Self {
+        let mut ctx = ZeroInitCtx(a0);
+        Self::from_residual(vec![0.0; b.len()], b.to_vec(), b, &mut ctx)
+    }
+}
+
+/// Transpose-only context for [`CgneMachine::start_zero`] (the pristine
+/// matrix is trusted at setup time, like the ABFT checksum build).
+struct ZeroInitCtx<'a>(&'a CsrMatrix);
+
+impl StepContext for ZeroInitCtx<'_> {
+    fn product(&mut self, _x: &mut [f64], _y: &mut [f64]) -> crate::machine::ProductStatus {
+        unreachable!("zero-start CGNE needs no forward product")
+    }
+
+    fn product_transpose(&mut self, x: &[f64], y: &mut [f64]) -> crate::machine::ProductStatus {
+        self.0.spmv_transpose_into(x, y);
+        crate::machine::ProductStatus::Trusted
+    }
+}
+
+impl IterativeSolver for CgneMachine {
+    fn name(&self) -> &'static str {
+        "cgne"
+    }
+
+    fn n(&self) -> usize {
+        self.x.len()
+    }
+
+    fn residual_norm(&self) -> f64 {
+        self.rnorm
+    }
+
+    fn step(&mut self, ctx: &mut dyn StepContext) -> StepResult {
+        let n = self.x.len();
+        if self.rtr == 0.0 || !self.rtr.is_finite() {
+            return StepResult::Breakdown;
+        }
+        if ctx.product(&mut self.p, &mut self.q).rejected() {
+            // q = A p
+            return StepResult::Rejected;
+        }
+        let qq = vector::norm2_sq(&self.q);
+        if qq == 0.0 || !qq.is_finite() {
+            return StepResult::Breakdown;
+        }
+        let alpha = self.rtr / qq;
+        vector::axpy(alpha, &self.p, &mut self.x);
+        vector::axpy(-alpha, &self.q, &mut self.r);
+        // z = Aᵀ r
+        if ctx.product_transpose(&self.r, &mut self.z).rejected() {
+            return StepResult::Rejected;
+        }
+        let rtr_new = vector::norm2_sq(&self.z);
+        let beta = rtr_new / self.rtr;
+        self.rtr = rtr_new;
+        for i in 0..n {
+            self.p[i] = self.z[i] + beta * self.p[i];
+        }
+        self.rnorm = vector::norm2(&self.r);
+        StepResult::Done
+    }
+
+    fn vector(&self, which: CanonVec) -> &[f64] {
+        match which {
+            CanonVec::Direction => &self.p,
+            CanonVec::Product => &self.q,
+            CanonVec::Residual => &self.r,
+            CanonVec::Iterate => &self.x,
+        }
+    }
+
+    fn vector_mut(&mut self, which: CanonVec) -> &mut [f64] {
+        match which {
+            CanonVec::Direction => &mut self.p,
+            CanonVec::Product => &mut self.q,
+            CanonVec::Residual => &mut self.r,
+            CanonVec::Iterate => &mut self.x,
+        }
+    }
+
+    fn snapshot(&self, iteration: usize, a: &CsrMatrix) -> SolverState {
+        SolverState::capture(
+            iteration,
+            &self.x,
+            &self.r,
+            &self.p,
+            self.rnorm * self.rnorm,
+            a,
+        )
+    }
+
+    fn restore(&mut self, st: &SolverState, a: &CsrMatrix) {
+        self.x.copy_from_slice(&st.x);
+        self.r.copy_from_slice(&st.r);
+        self.p.copy_from_slice(&st.p);
+        // ‖Aᵀr‖² is recomputed against the restored matrix image — the
+        // clamped traversal visits exactly the entries the plain one
+        // does on a well-formed matrix, and never panics on a corrupted
+        // one.
+        a.spmv_transpose_clamped_into(&self.r, &mut self.z);
+        self.rtr = vector::norm2_sq(&self.z);
+        self.rnorm = vector::norm2(&self.r);
+    }
+
+    fn verify_state(&self, a: &CsrMatrix, norm1_a: f64, tol: &OnlineTolerances) -> OnlineVerdict {
+        // CGNE directions are AᵀA-conjugate, not A-conjugate: only the
+        // recomputed-residual test applies.
+        verify_online_residual(
+            a,
+            &self.b,
+            &self.x,
+            &self.r,
+            &[&self.p, &self.q],
+            norm1_a,
+            tol,
+        )
+    }
+}
+
+/// Solves `Ax = b` for nonsingular square `A` via the normal equations,
+/// with the serial CSR reference kernel.
 ///
 /// # Panics
 /// Panics on dimension mismatch or non-square matrix.
 pub fn cgne_solve(a: &CsrMatrix, b: &[f64], x0: &[f64], cfg: &CgConfig) -> SolveStats {
+    let kernel = CsrSerial.prepare(a).expect("CSR preparation cannot fail");
+    cgne_solve_with(a, b, x0, cfg, kernel.as_ref())
+}
+
+/// [`cgne_solve`] with an explicit SpMV backend for the forward
+/// products (`A·x₀`, `A·p`); the transpose products `Aᵀ·r` always run
+/// the serial CSR traversal — column-space kernels are not part of the
+/// backend surface.
+///
+/// # Panics
+/// Panics on dimension mismatch, a non-square matrix, or a kernel
+/// prepared from a matrix of different dimensions.
+pub fn cgne_solve_with(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    cfg: &CgConfig,
+    kernel: &dyn PreparedSpmv,
+) -> SolveStats {
     assert!(a.is_square(), "cgne: matrix must be square");
     let n = a.n_rows();
     assert_eq!(b.len(), n, "cgne: b length mismatch");
     assert_eq!(x0.len(), n, "cgne: x0 length mismatch");
+    assert_eq!(kernel.n_rows(), n, "cgne: kernel prepared for wrong matrix");
+    assert_eq!(kernel.n_cols(), n, "cgne: kernel prepared for wrong matrix");
 
-    let mut x = x0.to_vec();
-    // r = b − A x (residual of the original system)
-    let mut r = b.to_vec();
-    let ax = a.spmv(&x);
-    vector::sub_assign(&mut r, &ax);
-    // p = Aᵀ r
-    let mut p = vec![0.0; n];
-    a.spmv_transpose_into(&r, &mut p);
-    let mut q = vec![0.0; n];
-    let mut rtr = vector::norm2_sq(&p); // ‖Aᵀr‖²
-
+    let mut ctx = PlainContext { a, kernel };
+    let mut m = CgneMachine::start(b, x0, &mut ctx);
     let threshold = cfg
         .stopping
-        .threshold(a, vector::norm2(b), vector::norm2(&r));
+        .threshold(a, vector::norm2(b), vector::norm2(&m.r));
 
     let mut it = 0usize;
-    let mut rnorm = vector::norm2(&r);
-    while rnorm > threshold && it < cfg.max_iters {
-        if rtr == 0.0 || !rtr.is_finite() {
+    while m.residual_norm() > threshold && it < cfg.max_iters {
+        if m.step(&mut ctx) != StepResult::Done {
             break;
         }
-        a.spmv_into(&p, &mut q); // q = A p
-        let qq = vector::norm2_sq(&q);
-        if qq == 0.0 || !qq.is_finite() {
-            break;
-        }
-        let alpha = rtr / qq;
-        vector::axpy(alpha, &p, &mut x);
-        vector::axpy(-alpha, &q, &mut r);
-        // z = Aᵀ r
-        let mut z = vec![0.0; n];
-        a.spmv_transpose_into(&r, &mut z);
-        let rtr_new = vector::norm2_sq(&z);
-        let beta = rtr_new / rtr;
-        rtr = rtr_new;
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
-        rnorm = vector::norm2(&r);
         it += 1;
     }
 
     SolveStats {
-        converged: rnorm <= threshold,
-        residual_norm: rnorm,
+        converged: m.residual_norm() <= threshold,
+        residual_norm: m.residual_norm(),
         iterations: it,
-        x,
+        x: m.x,
     }
 }
 

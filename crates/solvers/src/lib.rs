@@ -1,12 +1,16 @@
 //! Iterative solvers with pluggable silent-error resilience.
 //!
-//! The plain solvers ([`cg`], [`pcg`], [`bicgstab`], [`cgne`]) are the
-//! textbook algorithms (Algorithm 1 of the paper for CG). The
-//! [`resilient`] module wraps CG with the paper's three schemes:
+//! Every solver ([`cg`], [`pcg`], [`bicgstab`], [`cgne`]) is a
+//! steppable state machine ([`machine::IterativeSolver`]); the plain
+//! `*_solve` / `*_solve_with` entry points are thin wrappers that drive
+//! the machine bit-for-bit identically to the historical monolithic
+//! loops. The [`resilient`] module composes any machine with the
+//! paper's three schemes through one generic executor:
 //!
-//! * **ONLINE-DETECTION** — Chen's periodic stability tests
-//!   (orthogonality + recomputed residual) every `d` iterations,
-//!   checkpoint every `s` chunks, rollback on detection;
+//! * **ONLINE-DETECTION** — periodic stability tests (Chen's
+//!   orthogonality + recomputed residual for CG/PCG; residual-only for
+//!   BiCGStab/CGNE) every `d` iterations, checkpoint every `s` chunks,
+//!   rollback on detection;
 //! * **ABFT-DETECTION** — single-checksum ABFT verification of every
 //!   SpMxV (chunk = 1 iteration), rollback on detection;
 //! * **ABFT-CORRECTION** — dual-checksum ABFT that corrects single
@@ -19,13 +23,20 @@
 pub mod bicgstab;
 pub mod cg;
 pub mod cgne;
+pub mod machine;
 pub mod pcg;
 pub mod resilient;
 pub mod stopping;
 pub mod verify;
 
-pub use bicgstab::{bicgstab_solve, bicgstab_solve_with};
-pub use cg::{cg_solve, cg_solve_with, CgConfig, SolveStats};
-pub use pcg::{pcg_jacobi_solve, pcg_jacobi_solve_with};
-pub use resilient::{solve_resilient, ResilientConfig, ResilientOutcome};
+pub use bicgstab::{bicgstab_solve, bicgstab_solve_with, BicgstabMachine};
+pub use cg::{cg_solve, cg_solve_with, CgConfig, CgMachine, SolveStats};
+pub use cgne::{cgne_solve, cgne_solve_with, CgneMachine};
+pub use machine::{
+    CanonVec, IterativeSolver, PlainContext, ProductStatus, SolverKind, StepContext, StepResult,
+};
+pub use pcg::{pcg_jacobi_solve, pcg_jacobi_solve_with, PcgMachine};
+pub use resilient::{
+    solve_resilient, ResilientConfig, ResilientConfigError, ResilientOutcome, VerificationScheme,
+};
 pub use stopping::StoppingCriterion;

@@ -1,0 +1,273 @@
+//! Steppable solver state machines.
+//!
+//! Every iterative solver in this crate is implemented twice over the
+//! same core: a *state machine* ([`IterativeSolver`]) that advances one
+//! iteration per [`IterativeSolver::step`] call, and a thin `*_solve` /
+//! `*_solve_with` wrapper that drives the machine in a loop. The
+//! wrappers execute exactly the floating-point operations (in exactly
+//! the order) of the historical monolithic loops — bit for bit — while
+//! the machine form is what the scheme-generic
+//! [`ResilientExecutor`](crate::resilient) composes with verification,
+//! checkpointing and rollback.
+//!
+//! The machine surface is deliberately small:
+//!
+//! * [`IterativeSolver::step`] runs one iteration, routing every sparse
+//!   product through a caller-supplied [`StepContext`] (a plain kernel
+//!   for the wrappers, a defensive + checksum-verified product for the
+//!   resilient executor);
+//! * [`IterativeSolver::vector`] / [`vector_mut`](IterativeSolver::vector_mut)
+//!   expose the four *canonical* vectors ([`CanonVec`]) every solver
+//!   shares — the fault-injection and verification surface;
+//! * [`IterativeSolver::snapshot`] / [`restore`](IterativeSolver::restore)
+//!   round-trip through [`ftcg_checkpoint::SolverState`]: the snapshot
+//!   stores only the canonical vectors, and `restore` recomputes any
+//!   solver-private recurrence state (PCG's `z`/`rz`, BiCGStab's `ρ`,
+//!   CGNE's `‖Aᵀr‖²`) from them deterministically, so resuming at a
+//!   chunk boundary reproduces the uninterrupted trajectory bit for
+//!   bit.
+
+use ftcg_checkpoint::SolverState;
+use ftcg_kernels::PreparedSpmv;
+use ftcg_sparse::CsrMatrix;
+
+use crate::verify::{OnlineTolerances, OnlineVerdict};
+
+/// The canonical vectors every solver exposes — the paper's fault model
+/// strikes these (plus the matrix arrays), whatever the iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CanonVec {
+    /// The search direction `p` (input of the verified product).
+    Direction,
+    /// The last verified product output (`q` for CG-like solvers, `v`
+    /// for BiCGStab).
+    Product,
+    /// The recursive residual `r`.
+    Residual,
+    /// The iterate `x`.
+    Iterate,
+}
+
+/// What one [`IterativeSolver::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// One productive iteration completed.
+    Done,
+    /// Numerical breakdown: the recurrence cannot continue (non-SPD
+    /// pivot, zero denominator, non-finite scalar).
+    Breakdown,
+    /// A [`StepContext::product`] was rejected by verification; the
+    /// state is mid-iteration garbage and must be rolled back.
+    Rejected,
+}
+
+/// Verdict a [`StepContext`] returns for one product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProductStatus {
+    /// The output may be used.
+    Trusted,
+    /// Verification rejected the output; abort the step.
+    Rejected,
+}
+
+impl ProductStatus {
+    /// `true` for [`ProductStatus::Rejected`].
+    pub fn rejected(&self) -> bool {
+        matches!(self, ProductStatus::Rejected)
+    }
+}
+
+/// The product oracle a step routes its sparse products through.
+///
+/// Wrappers use [`PlainContext`] (a prepared kernel, never rejecting);
+/// the resilient executor substitutes a defensive, checksum-verified
+/// product over the live (corruptible) matrix image.
+pub trait StepContext {
+    /// Forward product `y ← A·x`. `x` is mutable because ABFT forward
+    /// *correction* may repair a corrupted input in place.
+    fn product(&mut self, x: &mut [f64], y: &mut [f64]) -> ProductStatus;
+
+    /// Transpose product `y ← Aᵀ·x` (CGNE's column-space products).
+    /// Runs defensively in resilient mode but is never
+    /// checksum-verified — the ABFT checksums of the paper protect the
+    /// row space only.
+    fn product_transpose(&mut self, x: &[f64], y: &mut [f64]) -> ProductStatus;
+}
+
+/// The wrappers' [`StepContext`]: a prepared kernel for forward
+/// products, the matrix itself for transpose products. Never rejects.
+pub struct PlainContext<'a> {
+    /// Matrix backing the transpose products.
+    pub a: &'a CsrMatrix,
+    /// Prepared forward-product backend.
+    pub kernel: &'a dyn PreparedSpmv,
+}
+
+impl StepContext for PlainContext<'_> {
+    fn product(&mut self, x: &mut [f64], y: &mut [f64]) -> ProductStatus {
+        self.kernel.spmv_into(x, y);
+        ProductStatus::Trusted
+    }
+
+    fn product_transpose(&mut self, x: &[f64], y: &mut [f64]) -> ProductStatus {
+        self.a.spmv_transpose_into(x, y);
+        ProductStatus::Trusted
+    }
+}
+
+/// A solver expressed as a steppable state machine (see the module
+/// docs). Object-safe: the resilient executor holds `Box<dyn
+/// IterativeSolver>` chosen at runtime from a [`SolverKind`].
+pub trait IterativeSolver {
+    /// Canonical short name (`cg`, `pcg`, `bicgstab`, `cgne`).
+    fn name(&self) -> &'static str;
+
+    /// Problem size `n`.
+    fn n(&self) -> usize;
+
+    /// The recursive residual norm driving the stopping test — exactly
+    /// the quantity the historical loop compared against the threshold.
+    fn residual_norm(&self) -> f64;
+
+    /// Hands the machine the resolved stopping threshold. Only
+    /// BiCGStab consults it mid-step (the half-step early exit); the
+    /// other machines ignore it.
+    fn set_threshold(&mut self, _threshold: f64) {}
+
+    /// Advances one iteration, routing sparse products through `ctx`.
+    fn step(&mut self, ctx: &mut dyn StepContext) -> StepResult;
+
+    /// Read access to a canonical vector.
+    fn vector(&self, which: CanonVec) -> &[f64];
+
+    /// Write access to a canonical vector (the fault-injection
+    /// surface).
+    fn vector_mut(&mut self, which: CanonVec) -> &mut [f64];
+
+    /// Nominal count of forward products per full iteration that run
+    /// under checksum verification (1 for CG/PCG/CGNE, 2 for BiCGStab).
+    /// The resilient executor charges `Tverif` per product *actually*
+    /// executed, which a half-step exit or early breakdown can bring
+    /// below this bound.
+    fn verified_products(&self) -> usize {
+        1
+    }
+
+    /// Captures the canonical state at a verified chunk boundary.
+    fn snapshot(&self, iteration: usize, a: &CsrMatrix) -> SolverState;
+
+    /// Restores a snapshot, recomputing solver-private recurrence state
+    /// from the canonical vectors and the restored matrix `a`
+    /// (bit-identical at chunk boundaries; see the module docs).
+    fn restore(&mut self, st: &SolverState, a: &CsrMatrix);
+
+    /// The solver-specific ONLINE-DETECTION stability verification.
+    /// CG and PCG run Chen's two tests (A-conjugacy of successive
+    /// directions + recomputed residual); BiCGStab and CGNE, whose
+    /// directions are not A-conjugate, run the residual test only.
+    fn verify_state(&self, a: &CsrMatrix, norm1_a: f64, tol: &OnlineTolerances) -> OnlineVerdict;
+}
+
+/// Runtime identity of a solver — the fourth campaign axis next to
+/// scheme, α and kernel. Parsed from CLI flags and campaign specs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverKind {
+    /// Conjugate gradients (Algorithm 1 of the paper).
+    #[default]
+    Cg,
+    /// Jacobi-preconditioned CG.
+    Pcg,
+    /// van der Vorst BiCGSTAB (two verified products per iteration).
+    Bicgstab,
+    /// CG on the normal equations (adds unverified transpose products).
+    Cgne,
+}
+
+impl SolverKind {
+    /// All solvers, in presentation order.
+    pub const ALL: [SolverKind; 4] = [
+        SolverKind::Cg,
+        SolverKind::Pcg,
+        SolverKind::Bicgstab,
+        SolverKind::Cgne,
+    ];
+
+    /// Canonical label; [`SolverKind::parse`] of the label returns the
+    /// same kind.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SolverKind::Cg => "cg",
+            SolverKind::Pcg => "pcg",
+            SolverKind::Bicgstab => "bicgstab",
+            SolverKind::Cgne => "cgne",
+        }
+    }
+
+    /// Parses a solver name (`cg`, `pcg` | `pcg-jacobi`, `bicgstab`,
+    /// `cgne`).
+    pub fn parse(s: &str) -> Result<SolverKind, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "cg" => Ok(SolverKind::Cg),
+            "pcg" | "pcg-jacobi" => Ok(SolverKind::Pcg),
+            "bicgstab" => Ok(SolverKind::Bicgstab),
+            "cgne" => Ok(SolverKind::Cgne),
+            other => Err(format!(
+                "unknown solver `{other}` (cg | pcg | bicgstab | cgne)"
+            )),
+        }
+    }
+
+    /// Builds the machine for a resilient solve: `x₀ = 0`, `r₀ = b`
+    /// taken verbatim (the historical drivers' initialization — no
+    /// initial product). Preconditioner/checksum-style setup reads the
+    /// *pristine* matrix `a0` (the paper's reliable setup phase).
+    pub fn start_zero(&self, a0: &CsrMatrix, b: &[f64]) -> Box<dyn IterativeSolver> {
+        match self {
+            SolverKind::Cg => Box::new(crate::cg::CgMachine::start_zero(b)),
+            SolverKind::Pcg => Box::new(crate::pcg::PcgMachine::start_zero(a0, b)),
+            SolverKind::Bicgstab => Box::new(crate::bicgstab::BicgstabMachine::start_zero(b)),
+            SolverKind::Cgne => Box::new(crate::cgne::CgneMachine::start_zero(a0, b)),
+        }
+    }
+}
+
+impl std::fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_label_roundtrip() {
+        for kind in SolverKind::ALL {
+            assert_eq!(SolverKind::parse(kind.label()).unwrap(), kind);
+        }
+        assert_eq!(SolverKind::parse("PCG-Jacobi").unwrap(), SolverKind::Pcg);
+        assert!(SolverKind::parse("gmres").is_err());
+        assert!(SolverKind::parse("").is_err());
+    }
+
+    #[test]
+    fn default_is_cg() {
+        assert_eq!(SolverKind::default(), SolverKind::Cg);
+        assert_eq!(SolverKind::default().label(), "cg");
+    }
+
+    #[test]
+    fn start_zero_builds_every_machine() {
+        let a = ftcg_sparse::gen::tridiagonal(10, 4.0, -1.0).unwrap();
+        let b = vec![1.0; 10];
+        for kind in SolverKind::ALL {
+            let m = kind.start_zero(&a, &b);
+            assert_eq!(m.n(), 10);
+            assert_eq!(m.name(), kind.label());
+            assert!(m.residual_norm() > 0.0);
+            assert_eq!(m.vector(CanonVec::Iterate), &[0.0; 10]);
+            assert_eq!(m.vector(CanonVec::Residual), &b[..]);
+        }
+    }
+}

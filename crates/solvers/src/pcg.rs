@@ -5,10 +5,173 @@
 //! application is a pointwise product, protectable by TMR like the other
 //! vector operations).
 
+use ftcg_checkpoint::SolverState;
 use ftcg_kernels::{CsrSerial, PreparedSpmv, SpmvKernel};
 use ftcg_sparse::{vector, CsrMatrix};
 
 use crate::cg::{CgConfig, SolveStats};
+use crate::machine::{CanonVec, IterativeSolver, PlainContext, StepContext, StepResult};
+use crate::verify::{verify_online, OnlineTolerances, OnlineVerdict};
+
+/// Jacobi-preconditioned CG as a steppable state machine.
+///
+/// The inverse diagonal `M⁻¹` is read once from the matrix handed to
+/// the constructor (the *pristine* matrix in resilient runs: the
+/// preconditioner is part of the reliable setup phase, like the ABFT
+/// checksums).
+#[derive(Debug, Clone)]
+pub struct PcgMachine {
+    b: Vec<f64>,
+    minv: Vec<f64>,
+    x: Vec<f64>,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    q: Vec<f64>,
+    rz: f64,
+    rnorm: f64,
+}
+
+impl PcgMachine {
+    fn jacobi_inverse(a: &CsrMatrix) -> Vec<f64> {
+        let diag = a.diag();
+        assert!(
+            diag.iter().all(|&d| d != 0.0),
+            "pcg: zero diagonal entry, Jacobi preconditioner undefined"
+        );
+        diag.iter().map(|&d| 1.0 / d).collect()
+    }
+
+    fn from_residual(a: &CsrMatrix, b: &[f64], x: Vec<f64>, r: Vec<f64>) -> Self {
+        let n = b.len();
+        let minv = Self::jacobi_inverse(a);
+        // z = M⁻¹ r
+        let z: Vec<f64> = r.iter().zip(minv.iter()).map(|(rv, m)| rv * m).collect();
+        let p = z.clone();
+        let rz = vector::dot(&r, &z);
+        let rnorm = vector::norm2(&r);
+        PcgMachine {
+            b: b.to_vec(),
+            minv,
+            x,
+            r,
+            z,
+            p,
+            q: vec![0.0; n],
+            rz,
+            rnorm,
+        }
+    }
+
+    /// Starts from an arbitrary `x0` with `r₀ = b − A·x₀` through `ctx`.
+    ///
+    /// # Panics
+    /// Panics on a zero diagonal entry (Jacobi undefined).
+    pub fn start(a: &CsrMatrix, b: &[f64], x0: &[f64], ctx: &mut dyn StepContext) -> Self {
+        let mut x = x0.to_vec();
+        let mut r = b.to_vec();
+        let mut ax = vec![0.0; b.len()];
+        ctx.product(&mut x, &mut ax);
+        vector::sub_assign(&mut r, &ax);
+        Self::from_residual(a, b, x, r)
+    }
+
+    /// Starts from `x₀ = 0`, `r₀ = b` (resilient initialization; `a0`
+    /// must be the pristine matrix).
+    ///
+    /// # Panics
+    /// Panics on a zero diagonal entry (Jacobi undefined).
+    pub fn start_zero(a0: &CsrMatrix, b: &[f64]) -> Self {
+        Self::from_residual(a0, b, vec![0.0; b.len()], b.to_vec())
+    }
+}
+
+impl IterativeSolver for PcgMachine {
+    fn name(&self) -> &'static str {
+        "pcg"
+    }
+
+    fn n(&self) -> usize {
+        self.x.len()
+    }
+
+    fn residual_norm(&self) -> f64 {
+        self.rnorm
+    }
+
+    fn step(&mut self, ctx: &mut dyn StepContext) -> StepResult {
+        let n = self.x.len();
+        if ctx.product(&mut self.p, &mut self.q).rejected() {
+            return StepResult::Rejected;
+        }
+        let pq = vector::dot(&self.p, &self.q);
+        if pq <= 0.0 || !pq.is_finite() {
+            return StepResult::Breakdown;
+        }
+        let alpha = self.rz / pq;
+        vector::axpy(alpha, &self.p, &mut self.x);
+        vector::axpy(-alpha, &self.q, &mut self.r);
+        for i in 0..n {
+            self.z[i] = self.r[i] * self.minv[i];
+        }
+        let rz_new = vector::dot(&self.r, &self.z);
+        let beta = rz_new / self.rz;
+        self.rz = rz_new;
+        for i in 0..n {
+            self.p[i] = self.z[i] + beta * self.p[i];
+        }
+        self.rnorm = vector::norm2(&self.r);
+        StepResult::Done
+    }
+
+    fn vector(&self, which: CanonVec) -> &[f64] {
+        match which {
+            CanonVec::Direction => &self.p,
+            CanonVec::Product => &self.q,
+            CanonVec::Residual => &self.r,
+            CanonVec::Iterate => &self.x,
+        }
+    }
+
+    fn vector_mut(&mut self, which: CanonVec) -> &mut [f64] {
+        match which {
+            CanonVec::Direction => &mut self.p,
+            CanonVec::Product => &mut self.q,
+            CanonVec::Residual => &mut self.r,
+            CanonVec::Iterate => &mut self.x,
+        }
+    }
+
+    fn snapshot(&self, iteration: usize, a: &CsrMatrix) -> SolverState {
+        SolverState::capture(
+            iteration,
+            &self.x,
+            &self.r,
+            &self.p,
+            self.rnorm * self.rnorm,
+            a,
+        )
+    }
+
+    fn restore(&mut self, st: &SolverState, _a: &CsrMatrix) {
+        self.x.copy_from_slice(&st.x);
+        self.r.copy_from_slice(&st.r);
+        self.p.copy_from_slice(&st.p);
+        // z and rz are pointwise/dot functions of the restored r — the
+        // same FP operations the step would have left behind.
+        for i in 0..self.z.len() {
+            self.z[i] = self.r[i] * self.minv[i];
+        }
+        self.rz = vector::dot(&self.r, &self.z);
+        self.rnorm = vector::norm2(&self.r);
+    }
+
+    fn verify_state(&self, a: &CsrMatrix, norm1_a: f64, tol: &OnlineTolerances) -> OnlineVerdict {
+        // PCG's successive directions are A-conjugate exactly like CG's,
+        // so both of Chen's tests apply unchanged.
+        verify_online(a, &self.b, &self.x, &self.r, &self.p, &self.q, norm1_a, tol)
+    }
+}
 
 /// Solves `Ax = b` with Jacobi-preconditioned CG and the serial CSR
 /// reference kernel.
@@ -42,56 +205,25 @@ pub fn pcg_jacobi_solve_with(
     assert_eq!(kernel.n_rows(), n, "pcg: kernel prepared for wrong matrix");
     assert_eq!(kernel.n_cols(), n, "pcg: kernel prepared for wrong matrix");
 
-    let diag = a.diag();
-    assert!(
-        diag.iter().all(|&d| d != 0.0),
-        "pcg: zero diagonal entry, Jacobi preconditioner undefined"
-    );
-    let minv: Vec<f64> = diag.iter().map(|&d| 1.0 / d).collect();
-
-    let mut x = x0.to_vec();
-    let mut r = b.to_vec();
-    let ax = kernel.spmv(&x);
-    vector::sub_assign(&mut r, &ax);
-    // z = M⁻¹ r
-    let mut z: Vec<f64> = r.iter().zip(minv.iter()).map(|(rv, m)| rv * m).collect();
-    let mut p = z.clone();
-    let mut q = vec![0.0; n];
-    let mut rz = vector::dot(&r, &z);
-
+    let mut ctx = PlainContext { a, kernel };
+    let mut m = PcgMachine::start(a, b, x0, &mut ctx);
     let threshold = cfg
         .stopping
-        .threshold(a, vector::norm2(b), vector::norm2(&r));
+        .threshold(a, vector::norm2(b), vector::norm2(&m.r));
 
     let mut it = 0usize;
-    let mut rnorm = vector::norm2(&r);
-    while rnorm > threshold && it < cfg.max_iters {
-        kernel.spmv_into(&p, &mut q);
-        let pq = vector::dot(&p, &q);
-        if pq <= 0.0 || !pq.is_finite() {
+    while m.residual_norm() > threshold && it < cfg.max_iters {
+        if m.step(&mut ctx) != StepResult::Done {
             break;
         }
-        let alpha = rz / pq;
-        vector::axpy(alpha, &p, &mut x);
-        vector::axpy(-alpha, &q, &mut r);
-        for i in 0..n {
-            z[i] = r[i] * minv[i];
-        }
-        let rz_new = vector::dot(&r, &z);
-        let beta = rz_new / rz;
-        rz = rz_new;
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
-        rnorm = vector::norm2(&r);
         it += 1;
     }
 
     SolveStats {
-        converged: rnorm <= threshold,
-        residual_norm: rnorm,
+        converged: m.residual_norm() <= threshold,
+        residual_norm: m.residual_norm(),
         iterations: it,
-        x,
+        x: m.x,
     }
 }
 

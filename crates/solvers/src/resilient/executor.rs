@@ -1,0 +1,392 @@
+//! The scheme-generic resilient executor.
+//!
+//! One loop implements the paper's protocol for *any*
+//! [`IterativeSolver`] × [`VerificationScheme`] combination: work
+//! proceeds in chunks ending with a verification; after `s` verified
+//! chunks a checkpoint is taken (so the last checkpoint is always
+//! valid — claim C1); any detection rolls back to the last checkpoint
+//! (or, when the escalation guard flags a tainted checkpoint, to the
+//! pristine initial data). For CG this reproduces the historical
+//! per-scheme drivers operation for operation; for PCG, BiCGStab and
+//! CGNE it is what makes resilient variants exist at all.
+//!
+//! Per iteration:
+//!
+//! 1. this iteration's faults strike the unreliable region — the matrix
+//!    arrays and the canonical vectors (under the ABFT schemes `r`/`x`
+//!    replicas are TMR-held and product-output faults are deferred onto
+//!    the verified product's output);
+//! 2. the solver steps once; every forward product runs *defensively*
+//!    against the live matrix image and is checked by the scheme
+//!    ([`VerificationScheme::check_product`] — checksum tests, forward
+//!    correction);
+//! 3. a rejected product or a numerical breakdown rolls back;
+//! 4. under the ABFT schemes the TMR replicas are voted (collisions
+//!    roll back, outvoted flips are counted as corrections);
+//! 5. at chunk boundaries the scheme verifies the whole state
+//!    ([`VerificationScheme::verify_chunk`]); convergence is only
+//!    accepted behind a passing verification, and checkpoints are only
+//!    taken behind one.
+
+use ftcg_abft::tmr::TmrVector;
+use ftcg_abft::XRef;
+use ftcg_checkpoint::{CheckpointStore, MemoryStore, SolverState};
+use ftcg_fault::ledger::{FaultLedger, FaultOutcome};
+use ftcg_fault::target::{FaultTarget, VectorId};
+use ftcg_fault::{FaultEvent, Injector};
+use ftcg_kernels::DefensiveProduct;
+use ftcg_sparse::{vector, CsrMatrix};
+
+use super::scheme::{ProductCheck, VerificationScheme};
+use super::{true_residual, EscalationGuard, ResilientConfig, ResilientOutcome, RunStats, SimTime};
+use crate::machine::{CanonVec, IterativeSolver, ProductStatus, StepContext, StepResult};
+
+/// Flips one bit of a value in place.
+#[inline]
+fn flip(v: &mut f64, bit: u32) {
+    *v = f64::from_bits(v.to_bits() ^ (1u64 << bit));
+}
+
+/// The resilient [`StepContext`]: products run defensively against the
+/// live (corruptible) matrix image; the scheme verifies each one. The
+/// iteration's first product carries the pre-captured input reference
+/// and receives the deferred product-output faults; later products
+/// (BiCGStab's second) capture their reference at call time — their
+/// inputs were computed in-step from already verified data, after this
+/// iteration's faults struck.
+struct ResilientCtx<'a, V: VerificationScheme> {
+    a: &'a mut CsrMatrix,
+    kernel: &'a mut DefensiveProduct,
+    scheme: &'a V,
+    /// Trusted input copy for the iteration's first product (ABFT
+    /// schemes only).
+    xref: Option<&'a XRef>,
+    /// Product-output faults deferred onto the first product.
+    q_faults: &'a [FaultEvent],
+    stats: &'a mut RunStats,
+    ledger: &'a mut FaultLedger,
+    first: bool,
+    /// Forward products this step actually executed (the `Tverif`
+    /// multiplier — a half-step exit or an early breakdown runs fewer
+    /// than the solver's nominal count).
+    products_run: usize,
+}
+
+impl<V: VerificationScheme> StepContext for ResilientCtx<'_, V> {
+    fn product(&mut self, x: &mut [f64], y: &mut [f64]) -> ProductStatus {
+        self.products_run += 1;
+        self.kernel.product(self.a, x, y);
+        let first = std::mem::replace(&mut self.first, false);
+        if !self.scheme.hardened_vectors() {
+            return ProductStatus::Trusted; // ONLINE: unverified products
+        }
+        if first {
+            // Faults in the product's computation/output strike here.
+            for e in self.q_faults {
+                flip(&mut y[e.offset], e.bit);
+            }
+        }
+        let fresh;
+        let xref = match (first, self.xref) {
+            (true, Some(x0)) => x0,
+            _ => {
+                fresh = XRef::capture(x);
+                &fresh
+            }
+        };
+        let check = self.scheme.check_product(self.a, x, xref, y);
+        match check {
+            ProductCheck::Clean => ProductStatus::Trusted,
+            ProductCheck::FalseAlarm => {
+                self.stats.detections += 1;
+                // The correction attempt may have touched the arrays.
+                self.kernel.invalidate();
+                ProductStatus::Trusted
+            }
+            ProductCheck::Corrected => {
+                self.stats.detections += 1;
+                self.stats.forward_corrections += 1;
+                self.kernel.invalidate();
+                self.ledger.resolve_iteration_where(
+                    self.stats.executed,
+                    FaultOutcome::Corrected,
+                    |rec| {
+                        rec.event.target.is_matrix()
+                            || matches!(
+                                rec.event.target,
+                                FaultTarget::Vector(VectorId::P | VectorId::Q)
+                            )
+                    },
+                );
+                ProductStatus::Trusted
+            }
+            ProductCheck::Rejected => {
+                self.stats.detections += 1;
+                self.kernel.invalidate();
+                ProductStatus::Rejected
+            }
+        }
+    }
+
+    fn product_transpose(&mut self, x: &[f64], y: &mut [f64]) -> ProductStatus {
+        // Defensive (the image may carry wild indices) but never
+        // checksum-verified: the paper's checksums protect the row
+        // space only. Errors it lets through are caught downstream by
+        // the TMR vote, the chunk verification or a breakdown.
+        self.a.spmv_transpose_clamped_into(x, y);
+        ProductStatus::Trusted
+    }
+}
+
+/// Runs the protocol for one solver × scheme combination.
+pub(super) fn run_executor<V: VerificationScheme>(
+    a0: &CsrMatrix,
+    b: &[f64],
+    cfg: &ResilientConfig,
+    mut injector: Option<&mut Injector>,
+    scheme: V,
+    mut solver: Box<dyn IterativeSolver>,
+) -> ResilientOutcome {
+    let hardened = scheme.hardened_vectors();
+    // Pin `auto` against the pristine matrix; conversions are cached
+    // and dropped whenever the matrix image mutates.
+    let mut kernel = DefensiveProduct::new(cfg.kernel.resolve(a0));
+    let d = scheme.chunk_len(cfg.verif_interval);
+
+    // Working (corruptible) state.
+    let mut a = a0.clone();
+    let threshold = cfg
+        .stopping
+        .threshold(a0, vector::norm2(b), solver.residual_norm());
+    solver.set_threshold(threshold);
+
+    // TMR shadows of the canonical r/x (ABFT schemes): replicas receive
+    // the injected flips and are voted each iteration; the vote only
+    // ever feeds statistics and rollback decisions — an outvoted flip
+    // never reaches the trajectory, exactly like the historical
+    // triplicated updates.
+    let mut r_tmr = hardened.then(|| TmrVector::new(solver.vector(CanonVec::Residual)));
+    let mut x_tmr = hardened.then(|| TmrVector::new(solver.vector(CanonVec::Iterate)));
+
+    // The pristine input data ("for the first frame we recover by
+    // reading initial data again") and the rolling checkpoint store.
+    let initial = solver.snapshot(0, a0);
+    let mut store = MemoryStore::new();
+    store.save(&initial).expect("memory store cannot fail");
+    let mut guard = EscalationGuard::default();
+
+    let mut time = SimTime::default();
+    let mut stats = RunStats::default();
+    let mut ledger = FaultLedger::new();
+    let mut xref = hardened.then(|| XRef::capture(solver.vector(CanonVec::Direction)));
+    let mut productive = 0usize;
+    let mut iters_in_chunk = 0usize;
+    let mut chunks_since_ckpt = 0usize;
+    let mut replica_rot = 0usize;
+    let mut converged = solver.residual_norm() <= threshold;
+
+    // Restores the latest checkpoint (or, when the escalation guard
+    // flags a tainted one, the pristine initial data) into the solver
+    // and the shadows.
+    macro_rules! rollback {
+        () => {{
+            time.add(cfg.costs.trec);
+            stats.rollbacks += 1;
+            let st: SolverState = if guard.must_escalate() {
+                // Re-read input data: discard the tainted checkpoint.
+                store.save(&initial).expect("memory store cannot fail");
+                guard.consecutive_rollbacks = 0;
+                initial.clone()
+            } else {
+                store
+                    .load()
+                    .expect("memory store cannot fail")
+                    .expect("initial checkpoint always present")
+            };
+            guard.note_restore();
+            a = st.matrix.clone();
+            kernel.invalidate(); // rollback replaced the matrix image
+            solver.restore(&st, &a);
+            if let (Some(rt), Some(xt)) = (r_tmr.as_mut(), x_tmr.as_mut()) {
+                rt.store(solver.vector(CanonVec::Residual));
+                xt.store(solver.vector(CanonVec::Iterate));
+            }
+            productive = st.iteration;
+            iters_in_chunk = 0;
+            chunks_since_ckpt = 0;
+            ledger.resolve_all_pending(FaultOutcome::RolledBack);
+            if hardened {
+                xref = Some(XRef::capture(solver.vector(CanonVec::Direction)));
+            }
+        }};
+    }
+
+    while !converged
+        && productive < cfg.max_productive_iters
+        && stats.executed < cfg.max_executed_iters
+    {
+        stats.executed += 1;
+
+        // 1. Fault injection for this iteration.
+        let events = injector
+            .as_deref_mut()
+            .map(|i| i.plan_iteration())
+            .unwrap_or_default();
+        for e in &events {
+            ledger.record(stats.executed, *e);
+        }
+        guard.note_faults(events.len());
+        let mut q_faults = Vec::new();
+        for e in &events {
+            match e.target {
+                FaultTarget::Vector(VectorId::P) => {
+                    flip(&mut solver.vector_mut(CanonVec::Direction)[e.offset], e.bit);
+                }
+                FaultTarget::Vector(VectorId::Q) => {
+                    if hardened {
+                        q_faults.push(*e); // deferred onto the product
+                    } else {
+                        flip(&mut solver.vector_mut(CanonVec::Product)[e.offset], e.bit);
+                    }
+                }
+                FaultTarget::Vector(VectorId::R) => match r_tmr.as_mut() {
+                    Some(rt) => {
+                        let rep = replica_rot % 3;
+                        replica_rot += 1;
+                        flip(&mut rt.replica_mut(rep)[e.offset], e.bit);
+                    }
+                    None => flip(&mut solver.vector_mut(CanonVec::Residual)[e.offset], e.bit),
+                },
+                FaultTarget::Vector(VectorId::X) => match x_tmr.as_mut() {
+                    Some(xt) => {
+                        let rep = replica_rot % 3;
+                        replica_rot += 1;
+                        flip(&mut xt.replica_mut(rep)[e.offset], e.bit);
+                    }
+                    None => flip(&mut solver.vector_mut(CanonVec::Iterate)[e.offset], e.bit),
+                },
+                _ => {
+                    Injector::apply_to_matrix(e, &mut a);
+                }
+            }
+        }
+        if events.iter().any(|e| e.target.is_matrix()) {
+            kernel.invalidate();
+        }
+
+        // 2./3. One step, products verified by the scheme. The
+        // iteration is charged `1 + Tverif` per product the step
+        // actually ran (ABFT schemes; `verified_products` is the
+        // nominal count, but half-step exits and early breakdowns run
+        // fewer).
+        let (step, products_run) = {
+            let mut ctx = ResilientCtx {
+                a: &mut a,
+                kernel: &mut kernel,
+                scheme: &scheme,
+                xref: xref.as_ref(),
+                q_faults: &q_faults,
+                stats: &mut stats,
+                ledger: &mut ledger,
+                first: true,
+                products_run: 0,
+            };
+            let res = solver.step(&mut ctx);
+            (res, ctx.products_run)
+        };
+        time.add(1.0 + scheme.iteration_cost(&cfg.costs, products_run));
+        match step {
+            StepResult::Done => {}
+            StepResult::Rejected => {
+                // Detection already counted by the context.
+                rollback!();
+                continue;
+            }
+            StepResult::Breakdown => {
+                // Numerical breakdown caused by an undetected
+                // perturbation: treat as detection and roll back.
+                stats.detections += 1;
+                rollback!();
+                continue;
+            }
+        }
+
+        // 4. TMR vote on the vector data (ABFT schemes).
+        if let (Some(rt), Some(xt)) = (r_tmr.as_mut(), x_tmr.as_mut()) {
+            let vr = rt.vote();
+            let vx = xt.vote();
+            if !vr.is_trusted() || !vx.is_trusted() {
+                // Colliding replica faults: detected, not correctable.
+                stats.detections += 1;
+                rollback!();
+                continue;
+            }
+            let tmr_fixed = vr.corrected + vx.corrected;
+            if tmr_fixed > 0 {
+                stats.tmr_corrections += tmr_fixed;
+                ledger.resolve_iteration_where(stats.executed, FaultOutcome::Corrected, |rec| {
+                    matches!(
+                        rec.event.target,
+                        FaultTarget::Vector(VectorId::R | VectorId::X)
+                    )
+                });
+            }
+            // Replicas follow the verified update (identical bits to
+            // applying the update to each voted replica).
+            rt.store(solver.vector(CanonVec::Residual));
+            xt.store(solver.vector(CanonVec::Iterate));
+        }
+
+        productive += 1;
+        iters_in_chunk += 1;
+        let recursive_converged = solver.residual_norm() <= threshold;
+
+        // 5. Chunk boundary (or convergence claim): verify, then accept
+        // convergence / checkpoint strictly behind the verification.
+        if iters_in_chunk >= d || recursive_converged {
+            time.add(scheme.chunk_cost(&cfg.costs));
+            if !scheme.verify_chunk(&a, solver.as_ref(), &cfg.online_tol) {
+                stats.detections += 1;
+                rollback!();
+                continue;
+            }
+            iters_in_chunk = 0;
+            if recursive_converged {
+                converged = true;
+                break;
+            }
+            chunks_since_ckpt += 1;
+            if chunks_since_ckpt >= cfg.checkpoint_interval {
+                time.add(cfg.costs.tcp);
+                store
+                    .save(&solver.snapshot(productive, &a))
+                    .expect("memory store cannot fail");
+                stats.checkpoints += 1;
+                guard.note_checkpoint();
+                chunks_since_ckpt = 0;
+            }
+        }
+        if hardened {
+            xref = Some(XRef::capture(solver.vector(CanonVec::Direction)));
+        }
+    }
+
+    // Whatever is still pending was never detected.
+    ledger.resolve_all_pending(FaultOutcome::Undetected);
+    let xv = solver.vector(CanonVec::Iterate).to_vec();
+    let tr = true_residual(a0, b, &xv);
+    ResilientOutcome {
+        converged,
+        productive_iterations: productive,
+        executed_iterations: stats.executed,
+        simulated_time: time.total,
+        checkpoints: stats.checkpoints,
+        rollbacks: stats.rollbacks,
+        forward_corrections: stats.forward_corrections,
+        tmr_corrections: stats.tmr_corrections,
+        detections: stats.detections,
+        ledger,
+        true_residual: tr,
+        x: xv,
+    }
+}

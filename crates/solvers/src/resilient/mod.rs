@@ -1,41 +1,87 @@
-//! Resilient CG drivers: the paper's three schemes over one protocol.
+//! Resilient solves: one scheme-generic executor over steppable solver
+//! state machines.
 //!
-//! Shared protocol (Section 4): work proceeds in *chunks* ending with a
-//! verification; after `s` verified chunks a checkpoint is taken — so a
-//! checkpoint is only ever taken right after a passing verification and
-//! **the last checkpoint is always valid** (claim C1). On detection the
-//! driver restores the last checkpoint (or the initial state) and
-//! re-executes. ABFT-CORRECTION additionally repairs single errors in
-//! place and only rolls back when correction fails.
+//! The paper's protocol (Section 4) is solver-agnostic: work proceeds
+//! in *chunks* ending with a verification; after `s` verified chunks a
+//! checkpoint is taken — so a checkpoint is only ever taken right after
+//! a passing verification and **the last checkpoint is always valid**
+//! (claim C1). On detection the executor restores the last checkpoint
+//! (or the initial state) and re-executes; ABFT-CORRECTION additionally
+//! repairs single errors in place and only rolls back when correction
+//! fails.
 //!
-//! Time is accounted in units of `Titer ≡ 1` (the paper's normalization)
-//! through [`SimTime`]: each executed iteration costs `1 + Tverif`
-//! (ABFT verifies every iteration; ONLINE-DETECTION pays `Tverif` only
-//! at chunk ends), checkpoints cost `Tcp`, rollbacks `Trec`.
+//! The implementation mirrors that factoring:
+//!
+//! * [`executor`] — the one protocol loop, generic over both axes:
+//!   which solver iterates and how iterations are verified;
+//! * [`scheme`] — the [`VerificationScheme`] trait with the paper's
+//!   three instantiations ([`AbftDetection`], [`AbftCorrection`],
+//!   [`OnlineDetection`]);
+//! * the solver axis is any [`IterativeSolver`](crate::machine)
+//!   state machine — CG, PCG, BiCGStab and CGNE all compose with every
+//!   scheme × checkpoint policy × kernel ([`ResilientConfig::solver`]
+//!   picks one).
+//!
+//! Time is accounted in units of `Titer ≡ 1` (the paper's
+//! normalization) through [`SimTime`]: under the ABFT schemes each
+//! executed iteration costs `1 + n·Tverif` where `n` is the number of
+//! checksum-verified products it actually ran (1 for CG/PCG/CGNE, up
+//! to 2 for BiCGStab); ONLINE-DETECTION pays `Tverif` only at chunk
+//! ends. Checkpoints cost `Tcp`, rollbacks `Trec`.
 
-mod abft;
-mod online;
+pub mod executor;
+pub mod scheme;
 
-use ftcg_abft::tmr::TmrVector;
-use ftcg_checkpoint::{CheckpointStore, MemoryStore, ResilienceCosts, SolverState};
-use ftcg_fault::ledger::{FaultLedger, FaultOutcome};
+use ftcg_checkpoint::ResilienceCosts;
+use ftcg_fault::ledger::FaultLedger;
 use ftcg_fault::Injector;
 use ftcg_kernels::KernelSpec;
 use ftcg_model::Scheme;
 use ftcg_sparse::{vector, CsrMatrix};
 
+pub use scheme::{AbftCorrection, AbftDetection, OnlineDetection, VerificationScheme};
+
+use crate::machine::SolverKind;
 use crate::stopping::StoppingCriterion;
 use crate::verify::OnlineTolerances;
+
+/// A rejected resilient configuration (the typed form surfaced by the
+/// CLI and the campaign engine instead of a silent clamp).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResilientConfigError {
+    /// `s = 0`: a frame must contain at least one verified chunk.
+    ZeroCheckpointInterval,
+    /// `d = 0`: a chunk must contain at least one iteration.
+    ZeroVerifInterval,
+}
+
+impl std::fmt::Display for ResilientConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResilientConfigError::ZeroCheckpointInterval => {
+                write!(f, "checkpoint interval s must be >= 1 (got 0)")
+            }
+            ResilientConfigError::ZeroVerifInterval => {
+                write!(f, "verification interval d must be >= 1 (got 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResilientConfigError {}
 
 /// Configuration of a resilient solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResilientConfig {
     /// Which scheme drives verification/recovery.
     pub scheme: Scheme,
+    /// Which solver iterates under the protocol.
+    pub solver: SolverKind,
     /// Chunks per frame (`s`): checkpoint every `s` verified chunks.
     pub checkpoint_interval: usize,
-    /// Iterations per chunk (`d`): 1 for the ABFT schemes; ONLINE-
-    /// DETECTION verifies every `d` iterations.
+    /// Iterations per chunk (`d`): ONLINE-DETECTION verifies every `d`
+    /// iterations; the ABFT schemes verify every iteration and ignore
+    /// this field.
     pub verif_interval: usize,
     /// Cost parameters for simulated-time accounting.
     pub costs: ResilienceCosts,
@@ -46,7 +92,7 @@ pub struct ResilientConfig {
     /// Cap on total executed iterations including re-execution (runaway
     /// guard at extreme fault rates).
     pub max_executed_iters: usize,
-    /// Thresholds for Chen's stability tests (ONLINE-DETECTION only).
+    /// Thresholds for the stability tests (ONLINE-DETECTION only).
     pub online_tol: OnlineTolerances,
     /// SpMV backend for the per-iteration product. The default (`csr`)
     /// preserves the historical behavior bit for bit. Non-CSR backends
@@ -58,15 +104,35 @@ pub struct ResilientConfig {
 }
 
 impl ResilientConfig {
-    /// A reasonable configuration for the given scheme with interval `s`.
+    /// A reasonable configuration for the given scheme with interval
+    /// `s`, solving with CG.
+    ///
+    /// # Panics
+    /// Panics if `checkpoint_interval == 0` — use
+    /// [`ResilientConfig::try_new`] to get the typed error instead.
     pub fn new(scheme: Scheme, checkpoint_interval: usize) -> Self {
+        Self::try_new(scheme, checkpoint_interval)
+            .expect("checkpoint interval must be >= 1 (see ResilientConfig::try_new)")
+    }
+
+    /// Like [`ResilientConfig::new`] but rejects a zero interval with a
+    /// typed error instead of panicking (historically the zero was
+    /// silently clamped to 1, masking bad specs).
+    pub fn try_new(
+        scheme: Scheme,
+        checkpoint_interval: usize,
+    ) -> Result<Self, ResilientConfigError> {
+        if checkpoint_interval == 0 {
+            return Err(ResilientConfigError::ZeroCheckpointInterval);
+        }
         let costs = match scheme {
             Scheme::OnlineDetection => ResilienceCosts::online_default(),
             _ => ResilienceCosts::abft_default(),
         };
-        Self {
+        Ok(Self {
             scheme,
-            checkpoint_interval: checkpoint_interval.max(1),
+            solver: SolverKind::Cg,
+            checkpoint_interval,
             verif_interval: 1,
             costs,
             stopping: StoppingCriterion::default_relative(),
@@ -74,7 +140,20 @@ impl ResilientConfig {
             max_executed_iters: 200_000,
             online_tol: OnlineTolerances::default(),
             kernel: KernelSpec::Csr,
+        })
+    }
+
+    /// Checks the interval invariants, returning the typed error a
+    /// front end can surface (`solve_resilient` enforces the same
+    /// invariants with a panic).
+    pub fn validate(&self) -> Result<(), ResilientConfigError> {
+        if self.checkpoint_interval == 0 {
+            return Err(ResilientConfigError::ZeroCheckpointInterval);
         }
+        if self.verif_interval == 0 {
+            return Err(ResilientConfigError::ZeroVerifInterval);
+        }
+        Ok(())
     }
 }
 
@@ -121,7 +200,7 @@ impl SimTime {
     }
 }
 
-/// Mutable run counters shared by the drivers.
+/// Mutable run counters shared by the executor and its contexts.
 #[derive(Debug, Default)]
 pub(crate) struct RunStats {
     pub executed: usize,
@@ -132,8 +211,8 @@ pub(crate) struct RunStats {
     pub detections: usize,
 }
 
-/// Solves `Ax = b` (SPD `A`, zero initial guess) under the configured
-/// resilience scheme, optionally with fault injection. Without an
+/// Solves `Ax = b` (zero initial guess) under the configured resilience
+/// scheme and solver, optionally with fault injection. Without an
 /// injector the run is fault-free (useful to measure pure overheads).
 pub fn solve_resilient(
     a: &CsrMatrix,
@@ -143,12 +222,20 @@ pub fn solve_resilient(
 ) -> ResilientOutcome {
     assert!(a.is_square(), "resilient solve: matrix must be square");
     assert_eq!(b.len(), a.n_rows(), "resilient solve: b length mismatch");
-    assert!(cfg.checkpoint_interval >= 1, "need s >= 1");
-    assert!(cfg.verif_interval >= 1, "need d >= 1");
+    if let Err(e) = cfg.validate() {
+        panic!("resilient solve: {e}");
+    }
+    let solver = cfg.solver.start_zero(a, b);
     match cfg.scheme {
-        Scheme::OnlineDetection => online::solve_online(a, b, cfg, injector),
-        Scheme::AbftDetection => abft::solve_abft(a, b, cfg, injector, false),
-        Scheme::AbftCorrection => abft::solve_abft(a, b, cfg, injector, true),
+        Scheme::OnlineDetection => {
+            executor::run_executor(a, b, cfg, injector, OnlineDetection::new(a), solver)
+        }
+        Scheme::AbftDetection => {
+            executor::run_executor(a, b, cfg, injector, AbftDetection::new(a), solver)
+        }
+        Scheme::AbftCorrection => {
+            executor::run_executor(a, b, cfg, injector, AbftCorrection::new(a), solver)
+        }
     }
 }
 
@@ -161,7 +248,7 @@ pub fn solve_resilient(
 /// to the tainted checkpoint then re-detects forever. The tell-tale is a
 /// detection with **zero faults injected since the last restore** —
 /// replay is deterministic, so the failure must come from the restored
-/// state itself — in which case the driver escalates to the paper's
+/// state itself — in which case the executor escalates to the paper's
 /// first-frame recovery: "we recover by reading initial data again".
 #[derive(Debug, Default, Clone, Copy)]
 pub(crate) struct EscalationGuard {
@@ -198,47 +285,6 @@ impl EscalationGuard {
     }
 }
 
-/// Restores solver state from the latest checkpoint — or, when the guard
-/// says the checkpoint is tainted, from the pristine initial data (which
-/// also resets the checkpoint store). Returns the restored
-/// `(productive_iteration, rnorm_sq)`.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn rollback(
-    store: &mut MemoryStore,
-    initial: &SolverState,
-    guard: &mut EscalationGuard,
-    a: &mut CsrMatrix,
-    x: &mut TmrVector,
-    r: &mut TmrVector,
-    p: &mut Vec<f64>,
-    time: &mut SimTime,
-    stats: &mut RunStats,
-    ledger: &mut FaultLedger,
-    trec: f64,
-) -> (usize, f64) {
-    time.add(trec);
-    stats.rollbacks += 1;
-    let st = if guard.must_escalate() {
-        // Re-read input data: discard the tainted checkpoint entirely.
-        store.save(initial).expect("memory store cannot fail");
-        guard.consecutive_rollbacks = 0;
-        initial.clone()
-    } else {
-        store
-            .load()
-            .expect("memory store cannot fail")
-            .expect("initial checkpoint always present")
-    };
-    guard.note_restore();
-    *a = st.matrix.clone();
-    x.store(&st.x);
-    r.store(&st.r);
-    p.clear();
-    p.extend_from_slice(&st.p);
-    ledger.resolve_all_pending(FaultOutcome::RolledBack);
-    (st.iteration, st.rnorm_sq)
-}
-
 /// Computes the true residual norm against the pristine matrix.
 pub(crate) fn true_residual(a0: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
     let mut r = b.to_vec();
@@ -247,25 +293,42 @@ pub(crate) fn true_residual(a0: &CsrMatrix, b: &[f64], x: &[f64]) -> f64 {
     vector::norm2(&r)
 }
 
-/// Takes a checkpoint (always immediately after a passing verification —
-/// claim C1 is enforced by the call sites, which are all directly behind
-/// a verified chunk boundary).
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn take_checkpoint(
-    store: &mut MemoryStore,
-    iteration: usize,
-    x: &[f64],
-    r: &[f64],
-    p: &[f64],
-    rnorm_sq: f64,
-    a: &CsrMatrix,
-    time: &mut SimTime,
-    stats: &mut RunStats,
-    tcp: f64,
-) {
-    time.add(tcp);
-    store
-        .save(&SolverState::capture(iteration, x, r, p, rnorm_sq, a))
-        .expect("memory store cannot fail");
-    stats.checkpoints += 1;
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_new_rejects_zero_interval() {
+        let e = ResilientConfig::try_new(Scheme::AbftCorrection, 0);
+        assert_eq!(e, Err(ResilientConfigError::ZeroCheckpointInterval));
+        assert!(e.unwrap_err().to_string().contains(">= 1"));
+        assert!(ResilientConfig::try_new(Scheme::AbftCorrection, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint interval must be >= 1")]
+    fn new_panics_on_zero_interval() {
+        let _ = ResilientConfig::new(Scheme::AbftDetection, 0);
+    }
+
+    #[test]
+    fn validate_rejects_zero_intervals() {
+        let mut cfg = ResilientConfig::new(Scheme::OnlineDetection, 5);
+        assert_eq!(cfg.validate(), Ok(()));
+        cfg.verif_interval = 0;
+        assert_eq!(cfg.validate(), Err(ResilientConfigError::ZeroVerifInterval));
+        cfg.verif_interval = 1;
+        cfg.checkpoint_interval = 0;
+        assert_eq!(
+            cfg.validate(),
+            Err(ResilientConfigError::ZeroCheckpointInterval)
+        );
+    }
+
+    #[test]
+    fn default_solver_is_cg() {
+        let cfg = ResilientConfig::new(Scheme::AbftCorrection, 10);
+        assert_eq!(cfg.solver, SolverKind::Cg);
+        assert_eq!(cfg.kernel, KernelSpec::Csr);
+    }
 }

@@ -1,0 +1,279 @@
+//! The [`VerificationScheme`] trait: what the paper's three schemes
+//! plug into the generic [`executor`](super::executor).
+//!
+//! A scheme answers four questions the chunk/verify/checkpoint/rollback
+//! protocol asks:
+//!
+//! 1. *how is each forward product verified* ([`check_product`]) — the
+//!    ABFT schemes run the checksum tests (and, for correction, repair
+//!    single errors in place); ONLINE-DETECTION trusts products
+//!    blindly;
+//! 2. *how is a chunk boundary verified* ([`verify_chunk`]) — Chen's
+//!    stability tests for ONLINE-DETECTION; trivially clean for the
+//!    ABFT schemes, whose products were already verified inline;
+//! 3. *what does an iteration / a chunk verification cost* in the
+//!    simulated-time model ([`iteration_cost`], [`chunk_cost`]);
+//! 4. *which state is hardened* ([`hardened_vectors`]) — the ABFT
+//!    schemes keep `r`/`x` under TMR and model product-output faults as
+//!    striking the verified product; ONLINE-DETECTION leaves every
+//!    vector plainly exposed.
+//!
+//! [`check_product`]: VerificationScheme::check_product
+//! [`verify_chunk`]: VerificationScheme::verify_chunk
+//! [`iteration_cost`]: VerificationScheme::iteration_cost
+//! [`chunk_cost`]: VerificationScheme::chunk_cost
+//! [`hardened_vectors`]: VerificationScheme::hardened_vectors
+
+use ftcg_abft::{ProtectedSpmv, SingleChecksum, SpmvOutcome, XRef};
+use ftcg_checkpoint::ResilienceCosts;
+use ftcg_model::Scheme;
+use ftcg_sparse::CsrMatrix;
+
+use crate::machine::IterativeSolver;
+use crate::verify::OnlineTolerances;
+
+/// Outcome of scheme verification of one forward product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProductCheck {
+    /// All tests passed; nothing to count.
+    Clean,
+    /// Tests tripped but the recheck after the correction attempt came
+    /// back clean (counts a detection, no correction).
+    FalseAlarm,
+    /// A single error was repaired in place — the matrix arrays, the
+    /// input vector or the output may have been mutated.
+    Corrected,
+    /// Unrecoverable: the caller must roll back.
+    Rejected,
+}
+
+/// One of the paper's verification/recovery schemes, pluggable into the
+/// generic executor (see the module docs).
+pub trait VerificationScheme {
+    /// The model-level scheme identity.
+    fn scheme(&self) -> Scheme;
+
+    /// Simulated time charged on top of the unit iteration cost.
+    /// `verified_products` is the number of checksum-verified products
+    /// the iteration *actually executed* (at most the solver's nominal
+    /// [`IterativeSolver::verified_products`]; a half-step exit or an
+    /// early breakdown runs fewer).
+    fn iteration_cost(&self, costs: &ResilienceCosts, verified_products: usize) -> f64;
+
+    /// `true` when `r`/`x` live under TMR and product-output faults
+    /// strike the verified product (the ABFT protocols); `false` leaves
+    /// every canonical vector plainly exposed (ONLINE-DETECTION).
+    fn hardened_vectors(&self) -> bool;
+
+    /// Iterations per chunk: the configured `d` for ONLINE-DETECTION,
+    /// always 1 for the ABFT schemes (which verify every iteration).
+    fn chunk_len(&self, verif_interval: usize) -> usize;
+
+    /// Simulated cost of one chunk-boundary verification.
+    fn chunk_cost(&self, costs: &ResilienceCosts) -> f64;
+
+    /// Verifies (and possibly repairs) one forward product `y = A·x`
+    /// computed from the live matrix image; `xref` is the trusted copy
+    /// of the input captured in reliable memory before this iteration's
+    /// faults struck.
+    fn check_product(
+        &self,
+        a: &mut CsrMatrix,
+        x: &mut [f64],
+        xref: &XRef,
+        y: &mut [f64],
+    ) -> ProductCheck;
+
+    /// Chunk-boundary whole-state verification; `true` means the state
+    /// is trusted (a checkpoint may be taken, convergence may be
+    /// accepted).
+    fn verify_chunk(
+        &self,
+        a: &CsrMatrix,
+        solver: &dyn IterativeSolver,
+        tol: &OnlineTolerances,
+    ) -> bool;
+}
+
+/// ABFT-DETECTION: single-checksum verification of every product.
+pub struct AbftDetection {
+    single: SingleChecksum,
+}
+
+impl AbftDetection {
+    /// Reliable once-per-matrix checksum setup from the pristine `a0`.
+    pub fn new(a0: &CsrMatrix) -> Self {
+        AbftDetection {
+            single: SingleChecksum::new(a0),
+        }
+    }
+}
+
+impl VerificationScheme for AbftDetection {
+    fn scheme(&self) -> Scheme {
+        Scheme::AbftDetection
+    }
+
+    fn iteration_cost(&self, costs: &ResilienceCosts, verified_products: usize) -> f64 {
+        costs.tverif * verified_products as f64
+    }
+
+    fn hardened_vectors(&self) -> bool {
+        true
+    }
+
+    fn chunk_len(&self, _verif_interval: usize) -> usize {
+        1
+    }
+
+    fn chunk_cost(&self, _costs: &ResilienceCosts) -> f64 {
+        0.0
+    }
+
+    fn check_product(
+        &self,
+        a: &mut CsrMatrix,
+        x: &mut [f64],
+        xref: &XRef,
+        y: &mut [f64],
+    ) -> ProductCheck {
+        if self.single.verify(a, x, xref, y).is_trusted() {
+            ProductCheck::Clean
+        } else {
+            ProductCheck::Rejected
+        }
+    }
+
+    fn verify_chunk(
+        &self,
+        _a: &CsrMatrix,
+        _solver: &dyn IterativeSolver,
+        _tol: &OnlineTolerances,
+    ) -> bool {
+        true // every product of the chunk was already verified
+    }
+}
+
+/// ABFT-CORRECTION: dual weighted checksums — detect two errors,
+/// correct one forward, roll back only when correction fails.
+pub struct AbftCorrection {
+    protected: ProtectedSpmv,
+}
+
+impl AbftCorrection {
+    /// Reliable once-per-matrix checksum setup from the pristine `a0`.
+    pub fn new(a0: &CsrMatrix) -> Self {
+        AbftCorrection {
+            protected: ProtectedSpmv::new(a0),
+        }
+    }
+}
+
+impl VerificationScheme for AbftCorrection {
+    fn scheme(&self) -> Scheme {
+        Scheme::AbftCorrection
+    }
+
+    fn iteration_cost(&self, costs: &ResilienceCosts, verified_products: usize) -> f64 {
+        costs.tverif * verified_products as f64
+    }
+
+    fn hardened_vectors(&self) -> bool {
+        true
+    }
+
+    fn chunk_len(&self, _verif_interval: usize) -> usize {
+        1
+    }
+
+    fn chunk_cost(&self, _costs: &ResilienceCosts) -> f64 {
+        0.0
+    }
+
+    fn check_product(
+        &self,
+        a: &mut CsrMatrix,
+        x: &mut [f64],
+        xref: &XRef,
+        y: &mut [f64],
+    ) -> ProductCheck {
+        let res = self.protected.verify(a, x, xref, y);
+        if res.clean() {
+            return ProductCheck::Clean;
+        }
+        // Correction may repair (i.e. mutate) the matrix arrays, the
+        // input or the output in place.
+        match self.protected.correct(a, x, xref, y, &res) {
+            SpmvOutcome::Corrected(_) => ProductCheck::Corrected,
+            SpmvOutcome::Clean => ProductCheck::FalseAlarm,
+            SpmvOutcome::Detected(_) => ProductCheck::Rejected,
+        }
+    }
+
+    fn verify_chunk(
+        &self,
+        _a: &CsrMatrix,
+        _solver: &dyn IterativeSolver,
+        _tol: &OnlineTolerances,
+    ) -> bool {
+        true
+    }
+}
+
+/// ONLINE-DETECTION: unprotected iterations, Chen's stability tests at
+/// chunk boundaries.
+pub struct OnlineDetection {
+    /// 1-norm of the *clean* matrix, computed once at setup (the
+    /// working matrix may carry wild column indices).
+    norm1_a: f64,
+}
+
+impl OnlineDetection {
+    /// Captures the clean-matrix norm the residual test scales by.
+    pub fn new(a0: &CsrMatrix) -> Self {
+        OnlineDetection {
+            norm1_a: a0.norm1(),
+        }
+    }
+}
+
+impl VerificationScheme for OnlineDetection {
+    fn scheme(&self) -> Scheme {
+        Scheme::OnlineDetection
+    }
+
+    fn iteration_cost(&self, _costs: &ResilienceCosts, _verified_products: usize) -> f64 {
+        0.0 // verification is paid at chunk ends only
+    }
+
+    fn hardened_vectors(&self) -> bool {
+        false
+    }
+
+    fn chunk_len(&self, verif_interval: usize) -> usize {
+        verif_interval
+    }
+
+    fn chunk_cost(&self, costs: &ResilienceCosts) -> f64 {
+        costs.tverif
+    }
+
+    fn check_product(
+        &self,
+        _a: &mut CsrMatrix,
+        _x: &mut [f64],
+        _xref: &XRef,
+        _y: &mut [f64],
+    ) -> ProductCheck {
+        ProductCheck::Clean // products run unverified
+    }
+
+    fn verify_chunk(
+        &self,
+        a: &CsrMatrix,
+        solver: &dyn IterativeSolver,
+        tol: &OnlineTolerances,
+    ) -> bool {
+        !solver.verify_state(a, self.norm1_a, tol).detected
+    }
+}

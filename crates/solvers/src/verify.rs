@@ -44,6 +44,25 @@ pub struct OnlineVerdict {
     pub detected: bool,
 }
 
+/// The shared residual test: recomputes `b − A·x` defensively and
+/// returns the scaled drift against the recursive residual `r` (the
+/// dominant `Tverif` cost in both verification variants).
+fn residual_drift(a: &CsrMatrix, b: &[f64], x: &[f64], r: &[f64], norm1_a: f64) -> f64 {
+    let n = a.n_rows();
+    let mut true_r = vec![0.0; n];
+    spmv_defensive(a, x, &mut true_r);
+    for i in 0..n {
+        true_r[i] = b[i] - true_r[i];
+    }
+    let drift = vector::max_abs_diff(&true_r, r);
+    let scale = norm1_a * vector::norm_inf(x) + vector::norm_inf(b);
+    if scale > 0.0 {
+        drift / scale
+    } else {
+        drift
+    }
+}
+
 /// Runs both stability tests. `p_next` is the search direction *after*
 /// the update (which should be A-conjugate to the previous one), `q` the
 /// last SpMxV output. The residual check recomputes `b − A·x` (the
@@ -72,14 +91,7 @@ pub fn verify_online(
     let orthogonality = if denom > 0.0 { (pq / denom).abs() } else { 0.0 };
 
     // Residual: recompute b − A·x defensively and compare to r.
-    let mut true_r = vec![0.0; n];
-    spmv_defensive(a, x, &mut true_r);
-    for i in 0..n {
-        true_r[i] = b[i] - true_r[i];
-    }
-    let drift = vector::max_abs_diff(&true_r, r);
-    let scale = norm1_a * vector::norm_inf(x) + vector::norm_inf(b);
-    let residual_drift = if scale > 0.0 { drift / scale } else { drift };
+    let residual_drift = residual_drift(a, b, x, r, norm1_a);
 
     // `f64::max` ignores NaN operands, so non-finite corruption must be
     // screened explicitly (a flipped exponent bit easily produces Inf/NaN).
@@ -96,6 +108,39 @@ pub fn verify_online(
         || residual_drift > tol.residual;
     OnlineVerdict {
         orthogonality,
+        residual_drift,
+        detected,
+    }
+}
+
+/// The residual-only variant of [`verify_online`] for solvers whose
+/// successive directions are *not* A-conjugate (BiCGStab, CGNE): the
+/// orthogonality test would false-positive forever, so only the
+/// recomputed-residual drift and the non-finite screen run. `extra`
+/// lists further solver vectors (directions, product outputs) that the
+/// non-finite screen must cover.
+pub fn verify_online_residual(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &[f64],
+    r: &[f64],
+    extra: &[&[f64]],
+    norm1_a: f64,
+    tol: &OnlineTolerances,
+) -> OnlineVerdict {
+    assert_eq!(x.len(), a.n_rows());
+    assert_eq!(r.len(), a.n_rows());
+
+    let residual_drift = residual_drift(a, b, x, r, norm1_a);
+
+    let any_nonfinite = x
+        .iter()
+        .chain(r.iter())
+        .chain(extra.iter().flat_map(|v| v.iter()))
+        .any(|v| !v.is_finite());
+    let detected = any_nonfinite || !residual_drift.is_finite() || residual_drift > tol.residual;
+    OnlineVerdict {
+        orthogonality: 0.0,
         residual_drift,
         detected,
     }

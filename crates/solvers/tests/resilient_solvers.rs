@@ -1,0 +1,264 @@
+//! End-to-end tests of the scheme-generic executor over the non-CG
+//! solvers: every solver × every scheme must survive fault injection —
+//! the combinations this refactor makes exist for the first time.
+
+use ftcg_fault::{BitRange, FaultRate, Injector, InjectorConfig};
+use ftcg_model::Scheme;
+use ftcg_solvers::resilient::{solve_resilient, ResilientConfig};
+use ftcg_solvers::SolverKind;
+use ftcg_sparse::{gen, vector, CsrMatrix};
+
+fn test_system(n: usize, seed: u64) -> (CsrMatrix, Vec<f64>) {
+    let a = gen::random_spd(n, 0.05, seed).unwrap();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.37).sin()).collect();
+    (a, b)
+}
+
+fn injector_for(a: &CsrMatrix, alpha: f64, seed: u64) -> Injector {
+    let layout = ftcg_fault::target::MemoryLayout::with_vectors(a.nnz(), a.n_rows());
+    let rate = FaultRate::from_alpha(alpha, layout.total_words());
+    let cfg = InjectorConfig {
+        rate,
+        value_bits: BitRange::Full,
+        index_bits: BitRange::for_index_bound(a.n_cols().max(a.nnz() + 1)),
+        include_vectors: true,
+    };
+    Injector::for_matrix(cfg, a, seed)
+}
+
+fn config(scheme: Scheme, solver: SolverKind) -> ResilientConfig {
+    let mut cfg = ResilientConfig::new(scheme, 8);
+    cfg.solver = solver;
+    if scheme == Scheme::OnlineDetection {
+        cfg.verif_interval = 4;
+    }
+    cfg
+}
+
+#[test]
+fn every_solver_converges_fault_free_under_every_scheme() {
+    let (a, b) = test_system(150, 1);
+    for solver in SolverKind::ALL {
+        for scheme in Scheme::ALL {
+            let out = solve_resilient(&a, &b, &config(scheme, solver), None);
+            assert!(out.converged, "{solver} / {scheme:?}");
+            assert_eq!(out.rollbacks, 0, "{solver} / {scheme:?}");
+            assert_eq!(out.detections, 0, "{solver} / {scheme:?}");
+            assert_eq!(out.executed_iterations, out.productive_iterations);
+            let rel = out.true_residual / vector::norm2(&b);
+            assert!(rel < 1e-6, "{solver} / {scheme:?}: residual {rel}");
+        }
+    }
+}
+
+#[test]
+fn fault_free_resilient_matches_plain_solver_iterations() {
+    // With no faults the executor is the plain machine plus protocol
+    // bookkeeping: the productive trajectory must be the plain one.
+    use ftcg_solvers::{
+        bicgstab_solve, cg_solve, cgne_solve, pcg_jacobi_solve, CgConfig, SolveStats,
+    };
+    let (a, b) = test_system(140, 2);
+    let plain: Vec<(SolverKind, SolveStats)> = vec![
+        (
+            SolverKind::Cg,
+            cg_solve(&a, &b, &vec![0.0; 140], &CgConfig::default()),
+        ),
+        (
+            SolverKind::Pcg,
+            pcg_jacobi_solve(&a, &b, &vec![0.0; 140], &CgConfig::default()),
+        ),
+        (
+            SolverKind::Bicgstab,
+            bicgstab_solve(&a, &b, &vec![0.0; 140], &CgConfig::default()),
+        ),
+        (
+            SolverKind::Cgne,
+            cgne_solve(&a, &b, &vec![0.0; 140], &CgConfig::default()),
+        ),
+    ];
+    for (solver, stats) in plain {
+        let out = solve_resilient(&a, &b, &config(Scheme::AbftCorrection, solver), None);
+        assert_eq!(out.productive_iterations, stats.iterations, "{solver}");
+        assert_eq!(out.x, stats.x, "{solver}");
+    }
+}
+
+#[test]
+fn abft_correction_protects_every_solver() {
+    let (a, b) = test_system(150, 3);
+    let mut total_faults = 0usize;
+    for solver in SolverKind::ALL {
+        for seed in 0..4 {
+            let mut inj = injector_for(&a, 1.0 / 16.0, seed);
+            let out = solve_resilient(
+                &a,
+                &b,
+                &config(Scheme::AbftCorrection, solver),
+                Some(&mut inj),
+            );
+            assert!(out.converged, "{solver} seed {seed}");
+            let rel = out.true_residual / vector::norm2(&b);
+            assert!(rel < 1e-6, "{solver} seed {seed}: residual {rel}");
+            total_faults += out.ledger.len();
+        }
+    }
+    assert!(total_faults > 0, "rate too low to exercise recovery");
+}
+
+#[test]
+fn abft_detection_protects_every_solver() {
+    let (a, b) = test_system(150, 4);
+    for solver in SolverKind::ALL {
+        for seed in 0..4 {
+            let mut inj = injector_for(&a, 1.0 / 16.0, seed);
+            let out = solve_resilient(
+                &a,
+                &b,
+                &config(Scheme::AbftDetection, solver),
+                Some(&mut inj),
+            );
+            assert!(out.converged, "{solver} seed {seed}");
+            let rel = out.true_residual / vector::norm2(&b);
+            assert!(rel < 1e-6, "{solver} seed {seed}: residual {rel}");
+        }
+    }
+}
+
+#[test]
+fn online_detection_protects_every_solver() {
+    let (a, b) = test_system(150, 5);
+    for solver in SolverKind::ALL {
+        for seed in 0..4 {
+            let mut inj = injector_for(&a, 1.0 / 32.0, seed);
+            let out = solve_resilient(
+                &a,
+                &b,
+                &config(Scheme::OnlineDetection, solver),
+                Some(&mut inj),
+            );
+            assert!(out.converged, "{solver} seed {seed}");
+            let rel = out.true_residual / vector::norm2(&b);
+            assert!(rel < 1e-6, "{solver} seed {seed}: residual {rel}");
+        }
+    }
+}
+
+#[test]
+fn abft_time_accounting_charges_per_verified_product() {
+    // Fault-free ABFT run: time = Σ (1 + Tverif·products_run) + ck·Tcp,
+    // with products_run per iteration between 1 and the solver's
+    // nominal `verified_products` (BiCGStab's final half-step exit may
+    // run only its first product).
+    let (a, b) = test_system(120, 11);
+    for solver in SolverKind::ALL {
+        let cfg = config(Scheme::AbftDetection, solver);
+        let out = solve_resilient(&a, &b, &cfg, None);
+        assert!(out.converged, "{solver}");
+        let nominal = solver.start_zero(&a, &b).verified_products() as f64;
+        let it = out.executed_iterations as f64;
+        let ck = out.checkpoints as f64 * cfg.costs.tcp;
+        let lo = it * (1.0 + cfg.costs.tverif) + ck;
+        let hi = it * (1.0 + nominal * cfg.costs.tverif) + ck;
+        assert!(
+            out.simulated_time >= lo - 1e-9 && out.simulated_time <= hi + 1e-9,
+            "{solver}: time {} outside [{lo}, {hi}]",
+            out.simulated_time
+        );
+    }
+}
+
+#[test]
+fn online_never_false_positives_fault_free() {
+    // The solver-specific stability tests (orthogonality for CG/PCG,
+    // residual-only for BiCGStab/CGNE) must stay silent on clean runs —
+    // a false positive would rollback-loop forever.
+    let (a, b) = test_system(200, 6);
+    for solver in SolverKind::ALL {
+        let mut cfg = config(Scheme::OnlineDetection, solver);
+        cfg.verif_interval = 2; // verify often
+        let out = solve_resilient(&a, &b, &cfg, None);
+        assert!(out.converged, "{solver}");
+        assert_eq!(out.detections, 0, "{solver}: clean run false positive");
+    }
+}
+
+#[test]
+fn bicgstab_solves_nonsymmetric_under_faults() {
+    // The solver axis opens workloads CG cannot touch: a non-symmetric
+    // system under the full protocol.
+    let n = 120;
+    let mut coo = ftcg_sparse::CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 5.0);
+        if i + 1 < n {
+            coo.push(i, i + 1, -1.5);
+        }
+        if i >= 1 {
+            coo.push(i, i - 1, -0.5);
+        }
+    }
+    let a = coo.to_csr();
+    assert!(!a.is_symmetric(1e-12));
+    let xstar: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).cos()).collect();
+    let b = a.spmv(&xstar);
+    for solver in [SolverKind::Bicgstab, SolverKind::Cgne] {
+        for scheme in [Scheme::AbftDetection, Scheme::AbftCorrection] {
+            let mut inj = injector_for(&a, 1.0 / 16.0, 9);
+            let out = solve_resilient(&a, &b, &config(scheme, solver), Some(&mut inj));
+            assert!(out.converged, "{solver} / {scheme:?}");
+            let err = vector::max_abs_diff(&out.x, &xstar);
+            assert!(err < 1e-4, "{solver} / {scheme:?}: error {err}");
+        }
+    }
+}
+
+#[test]
+fn every_solver_is_deterministic_given_seed() {
+    let (a, b) = test_system(120, 7);
+    for solver in SolverKind::ALL {
+        for scheme in Scheme::ALL {
+            let cfg = config(scheme, solver);
+            let mut i1 = injector_for(&a, 1.0 / 8.0, 77);
+            let o1 = solve_resilient(&a, &b, &cfg, Some(&mut i1));
+            let mut i2 = injector_for(&a, 1.0 / 8.0, 77);
+            let o2 = solve_resilient(&a, &b, &cfg, Some(&mut i2));
+            assert_eq!(o1.x, o2.x, "{solver} / {scheme:?}");
+            assert_eq!(o1.simulated_time, o2.simulated_time, "{solver}/{scheme:?}");
+            assert_eq!(o1.rollbacks, o2.rollbacks, "{solver} / {scheme:?}");
+        }
+    }
+}
+
+#[test]
+fn kernel_backends_compose_with_every_solver() {
+    use ftcg_kernels::KernelSpec;
+    let (a, b) = test_system(150, 8);
+    for solver in SolverKind::ALL {
+        let reference = solve_resilient(&a, &b, &config(Scheme::AbftCorrection, solver), None);
+        for name in ["csr-par:3", "bcsr:2", "sell:8:32", "auto"] {
+            let mut cfg = config(Scheme::AbftCorrection, solver);
+            cfg.kernel = KernelSpec::parse(name).unwrap();
+            let out = solve_resilient(&a, &b, &cfg, None);
+            // Clean column-sorted data: every backend computes the same
+            // ordered sums, so the whole trajectory is identical.
+            assert_eq!(out.x, reference.x, "{solver} kernel {name}");
+            assert_eq!(
+                out.productive_iterations, reference.productive_iterations,
+                "{solver} kernel {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn high_fault_rate_terminates_for_every_solver() {
+    let (a, b) = test_system(80, 10);
+    for solver in SolverKind::ALL {
+        let mut cfg = config(Scheme::AbftDetection, solver);
+        cfg.max_executed_iters = 2_000;
+        let mut inj = injector_for(&a, 0.9, 33);
+        let out = solve_resilient(&a, &b, &cfg, Some(&mut inj));
+        assert!(out.executed_iterations <= 2_000, "{solver}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the solver state machines: a snapshot taken at
+//! any iteration boundary, restored into a **fresh** machine, must
+//! reproduce the uninterrupted trajectory bit for bit — for every
+//! solver × kernel combination. This is the contract the resilient
+//! executor's checkpoint/rollback relies on.
+
+use ftcg_checkpoint::SolverState;
+use ftcg_kernels::KernelSpec;
+use ftcg_solvers::machine::{PlainContext, SolverKind, StepResult};
+use ftcg_solvers::CanonVec;
+use ftcg_sparse::{gen, CsrMatrix};
+use proptest::prelude::*;
+
+const KERNELS: [&str; 4] = ["csr", "csr-par:2", "bcsr:2", "sell:8:32"];
+
+fn system(n: usize, density_mil: usize, seed: u64) -> (CsrMatrix, Vec<f64>) {
+    let a = gen::random_spd(n, density_mil as f64 / 1000.0, seed).unwrap();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.29).sin()).collect();
+    (a, b)
+}
+
+/// Runs `total` steps; captures a [`SolverState`] after `cut` of them;
+/// resumes a fresh machine from the snapshot and steps the remaining
+/// `total − cut`. Both endpoints must agree bit for bit.
+fn assert_resume_is_bitexact(
+    kind: SolverKind,
+    kernel: KernelSpec,
+    a: &CsrMatrix,
+    b: &[f64],
+    cut: usize,
+    total: usize,
+) {
+    let prepared = kernel.prepare(a).expect("kernel prepares");
+    let mut ctx = PlainContext {
+        a,
+        kernel: prepared.as_ref(),
+    };
+
+    let mut reference = kind.start_zero(a, b);
+    reference.set_threshold(0.0); // run to the step budget, not to convergence
+    let mut snapshot: Option<SolverState> = None;
+    for it in 0..total {
+        if it == cut {
+            snapshot = Some(reference.snapshot(it, a));
+        }
+        if reference.step(&mut ctx) != StepResult::Done {
+            // Breakdown (e.g. residual hit exact zero): nothing further
+            // to compare beyond this point.
+            return;
+        }
+    }
+    let snapshot = snapshot.expect("cut < total");
+
+    let mut resumed = kind.start_zero(a, b);
+    resumed.set_threshold(0.0);
+    resumed.restore(&snapshot, a);
+    for _ in cut..total {
+        assert_eq!(resumed.step(&mut ctx), StepResult::Done, "{kind} resumed");
+    }
+
+    for which in [
+        CanonVec::Iterate,
+        CanonVec::Residual,
+        CanonVec::Direction,
+        CanonVec::Product,
+    ] {
+        let want = reference.vector(which);
+        let got = resumed.vector(which);
+        for i in 0..want.len() {
+            assert_eq!(
+                want[i].to_bits(),
+                got[i].to_bits(),
+                "{kind} × {}: {which:?}[{i}] diverged after resume at {cut}/{total}",
+                kernel.label()
+            );
+        }
+    }
+    assert_eq!(
+        reference.residual_norm().to_bits(),
+        resumed.residual_norm().to_bits(),
+        "{kind} × {}: residual norm diverged",
+        kernel.label()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Resume mid-solve reproduces the uninterrupted trajectory for
+    /// every solver × kernel (the ISSUE's headline property).
+    #[test]
+    fn snapshot_restore_step_is_deterministic(
+        n in 30usize..90,
+        density_mil in 40usize..90,
+        seed in 0u64..500,
+        cut in 1usize..8,
+        extra in 1usize..8,
+    ) {
+        let (a, b) = system(n, density_mil, seed);
+        for kind in SolverKind::ALL {
+            for name in KERNELS {
+                let kernel = KernelSpec::parse(name).unwrap();
+                assert_resume_is_bitexact(kind, kernel, &a, &b, cut, cut + extra);
+            }
+        }
+    }
+
+    /// A snapshot round-trips through `SolverState` unchanged: the
+    /// canonical vectors stored are exactly the machine's.
+    #[test]
+    fn snapshot_captures_canonical_vectors(
+        n in 20usize..60,
+        seed in 0u64..200,
+        steps in 1usize..6,
+    ) {
+        let (a, b) = system(n, 60, seed);
+        for kind in SolverKind::ALL {
+            let prepared = KernelSpec::Csr.prepare(&a).unwrap();
+            let mut ctx = PlainContext { a: &a, kernel: prepared.as_ref() };
+            let mut m = kind.start_zero(&a, &b);
+            m.set_threshold(0.0);
+            for _ in 0..steps {
+                if m.step(&mut ctx) != StepResult::Done {
+                    break;
+                }
+            }
+            let st = m.snapshot(steps, &a);
+            prop_assert_eq!(st.iteration, steps);
+            prop_assert_eq!(st.x.as_slice(), m.vector(CanonVec::Iterate));
+            prop_assert_eq!(st.r.as_slice(), m.vector(CanonVec::Residual));
+            prop_assert_eq!(st.p.as_slice(), m.vector(CanonVec::Direction));
+            prop_assert_eq!(&st.matrix, &a);
+        }
+    }
+}
+
+/// Deterministic spot-check on a structured matrix (fast, not random):
+/// resume at several cut points of a longer run.
+#[test]
+fn poisson_resume_points_are_bitexact() {
+    let a = gen::poisson2d(9).unwrap();
+    let n = a.n_rows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.17).cos()).collect();
+    for kind in SolverKind::ALL {
+        for cut in [1usize, 3, 7] {
+            assert_resume_is_bitexact(kind, KernelSpec::Csr, &a, &b, cut, cut + 5);
+        }
+    }
+}
