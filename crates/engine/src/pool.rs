@@ -38,6 +38,35 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_ctx(threads, n_jobs, || (), |(), i| job(i), progress)
+}
+
+/// [`run_indexed`] with a **per-worker context**: each worker thread
+/// builds one `C` via `make_ctx` when it starts and threads it mutably
+/// through every job it executes. This is how per-worker reusable
+/// memory (e.g. `JobWorkspace` and its solver arenas) survives the
+/// whole job stream without crossing threads — `C` never leaves the
+/// worker that built it, so it needs neither `Send` nor `Sync`.
+///
+/// Correctness note: because jobs are work-stolen, *which* context a
+/// job sees is scheduling-dependent. Contexts must therefore never leak
+/// state into results — the contract reusable workspaces uphold by
+/// resetting every buffer bit-identically at checkout (and the
+/// `parallel_equals_serial`-style tests pin). A job that panics may
+/// leave its context dirty; the next checkout overwrites every buffer
+/// it uses, so the worker keeps going on the same context.
+pub fn run_indexed_ctx<T, C, M, F>(
+    threads: usize,
+    n_jobs: usize,
+    make_ctx: M,
+    job: F,
+    progress: Option<ProgressFn<'_>>,
+) -> Vec<Result<T, JobPanic>>
+where
+    T: Send,
+    M: Fn() -> C + Sync,
+    F: Fn(&mut C, usize) -> T + Sync,
+{
     let threads = effective_threads(threads, n_jobs);
     let queue: Injector<usize> = Injector::new();
     for i in 0..n_jobs {
@@ -49,32 +78,37 @@ where
     let reported = Mutex::new(0usize);
     crossbeam::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = match queue.steal() {
-                    Steal::Success(i) => i,
-                    Steal::Empty => break,
-                    Steal::Retry => continue,
-                };
-                let result =
-                    catch_unwind(AssertUnwindSafe(|| job(i))).map_err(|payload| JobPanic {
-                        job: i,
-                        // NB: `payload.as_ref()`, not `&payload` — the
-                        // latter would coerce the Box itself into the
-                        // `dyn Any` and every downcast would miss.
-                        message: panic_message(payload.as_ref()),
-                    });
-                *slots[i].lock() = Some(result);
-                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                if let Some(report) = progress {
-                    // Monotonic guard: the lock covers the callback too,
-                    // so a preempted worker can never emit a lower count
-                    // after a higher one went out (the CLI ticker would
-                    // end on a stale line otherwise). Jobs dwarf the
-                    // callback, so the serialization is immaterial.
-                    let mut highest = reported.lock();
-                    if finished > *highest {
-                        *highest = finished;
-                        report(finished, n_jobs);
+            scope.spawn(|_| {
+                let mut ctx = make_ctx();
+                loop {
+                    let i = match queue.steal() {
+                        Steal::Success(i) => i,
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    };
+                    let result =
+                        catch_unwind(AssertUnwindSafe(|| job(&mut ctx, i))).map_err(|payload| {
+                            JobPanic {
+                                job: i,
+                                // NB: `payload.as_ref()`, not `&payload` — the
+                                // latter would coerce the Box itself into the
+                                // `dyn Any` and every downcast would miss.
+                                message: panic_message(payload.as_ref()),
+                            }
+                        });
+                    *slots[i].lock() = Some(result);
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(report) = progress {
+                        // Monotonic guard: the lock covers the callback too,
+                        // so a preempted worker can never emit a lower count
+                        // after a higher one went out (the CLI ticker would
+                        // end on a stale line otherwise). Jobs dwarf the
+                        // callback, so the serialization is immaterial.
+                        let mut highest = reported.lock();
+                        if finished > *highest {
+                            *highest = finished;
+                            report(finished, n_jobs);
+                        }
                     }
                 }
             });
@@ -170,6 +204,61 @@ mod tests {
         assert_eq!(effective_threads(2, 100), 2);
         assert!(effective_threads(0, 1000) >= 1);
         assert_eq!(effective_threads(0, 0), 1);
+    }
+
+    #[test]
+    fn ctx_is_per_worker_and_reused_across_jobs() {
+        // Each worker's context counts the jobs it ran; the per-worker
+        // totals must cover all jobs exactly once.
+        let totals = Mutex::new(Vec::new());
+        struct Ctx<'a> {
+            ran: usize,
+            totals: &'a Mutex<Vec<usize>>,
+        }
+        impl Drop for Ctx<'_> {
+            fn drop(&mut self) {
+                self.totals.lock().push(self.ran);
+            }
+        }
+        let out = run_indexed_ctx(
+            3,
+            40,
+            || Ctx {
+                ran: 0,
+                totals: &totals,
+            },
+            |ctx, i| {
+                ctx.ran += 1;
+                i * 2
+            },
+            None,
+        );
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), i * 2);
+        }
+        let per_worker = totals.into_inner();
+        assert!(per_worker.len() <= 3);
+        assert_eq!(per_worker.iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn ctx_survives_a_panicking_job() {
+        let out = run_indexed_ctx(
+            1,
+            5,
+            || 0usize,
+            |ran, i| {
+                *ran += 1;
+                if i == 1 {
+                    panic!("boom");
+                }
+                *ran
+            },
+            None,
+        );
+        assert!(out[1].is_err());
+        // The same context kept counting after the panic.
+        assert_eq!(*out[4].as_ref().unwrap(), 5);
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! Per-worker reusable job memory: the [`JobWorkspace`].
+//!
+//! The campaign pool gives every worker thread one `JobWorkspace` for
+//! the lifetime of the job stream (see
+//! [`run_indexed_ctx`](crate::pool::run_indexed_ctx)). Each repetition
+//! draws its solver machine, corruptible matrix image, checkpoint slot
+//! and ABFT shadows from the workspace instead of allocating them —
+//! across a campaign of thousands of repetitions this removes the
+//! dominant per-job heap traffic (most prominently the full-matrix
+//! clone every repetition used to pay).
+//!
+//! Reuse is *observable only through throughput*: workspace checkout
+//! resets every buffer bit-identically to fresh allocation, so
+//! campaign artifacts are byte-identical whichever worker (and
+//! therefore whichever warm workspace) a job lands on. The engine's
+//! determinism tests pin this.
+
+use ftcg_solvers::SolverWorkspace;
+
+/// Reusable per-worker memory for the campaign job stream (see the
+/// module docs). One per worker thread; never shared.
+#[derive(Debug, Default)]
+pub struct JobWorkspace {
+    solver: SolverWorkspace,
+}
+
+impl JobWorkspace {
+    /// An empty workspace; buffers are retained as job shapes are seen.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The solver-side arena to pass to
+    /// [`ftcg_solvers::resilient::solve_resilient_in`].
+    pub fn solver_workspace(&mut self) -> &mut SolverWorkspace {
+        &mut self.solver
+    }
+}

@@ -137,12 +137,15 @@ pub fn measure_costs(a: &CsrMatrix, reps: usize) -> MeasuredCosts {
         let _ = std::hint::black_box(vector::dot(&x, &y));
     });
 
-    // Checkpoint: clone vectors + matrix arrays. Recovery: copy back.
-    let mut store: Option<ftcg_checkpoint::SolverState> = None;
+    // Checkpoint: copy vectors + matrix arrays into the retained
+    // snapshot buffer. Recovery: copy back, restoring the corruptible
+    // image *in place* from the snapshot's pristine matrix — exactly
+    // the allocation-free paths the executor runs (a full-matrix clone
+    // per repetition would overstate both costs).
+    let mut snapshot = ftcg_checkpoint::SolverState::empty();
     let t_cp = time_it(reps, || {
-        store = Some(ftcg_checkpoint::SolverState::capture(0, &x, &b, &w, 1.0, a));
+        snapshot.store(0, &x, &b, &w, 1.0, a);
     });
-    let snapshot = store.take().unwrap();
     let mut xa = x.clone();
     let mut ra = b.clone();
     let mut pa = w.clone();
@@ -151,7 +154,7 @@ pub fn measure_costs(a: &CsrMatrix, reps: usize) -> MeasuredCosts {
         xa.copy_from_slice(&snapshot.x);
         ra.copy_from_slice(&snapshot.r);
         pa.copy_from_slice(&snapshot.p);
-        am = snapshot.matrix.clone();
+        am.copy_image_from(&snapshot.matrix);
     });
 
     let per_iter = |t: f64| (t / titer).max(1e-6);

@@ -4,13 +4,16 @@
 //! Since the campaign engine landed, this module is a thin veneer over
 //! [`ftcg_engine::pool`]: repetitions are indexed jobs on the
 //! work-stealing pool, results come back in repetition order (so the
-//! aggregate is independent of thread scheduling), and the injector
-//! configurations live in [`ftcg_engine::inject`] (re-exported here for
-//! compatibility).
+//! aggregate is independent of thread scheduling), each worker reuses
+//! one [`JobWorkspace`] across its whole repetition stream (zero
+//! per-repetition allocation of matrix images / solver state,
+//! bit-identical results), and the injector configurations live in
+//! [`ftcg_engine::inject`] (re-exported here for compatibility).
 
 use ftcg_engine::aggregate::{JobMetrics, SummaryStats};
+use ftcg_engine::JobWorkspace;
 use ftcg_fault::Injector;
-use ftcg_solvers::resilient::{solve_resilient, ResilientConfig};
+use ftcg_solvers::resilient::{solve_resilient_in, ResilientConfig};
 use ftcg_sparse::CsrMatrix;
 
 pub use ftcg_engine::inject::{calibrated_injector, paper_injector};
@@ -56,12 +59,19 @@ where
 {
     assert!(reps >= 1);
     let threads = threads.clamp(1, reps);
-    let rows: Vec<JobMetrics> = ftcg_engine::pool::run_indexed(
+    let rows: Vec<JobMetrics> = ftcg_engine::pool::run_indexed_ctx(
         threads,
         reps,
-        |i| {
+        JobWorkspace::new,
+        |ws, i| {
             let mut inj = make_injector(base_seed + i as u64);
-            JobMetrics::from(&solve_resilient(a, b, cfg, Some(&mut inj)))
+            JobMetrics::from(&solve_resilient_in(
+                a,
+                b,
+                cfg,
+                Some(&mut inj),
+                ws.solver_workspace(),
+            ))
         },
         None,
     )

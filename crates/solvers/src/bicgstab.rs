@@ -175,15 +175,30 @@ impl IterativeSolver for BicgstabMachine {
         }
     }
 
-    fn snapshot(&self, iteration: usize, a: &CsrMatrix) -> SolverState {
-        SolverState::capture(
+    fn snapshot_into(&self, iteration: usize, a: &CsrMatrix, into: &mut SolverState) {
+        into.store(
             iteration,
             &self.x,
             &self.r,
             &self.p,
             self.rnorm * self.rnorm,
             a,
-        )
+        );
+    }
+
+    fn reset_zero(&mut self, _a0: &CsrMatrix, b: &[f64]) {
+        assert_eq!(b.len(), self.x.len(), "bicgstab reset: b length mismatch");
+        self.b.copy_from_slice(b);
+        self.x.fill(0.0);
+        self.r.copy_from_slice(b);
+        self.rhat.copy_from_slice(&self.r);
+        self.p.copy_from_slice(&self.r);
+        self.v.fill(0.0);
+        self.s.fill(0.0);
+        self.t.fill(0.0);
+        self.rho = vector::dot(&self.rhat, &self.r);
+        self.rnorm = vector::norm2(&self.r);
+        self.threshold = 0.0;
     }
 
     fn restore(&mut self, st: &SolverState, _a: &CsrMatrix) {

@@ -149,8 +149,18 @@ impl IterativeSolver for CgMachine {
         }
     }
 
-    fn snapshot(&self, iteration: usize, a: &CsrMatrix) -> SolverState {
-        SolverState::capture(iteration, &self.x, &self.r, &self.p, self.rnorm_sq, a)
+    fn snapshot_into(&self, iteration: usize, a: &CsrMatrix, into: &mut SolverState) {
+        into.store(iteration, &self.x, &self.r, &self.p, self.rnorm_sq, a);
+    }
+
+    fn reset_zero(&mut self, _a0: &CsrMatrix, b: &[f64]) {
+        assert_eq!(b.len(), self.x.len(), "cg reset: b length mismatch");
+        self.b.copy_from_slice(b);
+        self.x.fill(0.0);
+        self.r.copy_from_slice(b);
+        self.p.copy_from_slice(b);
+        self.q.fill(0.0);
+        self.rnorm_sq = vector::norm2_sq(b);
     }
 
     fn restore(&mut self, st: &SolverState, _a: &CsrMatrix) {

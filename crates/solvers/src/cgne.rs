@@ -151,15 +151,29 @@ impl IterativeSolver for CgneMachine {
         }
     }
 
-    fn snapshot(&self, iteration: usize, a: &CsrMatrix) -> SolverState {
-        SolverState::capture(
+    fn snapshot_into(&self, iteration: usize, a: &CsrMatrix, into: &mut SolverState) {
+        into.store(
             iteration,
             &self.x,
             &self.r,
             &self.p,
             self.rnorm * self.rnorm,
             a,
-        )
+        );
+    }
+
+    fn reset_zero(&mut self, a0: &CsrMatrix, b: &[f64]) {
+        assert_eq!(b.len(), self.x.len(), "cgne reset: b length mismatch");
+        self.b.copy_from_slice(b);
+        self.x.fill(0.0);
+        self.r.copy_from_slice(b);
+        // p₀ = Aᵀ·r₀ against the pristine matrix — the constructor's
+        // trusted-setup transpose product, same FP operations.
+        a0.spmv_transpose_into(&self.r, &mut self.p);
+        self.q.fill(0.0);
+        self.z.fill(0.0);
+        self.rtr = vector::norm2_sq(&self.p);
+        self.rnorm = vector::norm2(&self.r);
     }
 
     fn restore(&mut self, st: &SolverState, a: &CsrMatrix) {

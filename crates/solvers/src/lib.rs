@@ -16,6 +16,13 @@
 //! * **ABFT-CORRECTION** — dual-checksum ABFT that corrects single
 //!   errors *forward* and rolls back only when two or more errors strike
 //!   one iteration.
+//!
+//! Repetition loops (Monte-Carlo campaigns) should hold a
+//! [`SolverWorkspace`] and call [`resilient::solve_resilient_in`]: all
+//! solve-scoped memory — machines, matrix images, checkpoints, ABFT
+//! shadows — is then retained and reset in place across repetitions,
+//! bit-identically to fresh allocation and with zero steady-state heap
+//! traffic (see [`workspace`]).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -28,6 +35,7 @@ pub mod pcg;
 pub mod resilient;
 pub mod stopping;
 pub mod verify;
+pub mod workspace;
 
 pub use bicgstab::{bicgstab_solve, bicgstab_solve_with, BicgstabMachine};
 pub use cg::{cg_solve, cg_solve_with, CgConfig, CgMachine, SolveStats};
@@ -37,6 +45,8 @@ pub use machine::{
 };
 pub use pcg::{pcg_jacobi_solve, pcg_jacobi_solve_with, PcgMachine};
 pub use resilient::{
-    solve_resilient, ResilientConfig, ResilientConfigError, ResilientOutcome, VerificationScheme,
+    solve_resilient, solve_resilient_in, ResilientConfig, ResilientConfigError, ResilientOutcome,
+    VerificationScheme,
 };
 pub use stopping::StoppingCriterion;
+pub use workspace::SolverWorkspace;

@@ -153,8 +153,36 @@ pub trait IterativeSolver {
         1
     }
 
-    /// Captures the canonical state at a verified chunk boundary.
-    fn snapshot(&self, iteration: usize, a: &CsrMatrix) -> SolverState;
+    /// Captures the canonical state at a verified chunk boundary
+    /// (allocating convenience over
+    /// [`IterativeSolver::snapshot_into`]).
+    fn snapshot(&self, iteration: usize, a: &CsrMatrix) -> SolverState {
+        let mut st = SolverState::empty();
+        self.snapshot_into(iteration, a, &mut st);
+        st
+    }
+
+    /// Captures the canonical state *into a retained buffer* — contents
+    /// bit-identical to [`IterativeSolver::snapshot`], but pure
+    /// `copy_from_slice` into `into`'s existing allocations (zero heap
+    /// traffic once the buffer has seen this problem shape). The
+    /// resilient executor checkpoints through this into a
+    /// [`ftcg_checkpoint::SnapshotSlot`].
+    fn snapshot_into(&self, iteration: usize, a: &CsrMatrix, into: &mut SolverState);
+
+    /// Re-initializes the machine for a fresh zero-start solve over
+    /// `(a0, b)`, reusing its retained buffers: afterwards every state
+    /// field is bit-identical to a machine freshly built by
+    /// [`SolverKind::start_zero`], so one instance reused across
+    /// Monte-Carlo repetitions reproduces the fresh-allocation
+    /// trajectories exactly. [`SolverWorkspace`](crate::SolverWorkspace)
+    /// calls this when it checks a retained machine out for the next
+    /// repetition.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the machine's `n` (workspaces
+    /// key machines by problem size, so a mismatch is a caller bug).
+    fn reset_zero(&mut self, a0: &CsrMatrix, b: &[f64]);
 
     /// Restores a snapshot, recomputing solver-private recurrence state
     /// from the canonical vectors and the restored matrix `a`

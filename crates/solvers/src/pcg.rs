@@ -142,15 +142,39 @@ impl IterativeSolver for PcgMachine {
         }
     }
 
-    fn snapshot(&self, iteration: usize, a: &CsrMatrix) -> SolverState {
-        SolverState::capture(
+    fn snapshot_into(&self, iteration: usize, a: &CsrMatrix, into: &mut SolverState) {
+        into.store(
             iteration,
             &self.x,
             &self.r,
             &self.p,
             self.rnorm * self.rnorm,
             a,
-        )
+        );
+    }
+
+    fn reset_zero(&mut self, a0: &CsrMatrix, b: &[f64]) {
+        assert_eq!(b.len(), self.x.len(), "pcg reset: b length mismatch");
+        self.b.copy_from_slice(b);
+        // Re-read M⁻¹ from the pristine matrix — same operations as the
+        // constructor's `jacobi_inverse` (1.0 / aᵢᵢ, in order).
+        a0.diag_into(&mut self.minv);
+        assert!(
+            self.minv.iter().all(|&d| d != 0.0),
+            "pcg: zero diagonal entry, Jacobi preconditioner undefined"
+        );
+        for m in &mut self.minv {
+            *m = 1.0 / *m;
+        }
+        self.x.fill(0.0);
+        self.r.copy_from_slice(b);
+        for i in 0..self.z.len() {
+            self.z[i] = self.r[i] * self.minv[i];
+        }
+        self.p.copy_from_slice(&self.z);
+        self.q.fill(0.0);
+        self.rz = vector::dot(&self.r, &self.z);
+        self.rnorm = vector::norm2(&self.r);
     }
 
     fn restore(&mut self, st: &SolverState, _a: &CsrMatrix) {

@@ -27,10 +27,23 @@
 //!    ([`VerificationScheme::verify_chunk`]); convergence is only
 //!    accepted behind a passing verification, and checkpoints are only
 //!    taken behind one.
+//!
+//! ## Memory discipline
+//!
+//! The executor owns **no** solve-scoped heap state: the solver machine,
+//! the corruptible matrix image and the retained buffers (checkpoint
+//! slot, pristine initial state, TMR shadows, trusted input copies, the
+//! deferred-fault list) all come from the caller's
+//! [`SolverWorkspace`](crate::SolverWorkspace) arena. Checkpoints are
+//! [`IterativeSolver::snapshot_into`] a double-buffered
+//! [`SnapshotSlot`](ftcg_checkpoint::SnapshotSlot); rollback restores
+//! the matrix image in place with [`CsrMatrix::copy_image_from`]
+//! (fault injection flips bits, it never changes array lengths). A
+//! steady-state iteration — no checkpoint, no rollback, no fault —
+//! performs zero heap allocations (pinned by the counting-allocator
+//! gate in `tests/alloc_gate.rs`).
 
-use ftcg_abft::tmr::TmrVector;
 use ftcg_abft::XRef;
-use ftcg_checkpoint::{CheckpointStore, MemoryStore, SolverState};
 use ftcg_fault::ledger::{FaultLedger, FaultOutcome};
 use ftcg_fault::target::{FaultTarget, VectorId};
 use ftcg_fault::{FaultEvent, Injector};
@@ -40,6 +53,7 @@ use ftcg_sparse::{vector, CsrMatrix};
 use super::scheme::{ProductCheck, VerificationScheme};
 use super::{true_residual, EscalationGuard, ResilientConfig, ResilientOutcome, RunStats, SimTime};
 use crate::machine::{CanonVec, IterativeSolver, ProductStatus, StepContext, StepResult};
+use crate::workspace::ExecArena;
 
 /// Flips one bit of a value in place.
 #[inline]
@@ -53,7 +67,7 @@ fn flip(v: &mut f64, bit: u32) {
 /// and receives the deferred product-output faults; later products
 /// (BiCGStab's second) capture their reference at call time — their
 /// inputs were computed in-step from already verified data, after this
-/// iteration's faults struck.
+/// iteration's faults struck — into the retained scratch reference.
 struct ResilientCtx<'a, V: VerificationScheme> {
     a: &'a mut CsrMatrix,
     kernel: &'a mut DefensiveProduct,
@@ -61,6 +75,13 @@ struct ResilientCtx<'a, V: VerificationScheme> {
     /// Trusted input copy for the iteration's first product (ABFT
     /// schemes only).
     xref: Option<&'a XRef>,
+    /// Set when a non-clean product check may have rewritten the matrix
+    /// arrays (indices included) — ABFT-CORRECTION's repair attempt —
+    /// so rollback must restore the full image, not just the values.
+    /// Pure detection checks never mutate and leave the flag alone.
+    structure_dirty: &'a mut bool,
+    /// Retained buffer for call-time captures of later products.
+    xref_scratch: &'a mut XRef,
     /// Product-output faults deferred onto the first product.
     q_faults: &'a [FaultEvent],
     stats: &'a mut RunStats,
@@ -86,15 +107,17 @@ impl<V: VerificationScheme> StepContext for ResilientCtx<'_, V> {
                 flip(&mut y[e.offset], e.bit);
             }
         }
-        let fresh;
-        let xref = match (first, self.xref) {
+        let xref: &XRef = match (first, self.xref) {
             (true, Some(x0)) => x0,
             _ => {
-                fresh = XRef::capture(x);
-                &fresh
+                self.xref_scratch.store(x);
+                self.xref_scratch
             }
         };
         let check = self.scheme.check_product(self.a, x, xref, y);
+        if check != ProductCheck::Clean && self.scheme.check_may_mutate() {
+            *self.structure_dirty = true;
+        }
         match check {
             ProductCheck::Clean => ProductStatus::Trusted,
             ProductCheck::FalseAlarm => {
@@ -139,13 +162,21 @@ impl<V: VerificationScheme> StepContext for ResilientCtx<'_, V> {
 }
 
 /// Runs the protocol for one solver × scheme combination.
+///
+/// `solver` must be in the zero-start state over `(a0, b)`, `image`
+/// must hold a bit-exact copy of `a0` (the corruptible working image),
+/// and `arena` provides the retained buffers — all three come from
+/// [`SolverWorkspace::checkout`](crate::SolverWorkspace).
+#[allow(clippy::too_many_arguments)]
 pub(super) fn run_executor<V: VerificationScheme>(
     a0: &CsrMatrix,
     b: &[f64],
     cfg: &ResilientConfig,
     mut injector: Option<&mut Injector>,
     scheme: V,
-    mut solver: Box<dyn IterativeSolver>,
+    solver: &mut dyn IterativeSolver,
+    image: &mut CsrMatrix,
+    arena: &mut ExecArena,
 ) -> ResilientOutcome {
     let hardened = scheme.hardened_vectors();
     // Pin `auto` against the pristine matrix; conversions are cached
@@ -153,8 +184,17 @@ pub(super) fn run_executor<V: VerificationScheme>(
     let mut kernel = DefensiveProduct::new(cfg.kernel.resolve(a0));
     let d = scheme.chunk_len(cfg.verif_interval);
 
-    // Working (corruptible) state.
-    let mut a = a0.clone();
+    // Working (corruptible) state and the retained buffers.
+    let a = image;
+    let ExecArena {
+        initial,
+        slot,
+        xref,
+        xref_scratch,
+        r_tmr,
+        x_tmr,
+        q_faults,
+    } = arena;
     let threshold = cfg
         .stopping
         .threshold(a0, vector::norm2(b), solver.residual_norm());
@@ -165,58 +205,73 @@ pub(super) fn run_executor<V: VerificationScheme>(
     // ever feeds statistics and rollback decisions — an outvoted flip
     // never reaches the trajectory, exactly like the historical
     // triplicated updates.
-    let mut r_tmr = hardened.then(|| TmrVector::new(solver.vector(CanonVec::Residual)));
-    let mut x_tmr = hardened.then(|| TmrVector::new(solver.vector(CanonVec::Iterate)));
+    if hardened {
+        r_tmr.store(solver.vector(CanonVec::Residual));
+        x_tmr.store(solver.vector(CanonVec::Iterate));
+    }
 
     // The pristine input data ("for the first frame we recover by
-    // reading initial data again") and the rolling checkpoint store.
-    let initial = solver.snapshot(0, a0);
-    let mut store = MemoryStore::new();
-    store.save(&initial).expect("memory store cannot fail");
+    // reading initial data again") and the rolling checkpoint slot.
+    solver.snapshot_into(0, a0, initial);
+    slot.save(initial);
     let mut guard = EscalationGuard::default();
 
     let mut time = SimTime::default();
     let mut stats = RunStats::default();
     let mut ledger = FaultLedger::new();
-    let mut xref = hardened.then(|| XRef::capture(solver.vector(CanonVec::Direction)));
+    if hardened {
+        xref.store(solver.vector(CanonVec::Direction));
+    }
     let mut productive = 0usize;
     let mut iters_in_chunk = 0usize;
     let mut chunks_since_ckpt = 0usize;
     let mut replica_rot = 0usize;
     let mut converged = solver.residual_norm() <= threshold;
+    // `true` while the live image's *structure* (`colid`/`rowptr`) may
+    // differ from the latest checkpoint's: set by index-array faults
+    // and by correction attempts, cleared whenever image and checkpoint
+    // are re-synchronized (checkpoint taken, rollback restored).
+    // While clean, rollback takes the cheaper values-only restore
+    // ([`CsrMatrix::copy_values_from`], whose debug-mode pattern check
+    // verifies this very tracking on every test run).
+    let mut structure_dirty = false;
 
     // Restores the latest checkpoint (or, when the escalation guard
     // flags a tainted one, the pristine initial data) into the solver
-    // and the shadows.
+    // and the shadows — all in place, no allocation.
     macro_rules! rollback {
         () => {{
             time.add(cfg.costs.trec);
             stats.rollbacks += 1;
-            let st: SolverState = if guard.must_escalate() {
+            if guard.must_escalate() {
                 // Re-read input data: discard the tainted checkpoint.
-                store.save(&initial).expect("memory store cannot fail");
+                // The escape target's structure is the pristine one,
+                // not the (possibly sub-tolerance-corrupted) structure
+                // the discarded checkpoint shared with the live image.
+                slot.save(initial);
+                structure_dirty = true;
                 guard.consecutive_rollbacks = 0;
-                initial.clone()
-            } else {
-                store
-                    .load()
-                    .expect("memory store cannot fail")
-                    .expect("initial checkpoint always present")
-            };
+            }
             guard.note_restore();
-            a = st.matrix.clone();
+            let st = slot.latest().expect("initial checkpoint always present");
+            if structure_dirty {
+                a.copy_image_from(&st.matrix);
+            } else {
+                a.copy_values_from(&st.matrix);
+            }
+            structure_dirty = false;
             kernel.invalidate(); // rollback replaced the matrix image
-            solver.restore(&st, &a);
-            if let (Some(rt), Some(xt)) = (r_tmr.as_mut(), x_tmr.as_mut()) {
-                rt.store(solver.vector(CanonVec::Residual));
-                xt.store(solver.vector(CanonVec::Iterate));
+            solver.restore(st, a);
+            if hardened {
+                r_tmr.store(solver.vector(CanonVec::Residual));
+                x_tmr.store(solver.vector(CanonVec::Iterate));
             }
             productive = st.iteration;
             iters_in_chunk = 0;
             chunks_since_ckpt = 0;
             ledger.resolve_all_pending(FaultOutcome::RolledBack);
             if hardened {
-                xref = Some(XRef::capture(solver.vector(CanonVec::Direction)));
+                xref.store(solver.vector(CanonVec::Direction));
             }
         }};
     }
@@ -236,7 +291,7 @@ pub(super) fn run_executor<V: VerificationScheme>(
             ledger.record(stats.executed, *e);
         }
         guard.note_faults(events.len());
-        let mut q_faults = Vec::new();
+        q_faults.clear();
         for e in &events {
             match e.target {
                 FaultTarget::Vector(VectorId::P) => {
@@ -249,24 +304,32 @@ pub(super) fn run_executor<V: VerificationScheme>(
                         flip(&mut solver.vector_mut(CanonVec::Product)[e.offset], e.bit);
                     }
                 }
-                FaultTarget::Vector(VectorId::R) => match r_tmr.as_mut() {
-                    Some(rt) => {
+                FaultTarget::Vector(VectorId::R) => {
+                    if hardened {
                         let rep = replica_rot % 3;
                         replica_rot += 1;
-                        flip(&mut rt.replica_mut(rep)[e.offset], e.bit);
+                        flip(&mut r_tmr.replica_mut(rep)[e.offset], e.bit);
+                    } else {
+                        flip(&mut solver.vector_mut(CanonVec::Residual)[e.offset], e.bit);
                     }
-                    None => flip(&mut solver.vector_mut(CanonVec::Residual)[e.offset], e.bit),
-                },
-                FaultTarget::Vector(VectorId::X) => match x_tmr.as_mut() {
-                    Some(xt) => {
+                }
+                FaultTarget::Vector(VectorId::X) => {
+                    if hardened {
                         let rep = replica_rot % 3;
                         replica_rot += 1;
-                        flip(&mut xt.replica_mut(rep)[e.offset], e.bit);
+                        flip(&mut x_tmr.replica_mut(rep)[e.offset], e.bit);
+                    } else {
+                        flip(&mut solver.vector_mut(CanonVec::Iterate)[e.offset], e.bit);
                     }
-                    None => flip(&mut solver.vector_mut(CanonVec::Iterate)[e.offset], e.bit),
-                },
+                }
                 _ => {
-                    Injector::apply_to_matrix(e, &mut a);
+                    if matches!(
+                        e.target,
+                        FaultTarget::MatrixColid | FaultTarget::MatrixRowidx
+                    ) {
+                        structure_dirty = true;
+                    }
+                    Injector::apply_to_matrix(e, a);
                 }
             }
         }
@@ -281,11 +344,13 @@ pub(super) fn run_executor<V: VerificationScheme>(
         // fewer).
         let (step, products_run) = {
             let mut ctx = ResilientCtx {
-                a: &mut a,
+                a: &mut *a,
                 kernel: &mut kernel,
                 scheme: &scheme,
-                xref: xref.as_ref(),
-                q_faults: &q_faults,
+                xref: hardened.then_some(&*xref),
+                structure_dirty: &mut structure_dirty,
+                xref_scratch: &mut *xref_scratch,
+                q_faults: &*q_faults,
                 stats: &mut stats,
                 ledger: &mut ledger,
                 first: true,
@@ -312,9 +377,9 @@ pub(super) fn run_executor<V: VerificationScheme>(
         }
 
         // 4. TMR vote on the vector data (ABFT schemes).
-        if let (Some(rt), Some(xt)) = (r_tmr.as_mut(), x_tmr.as_mut()) {
-            let vr = rt.vote();
-            let vx = xt.vote();
+        if hardened {
+            let vr = r_tmr.vote();
+            let vx = x_tmr.vote();
             if !vr.is_trusted() || !vx.is_trusted() {
                 // Colliding replica faults: detected, not correctable.
                 stats.detections += 1;
@@ -333,8 +398,8 @@ pub(super) fn run_executor<V: VerificationScheme>(
             }
             // Replicas follow the verified update (identical bits to
             // applying the update to each voted replica).
-            rt.store(solver.vector(CanonVec::Residual));
-            xt.store(solver.vector(CanonVec::Iterate));
+            r_tmr.store(solver.vector(CanonVec::Residual));
+            x_tmr.store(solver.vector(CanonVec::Iterate));
         }
 
         productive += 1;
@@ -345,7 +410,7 @@ pub(super) fn run_executor<V: VerificationScheme>(
         // convergence / checkpoint strictly behind the verification.
         if iters_in_chunk >= d || recursive_converged {
             time.add(scheme.chunk_cost(&cfg.costs));
-            if !scheme.verify_chunk(&a, solver.as_ref(), &cfg.online_tol) {
+            if !scheme.verify_chunk(a, &*solver, &cfg.online_tol) {
                 stats.detections += 1;
                 rollback!();
                 continue;
@@ -358,16 +423,16 @@ pub(super) fn run_executor<V: VerificationScheme>(
             chunks_since_ckpt += 1;
             if chunks_since_ckpt >= cfg.checkpoint_interval {
                 time.add(cfg.costs.tcp);
-                store
-                    .save(&solver.snapshot(productive, &a))
-                    .expect("memory store cannot fail");
+                solver.snapshot_into(productive, a, slot.begin_save());
+                slot.commit();
+                structure_dirty = false; // checkpoint == live image again
                 stats.checkpoints += 1;
                 guard.note_checkpoint();
                 chunks_since_ckpt = 0;
             }
         }
         if hardened {
-            xref = Some(XRef::capture(solver.vector(CanonVec::Direction)));
+            xref.store(solver.vector(CanonVec::Direction));
         }
     }
 

@@ -44,6 +44,7 @@ pub use scheme::{AbftCorrection, AbftDetection, OnlineDetection, VerificationSch
 use crate::machine::SolverKind;
 use crate::stopping::StoppingCriterion;
 use crate::verify::OnlineTolerances;
+use crate::workspace::SolverWorkspace;
 
 /// A rejected resilient configuration (the typed form surfaced by the
 /// CLI and the campaign engine instead of a silent clamp).
@@ -214,28 +215,71 @@ pub(crate) struct RunStats {
 /// Solves `Ax = b` (zero initial guess) under the configured resilience
 /// scheme and solver, optionally with fault injection. Without an
 /// injector the run is fault-free (useful to measure pure overheads).
+///
+/// Allocates a fresh [`SolverWorkspace`] per call; repetition loops
+/// should hold one workspace and call [`solve_resilient_in`] instead —
+/// same results bit for bit, no per-repetition heap traffic.
 pub fn solve_resilient(
     a: &CsrMatrix,
     b: &[f64],
     cfg: &ResilientConfig,
     injector: Option<&mut Injector>,
 ) -> ResilientOutcome {
+    let mut ws = SolverWorkspace::new();
+    solve_resilient_in(a, b, cfg, injector, &mut ws)
+}
+
+/// [`solve_resilient`] drawing every solve-scoped buffer — the solver
+/// machine, the corruptible matrix image, the checkpoint slot, the TMR
+/// shadows — from a caller-retained [`SolverWorkspace`]. Reusing one
+/// workspace across repetitions produces bit-identical
+/// [`ResilientOutcome`]s to fresh-allocation solves (the workspace
+/// reuse contract; see [`crate::workspace`]) while keeping the hot
+/// path off the allocator entirely.
+pub fn solve_resilient_in(
+    a: &CsrMatrix,
+    b: &[f64],
+    cfg: &ResilientConfig,
+    injector: Option<&mut Injector>,
+    ws: &mut SolverWorkspace,
+) -> ResilientOutcome {
     assert!(a.is_square(), "resilient solve: matrix must be square");
     assert_eq!(b.len(), a.n_rows(), "resilient solve: b length mismatch");
     if let Err(e) = cfg.validate() {
         panic!("resilient solve: {e}");
     }
-    let solver = cfg.solver.start_zero(a, b);
+    let (solver, image, arena) = ws.checkout(cfg.solver, a, b);
     match cfg.scheme {
-        Scheme::OnlineDetection => {
-            executor::run_executor(a, b, cfg, injector, OnlineDetection::new(a), solver)
-        }
-        Scheme::AbftDetection => {
-            executor::run_executor(a, b, cfg, injector, AbftDetection::new(a), solver)
-        }
-        Scheme::AbftCorrection => {
-            executor::run_executor(a, b, cfg, injector, AbftCorrection::new(a), solver)
-        }
+        Scheme::OnlineDetection => executor::run_executor(
+            a,
+            b,
+            cfg,
+            injector,
+            OnlineDetection::new(a),
+            solver,
+            image,
+            arena,
+        ),
+        Scheme::AbftDetection => executor::run_executor(
+            a,
+            b,
+            cfg,
+            injector,
+            AbftDetection::new(a),
+            solver,
+            image,
+            arena,
+        ),
+        Scheme::AbftCorrection => executor::run_executor(
+            a,
+            b,
+            cfg,
+            injector,
+            AbftCorrection::new(a),
+            solver,
+            image,
+            arena,
+        ),
     }
 }
 

@@ -65,6 +65,15 @@ pub trait VerificationScheme {
     /// every canonical vector plainly exposed (ONLINE-DETECTION).
     fn hardened_vectors(&self) -> bool;
 
+    /// `true` when a non-clean [`VerificationScheme::check_product`]
+    /// may have *mutated* the matrix arrays — indices included — as
+    /// ABFT-CORRECTION's repair attempt does. Pure detection schemes
+    /// keep the default `false`, which lets the executor's rollback
+    /// keep its values-only fast restore when only value faults struck.
+    fn check_may_mutate(&self) -> bool {
+        false
+    }
+
     /// Iterations per chunk: the configured `d` for ONLINE-DETECTION,
     /// always 1 for the ABFT schemes (which verify every iteration).
     fn chunk_len(&self, verif_interval: usize) -> usize;
@@ -172,6 +181,10 @@ impl AbftCorrection {
 impl VerificationScheme for AbftCorrection {
     fn scheme(&self) -> Scheme {
         Scheme::AbftCorrection
+    }
+
+    fn check_may_mutate(&self) -> bool {
+        true // the repair attempt rewrites arrays in place
     }
 
     fn iteration_cost(&self, costs: &ResilienceCosts, verified_products: usize) -> f64 {

@@ -1,0 +1,138 @@
+//! The allocation gate: a counting global allocator proving the
+//! zero-allocation claims of the workspace pipeline.
+//!
+//! Two claims are pinned:
+//!
+//! 1. a plain CG machine step allocates nothing — the machine owns all
+//!    its vectors and every kernel writes into caller buffers;
+//! 2. a *steady-state* resilient CG iteration (no fault, no rollback;
+//!    checkpoints included — they copy into retained slot buffers)
+//!    allocates nothing: two fault-free solves on a warm workspace that
+//!    differ only in their iteration budget (10 vs 60 productive
+//!    iterations, checkpoints taken throughout) must perform exactly
+//!    the same number of allocations.
+//!
+//! The file holds a single `#[test]` on purpose: the counter is
+//! process-global, and sibling tests running on other threads would
+//! pollute the counts.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use ftcg_kernels::KernelSpec;
+use ftcg_model::Scheme;
+use ftcg_solvers::machine::{PlainContext, SolverKind, StepResult};
+use ftcg_solvers::resilient::{solve_resilient_in, ResilientConfig};
+use ftcg_solvers::{SolverWorkspace, StoppingCriterion};
+use ftcg_sparse::gen;
+
+/// Counts heap allocations (alloc + realloc) while enabled.
+struct CountingAlloc;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with allocation counting on; returns the number of
+/// allocations it performed.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+    let out = f();
+    ENABLED.store(false, Ordering::SeqCst);
+    (ALLOCS.load(Ordering::SeqCst), out)
+}
+
+#[test]
+fn steady_state_cg_iterations_allocate_nothing() {
+    let a = gen::random_spd(120, 0.05, 9).unwrap();
+    let n = a.n_rows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.23).sin()).collect();
+
+    // Claim 1: the bare machine loop is allocation-free.
+    let prepared = KernelSpec::Csr.prepare(&a).unwrap();
+    let mut ctx = PlainContext {
+        a: &a,
+        kernel: prepared.as_ref(),
+    };
+    let mut machine = SolverKind::Cg.start_zero(&a, &b);
+    machine.set_threshold(0.0); // run to the step budget
+    for _ in 0..3 {
+        assert_eq!(machine.step(&mut ctx), StepResult::Done); // warm-up
+    }
+    let (steps_allocs, _) = count_allocs(|| {
+        for _ in 0..50 {
+            assert_eq!(machine.step(&mut ctx), StepResult::Done);
+        }
+    });
+    assert_eq!(
+        steps_allocs, 0,
+        "a plain CG machine step must not touch the allocator"
+    );
+
+    // Claim 2: steady-state executor iterations (checkpoints included)
+    // are allocation-free — iteration count must not change the solve's
+    // allocation count on a warm workspace.
+    let cfg_for = |iters: usize| {
+        let mut cfg = ResilientConfig::new(Scheme::AbftDetection, 2);
+        // Never converges: every run exhausts exactly its budget.
+        cfg.stopping = StoppingCriterion::Absolute { eps: 0.0 };
+        cfg.max_productive_iters = iters;
+        cfg.max_executed_iters = 10 * iters;
+        cfg
+    };
+    let mut ws = SolverWorkspace::new();
+    // Warm the workspace: first solve sizes every retained buffer.
+    let warmup = solve_resilient_in(&a, &b, &cfg_for(60), None, &mut ws);
+    assert_eq!(warmup.executed_iterations, 60);
+    assert!(warmup.checkpoints > 0, "gate must cover checkpoint copies");
+
+    let (short_allocs, short) =
+        count_allocs(|| solve_resilient_in(&a, &b, &cfg_for(10), None, &mut ws));
+    let (long_allocs, long) =
+        count_allocs(|| solve_resilient_in(&a, &b, &cfg_for(60), None, &mut ws));
+    assert_eq!(short.executed_iterations, 10);
+    assert_eq!(long.executed_iterations, 60);
+    assert!(long.checkpoints > short.checkpoints);
+    assert_eq!(
+        long_allocs,
+        short_allocs,
+        "50 extra steady-state iterations (with {} extra checkpoints) must \
+         allocate nothing: {} allocs at 10 iters vs {} at 60",
+        long.checkpoints - short.checkpoints,
+        short_allocs,
+        long_allocs
+    );
+
+    // Sanity: the warm path allocates strictly less than a cold one.
+    let (cold_allocs, _) = count_allocs(|| {
+        let mut fresh = SolverWorkspace::new();
+        solve_resilient_in(&a, &b, &cfg_for(60), None, &mut fresh)
+    });
+    assert!(
+        long_allocs < cold_allocs,
+        "warm workspace ({long_allocs} allocs) must beat cold ({cold_allocs})"
+    );
+}

@@ -3,11 +3,19 @@
 //! reproduce the uninterrupted trajectory bit for bit — for every
 //! solver × kernel combination. This is the contract the resilient
 //! executor's checkpoint/rollback relies on.
+//!
+//! Since the workspace-arena refactor the suite also pins the *reuse
+//! contract*: solves drawing every buffer from a warm, dirty
+//! [`SolverWorkspace`] must produce bit-identical outcomes to
+//! fresh-allocation solves, across solver × scheme × kernel and under
+//! fault injection.
 
 use ftcg_checkpoint::SolverState;
 use ftcg_kernels::KernelSpec;
+use ftcg_model::Scheme;
 use ftcg_solvers::machine::{PlainContext, SolverKind, StepResult};
-use ftcg_solvers::CanonVec;
+use ftcg_solvers::resilient::{solve_resilient, solve_resilient_in, ResilientConfig};
+use ftcg_solvers::{CanonVec, SolverWorkspace};
 use ftcg_sparse::{gen, CsrMatrix};
 use proptest::prelude::*;
 
@@ -131,6 +139,116 @@ proptest! {
             prop_assert_eq!(st.p.as_slice(), m.vector(CanonVec::Direction));
             prop_assert_eq!(&st.matrix, &a);
         }
+    }
+}
+
+/// The paper-model injector (matrix arrays + the four vectors), built
+/// locally so the reuse property runs under real fault streams.
+fn injector_for(a: &CsrMatrix, alpha: f64, seed: u64) -> ftcg_fault::Injector {
+    use ftcg_fault::{target::MemoryLayout, BitRange, FaultRate, Injector, InjectorConfig};
+    let layout = MemoryLayout::with_vectors(a.nnz(), a.n_rows());
+    let cfg = InjectorConfig {
+        rate: FaultRate::from_alpha(alpha, layout.total_words()),
+        value_bits: BitRange::Full,
+        index_bits: BitRange::for_index_bound(a.n_cols().max(a.nnz() + 1)),
+        include_vectors: true,
+    };
+    Injector::for_matrix(cfg, a, seed)
+}
+
+/// Asserts two resilient outcomes agree bit for bit (solution vector
+/// included) and in every counter.
+fn assert_outcomes_bitexact(
+    label: &str,
+    fresh: &ftcg_solvers::ResilientOutcome,
+    reused: &ftcg_solvers::ResilientOutcome,
+) {
+    assert_eq!(fresh.converged, reused.converged, "{label}: converged");
+    assert_eq!(
+        fresh.productive_iterations, reused.productive_iterations,
+        "{label}: productive"
+    );
+    assert_eq!(
+        fresh.executed_iterations, reused.executed_iterations,
+        "{label}: executed"
+    );
+    assert_eq!(
+        fresh.simulated_time.to_bits(),
+        reused.simulated_time.to_bits(),
+        "{label}: simulated time"
+    );
+    assert_eq!(
+        fresh.checkpoints, reused.checkpoints,
+        "{label}: checkpoints"
+    );
+    assert_eq!(fresh.rollbacks, reused.rollbacks, "{label}: rollbacks");
+    assert_eq!(
+        fresh.forward_corrections, reused.forward_corrections,
+        "{label}: forward corrections"
+    );
+    assert_eq!(
+        fresh.tmr_corrections, reused.tmr_corrections,
+        "{label}: tmr corrections"
+    );
+    assert_eq!(fresh.detections, reused.detections, "{label}: detections");
+    assert_eq!(
+        fresh.true_residual.to_bits(),
+        reused.true_residual.to_bits(),
+        "{label}: true residual"
+    );
+    assert_eq!(fresh.x.len(), reused.x.len(), "{label}: x length");
+    for i in 0..fresh.x.len() {
+        assert_eq!(
+            fresh.x[i].to_bits(),
+            reused.x[i].to_bits(),
+            "{label}: x[{i}] diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Workspace-reuse solves are bit-identical to fresh-allocation
+    /// solves across solver × scheme × kernel, under fault injection —
+    /// the reuse contract of the zero-allocation pipeline. The shared
+    /// workspace is deliberately *dirty*: every combination in the grid
+    /// reuses the same one, in sequence, and each outcome must still
+    /// match its independently fresh-allocated twin.
+    #[test]
+    fn workspace_reuse_is_bitexact(
+        n in 30usize..70,
+        density_mil in 40usize..90,
+        seed in 0u64..300,
+        s in 2usize..8,
+    ) {
+        let (a, b) = system(n, density_mil, seed);
+        let mut ws = SolverWorkspace::new();
+        for scheme in [Scheme::AbftDetection, Scheme::AbftCorrection, Scheme::OnlineDetection] {
+            for kind in SolverKind::ALL {
+                for kernel in ["csr", "bcsr:2"] {
+                    let mut cfg = ResilientConfig::new(scheme, s);
+                    cfg.solver = kind;
+                    cfg.kernel = KernelSpec::parse(kernel).unwrap();
+                    cfg.max_productive_iters = 40;
+                    cfg.max_executed_iters = 400;
+                    let alpha = 1.0 / 16.0;
+                    let mut inj = injector_for(&a, alpha, seed ^ 0x5eed);
+                    let fresh = solve_resilient(&a, &b, &cfg, Some(&mut inj));
+                    let mut inj = injector_for(&a, alpha, seed ^ 0x5eed);
+                    let reused = solve_resilient_in(&a, &b, &cfg, Some(&mut inj), &mut ws);
+                    assert_outcomes_bitexact(
+                        &format!("{scheme:?} × {kind} × {kernel}"),
+                        &fresh,
+                        &reused,
+                    );
+                }
+            }
+        }
+        // One workspace served the whole grid: machines retained per
+        // solver, one pooled image shape.
+        prop_assert_eq!(ws.retained_machines(), 4);
+        prop_assert_eq!(ws.pooled_images(), 1);
     }
 }
 

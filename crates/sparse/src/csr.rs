@@ -295,6 +295,76 @@ impl CsrMatrix {
         }
     }
 
+    /// Copies the *value* array of `src` into this matrix in place — the
+    /// fast restore path when only `Val` may differ. The two matrices
+    /// must share one sparsity pattern; the pattern equality itself is a
+    /// `debug_assert` (it costs a full `rowptr`/`colid` comparison, too
+    /// expensive for a release-mode hot path that upholds the invariant
+    /// by construction).
+    ///
+    /// # Panics
+    /// Panics if the dimensions or `nnz` differ; debug-panics if the
+    /// sparsity patterns (`rowptr`/`colid`) differ.
+    pub fn copy_values_from(&mut self, src: &CsrMatrix) {
+        assert_eq!(
+            (self.n_rows, self.n_cols),
+            (src.n_rows, src.n_cols),
+            "copy_values_from: dimension mismatch"
+        );
+        assert_eq!(
+            self.val.len(),
+            src.val.len(),
+            "copy_values_from: nnz mismatch"
+        );
+        debug_assert!(
+            self.rowptr == src.rowptr && self.colid == src.colid,
+            "copy_values_from: sparsity patterns differ"
+        );
+        self.val.copy_from_slice(&src.val);
+    }
+
+    /// Restores the full image of `src` — all three CSR arrays — into
+    /// this matrix in place, without allocating. This is the rollback
+    /// path of the resilient executor: the destination may carry
+    /// arbitrary bit corruption in `val`, `colid` *and* `rowptr` (so no
+    /// pattern check is possible), but fault injection never changes
+    /// array *lengths*, which is all this requires.
+    ///
+    /// # Panics
+    /// Panics if the dimensions or array lengths differ (use
+    /// [`CsrMatrix::assign_from`] for reshaping copies).
+    pub fn copy_image_from(&mut self, src: &CsrMatrix) {
+        assert_eq!(
+            (self.n_rows, self.n_cols),
+            (src.n_rows, src.n_cols),
+            "copy_image_from: dimension mismatch"
+        );
+        assert_eq!(
+            self.val.len(),
+            src.val.len(),
+            "copy_image_from: nnz mismatch"
+        );
+        self.rowptr.copy_from_slice(&src.rowptr);
+        self.colid.copy_from_slice(&src.colid);
+        self.val.copy_from_slice(&src.val);
+    }
+
+    /// `clone_from` that reuses the existing allocations whatever the
+    /// shapes: after the call `self == src` bit for bit, and no heap
+    /// allocation happened if this matrix's buffers already had enough
+    /// capacity. The reshaping entry point behind the per-(n, nnz)
+    /// image pooling ([`crate::pool::CsrImagePool`]).
+    pub fn assign_from(&mut self, src: &CsrMatrix) {
+        self.n_rows = src.n_rows;
+        self.n_cols = src.n_cols;
+        self.rowptr.clear();
+        self.rowptr.extend_from_slice(&src.rowptr);
+        self.colid.clear();
+        self.colid.extend_from_slice(&src.colid);
+        self.val.clear();
+        self.val.extend_from_slice(&src.val);
+    }
+
     /// Transpose-vector product `y ← Aᵀ·x` into a caller-provided buffer.
     /// Needed by CGNE/BiCG variants.
     ///
@@ -391,8 +461,22 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if the matrix is not square.
     pub fn diag(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_rows];
+        self.diag_into(&mut out);
+        out
+    }
+
+    /// Writes the diagonal into a caller-provided buffer (zeros where
+    /// absent) — the allocation-free form of [`CsrMatrix::diag`].
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or `out.len() != n_rows`.
+    pub fn diag_into(&self, out: &mut [f64]) {
         assert!(self.is_square(), "diag: matrix must be square");
-        (0..self.n_rows).map(|i| self.get(i, i)).collect()
+        assert_eq!(out.len(), self.n_rows, "diag: output length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.get(i, i);
+        }
     }
 
     /// Matrix 1-norm: maximum absolute column sum (eq. 8 of the paper).
@@ -696,6 +780,84 @@ mod tests {
         let m = sample();
         let back = m.to_coo().to_csr();
         assert_eq!(back.to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn copy_values_from_restores_values() {
+        let pristine = sample();
+        let mut live = pristine.clone();
+        live.val_mut()[2] = -7.5;
+        live.val_mut()[6] = f64::NAN;
+        live.copy_values_from(&pristine);
+        assert_eq!(live, pristine);
+    }
+
+    #[test]
+    #[should_panic(expected = "nnz mismatch")]
+    fn copy_values_from_rejects_nnz_mismatch() {
+        let mut a = sample();
+        let b = CsrMatrix::identity(3);
+        a.copy_values_from(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn copy_values_from_rejects_dimension_mismatch() {
+        let mut a = CsrMatrix::identity(4);
+        let b = CsrMatrix::identity(5);
+        a.copy_values_from(&b);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "sparsity patterns differ")]
+    fn copy_values_from_debug_checks_pattern() {
+        let mut a = sample();
+        a.colid_mut()[0] = 1; // same lengths, different pattern
+        let pristine = sample();
+        a.copy_values_from(&pristine);
+    }
+
+    #[test]
+    fn copy_image_from_heals_corrupted_structure() {
+        let pristine = sample();
+        let mut live = pristine.clone();
+        live.rowptr_mut()[1] = usize::MAX;
+        live.colid_mut()[3] = 1 << 50;
+        live.val_mut()[0] = f64::INFINITY;
+        assert!(live.validate().is_err());
+        live.copy_image_from(&pristine);
+        assert_eq!(live, pristine);
+        assert!(live.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "nnz mismatch")]
+    fn copy_image_from_rejects_length_mismatch() {
+        let mut a = sample();
+        let b = CsrMatrix::identity(3);
+        a.copy_image_from(&b);
+    }
+
+    #[test]
+    fn assign_from_reshapes_and_matches_clone() {
+        let small = CsrMatrix::identity(2);
+        let big = sample();
+        let mut buf = small.clone();
+        buf.assign_from(&big);
+        assert_eq!(buf, big);
+        // Shrinking works too and keeps equality exact.
+        buf.assign_from(&small);
+        assert_eq!(buf, small);
+    }
+
+    #[test]
+    fn diag_into_matches_diag() {
+        let m = sample();
+        let mut out = vec![99.0; 3];
+        m.diag_into(&mut out);
+        assert_eq!(out, m.diag());
+        assert_eq!(out, vec![4.0, 3.0, 2.0]);
     }
 
     #[test]

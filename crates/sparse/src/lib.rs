@@ -32,6 +32,7 @@ pub mod error;
 pub mod gen;
 pub mod io;
 pub mod parallel;
+pub mod pool;
 pub mod sell;
 pub mod stats;
 pub mod vector;
@@ -41,6 +42,7 @@ pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
+pub use pool::CsrImagePool;
 pub use sell::SellCSigma;
 
 /// Convenience result alias for fallible sparse operations.
