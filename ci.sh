@@ -40,4 +40,7 @@ cargo test -q
 echo "==> allocation gate (release; counting-allocator proof of zero steady-state allocs)"
 cargo test -q --release -p ftcg-solvers --test alloc_gate
 
+echo "==> shard → merge → diff smoke (byte-identical campaign artifacts)"
+bash scripts/shard_smoke.sh target/release/ftcg
+
 echo "CI gate passed."

@@ -23,6 +23,26 @@ pub fn parse_alpha(s: &str) -> Option<f64> {
     ftcg_engine::spec::parse_alpha(s).ok()
 }
 
+/// Collects positional (non-flag) arguments: everything that is not a
+/// `--flag` and not the value of one of the `value_flags`. Used by
+/// `ftcg merge`, whose journal paths are positional.
+pub fn positionals(args: &[String], value_flags: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = value_flags.iter().any(|f| f == a);
+            continue;
+        }
+        out.push(a.clone());
+    }
+    out
+}
+
 /// Parses `--matrix FILE` or `--gen SPEC` into the engine's
 /// [`MatrixSource`](ftcg_engine::MatrixSource) — one source grammar for
 /// the whole workspace (`ftcg solve`, `ftcg stats`, and `ftcg
@@ -89,6 +109,24 @@ mod tests {
             Ok(MatrixSource::Named(_))
         ));
         assert!(matrix_source(&sv(&[])).is_err());
+    }
+
+    #[test]
+    fn positionals_skip_flags_and_their_values() {
+        let a = sv(&[
+            "--spec",
+            "s.campaign",
+            "a.jsonl",
+            "--quiet",
+            "b.jsonl",
+            "--out",
+            "m.jsonl",
+        ]);
+        assert_eq!(
+            positionals(&a, &["--spec", "--out"]),
+            vec!["a.jsonl".to_string(), "b.jsonl".to_string()]
+        );
+        assert!(positionals(&sv(&["--spec", "x"]), &["--spec"]).is_empty());
     }
 
     #[test]

@@ -10,9 +10,11 @@ use ftcg::sim::table1::{run_table1, Table1Params};
 use ftcg::sim::PAPER_MATRICES;
 use ftcg::solvers::SolverKind;
 use ftcg::sparse::stats::MatrixStats;
-use ftcg_engine::{run_campaign, sink, spec, CampaignSpec};
+use ftcg_engine::{
+    merge_journals, run_campaign_sharded, sink, spec, CampaignSpec, JobRecord, RunOptions, Shard,
+};
 
-use crate::args::{matrix_source, parse_alpha, parse_or, value};
+use crate::args::{matrix_source, parse_alpha, parse_or, positionals, value};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -24,9 +26,13 @@ USAGE:
   ftcg stats    (--matrix F.mtx | --gen SPEC)
   ftcg campaign (--spec FILE | inline flags) [--out F.jsonl] [--csv F.csv]
                 [--reps N] [--seed N] [--threads N] [--quiet]
+                [--journal F.jsonl] [--resume] [--shard i/k]
+  ftcg merge    (--spec FILE | inline flags) JOURNAL... [--out F.jsonl]
+                [--csv F.csv] [--reps N] [--seed N]
   ftcg table1   [--scale N] [--reps N] [--threads N] [--kernel K] [--solver S]
+                [--journal-dir D]
   ftcg figure1  [--scale N] [--reps N] [--points N] [--matrices N] [--threads N]
-                [--kernel K] [--solver S]
+                [--kernel K] [--solver S] [--journal-dir D]
 
 GENERATORS (--gen):
   poisson2d:K              5-point Laplacian on a KxK grid
@@ -72,6 +78,27 @@ CAMPAIGNS:
   --out F       write JSONL summaries (default: print to stdout)
   --csv F       also write CSV
   --quiet       suppress the progress ticker
+
+CRASH SAFETY AND SCALE-OUT:
+  --journal F   append-only per-job journal, flushed as jobs complete:
+                a crash/kill costs at most the job in flight. The
+                manifest line pins the grid fingerprint + seed, so a
+                stale journal is rejected, never silently mixed in.
+  --resume      replay completed jobs from the journal, run only the
+                remainder. The resumed artifacts are byte-identical to
+                an uninterrupted run. (Missing journal = fresh start,
+                so one command line is crash-loop safe.)
+  --shard i/k   run only shard i of k (job index mod k == i); requires
+                --journal, forbids --out/--csv. k processes/machines
+                with i = 0..k-1 split one spec; fold their journals
+                with `ftcg merge`.
+  ftcg merge    folds shard journals into the same byte-deterministic
+                JSONL/CSV artifacts a single-process run of the spec
+                produces. Journals are validated against the spec
+                (fingerprint, seed, shape) and must cover every job.
+  table1/figure1 accept --journal-dir D: one auto-resumed journal per
+                (matrix, scheme) campaign under D — re-running after a
+                crash skips finished repetitions.
 ";
 
 fn load_matrix(args: &[String]) -> Result<CsrMatrix, String> {
@@ -104,6 +131,19 @@ fn print_kernel_list() {
         println!("  {name:<10} {desc}");
     }
     println!("  (parameterized forms work too: bcsr:4, sell:16:64, csr-par:8, auto:bench)");
+}
+
+/// Parses `--journal-dir D` for the experiment commands, creating the
+/// directory so the per-(matrix, scheme) journals have somewhere to
+/// land on first use.
+fn parse_journal_dir(args: &[String]) -> Result<Option<std::path::PathBuf>, String> {
+    match value(args, "--journal-dir") {
+        None => Ok(None),
+        Some(d) => {
+            std::fs::create_dir_all(d).map_err(|e| format!("--journal-dir {d}: {e}"))?;
+            Ok(Some(std::path::PathBuf::from(d)))
+        }
+    }
 }
 
 /// Parses `--kernel` as given; thread-count policy is per command
@@ -233,20 +273,42 @@ pub fn stats(args: &[String]) -> i32 {
     }
 }
 
+/// Grid-axis flags: the inline alternative to a `--spec` file.
+const GRID_FLAGS: [&str; 8] = [
+    "--gen",
+    "--schemes",
+    "--alphas",
+    "--solvers",
+    "--kernels",
+    "--interval",
+    "--name",
+    "--max-iters",
+];
+
+/// Every value-taking flag of the campaign/merge grammar (grid flags,
+/// `campaign_spec` overrides, artifact/journal destinations). `ftcg
+/// merge` skips exactly these (and their values) when collecting its
+/// positional journal paths — one list, so a flag added to the grammar
+/// can never be half-parsed as a journal path.
+fn campaign_value_flags() -> Vec<&'static str> {
+    let mut flags = GRID_FLAGS.to_vec();
+    flags.extend([
+        "--spec",
+        "--reps",
+        "--seed",
+        "--threads",
+        "--out",
+        "--csv",
+        "--journal",
+        "--shard",
+    ]);
+    flags
+}
+
 fn campaign_spec(args: &[String]) -> Result<CampaignSpec, String> {
     let mut cs = if let Some(path) = value(args, "--spec") {
         // Grid flags only apply to inline campaigns; silently ignoring
         // them next to --spec would let users run the wrong grid.
-        const GRID_FLAGS: [&str; 8] = [
-            "--gen",
-            "--schemes",
-            "--alphas",
-            "--solvers",
-            "--kernels",
-            "--interval",
-            "--name",
-            "--max-iters",
-        ];
         if let Some(flag) = GRID_FLAGS.iter().find(|f| args.iter().any(|a| a == *f)) {
             return Err(format!(
                 "{flag} cannot be combined with --spec (edit the spec file instead; \
@@ -328,18 +390,66 @@ fn parse_strict<T: std::str::FromStr>(
     }
 }
 
+/// Writes campaign summaries to `--out`/`--csv` (stdout by default).
+fn write_artifacts(
+    args: &[String],
+    summaries: &[ftcg_engine::ConfigSummary],
+) -> Result<(), String> {
+    match value(args, "--out") {
+        Some(path) => {
+            sink::save_jsonl(path, summaries).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => {
+            print!("{}", sink::jsonl_string(summaries));
+        }
+    }
+    if let Some(path) = value(args, "--csv") {
+        sink::save_csv(path, summaries).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
 /// `ftcg campaign`.
 pub fn campaign(args: &[String]) -> i32 {
     let result = (|| -> Result<(), String> {
         let cs = campaign_spec(args)?;
         let quiet = args.iter().any(|a| a == "--quiet");
+        let resume = args.iter().any(|a| a == "--resume");
+        let shard = match value(args, "--shard") {
+            None => Shard::FULL,
+            Some(s) => Shard::parse(s).map_err(|e| e.to_string())?,
+        };
+        let journal = value(args, "--journal").map(std::path::PathBuf::from);
+        if resume && journal.is_none() {
+            return Err("--resume requires --journal FILE (nothing to replay)".into());
+        }
+        if shard.count > 1 {
+            if journal.is_none() {
+                return Err(
+                    "--shard requires --journal FILE: a shard's artifact is its journal; \
+                     fold the shards with `ftcg merge`"
+                        .into(),
+                );
+            }
+            if value(args, "--out").is_some() || value(args, "--csv").is_some() {
+                return Err(
+                    "--out/--csv cannot be combined with --shard (partial summaries would \
+                     not be the campaign's artifacts); fold the shard journals with \
+                     `ftcg merge` instead"
+                        .into(),
+                );
+            }
+        }
         eprintln!(
-            "campaign `{}`: {} configurations x {} reps = {} jobs (seed {})",
+            "campaign `{}`: {} configurations x {} reps = {} jobs (seed {}, shard {})",
             cs.name,
             cs.n_configs(),
             cs.reps,
             cs.n_jobs(),
             cs.seed,
+            shard.label(),
         );
         let ticker = |done: usize, total: usize| {
             // Coarse ticker: every ~5% and the final job.
@@ -351,36 +461,93 @@ pub fn campaign(args: &[String]) -> i32 {
                 }
             }
         };
-        let outcome = run_campaign(
-            &cs,
-            &PaperMatrixResolver,
-            if quiet { None } else { Some(&ticker) },
-        )
-        .map_err(|e| e.to_string())?;
-        match value(args, "--out") {
-            Some(path) => {
-                sink::save_jsonl(path, &outcome.summaries).map_err(|e| format!("{path}: {e}"))?;
-                eprintln!("wrote {path}");
+        let opts = RunOptions {
+            shard,
+            journal: journal.as_deref(),
+            resume,
+            progress: if quiet { None } else { Some(&ticker) },
+        };
+        let (outcome, folded) =
+            run_campaign_sharded(&cs, &PaperMatrixResolver, &opts).map_err(|e| e.to_string())?;
+        if let Some(path) = &journal {
+            eprintln!(
+                "journal {}: {} job(s) replayed, {} executed",
+                path.display(),
+                outcome.replayed,
+                outcome.executed
+            );
+        }
+        let failed = outcome
+            .records
+            .iter()
+            .filter(|(_, r)| matches!(r, JobRecord::Failed(_)))
+            .count();
+        match folded {
+            Some(result) => {
+                write_artifacts(args, &result.summaries)?;
+                eprintln!(
+                    "{} jobs on {} threads in {:.2}s",
+                    result.total_jobs, result.threads, result.elapsed_secs
+                );
             }
             None => {
-                print!("{}", sink::jsonl_string(&outcome.summaries));
+                eprintln!(
+                    "shard {} complete: {} of {} jobs journaled ({} threads, {:.2}s); \
+                     fold all shards with `ftcg merge`",
+                    shard.label(),
+                    outcome.records.len(),
+                    outcome.manifest.total_jobs,
+                    outcome.threads,
+                    outcome.elapsed_secs
+                );
             }
         }
-        if let Some(path) = value(args, "--csv") {
-            sink::save_csv(path, &outcome.summaries).map_err(|e| format!("{path}: {e}"))?;
-            eprintln!("wrote {path}");
-        }
-        eprintln!(
-            "{} jobs on {} threads in {:.2}s",
-            outcome.total_jobs, outcome.threads, outcome.elapsed_secs
-        );
         // Degraded artifacts are still written (for debugging), but a
-        // campaign with panicked jobs is not a successful reproduction
-        // — scripts must see a failing exit code.
-        if outcome.panics > 0 {
+        // campaign with failed jobs is not a successful reproduction —
+        // scripts must see a failing exit code.
+        if failed > 0 {
             return Err(format!(
-                "{} job(s) panicked; summaries cover the surviving repetitions only",
-                outcome.panics
+                "{failed} job(s) failed (panic or NaN-poisoned metrics); summaries cover \
+                 the surviving repetitions only"
+            ));
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+/// `ftcg merge` — folds shard journals into the campaign's artifacts.
+pub fn merge(args: &[String]) -> i32 {
+    let result = (|| -> Result<(), String> {
+        let cs = campaign_spec(args)?;
+        // Journal paths are the positional arguments; every value flag
+        // the campaign grammar understands is skipped with its value.
+        let journals = positionals(args, &campaign_value_flags());
+        if journals.is_empty() {
+            return Err(
+                "need at least one journal: ftcg merge --spec FILE shard0.jsonl shard1.jsonl ..."
+                    .into(),
+            );
+        }
+        let merged =
+            merge_journals(&cs, &PaperMatrixResolver, &journals).map_err(|e| e.to_string())?;
+        write_artifacts(args, &merged.summaries)?;
+        eprintln!(
+            "merged {} journal(s) covering {} jobs",
+            journals.len(),
+            merged.total_jobs
+        );
+        if merged.panics > 0 {
+            return Err(format!(
+                "{} job(s) failed (panic or NaN-poisoned metrics); summaries cover the \
+                 surviving repetitions only",
+                merged.panics
             ));
         }
         Ok(())
@@ -414,12 +581,20 @@ pub fn table1(args: &[String]) -> i32 {
             return 1;
         }
     };
+    let journal_dir = match parse_journal_dir(args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
     let params = Table1Params {
         scale: parse_or(args, "--scale", 32),
         reps: parse_or(args, "--reps", 20),
         threads: parse_or(args, "--threads", 8),
         kernel,
         solver,
+        journal_dir,
         ..Table1Params::default()
     };
     eprintln!(
@@ -456,6 +631,13 @@ pub fn figure1(args: &[String]) -> i32 {
             return 1;
         }
     };
+    let journal_dir = match parse_journal_dir(args) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
     let params = Figure1Params {
         scale: parse_or(args, "--scale", 32),
         reps: parse_or(args, "--reps", 20),
@@ -463,6 +645,7 @@ pub fn figure1(args: &[String]) -> i32 {
         threads: parse_or(args, "--threads", 8),
         kernel,
         solver,
+        journal_dir,
         ..Figure1Params::default()
     };
     let n_matrices = parse_or(args, "--matrices", PAPER_MATRICES.len());

@@ -10,6 +10,9 @@
 //! $ ftcg campaign --spec sweep.campaign --out results.jsonl --threads 8
 //! $ ftcg campaign --gen poisson2d:24 --schemes detection,correction --alphas 0,1/16
 //! $ ftcg campaign --gen poisson2d:24 --kernels csr,bcsr:2,sell --alphas 1/16
+//! $ ftcg campaign --spec sweep.campaign --journal run.jsonl --resume
+//! $ ftcg campaign --spec sweep.campaign --shard 0/4 --journal shard0.jsonl
+//! $ ftcg merge --spec sweep.campaign shard0.jsonl shard1.jsonl --out results.jsonl
 //! $ ftcg table1 --scale 32 --reps 20
 //! $ ftcg figure1 --scale 32 --reps 20 --points 6 --matrices 3
 //! ```
@@ -23,6 +26,7 @@ fn main() {
         Some("solve") => commands::solve(&argv[1..]),
         Some("stats") => commands::stats(&argv[1..]),
         Some("campaign") => commands::campaign(&argv[1..]),
+        Some("merge") => commands::merge(&argv[1..]),
         Some("table1") => commands::table1(&argv[1..]),
         Some("figure1") => commands::figure1(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {

@@ -65,6 +65,17 @@ pub struct SummaryStats {
 
 impl SummaryStats {
     /// Computes stats over `values` (empty input yields all zeros).
+    ///
+    /// Percentiles use the **nearest-rank** definition: the p-th
+    /// percentile of `n` sorted values is the element at 1-based rank
+    /// `⌈p·n⌉` — for `[1, 2, 3, 4]`, p50 is `2` (rank ⌈2.0⌉ = 2), not
+    /// the midpoint and not `3`.
+    ///
+    /// NaN inputs never panic here: the sort is total (`f64::total_cmp`,
+    /// NaN ordered last), so a NaN poisons `mean`/`max` (and possibly
+    /// the upper percentiles) visibly instead of aborting. The campaign
+    /// layer keeps NaN out entirely by journaling NaN-poisoned
+    /// repetitions as failures.
     pub fn from_values(values: &[f64]) -> SummaryStats {
         if values.is_empty() {
             return SummaryStats {
@@ -80,10 +91,11 @@ impl SummaryStats {
         let mean = values.iter().sum::<f64>() / n;
         let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0).max(1.0);
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric values must not be NaN"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let pct = |p: f64| {
-            let idx = (p * (sorted.len() - 1) as f64).round() as usize;
-            sorted[idx]
+            // Nearest-rank: smallest 1-based rank r with r ≥ p·n.
+            let rank = (p * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
         };
         SummaryStats {
             mean,
@@ -237,9 +249,35 @@ mod tests {
         assert_eq!(s.mean, 2.5);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 4.0);
-        assert_eq!(s.p50, 3.0); // nearest-rank at index round(1.5) = 2
-        assert_eq!(s.p90, 4.0);
+        assert_eq!(s.p50, 2.0); // nearest-rank ⌈0.5·4⌉ = 2 ⇒ sorted[1]
+        assert_eq!(s.p90, 4.0); // ⌈0.9·4⌉ = 4 ⇒ sorted[3]
         assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_rank_percentile_both_parities() {
+        // Even n: the doc'd nearest-rank rank ⌈p·n⌉, not the historical
+        // round(p·(n−1)) (which returned sorted[2] = 3.0 here).
+        let even = SummaryStats::from_values(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(even.p50, 2.0);
+        // Odd n: nearest-rank picks the true middle element.
+        let odd = SummaryStats::from_values(&[5.0, 1.0, 4.0, 2.0, 3.0]);
+        assert_eq!(odd.p50, 3.0); // ⌈2.5⌉ = 3 ⇒ sorted[2]
+        assert_eq!(odd.p90, 5.0); // ⌈4.5⌉ = 5 ⇒ sorted[4]
+                                  // n = 10 at p90: ⌈9.0⌉ = 9 ⇒ the 9th smallest, not the max.
+        let ten: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(SummaryStats::from_values(&ten).p90, 9.0);
+    }
+
+    #[test]
+    fn nan_values_poison_visibly_instead_of_panicking() {
+        // Pre-fix this panicked in the sort ("must not be NaN") after
+        // all compute was spent. NaN now sorts last and poisons the
+        // affected columns visibly.
+        let s = SummaryStats::from_values(&[1.0, f64::NAN, 3.0]);
+        assert!(s.mean.is_nan());
+        assert!(s.max.is_nan());
+        assert_eq!(s.min, 1.0);
     }
 
     #[test]

@@ -1,0 +1,787 @@
+//! Crash-safe campaign journals and job-space sharding.
+//!
+//! A *journal* is an append-only JSONL file written by workers as jobs
+//! complete: one manifest line identifying the campaign (grid
+//! fingerprint, seed, repetition count, job count, shard), then one
+//! record line per finished job. Because every record is flushed the
+//! moment its job completes, a crash — panic, `kill -9`, power loss —
+//! costs at most the job that was in flight. A torn final line (the
+//! write the crash interrupted) is detected and dropped on load; the
+//! `--resume` path then re-runs exactly the jobs with no record.
+//!
+//! Journals are **not** the deterministic artifact: lines land in
+//! completion order, which depends on thread scheduling. Determinism is
+//! restored by the fold: records are keyed by *job index* and
+//! aggregated in index order, so any `{threads × shards}` decomposition
+//! of a campaign — including a kill-and-resume — produces byte-identical
+//! JSONL/CSV summaries (see [`crate::campaign::merge_journals`]).
+//!
+//! Stale-journal rejection: the manifest records a fingerprint of the
+//! fully expanded grid (every configuration's identity, the seed
+//! derivation coordinates, and the cost model) plus the campaign seed.
+//! Resuming or merging against a journal whose manifest does not match
+//! the spec in hand is an error, never a silent mix of two experiments.
+
+use std::io::{Read, Seek, Write};
+use std::path::Path;
+
+use serde::json::{self, Value};
+
+use crate::aggregate::JobMetrics;
+use crate::grid::{ConfigJob, InjectorSpec};
+use crate::EngineError;
+
+/// Journal format version (bumped on any incompatible line change).
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// A `i/k` partition of the job index space: shard `i` owns every job
+/// index `j` with `j % k == i`. Round-robin keeps each shard's load
+/// balanced across configurations, and the union of the `k` shards is
+/// exactly the full job set, each index owned once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This process's shard index, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards the job space is split into.
+    pub count: usize,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard::FULL
+    }
+}
+
+impl Shard {
+    /// The trivial partition: one shard owning every job.
+    pub const FULL: Shard = Shard { index: 0, count: 1 };
+
+    /// Parses `i/k` (e.g. `0/4`). `i` must be below `k`.
+    pub fn parse(s: &str) -> Result<Shard, EngineError> {
+        let bad = || EngineError::Spec(format!("bad shard `{s}` (expected i/k with i < k)"));
+        let (i, k) = s.trim().split_once('/').ok_or_else(bad)?;
+        let index: usize = i.trim().parse().map_err(|_| bad())?;
+        let count: usize = k.trim().parse().map_err(|_| bad())?;
+        if count == 0 || index >= count {
+            return Err(bad());
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard owns job index `job`.
+    #[inline]
+    pub fn owns(&self, job: usize) -> bool {
+        job % self.count == self.index
+    }
+
+    /// The job indices this shard owns, out of `total` jobs.
+    pub fn job_indices(&self, total: usize) -> Vec<usize> {
+        (self.index..total).step_by(self.count).collect()
+    }
+
+    /// Canonical `i/k` rendering.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.index, self.count)
+    }
+}
+
+/// The journaled outcome of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobRecord {
+    /// The repetition completed with finite metrics.
+    Done(JobMetrics),
+    /// The repetition was lost — a panic inside the solve, or a
+    /// non-finite aggregate metric (NaN poisoning counted as a failure
+    /// rather than aborting the campaign). Folded into the `panics`
+    /// column.
+    Failed(String),
+}
+
+/// The identity line at the head of every journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Campaign name.
+    pub name: String,
+    /// FNV-1a fingerprint of the expanded grid (see [`fingerprint`]).
+    pub fingerprint: u64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Repetitions per configuration.
+    pub reps: usize,
+    /// Total jobs in the *full* campaign (all shards).
+    pub total_jobs: usize,
+    /// The shard the producing process ran.
+    pub shard: Shard,
+}
+
+impl Manifest {
+    /// Checks that `self` (a loaded journal) belongs to the same
+    /// campaign as `expected`; the shard field is compared only when
+    /// `check_shard` is set (resume requires the same shard, merge
+    /// accepts any).
+    pub fn ensure_matches(&self, expected: &Manifest, check_shard: bool) -> Result<(), String> {
+        if self.fingerprint != expected.fingerprint {
+            return Err(format!(
+                "grid fingerprint {:#018x} does not match the spec's {:#018x} \
+                 (the journal belongs to a different campaign grid)",
+                self.fingerprint, expected.fingerprint
+            ));
+        }
+        if self.seed != expected.seed {
+            return Err(format!(
+                "journal seed {} does not match the spec's seed {}",
+                self.seed, expected.seed
+            ));
+        }
+        if self.reps != expected.reps || self.total_jobs != expected.total_jobs {
+            return Err(format!(
+                "journal shape ({} reps, {} jobs) does not match the spec's ({} reps, {} jobs)",
+                self.reps, self.total_jobs, expected.reps, expected.total_jobs
+            ));
+        }
+        if check_shard && self.shard != expected.shard {
+            return Err(format!(
+                "journal was written by shard {} but this process is shard {}",
+                self.shard.label(),
+                expected.shard.label()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over the canonical description of an expanded grid: campaign
+/// name, seed, reps, and every configuration's full identity (matrix,
+/// order, scheme, solver, α, intervals, kernel, seed-derivation group,
+/// injector, iteration caps, cost model). Two specs that expand to the
+/// same grid fingerprint identically however they were written
+/// (key=value vs JSON, inline flags vs file); any change that would
+/// alter a single job's result changes the fingerprint.
+pub fn fingerprint(name: &str, seed: u64, reps: usize, configs: &[ConfigJob]) -> u64 {
+    let mut text =
+        format!("ftcg-campaign v{JOURNAL_VERSION}\nname={name}\nseed={seed}\nreps={reps}\n");
+    for (i, job) in configs.iter().enumerate() {
+        let k = &job.key;
+        let c = &job.cfg;
+        let inj = match job.injector {
+            InjectorSpec::None => "none",
+            InjectorSpec::Paper => "paper",
+            InjectorSpec::Calibrated => "calibrated",
+        };
+        text.push_str(&format!(
+            "config {i}: matrix={}|n={}|scheme={}|solver={}|alpha={}|s={}|d={}|kernel={}\
+             |group={:?}|inj={inj}|max_prod={}|max_exec={}|costs={},{},{}|stop={:?}\n",
+            k.matrix,
+            k.n,
+            k.scheme.name(),
+            k.solver.label(),
+            k.alpha,
+            k.s,
+            k.d,
+            k.kernel,
+            job.seed_group,
+            c.max_productive_iters,
+            c.max_executed_iters,
+            c.costs.tcp,
+            c.costs.trec,
+            c.costs.tverif,
+            c.stopping,
+        ));
+    }
+    fnv1a(text.as_bytes())
+}
+
+/// FNV-1a 64-bit hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Renders an `f64` for a journal line: finite values use Rust's
+/// shortest-roundtrip formatting (parse-exact), non-finite values use
+/// quoted sentinels (JSON has no NaN/∞ literals).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "\"NaN\"".into()
+    } else if v > 0.0 {
+        "\"inf\"".into()
+    } else {
+        "\"-inf\"".into()
+    }
+}
+
+/// Reads an `f64` journal field written by [`fmt_f64`].
+fn read_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Num(n) => Some(*n),
+        Value::Str(s) => match s.as_str() {
+            "NaN" => Some(f64::NAN),
+            "inf" => Some(f64::INFINITY),
+            "-inf" => Some(f64::NEG_INFINITY),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Reads a non-negative integer journal field.
+fn read_usize(v: &Value) -> Option<usize> {
+    match v {
+        Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 9.007_199_254_740_992e15 => {
+            Some(*n as usize)
+        }
+        _ => None,
+    }
+}
+
+fn manifest_line(m: &Manifest) -> String {
+    // The seed is a *string*: campaign seeds are full u64 (the spec
+    // parser deliberately avoids f64 rounding above 2^53), and the JSON
+    // number model is f64 — a numeric seed would round-trip wrong.
+    format!(
+        "{{\"ftcg_journal\":{JOURNAL_VERSION},\"name\":{},\"fingerprint\":\"{:#018x}\",\
+         \"seed\":\"{}\",\"reps\":{},\"total_jobs\":{},\"shard\":[{},{}]}}",
+        Value::Str(m.name.clone()),
+        m.fingerprint,
+        m.seed,
+        m.reps,
+        m.total_jobs,
+        m.shard.index,
+        m.shard.count,
+    )
+}
+
+fn parse_manifest(line: &str) -> Result<Manifest, String> {
+    let v = json::parse(line).map_err(|e| format!("manifest line: {e}"))?;
+    let version = v
+        .get("ftcg_journal")
+        .and_then(read_usize)
+        .ok_or("not a ftcg journal (missing `ftcg_journal` version field)")?;
+    if version as u64 != JOURNAL_VERSION {
+        return Err(format!(
+            "journal version {version} is not the supported version {JOURNAL_VERSION}"
+        ));
+    }
+    let name = v
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("manifest missing `name`")?
+        .to_string();
+    let fingerprint = v
+        .get("fingerprint")
+        .and_then(Value::as_str)
+        .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+        .ok_or("manifest missing or malformed `fingerprint`")?;
+    let seed = v
+        .get("seed")
+        .and_then(Value::as_str)
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or("manifest missing or malformed `seed` (expected a decimal string)")?;
+    let reps = v
+        .get("reps")
+        .and_then(read_usize)
+        .ok_or("manifest missing `reps`")?;
+    let total_jobs = v
+        .get("total_jobs")
+        .and_then(read_usize)
+        .ok_or("manifest missing `total_jobs`")?;
+    let shard = match v.get("shard").and_then(Value::as_arr) {
+        Some([i, k]) => {
+            let index = read_usize(i).ok_or("malformed shard index")?;
+            let count = read_usize(k).ok_or("malformed shard count")?;
+            if count == 0 || index >= count {
+                return Err(format!("invalid shard [{index},{count}]"));
+            }
+            Shard { index, count }
+        }
+        _ => return Err("manifest missing `shard`".into()),
+    };
+    Ok(Manifest {
+        name,
+        fingerprint,
+        seed,
+        reps,
+        total_jobs,
+        shard,
+    })
+}
+
+/// Renders one job record as a JSONL line (without the newline).
+pub fn record_line(job: usize, record: &JobRecord) -> String {
+    match record {
+        JobRecord::Done(m) => format!(
+            "{{\"job\":{job},\"time\":{},\"executed\":{},\"rollbacks\":{},\
+             \"corrections\":{},\"faults\":{},\"converged\":{},\"residual\":{}}}",
+            fmt_f64(m.simulated_time),
+            m.executed_iterations,
+            m.rollbacks,
+            m.corrections,
+            m.faults,
+            m.converged,
+            fmt_f64(m.true_residual),
+        ),
+        JobRecord::Failed(msg) => {
+            format!("{{\"job\":{job},\"failed\":{}}}", Value::Str(msg.clone()))
+        }
+    }
+}
+
+/// Whether two records are identical. Floats are compared by their
+/// journal rendering, so two NaN-carrying records (where `==` on the
+/// metrics would say `NaN != NaN`) still count as the same record —
+/// re-running a job bit-identically must always look like a benign
+/// duplicate, never a conflict.
+pub fn records_equal(a: &JobRecord, b: &JobRecord) -> bool {
+    record_line(0, a) == record_line(0, b)
+}
+
+fn parse_record(line: &str) -> Result<(usize, JobRecord), String> {
+    let v = json::parse(line).map_err(|e| e.to_string())?;
+    let job = v
+        .get("job")
+        .and_then(read_usize)
+        .ok_or("record missing `job`")?;
+    if let Some(msg) = v.get("failed") {
+        let msg = msg.as_str().ok_or("`failed` must be a string")?;
+        return Ok((job, JobRecord::Failed(msg.to_string())));
+    }
+    let f = |key: &str| {
+        v.get(key)
+            .and_then(read_f64)
+            .ok_or_else(|| format!("record missing `{key}`"))
+    };
+    let u = |key: &str| {
+        v.get(key)
+            .and_then(read_usize)
+            .ok_or_else(|| format!("record missing `{key}`"))
+    };
+    let converged = match v.get("converged") {
+        Some(Value::Bool(b)) => *b,
+        _ => return Err("record missing `converged`".into()),
+    };
+    Ok((
+        job,
+        JobRecord::Done(JobMetrics {
+            simulated_time: f("time")?,
+            executed_iterations: u("executed")?,
+            rollbacks: u("rollbacks")?,
+            corrections: u("corrections")?,
+            faults: u("faults")?,
+            converged,
+            true_residual: f("residual")?,
+        }),
+    ))
+}
+
+/// A loaded journal: manifest, replayed records, and the byte length of
+/// the valid prefix (everything before a torn final line, if any).
+#[derive(Debug)]
+pub struct Journal {
+    /// The identity line.
+    pub manifest: Manifest,
+    /// Replayed `(job_index, record)` pairs, in file (completion) order.
+    pub records: Vec<(usize, JobRecord)>,
+    /// Byte length of the valid prefix of the file.
+    valid_len: u64,
+    /// Whether a torn final line was dropped.
+    pub torn_tail: bool,
+}
+
+impl Journal {
+    /// Whether the file at `path` is an *unstarted* journal: it exists
+    /// but contains no complete (newline-terminated) line — i.e. the
+    /// producing process was killed before the manifest write became
+    /// durable. There is nothing to replay from such a file, so the
+    /// resume path treats it like a missing journal and starts fresh
+    /// (keeping one `--resume` command line idempotent across crashes
+    /// at *any* point, including during journal creation).
+    pub fn is_unstarted(path: &Path) -> Result<bool, EngineError> {
+        let mut text = Vec::new();
+        std::fs::File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut text))
+            .map_err(|e| EngineError::Journal(format!("{}: {e}", path.display())))?;
+        Ok(!text.contains(&b'\n'))
+    }
+
+    /// Loads and validates a journal file. A final line that does not
+    /// parse (torn by a crash mid-write) is dropped — that job simply
+    /// has no record and will be re-run on resume. A malformed line
+    /// anywhere *before* the end is corruption and errors out.
+    pub fn load(path: &Path) -> Result<Journal, EngineError> {
+        let jerr = |m: String| EngineError::Journal(format!("{}: {m}", path.display()));
+        let mut text = String::new();
+        std::fs::File::open(path)
+            .and_then(|mut f| f.read_to_string(&mut text))
+            .map_err(|e| jerr(e.to_string()))?;
+        // Split keeping byte offsets so a torn tail can be truncated
+        // away before appending resumes.
+        let mut lines: Vec<(usize, &str)> = Vec::new();
+        let mut start = 0usize;
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                lines.push((start, &text[start..i]));
+                start = i + 1;
+            }
+        }
+        let tail = &text[start..];
+        let manifest = match lines.first() {
+            Some((_, first)) => parse_manifest(first).map_err(jerr)?,
+            None if !tail.is_empty() => {
+                return Err(jerr(
+                    "torn manifest line (crash during journal creation); delete the file \
+                     and start over"
+                        .into(),
+                ));
+            }
+            None => return Err(jerr("empty journal".into())),
+        };
+        let mut records = Vec::with_capacity(lines.len().saturating_sub(1));
+        let mut seen = std::collections::HashMap::new();
+        for &(off, line) in &lines[1..] {
+            if line.trim().is_empty() {
+                return Err(jerr(format!("blank line at byte {off}")));
+            }
+            let (job, rec) =
+                parse_record(line).map_err(|e| jerr(format!("record at byte {off}: {e}")))?;
+            if job >= manifest.total_jobs {
+                return Err(jerr(format!(
+                    "record for job {job} out of range (campaign has {} jobs)",
+                    manifest.total_jobs
+                )));
+            }
+            match seen.get(&job) {
+                None => {
+                    seen.insert(job, rec.clone());
+                    records.push((job, rec));
+                }
+                Some(prev) if records_equal(prev, &rec) => {} // benign duplicate
+                Some(_) => {
+                    return Err(jerr(format!("conflicting duplicate records for job {job}")));
+                }
+            }
+        }
+        // An unterminated tail is the torn write of a crash. It is only
+        // recoverable if it is genuinely the *last* thing in the file —
+        // which it is by construction here.
+        let torn_tail = !tail.is_empty();
+        Ok(Journal {
+            manifest,
+            records,
+            valid_len: start as u64,
+            torn_tail,
+        })
+    }
+}
+
+/// An open, append-mode journal. Every [`append`](Self::append) writes
+/// one full line and flushes it, so the on-disk journal is always a
+/// valid prefix plus at most one torn line.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: std::fs::File,
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal at `path`, writing (and flushing) the
+    /// manifest line. Refuses to overwrite an existing file — stale
+    /// journals must be resumed or removed explicitly.
+    pub fn create(path: &Path, manifest: &Manifest) -> Result<JournalWriter, EngineError> {
+        let jerr = |m: String| EngineError::Journal(format!("{}: {m}", path.display()));
+        let mut file = std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .map_err(|e| {
+                if e.kind() == std::io::ErrorKind::AlreadyExists {
+                    jerr(
+                        "journal already exists (pass --resume to continue it, or remove it)"
+                            .into(),
+                    )
+                } else {
+                    jerr(e.to_string())
+                }
+            })?;
+        writeln!(file, "{}", manifest_line(manifest)).map_err(|e| jerr(e.to_string()))?;
+        file.flush().map_err(|e| jerr(e.to_string()))?;
+        Ok(JournalWriter { file })
+    }
+
+    /// Re-opens a loaded journal for appending, first truncating away a
+    /// torn final line so new records start on a clean boundary.
+    pub fn resume(path: &Path, journal: &Journal) -> Result<JournalWriter, EngineError> {
+        let jerr = |m: String| EngineError::Journal(format!("{}: {m}", path.display()));
+        let mut file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| jerr(e.to_string()))?;
+        file.set_len(journal.valid_len)
+            .map_err(|e| jerr(e.to_string()))?;
+        file.seek(std::io::SeekFrom::End(0))
+            .map_err(|e| jerr(e.to_string()))?;
+        Ok(JournalWriter { file })
+    }
+
+    /// Appends one job record and flushes it to the OS.
+    pub fn append(&mut self, job: usize, record: &JobRecord) -> std::io::Result<()> {
+        writeln!(self.file, "{}", record_line(job, record))?;
+        self.file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(t: f64) -> JobMetrics {
+        JobMetrics {
+            simulated_time: t,
+            executed_iterations: 101,
+            rollbacks: 2,
+            corrections: 1,
+            faults: 3,
+            converged: true,
+            true_residual: 4.25e-9,
+        }
+    }
+
+    fn manifest() -> Manifest {
+        Manifest {
+            name: "t".into(),
+            fingerprint: 0xDEAD_BEEF_0123_4567,
+            seed: 9,
+            reps: 5,
+            total_jobs: 10,
+            shard: Shard { index: 1, count: 2 },
+        }
+    }
+
+    #[test]
+    fn shard_parse_and_partition() {
+        assert_eq!(Shard::parse("0/1").unwrap(), Shard::FULL);
+        let s = Shard::parse(" 2/3 ").unwrap();
+        assert_eq!(s, Shard { index: 2, count: 3 });
+        assert_eq!(s.job_indices(8), vec![2, 5]);
+        assert!(Shard::parse("3/3").is_err());
+        assert!(Shard::parse("0/0").is_err());
+        assert!(Shard::parse("1").is_err());
+        assert!(Shard::parse("a/b").is_err());
+        // The k shards partition any job space exactly.
+        let total = 17;
+        let mut owned = vec![0usize; total];
+        for i in 0..4 {
+            for j in (Shard { index: i, count: 4 }).job_indices(total) {
+                owned[j] += 1;
+            }
+        }
+        assert!(owned.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = manifest();
+        let line = manifest_line(&m);
+        assert_eq!(parse_manifest(&line).unwrap(), m);
+        // Seeds above 2^53 must survive: the JSON number model is f64,
+        // so the seed travels as a decimal string.
+        let big = Manifest {
+            seed: (1u64 << 53) + 1,
+            ..manifest()
+        };
+        assert_eq!(parse_manifest(&manifest_line(&big)).unwrap(), big);
+        let max = Manifest {
+            seed: u64::MAX,
+            ..manifest()
+        };
+        assert_eq!(parse_manifest(&manifest_line(&max)).unwrap(), max);
+    }
+
+    #[test]
+    fn record_roundtrip_including_nan_residual() {
+        let mut m = metrics(12.625);
+        let (j, r) = parse_record(&record_line(7, &JobRecord::Done(m))).unwrap();
+        assert_eq!(j, 7);
+        assert_eq!(r, JobRecord::Done(m));
+        // NaN / inf survive via quoted sentinels (JSON has no literals).
+        m.true_residual = f64::NAN;
+        let (_, r) = parse_record(&record_line(0, &JobRecord::Done(m))).unwrap();
+        match r {
+            JobRecord::Done(back) => assert!(back.true_residual.is_nan()),
+            other => panic!("{other:?}"),
+        }
+        m.true_residual = f64::INFINITY;
+        let (_, r) = parse_record(&record_line(0, &JobRecord::Done(m))).unwrap();
+        assert_eq!(
+            r,
+            JobRecord::Done(JobMetrics {
+                true_residual: f64::INFINITY,
+                ..m
+            })
+        );
+        let fail = JobRecord::Failed("boom \"quoted\"".into());
+        assert_eq!(parse_record(&record_line(3, &fail)).unwrap(), (3, fail));
+    }
+
+    #[test]
+    fn shortest_roundtrip_floats_are_exact() {
+        // The journal contract: Display → parse is bit-exact for f64.
+        for v in [1.0 / 3.0, 1e-308, 6.02e23, -0.1, f64::MIN_POSITIVE] {
+            let (_, r) = parse_record(&record_line(
+                0,
+                &JobRecord::Done(JobMetrics {
+                    simulated_time: v,
+                    ..metrics(0.0)
+                }),
+            ))
+            .unwrap();
+            match r {
+                JobRecord::Done(m) => assert_eq!(m.simulated_time.to_bits(), v.to_bits()),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn write_load_and_torn_tail_recovery() {
+        let dir = std::env::temp_dir().join(format!("ftcg-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let m = manifest();
+        {
+            let mut w = JournalWriter::create(&path, &m).unwrap();
+            w.append(3, &JobRecord::Done(metrics(1.5))).unwrap();
+            w.append(5, &JobRecord::Failed("panic".into())).unwrap();
+        }
+        // Creating over an existing journal is refused.
+        assert!(matches!(
+            JournalWriter::create(&path, &m),
+            Err(EngineError::Journal(_))
+        ));
+        let j = Journal::load(&path).unwrap();
+        assert_eq!(j.manifest, m);
+        assert_eq!(j.records.len(), 2);
+        assert!(!j.torn_tail);
+        // Simulate a crash mid-write: append half a line.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "{{\"job\":7,\"time\":1.0,\"exec").unwrap();
+        }
+        let j = Journal::load(&path).unwrap();
+        assert!(j.torn_tail);
+        assert_eq!(j.records.len(), 2, "torn line dropped");
+        // Resume truncates the torn tail; the next append lands clean.
+        {
+            let mut w = JournalWriter::resume(&path, &j).unwrap();
+            w.append(7, &JobRecord::Done(metrics(2.5))).unwrap();
+        }
+        let j = Journal::load(&path).unwrap();
+        assert!(!j.torn_tail);
+        assert_eq!(j.records.len(), 3);
+        assert_eq!(j.records[2].0, 7);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_in_the_middle_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("ftcg-journal-mid-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let m = manifest();
+        std::fs::write(
+            &path,
+            format!(
+                "{}\ngarbage not json\n{}\n",
+                manifest_line(&m),
+                record_line(1, &JobRecord::Done(metrics(1.0)))
+            ),
+        )
+        .unwrap();
+        assert!(matches!(Journal::load(&path), Err(EngineError::Journal(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn duplicate_records_identical_ok_conflicting_err() {
+        let dir = std::env::temp_dir().join(format!("ftcg-journal-dup-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let m = manifest();
+        let rec = record_line(4, &JobRecord::Done(metrics(1.0)));
+        std::fs::write(&path, format!("{}\n{rec}\n{rec}\n", manifest_line(&m))).unwrap();
+        let j = Journal::load(&path).unwrap();
+        assert_eq!(j.records.len(), 1, "identical duplicates deduplicated");
+        let other = record_line(4, &JobRecord::Done(metrics(2.0)));
+        std::fs::write(&path, format!("{}\n{rec}\n{other}\n", manifest_line(&m))).unwrap();
+        assert!(matches!(Journal::load(&path), Err(EngineError::Journal(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn manifest_mismatches_are_described() {
+        let m = manifest();
+        assert!(m.ensure_matches(&m, true).is_ok());
+        let mut other = m.clone();
+        other.fingerprint ^= 1;
+        assert!(m
+            .ensure_matches(&other, false)
+            .unwrap_err()
+            .contains("fingerprint"));
+        let mut other = m.clone();
+        other.seed += 1;
+        assert!(m
+            .ensure_matches(&other, false)
+            .unwrap_err()
+            .contains("seed"));
+        let mut other = m.clone();
+        other.shard = Shard::FULL;
+        // Merge ignores the shard; resume does not.
+        assert!(m.ensure_matches(&other, false).is_ok());
+        assert!(m
+            .ensure_matches(&other, true)
+            .unwrap_err()
+            .contains("shard"));
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_grid_identity() {
+        use crate::spec::{CampaignSpec, DefaultResolver};
+        let spec = CampaignSpec::parse(
+            "name = f\nseed = 1\nreps = 2\nmatrices = poisson2d:6\nalphas = 0, 1/16\n",
+        )
+        .unwrap();
+        let configs = crate::grid::expand(&spec, &DefaultResolver).unwrap();
+        let base = fingerprint(&spec.name, spec.seed, spec.reps, &configs);
+        assert_eq!(
+            base,
+            fingerprint(&spec.name, spec.seed, spec.reps, &configs)
+        );
+        assert_ne!(
+            base,
+            fingerprint(&spec.name, spec.seed + 1, spec.reps, &configs)
+        );
+        assert_ne!(base, fingerprint(&spec.name, spec.seed, 3, &configs));
+        assert_ne!(base, fingerprint("other", spec.seed, spec.reps, &configs));
+        // A different grid (dropping an alpha) changes the fingerprint.
+        let mut narrow = spec.clone();
+        narrow.alphas.pop();
+        let narrow_configs = crate::grid::expand(&narrow, &DefaultResolver).unwrap();
+        assert_ne!(
+            base,
+            fingerprint(&narrow.name, narrow.seed, narrow.reps, &narrow_configs)
+        );
+        // Threads are NOT part of the identity: any {threads × shards}
+        // decomposition shares one journal family.
+    }
+}

@@ -24,8 +24,12 @@
 //!   (mean/std/min/max/percentiles, convergence and correction rates);
 //! * [`sink`] — deterministic JSONL and CSV renderers: the same spec
 //!   and seed always produce byte-identical artifacts;
+//! * [`journal`] — crash-safe append-only job journals, `i/k` job-space
+//!   shards, and the grid fingerprint that rejects stale journals;
 //! * [`campaign`] — the orchestration entry points
-//!   [`run_campaign`] and [`run_configs`].
+//!   [`run_campaign`] and [`run_configs`], the journaled/shardable
+//!   [`run_campaign_sharded`], and the deterministic
+//!   [`merge_journals`] fold.
 //!
 //! ## Example
 //!
@@ -52,6 +56,7 @@ pub mod aggregate;
 pub mod campaign;
 pub mod grid;
 pub mod inject;
+pub mod journal;
 pub mod pool;
 pub mod seedstream;
 pub mod sink;
@@ -59,17 +64,25 @@ pub mod spec;
 pub mod workspace;
 
 pub use aggregate::{Aggregator, ConfigSummary, JobMetrics, SummaryStats};
-pub use campaign::{run_campaign, run_configs, CampaignResult};
+pub use campaign::{
+    fold_outcome, fold_records, merge_journals, run_campaign, run_campaign_sharded, run_configs,
+    run_configs_sharded, CampaignResult, RunOptions, ShardOutcome,
+};
 pub use grid::{plan_config, ConfigJob, ConfigKey, InjectorSpec};
-pub use pool::{run_indexed, run_indexed_ctx, JobPanic};
+pub use journal::{JobRecord, Journal, JournalWriter, Manifest, Shard};
+pub use pool::{run_indexed, run_indexed_ctx, run_indices_ctx, JobPanic};
 pub use spec::{CampaignSpec, DefaultResolver, IntervalPolicy, MatrixResolver, MatrixSource};
 pub use workspace::JobWorkspace;
 
 /// Everything a typical engine user needs.
 pub mod prelude {
     pub use crate::aggregate::{ConfigSummary, SummaryStats};
-    pub use crate::campaign::{run_campaign, run_configs, CampaignResult};
+    pub use crate::campaign::{
+        merge_journals, run_campaign, run_campaign_sharded, run_configs, CampaignResult,
+        RunOptions, ShardOutcome,
+    };
     pub use crate::grid::{ConfigJob, ConfigKey, InjectorSpec};
+    pub use crate::journal::{JobRecord, Shard};
     pub use crate::sink::{write_csv, write_jsonl};
     pub use crate::spec::{
         CampaignSpec, DefaultResolver, IntervalPolicy, MatrixResolver, MatrixSource,
@@ -86,6 +99,9 @@ pub enum EngineError {
     Matrix(String),
     /// The expanded grid is empty (no matrices/schemes/alphas/reps).
     EmptyGrid,
+    /// A campaign journal is missing, stale, corrupt, incomplete, or
+    /// could not be written.
+    Journal(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -94,6 +110,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Spec(m) => write!(f, "spec error: {m}"),
             EngineError::Matrix(m) => write!(f, "matrix error: {m}"),
             EngineError::EmptyGrid => write!(f, "campaign expands to an empty grid"),
+            EngineError::Journal(m) => write!(f, "journal error: {m}"),
         }
     }
 }

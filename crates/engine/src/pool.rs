@@ -67,10 +67,34 @@ where
     M: Fn() -> C + Sync,
     F: Fn(&mut C, usize) -> T + Sync,
 {
+    let indices: Vec<usize> = (0..n_jobs).collect();
+    run_indices_ctx(threads, &indices, make_ctx, job, progress)
+}
+
+/// [`run_indexed_ctx`] over an arbitrary *subset* of the job index
+/// space: `job` is invoked once per entry of `indices` (the job's
+/// global index), and results come back aligned with `indices`. This is
+/// the scheduler primitive behind `--shard` (a process runs only the
+/// indices its shard owns) and `--resume` (only the indices with no
+/// journal record yet) — the job's identity, and therefore its derived
+/// seed and its result, is the global index, never the queue position.
+pub fn run_indices_ctx<T, C, M, F>(
+    threads: usize,
+    indices: &[usize],
+    make_ctx: M,
+    job: F,
+    progress: Option<ProgressFn<'_>>,
+) -> Vec<Result<T, JobPanic>>
+where
+    T: Send,
+    M: Fn() -> C + Sync,
+    F: Fn(&mut C, usize) -> T + Sync,
+{
+    let n_jobs = indices.len();
     let threads = effective_threads(threads, n_jobs);
     let queue: Injector<usize> = Injector::new();
-    for i in 0..n_jobs {
-        queue.push(i);
+    for pos in 0..n_jobs {
+        queue.push(pos);
     }
     let slots: Vec<Mutex<Option<Result<T, JobPanic>>>> =
         (0..n_jobs).map(|_| Mutex::new(None)).collect();
@@ -81,11 +105,12 @@ where
             scope.spawn(|_| {
                 let mut ctx = make_ctx();
                 loop {
-                    let i = match queue.steal() {
-                        Steal::Success(i) => i,
+                    let pos = match queue.steal() {
+                        Steal::Success(pos) => pos,
                         Steal::Empty => break,
                         Steal::Retry => continue,
                     };
+                    let i = indices[pos];
                     let result =
                         catch_unwind(AssertUnwindSafe(|| job(&mut ctx, i))).map_err(|payload| {
                             JobPanic {
@@ -96,7 +121,7 @@ where
                                 message: panic_message(payload.as_ref()),
                             }
                         });
-                    *slots[i].lock() = Some(result);
+                    *slots[pos].lock() = Some(result);
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if let Some(report) = progress {
                         // Monotonic guard: the lock covers the callback too,
@@ -118,10 +143,10 @@ where
     slots
         .into_iter()
         .enumerate()
-        .map(|(i, slot)| {
+        .map(|(pos, slot)| {
             slot.into_inner().unwrap_or_else(|| {
                 Err(JobPanic {
-                    job: i,
+                    job: indices[pos],
                     message: "job was never executed".into(),
                 })
             })
@@ -139,7 +164,10 @@ pub fn effective_threads(requested: usize, n_jobs: usize) -> usize {
     t.clamp(1, n_jobs.max(1))
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Renders a caught panic payload to text (shared with the campaign
+/// layer, which catches job panics itself to journal them as
+/// [`Failed`](crate::journal::JobRecord::Failed) records).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -259,6 +287,31 @@ mod tests {
         assert!(out[1].is_err());
         // The same context kept counting after the panic.
         assert_eq!(*out[4].as_ref().unwrap(), 5);
+    }
+
+    #[test]
+    fn subset_indices_preserve_global_identity() {
+        // Shard/resume contract: jobs are identified by their global
+        // index, results aligned with the subset passed in.
+        let indices = [3usize, 9, 4, 12];
+        let out = run_indices_ctx(2, &indices, || (), |(), i| i * 10, None);
+        let vals: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(vals, vec![30, 90, 40, 120]);
+        // Panic reports carry the global index too.
+        let out = run_indices_ctx(
+            2,
+            &indices,
+            || (),
+            |(), i| {
+                if i == 9 {
+                    panic!("nine");
+                }
+                i
+            },
+            None,
+        );
+        assert_eq!(out[1].as_ref().unwrap_err().job, 9);
+        assert!(run_indices_ctx(3, &[], || (), |(), i| i, None).is_empty());
     }
 
     #[test]

@@ -354,27 +354,12 @@ impl CampaignSpec {
     }
 
     fn apply(&mut self, key: &str, value: &str) -> Result<(), EngineError> {
-        let parse_num = |what: &str, v: &str| -> Result<u64, EngineError> {
-            let v = v.trim();
-            // Direct u64 first: going through f64 would silently round
-            // seeds above 2^53. Fall back to f64 for JSON-ish forms
-            // (e.g. `1e3`) but only when exactly representable.
-            v.parse::<u64>()
-                .ok()
-                .or_else(|| {
-                    v.parse::<f64>()
-                        .ok()
-                        .filter(|x| x.fract() == 0.0 && (0.0..9.007199254740992e15).contains(x))
-                        .map(|x| x as u64)
-                })
-                .ok_or_else(|| EngineError::Spec(format!("bad {what} `{v}`")))
-        };
         match key {
             "name" => self.name = value.to_string(),
             "seed" => self.seed = parse_num("seed", value)?,
-            "reps" => self.reps = parse_num("reps", value)? as usize,
-            "threads" => self.threads = parse_num("threads", value)? as usize,
-            "max_iters" => self.max_iters = parse_num("max_iters", value)? as usize,
+            "reps" => self.reps = parse_count("reps", value)?,
+            "threads" => self.threads = parse_count("threads", value)?,
+            "max_iters" => self.max_iters = parse_count("max_iters", value)?,
             "matrices" => {
                 self.matrices = split_list(value)
                     .map(MatrixSource::parse)
@@ -434,6 +419,37 @@ impl CampaignSpec {
     pub fn n_jobs(&self) -> usize {
         self.n_configs() * self.reps
     }
+}
+
+/// Parses a non-negative integer spec value into `u64`, with explicit
+/// diagnostics for the historically silent coercions: a fractional
+/// value (`threads = 2.9`) and a negative value (`threads = -2`) are
+/// spec errors, never truncated or wrapped.
+fn parse_num(what: &str, v: &str) -> Result<u64, EngineError> {
+    let v = v.trim();
+    // Direct u64 first: going through f64 would silently round
+    // seeds above 2^53. Fall back to f64 for JSON-ish forms
+    // (e.g. `1e3`) but only when exactly representable.
+    if let Ok(n) = v.parse::<u64>() {
+        return Ok(n);
+    }
+    match v.parse::<f64>() {
+        Ok(x) if x.fract() == 0.0 && (0.0..9.007199254740992e15).contains(&x) => Ok(x as u64),
+        Ok(x) if x.is_finite() && x.fract() != 0.0 => Err(EngineError::Spec(format!(
+            "bad {what} `{v}`: must be an integer (not silently truncated)"
+        ))),
+        Ok(x) if x < 0.0 => Err(EngineError::Spec(format!(
+            "bad {what} `{v}`: must be non-negative"
+        ))),
+        _ => Err(EngineError::Spec(format!("bad {what} `{v}`"))),
+    }
+}
+
+/// [`parse_num`] narrowed to `usize` with a checked conversion — no
+/// `as usize` truncation on any platform.
+fn parse_count(what: &str, v: &str) -> Result<usize, EngineError> {
+    usize::try_from(parse_num(what, v)?)
+        .map_err(|_| EngineError::Spec(format!("bad {what} `{v}`: too large for this platform")))
 }
 
 /// Strips a `#` comment: only at line start or preceded by whitespace,
@@ -626,6 +642,36 @@ mod tests {
         .unwrap();
         assert_eq!(spec.name, "sweep#2");
         assert_eq!(spec.matrices, vec![MatrixSource::File("run#3.mtx".into())]);
+    }
+
+    #[test]
+    fn fractional_and_negative_counts_are_spec_errors() {
+        // Historically `threads = 2.9` could truncate to 2 and a
+        // negative wrap; both are now explicit diagnostics, in the
+        // key=value and JSON formats alike.
+        for key in ["threads", "reps", "max_iters"] {
+            let e = CampaignSpec::parse(&format!("matrices = poisson2d:8\n{key} = 2.9\n"));
+            match e {
+                Err(EngineError::Spec(msg)) => {
+                    assert!(msg.contains("must be an integer"), "{key}: {msg}")
+                }
+                other => panic!("{key}: expected Spec error, got {other:?}"),
+            }
+            let e = CampaignSpec::parse(&format!("matrices = poisson2d:8\n{key} = -2\n"));
+            match e {
+                Err(EngineError::Spec(msg)) => {
+                    assert!(msg.contains("must be non-negative"), "{key}: {msg}")
+                }
+                other => panic!("{key}: expected Spec error, got {other:?}"),
+            }
+        }
+        let e = CampaignSpec::parse(r#"{"matrices": ["poisson2d:8"], "threads": 2.9}"#);
+        assert!(matches!(e, Err(EngineError::Spec(_))), "{e:?}");
+        let e = CampaignSpec::parse(r#"{"matrices": ["poisson2d:8"], "reps": -3}"#);
+        assert!(matches!(e, Err(EngineError::Spec(_))), "{e:?}");
+        // Exactly representable scientific forms still work.
+        let ok = CampaignSpec::parse("matrices = poisson2d:8\nreps = 1e3\n").unwrap();
+        assert_eq!(ok.reps, 1000);
     }
 
     #[test]

@@ -30,5 +30,5 @@ pub use bitflip::BitRange;
 pub use injector::{FaultEvent, Injector, InjectorConfig};
 pub use ledger::{FaultLedger, LedgerSummary};
 pub use mtbf::FaultRate;
-pub use process::{poisson_count, sample_exponential};
+pub use process::{poisson_count, sample_exponential, POISSON_COUNT_CAP, POISSON_MAX_MEAN};
 pub use target::FaultTarget;

@@ -22,15 +22,40 @@ pub fn sample_exponential(rng: &mut StdRng, rate: f64) -> f64 {
     -(1.0 - u).ln() / rate
 }
 
+/// Largest `mean` accepted by [`poisson_count`]. Knuth's product method
+/// is exact but O(mean); beyond this bound the iteration cap below
+/// could truncate *legitimate* draws, so large means are rejected up
+/// front instead of silently clipped (the fault model's per-iteration
+/// means are `α ≤ 1`, three orders of magnitude below the bound).
+pub const POISSON_MAX_MEAN: f64 = 1024.0;
+
+/// Iteration cap of [`poisson_count`]. For any accepted `mean ≤`
+/// [`POISSON_MAX_MEAN`], `P(K > 10_000)` is astronomically small
+/// (< 10⁻³⁰⁰⁰), so reaching the cap proves a broken RNG or corrupted
+/// state — it is reported loudly, never returned as a fabricated count.
+pub const POISSON_COUNT_CAP: usize = 10_000;
+
 /// Draws a `Poisson(mean)` count via Knuth's product-of-uniforms method.
 ///
-/// Exact for any mean; O(mean) expected iterations, which is fine for the
-/// per-iteration means `α ≤ 1` used throughout the experiments.
+/// Exact for any accepted mean; O(mean) expected iterations, which is
+/// fine for the per-iteration means `α ≤ 1` used throughout the
+/// experiments.
 ///
 /// # Panics
-/// Panics if `mean` is negative or not finite.
+/// Panics if `mean` is negative, not finite, or above
+/// [`POISSON_MAX_MEAN`] (means that large would need a different
+/// sampler — rejected loudly rather than sampled wrong). Also panics —
+/// after a `debug_assert` in debug builds — if the draw exceeds
+/// [`POISSON_COUNT_CAP`], which for accepted means is unreachable with
+/// a working RNG: the historical behavior of returning the cap
+/// silently fabricated a fault count.
 pub fn poisson_count(rng: &mut StdRng, mean: f64) -> usize {
     assert!(mean >= 0.0 && mean.is_finite(), "mean must be >= 0");
+    assert!(
+        mean <= POISSON_MAX_MEAN,
+        "poisson_count: mean {mean} exceeds the supported bound {POISSON_MAX_MEAN} \
+         (Knuth's method would hit the iteration cap on legitimate draws)"
+    );
     if mean == 0.0 {
         return 0;
     }
@@ -43,10 +68,15 @@ pub fn poisson_count(rng: &mut StdRng, mean: f64) -> usize {
             return k;
         }
         k += 1;
-        // Defensive cap: at mean ≤ 64 the probability of reaching this is
-        // astronomically small; prevents pathological loops on NaN misuse.
-        if k > 10_000 {
-            return k;
+        if k > POISSON_COUNT_CAP {
+            debug_assert!(
+                false,
+                "poisson_count: {k} iterations at mean {mean} — broken RNG?"
+            );
+            panic!(
+                "poisson_count: exceeded {POISSON_COUNT_CAP} iterations at mean {mean}; \
+                 the RNG is not producing usable uniforms"
+            );
         }
     }
 }
@@ -102,6 +132,21 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn exponential_rejects_zero_rate() {
         sample_exponential(&mut rng(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the supported bound")]
+    fn poisson_rejects_oversized_mean() {
+        // A mean past the documented bound is rejected up front — the
+        // old code would have silently capped legitimate draws instead.
+        poisson_count(&mut rng(0), POISSON_MAX_MEAN * 2.0);
+    }
+
+    #[test]
+    fn poisson_accepts_the_boundary_mean() {
+        let k = poisson_count(&mut rng(8), POISSON_MAX_MEAN);
+        // A draw at mean 1024 lands within a few standard deviations.
+        assert!((700..=1400).contains(&k), "k = {k}");
     }
 
     #[test]

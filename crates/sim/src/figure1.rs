@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use ftcg_engine::{run_configs, ConfigJob, InjectorSpec};
+use ftcg_engine::{ConfigJob, InjectorSpec};
 use ftcg_kernels::KernelSpec;
 use ftcg_model::{optimize, Scheme};
 use ftcg_solvers::resilient::ResilientConfig;
@@ -70,6 +70,11 @@ pub struct Figure1Params {
     pub kernel: KernelSpec,
     /// Solver iterating under the protocol (the paper plots CG).
     pub solver: SolverKind,
+    /// Crash-safety: when set, each (matrix, scheme) curve campaign
+    /// journals to `<dir>/figure1-<id>-<scheme>.jsonl` and auto-resumes
+    /// from it, so a killed Figure 1 run re-executes only the missing
+    /// repetitions. Results are byte-identical either way.
+    pub journal_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for Figure1Params {
@@ -82,6 +87,7 @@ impl Default for Figure1Params {
             cost_mode: CostMode::PaperLike,
             kernel: KernelSpec::Csr,
             solver: SolverKind::Cg,
+            journal_dir: None,
         }
     }
 }
@@ -162,14 +168,25 @@ pub fn run_panel(spec: &MatrixSpec, params: &Figure1Params) -> Figure1Panel {
     let mut curves: Vec<(Scheme, Vec<Figure1Point>)> = Vec::with_capacity(3);
     for scheme in Scheme::ALL {
         let configs = curve_campaign(spec, &a, &costs, scheme, params);
-        let result = run_configs(
+        let journal = params
+            .journal_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("figure1-{}-{}.jsonl", spec.id, scheme.name())));
+        let result = crate::runner::run_configs_journaled(
             "figure1",
             campaign_seed,
             params.reps,
             params.threads,
             configs,
-            None,
-        );
+            journal.as_deref(),
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "figure1 journal for matrix {} / {}: {e}",
+                spec.id,
+                scheme.name()
+            )
+        });
         // As in table1: a silently shrunken sample must not become a
         // plotted data point.
         assert_eq!(

@@ -10,13 +10,47 @@
 //! bit-identical results), and the injector configurations live in
 //! [`ftcg_engine::inject`] (re-exported here for compatibility).
 
+use std::path::Path;
+
 use ftcg_engine::aggregate::{JobMetrics, SummaryStats};
-use ftcg_engine::JobWorkspace;
+use ftcg_engine::{
+    fold_outcome, run_configs_sharded, CampaignResult, ConfigJob, EngineError, JobWorkspace,
+    RunOptions,
+};
 use ftcg_fault::Injector;
 use ftcg_solvers::resilient::{solve_resilient_in, ResilientConfig};
 use ftcg_sparse::CsrMatrix;
 
 pub use ftcg_engine::inject::{calibrated_injector, paper_injector};
+
+/// Runs one programmatic campaign crash-safely: jobs are journaled to
+/// `journal` as they complete, and an existing journal from a killed
+/// run is replayed so only the remainder executes (auto-resume — the
+/// manifest's grid fingerprint still rejects a stale journal from a
+/// different campaign). With `journal = None` this is exactly
+/// [`ftcg_engine::run_configs`]. Either way the folded summaries are
+/// byte-identical to an uninterrupted in-memory run: aggregation folds
+/// records by job index, never by completion order.
+///
+/// This is how the Table 1 / Figure 1 harnesses thread the journal
+/// through their campaigns (one journal per (matrix, scheme) campaign
+/// under `--journal-dir`).
+pub fn run_configs_journaled(
+    name: &str,
+    campaign_seed: u64,
+    reps: usize,
+    threads: usize,
+    configs: Vec<ConfigJob>,
+    journal: Option<&Path>,
+) -> Result<CampaignResult, EngineError> {
+    let opts = RunOptions {
+        journal,
+        resume: true,
+        ..RunOptions::default()
+    };
+    let outcome = run_configs_sharded(name, campaign_seed, reps, threads, &configs, &opts)?;
+    fold_outcome(name, reps, &configs, outcome)
+}
 
 /// Aggregate over repetitions of one configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -162,6 +196,44 @@ mod tests {
         let s4 = run_many(&a, &b, &cfg, 1.0 / 8.0, 6, 3, 4);
         // Indexed results: thread count must not change anything at all.
         assert_eq!(s1, s4);
+    }
+
+    #[test]
+    fn journaled_run_matches_in_memory_run_and_auto_resumes() {
+        use ftcg_engine::{run_configs, InjectorSpec};
+        use ftcg_model::Scheme as S;
+        use std::sync::Arc;
+
+        let a = Arc::new(gen::poisson2d(8).unwrap());
+        let rhs = Arc::new(vec![1.0; a.n_rows()]);
+        let mk = || {
+            vec![ConfigJob::new(
+                "poisson2d:8",
+                Arc::clone(&a),
+                Arc::clone(&rhs),
+                ResilientConfig::new(S::AbftCorrection, 8),
+                1.0 / 16.0,
+                InjectorSpec::Paper,
+            )]
+        };
+        let dir = std::env::temp_dir().join(format!("ftcg-sim-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("entry.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let plain = run_configs("e", 3, 4, 2, mk(), None);
+        let journaled = run_configs_journaled("e", 3, 4, 2, mk(), Some(&path)).unwrap();
+        assert_eq!(plain.summaries, journaled.summaries);
+        // Drop the trailing records (simulated kill) and re-run: the
+        // auto-resume replays the survivors and the result still
+        // matches bit for bit.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep: Vec<&str> = text.lines().take(3).collect();
+        std::fs::write(&path, format!("{}\n", keep.join("\n"))).unwrap();
+        let resumed = run_configs_journaled("e", 3, 4, 2, mk(), Some(&path)).unwrap();
+        assert_eq!(plain.summaries, resumed.summaries);
+        // A stale journal (different campaign seed) is rejected loudly.
+        assert!(run_configs_journaled("e", 4, 4, 2, mk(), Some(&path)).is_err());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use ftcg_engine::{run_configs, ConfigJob, InjectorSpec};
+use ftcg_engine::{ConfigJob, InjectorSpec};
 use ftcg_kernels::KernelSpec;
 use ftcg_model::{optimize, Scheme};
 use ftcg_solvers::resilient::ResilientConfig;
@@ -46,7 +46,7 @@ pub struct Table1Entry {
 }
 
 /// Experiment parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Params {
     /// Matrix scale divisor (1 = paper-size; 16 = miniature).
     pub scale: usize,
@@ -68,6 +68,11 @@ pub struct Table1Params {
     /// Solver iterating under the protocol (experiment dimension; the
     /// paper's tables use CG).
     pub solver: SolverKind,
+    /// Crash-safety: when set, each (matrix, scheme) interval-sweep
+    /// campaign journals to `<dir>/table1-<id>-<scheme>.jsonl` and
+    /// auto-resumes from it, so a killed Table 1 run re-executes only
+    /// the missing repetitions. Results are byte-identical either way.
+    pub journal_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for Table1Params {
@@ -81,6 +86,7 @@ impl Default for Table1Params {
             cost_mode: CostMode::PaperLike,
             kernel: KernelSpec::Csr,
             solver: SolverKind::Cg,
+            journal_dir: None,
         }
     }
 }
@@ -142,14 +148,25 @@ pub fn run_entry(
     params: &Table1Params,
 ) -> Table1Entry {
     let configs = entry_campaign(spec, a, costs, scheme, params);
-    let result = run_configs(
+    let journal = params
+        .journal_dir
+        .as_ref()
+        .map(|dir| dir.join(format!("table1-{}-{}.jsonl", spec.id, scheme.name())));
+    let result = crate::runner::run_configs_journaled(
         "table1",
         10_000 + spec.id as u64,
         params.reps,
         params.threads,
         configs,
-        None,
-    );
+        journal.as_deref(),
+    )
+    .unwrap_or_else(|e| {
+        panic!(
+            "table1 journal for matrix {} / {}: {e}",
+            spec.id,
+            scheme.name()
+        )
+    });
     // Panicked repetitions would silently skew (or zero) the means and
     // could even be picked as the "best" interval; fail loudly like the
     // pre-engine runner did.
