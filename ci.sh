@@ -43,4 +43,7 @@ cargo test -q --release -p ftcg-solvers --test alloc_gate
 echo "==> shard → merge → diff smoke (byte-identical campaign artifacts)"
 bash scripts/shard_smoke.sh target/release/ftcg
 
+echo "==> trace → report smoke (deterministic telemetry, journal reconciliation)"
+bash scripts/trace_smoke.sh target/release/ftcg
+
 echo "CI gate passed."

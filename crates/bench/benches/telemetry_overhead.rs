@@ -1,0 +1,130 @@
+//! Bench target for the **telemetry layer**: per-iteration overhead of
+//! recording on the resilient executor's hot path.
+//!
+//! Three variants of the identical solve (same matrix, same fault
+//! stream, same workspace reuse):
+//!
+//! 1. `solve_resilient_in` — the default path, which *is* the noop
+//!    recorder (monomorphized away),
+//! 2. an explicit `NoopRecorder` through `solve_resilient_recorded`
+//!    (must compile to the same code — the ~0% claim),
+//! 3. a pre-allocated `ActiveRecorder` (counters + histograms + event
+//!    ring live — the <2% claim).
+//!
+//! Beyond the Criterion report, the target *asserts* both claims with
+//! min-of-N timings; `ci.sh` smoke-compiles it via
+//! `cargo bench --no-run`.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ftcg_bench::{experiment_criterion, rhs};
+use ftcg_engine::inject::paper_injector;
+use ftcg_model::Scheme;
+use ftcg_solvers::resilient::{solve_resilient_in, solve_resilient_recorded, ResilientConfig};
+use ftcg_solvers::{SolverWorkspace, StoppingCriterion};
+use ftcg_sparse::gen;
+use ftcg_telemetry::{ActiveRecorder, NoopRecorder};
+
+const ALPHA: f64 = 1.0 / 16.0;
+const SEED: u64 = 42;
+
+fn config() -> ResilientConfig {
+    let mut cfg = ResilientConfig::new(Scheme::AbftCorrection, 8);
+    // Threshold 0 never trips: every variant runs the full iteration
+    // budget over the identical injected fault stream.
+    cfg.stopping = StoppingCriterion::Absolute { eps: 0.0 };
+    cfg.max_productive_iters = 150;
+    cfg
+}
+
+/// Best-of-N per-iteration wall time in nanoseconds (min absorbs
+/// scheduler noise far better than the mean).
+fn best_of<F: FnMut() -> usize>(n: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        let iters = black_box(f());
+        let dt = t0.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+        if dt < best {
+            best = dt;
+        }
+    }
+    best
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let a = gen::poisson2d(64).expect("poisson grid");
+    let b = rhs(a.n_rows());
+    let cfg = config();
+    let mut ws = SolverWorkspace::new();
+    let mut rec = ActiveRecorder::new();
+
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.bench_function("baseline_solve_in", |bch| {
+        bch.iter(|| {
+            let mut inj = paper_injector(&a, ALPHA, SEED);
+            solve_resilient_in(&a, &b, &cfg, Some(&mut inj), &mut ws).executed_iterations
+        })
+    });
+    g.bench_function("noop_recorded", |bch| {
+        bch.iter(|| {
+            let mut inj = paper_injector(&a, ALPHA, SEED);
+            solve_resilient_recorded(&a, &b, &cfg, Some(&mut inj), &mut ws, &mut NoopRecorder)
+                .executed_iterations
+        })
+    });
+    g.bench_function("active_recorded", |bch| {
+        bch.iter(|| {
+            let mut inj = paper_injector(&a, ALPHA, SEED);
+            rec.reset();
+            solve_resilient_recorded(&a, &b, &cfg, Some(&mut inj), &mut ws, &mut rec)
+                .executed_iterations
+        })
+    });
+    g.finish();
+
+    // Regression gates, min-of-N over identical work.
+    let baseline_ns = best_of(15, || {
+        let mut inj = paper_injector(&a, ALPHA, SEED);
+        solve_resilient_in(&a, &b, &cfg, Some(&mut inj), &mut ws).executed_iterations
+    });
+    let noop_ns = best_of(15, || {
+        let mut inj = paper_injector(&a, ALPHA, SEED);
+        solve_resilient_recorded(&a, &b, &cfg, Some(&mut inj), &mut ws, &mut NoopRecorder)
+            .executed_iterations
+    });
+    let active_ns = best_of(15, || {
+        let mut inj = paper_injector(&a, ALPHA, SEED);
+        rec.reset();
+        solve_resilient_recorded(&a, &b, &cfg, Some(&mut inj), &mut ws, &mut rec)
+            .executed_iterations
+    });
+    let noop_pct = (noop_ns / baseline_ns - 1.0) * 100.0;
+    let active_pct = (active_ns / baseline_ns - 1.0) * 100.0;
+    println!(
+        "telemetry_overhead: baseline {baseline_ns:.0} ns/iter, noop {noop_ns:.0} ns/iter \
+         ({noop_pct:+.2}%), active {active_ns:.0} ns/iter ({active_pct:+.2}%)"
+    );
+    // The noop recorder is the same monomorphized code as the baseline;
+    // anything past measurement noise is a regression.
+    assert!(
+        noop_pct < 1.0,
+        "NoopRecorder costs {noop_pct:.2}% over the baseline (gate: <1%, expected ~0%)"
+    );
+    assert!(
+        active_pct < 2.0,
+        "ActiveRecorder costs {active_pct:.2}% over the baseline (gate: <2%)"
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    bench_telemetry_overhead(c);
+}
+
+criterion_group! {
+    name = telemetry_overhead;
+    config = experiment_criterion();
+    targets = benches
+}
+criterion_main!(telemetry_overhead);

@@ -10,11 +10,16 @@ use ftcg::sim::table1::{run_table1, Table1Params};
 use ftcg::sim::PAPER_MATRICES;
 use ftcg::solvers::SolverKind;
 use ftcg::sparse::stats::MatrixStats;
+use ftcg::telemetry::metrics::{JobPhases, MetricsFile, MetricsWriter};
+use ftcg::telemetry::report::{fold_report, reconcile, render_report, JobCounts};
+use ftcg::telemetry::{ActiveRecorder, Event, Recorder, Trace, TraceMeta, TraceWriter};
 use ftcg_engine::{
-    merge_journals, run_campaign_sharded, sink, spec, CampaignSpec, JobRecord, RunOptions, Shard,
+    merge_journals, run_campaign_sharded, sink, spec, CampaignSpec, JobRecord, Journal, RunOptions,
+    Shard,
 };
 
 use crate::args::{matrix_source, parse_alpha, parse_or, positionals, value};
+use crate::progress::ProgressLine;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -22,17 +27,20 @@ ftcg — fault-tolerant Conjugate Gradient (Fasi, Robert & Uçar, PDSEC 2015)
 
 USAGE:
   ftcg solve    (--matrix F.mtx | --gen SPEC) [--scheme S] [--solver S] [--alpha A]
-                [--seed N] [--kernel K] [--threads N]
+                [--seed N] [--kernel K] [--threads N] [--trace F] [--metrics F]
   ftcg stats    (--matrix F.mtx | --gen SPEC)
   ftcg campaign (--spec FILE | inline flags) [--out F.jsonl] [--csv F.csv]
                 [--reps N] [--seed N] [--threads N] [--quiet]
                 [--journal F.jsonl] [--resume] [--shard i/k]
+                [--trace F.jsonl] [--metrics F.jsonl]
   ftcg merge    (--spec FILE | inline flags) JOURNAL... [--out F.jsonl]
                 [--csv F.csv] [--reps N] [--seed N]
+  ftcg report   FILE... [--spec FILE]   traces, metrics sidecars, journals
   ftcg table1   [--scale N] [--reps N] [--threads N] [--kernel K] [--solver S]
-                [--journal-dir D]
+                [--journal-dir D] [--trace-dir D] [--metrics-dir D]
   ftcg figure1  [--scale N] [--reps N] [--points N] [--matrices N] [--threads N]
-                [--kernel K] [--solver S] [--journal-dir D]
+                [--kernel K] [--solver S] [--journal-dir D] [--trace-dir D]
+                [--metrics-dir D]
 
 GENERATORS (--gen):
   poisson2d:K              5-point Laplacian on a KxK grid
@@ -99,6 +107,28 @@ CRASH SAFETY AND SCALE-OUT:
   table1/figure1 accept --journal-dir D: one auto-resumed journal per
                 (matrix, scheme) campaign under D — re-running after a
                 crash skips finished repetitions.
+
+OBSERVABILITY:
+  --trace F     append-only protocol-event trace (JSONL): faults,
+                detections, corrections, TMR votes, chunk verifies,
+                checkpoints, rollbacks, escalations, per job. Keyed by
+                (job, seq), never wall-clock, and canonicalized when
+                the run completes, so the file is byte-identical across
+                threads, shards, and kill/--resume cycles — and the
+                campaign's JSONL/CSV artifacts are byte-identical with
+                tracing on or off.
+  --metrics F   non-deterministic sidecar: per-job phase wall times
+                (step/product/checks/checkpoint/rollback) and merged
+                log-scale duration histograms. Separate file because
+                timings are not reproducible.
+  table1/figure1 take --trace-dir/--metrics-dir D: one trace/sidecar
+                per (matrix, scheme) campaign under D, next to its
+                journal.
+  ftcg report   folds any mix of trace, metrics, and journal files
+                into per-configuration event and phase-time tables
+                (--spec labels rows with the campaign grid), and
+                reconciles trace event counts against journal records —
+                exits nonzero on any mismatch.
 ";
 
 fn load_matrix(args: &[String]) -> Result<CsrMatrix, String> {
@@ -133,18 +163,34 @@ fn print_kernel_list() {
     println!("  (parameterized forms work too: bcsr:4, sell:16:64, csr-par:8, auto:bench)");
 }
 
-/// Parses `--journal-dir D` for the experiment commands, creating the
-/// directory so the per-(matrix, scheme) journals have somewhere to
-/// land on first use.
-fn parse_journal_dir(args: &[String]) -> Result<Option<std::path::PathBuf>, String> {
-    match value(args, "--journal-dir") {
+/// Parses a directory-valued flag (`--journal-dir`, `--trace-dir`,
+/// `--metrics-dir`) for the experiment commands, creating the directory
+/// so the per-(matrix, scheme) files have somewhere to land on first
+/// use.
+fn parse_dir_flag(args: &[String], flag: &str) -> Result<Option<std::path::PathBuf>, String> {
+    match value(args, flag) {
         None => Ok(None),
         Some(d) => {
-            std::fs::create_dir_all(d).map_err(|e| format!("--journal-dir {d}: {e}"))?;
+            std::fs::create_dir_all(d).map_err(|e| format!("{flag} {d}: {e}"))?;
             Ok(Some(std::path::PathBuf::from(d)))
         }
     }
 }
+
+/// The three telemetry/journal directories of `table1`/`figure1`.
+fn parse_experiment_dirs(args: &[String]) -> Result4Dirs {
+    match (
+        parse_dir_flag(args, "--journal-dir"),
+        parse_dir_flag(args, "--trace-dir"),
+        parse_dir_flag(args, "--metrics-dir"),
+    ) {
+        (Ok(j), Ok(t), Ok(m)) => Ok((j, t, m)),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => Err(e),
+    }
+}
+
+type OptDir = Option<std::path::PathBuf>;
+type Result4Dirs = Result<(OptDir, OptDir, OptDir), String>;
 
 /// Parses `--kernel` as given; thread-count policy is per command
 /// (`solve` feeds `--threads` into the kernel, the experiment commands
@@ -207,7 +253,50 @@ pub fn solve(args: &[String]) -> i32 {
         if alpha > 0.0 {
             builder = builder.fault_alpha(alpha);
         }
-        let out = builder.solve(&b);
+        let trace = value(args, "--trace").map(std::path::PathBuf::from);
+        let metrics = value(args, "--metrics").map(std::path::PathBuf::from);
+        let mut recorder = (trace.is_some() || metrics.is_some()).then(ActiveRecorder::new);
+        let out = match recorder.as_mut() {
+            Some(rec) => {
+                rec.event(Event::job_start());
+                let out = builder.solve_recorded(&b, rec);
+                rec.finish_job(
+                    out.executed_iterations as u64,
+                    out.productive_iterations as u64,
+                    out.converged,
+                );
+                out
+            }
+            None => builder.solve(&b),
+        };
+        if let Some(rec) = recorder.as_mut() {
+            // A one-job "campaign": job 0, rep 1, identified by the
+            // injector seed. Unlike campaign traces these are one-shot
+            // files, so an existing one is replaced, not resumed.
+            let meta = TraceMeta {
+                name: "solve".into(),
+                fingerprint: 0,
+                seed,
+                reps: 1,
+                total_jobs: 1,
+            };
+            let tele = rec.drain(0);
+            if let Some(path) = &trace {
+                let _ = std::fs::remove_file(path);
+                let mut w = TraceWriter::create(path, &meta)?;
+                w.append_job(0, &tele.events)?;
+                drop(w);
+                ftcg::telemetry::trace::canonicalize(path)?;
+                eprintln!("wrote trace {}", path.display());
+            }
+            if let Some(path) = &metrics {
+                let _ = std::fs::remove_file(path);
+                let mut w = MetricsWriter::create(path, &meta)?;
+                w.append_job(&tele)?;
+                w.finish()?;
+                eprintln!("wrote metrics {}", path.display());
+            }
+        }
         println!("converged            {}", out.converged);
         println!("productive iters     {}", out.productive_iterations);
         println!("executed iters       {}", out.executed_iterations);
@@ -301,6 +390,8 @@ fn campaign_value_flags() -> Vec<&'static str> {
         "--csv",
         "--journal",
         "--shard",
+        "--trace",
+        "--metrics",
     ]);
     flags
 }
@@ -451,21 +542,16 @@ pub fn campaign(args: &[String]) -> i32 {
             cs.seed,
             shard.label(),
         );
-        let ticker = |done: usize, total: usize| {
-            // Coarse ticker: every ~5% and the final job.
-            let step = (total / 20).max(1);
-            if done.is_multiple_of(step) || done == total {
-                eprint!("\r{done}/{total} jobs");
-                if done == total {
-                    eprintln!();
-                }
-            }
-        };
+        let trace = value(args, "--trace").map(std::path::PathBuf::from);
+        let metrics = value(args, "--metrics").map(std::path::PathBuf::from);
+        let ticker = ProgressLine::new();
         let opts = RunOptions {
             shard,
             journal: journal.as_deref(),
             resume,
             progress: if quiet { None } else { Some(&ticker) },
+            trace: trace.as_deref(),
+            metrics: metrics.as_deref(),
         };
         let (outcome, folded) =
             run_campaign_sharded(&cs, &PaperMatrixResolver, &opts).map_err(|e| e.to_string())?;
@@ -476,6 +562,12 @@ pub fn campaign(args: &[String]) -> i32 {
                 outcome.replayed,
                 outcome.executed
             );
+        }
+        if let Some(path) = &trace {
+            eprintln!("wrote trace {}", path.display());
+        }
+        if let Some(path) = &metrics {
+            eprintln!("wrote metrics {}", path.display());
         }
         let failed = outcome
             .records
@@ -561,6 +653,181 @@ pub fn merge(args: &[String]) -> i32 {
     }
 }
 
+/// Reads the first line of a telemetry/journal file (for
+/// classification by its header key).
+fn first_line(path: &std::path::Path) -> Result<String, String> {
+    use std::io::{BufRead, BufReader};
+    let f = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut line = String::new();
+    BufReader::new(f)
+        .read_line(&mut line)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(line)
+}
+
+/// Builds one display label per configuration from the campaign spec,
+/// validating the grid against the telemetry header identity.
+fn report_labels(args: &[String], meta: &TraceMeta) -> Result<Vec<String>, String> {
+    let n_configs = meta.total_jobs / meta.reps.max(1);
+    if value(args, "--spec").is_none() && !args.iter().any(|a| a == "--gen") {
+        return Ok((0..n_configs).map(|i| format!("config {i}")).collect());
+    }
+    let cs = campaign_spec(args)?;
+    let jobs = ftcg_engine::grid::expand(&cs, &PaperMatrixResolver).map_err(|e| e.to_string())?;
+    let fp = ftcg_engine::journal::fingerprint(&cs.name, cs.seed, cs.reps, &jobs);
+    if fp != meta.fingerprint || cs.reps != meta.reps {
+        return Err(format!(
+            "spec does not match the telemetry files (spec fingerprint {fp:#018x}, \
+             file header {:#018x}) — pass the spec the campaign actually ran",
+            meta.fingerprint
+        ));
+    }
+    Ok(jobs
+        .iter()
+        .map(|j| {
+            format!(
+                "{} {} a={} {} {}",
+                j.key.matrix,
+                j.key.scheme.name(),
+                j.key.alpha,
+                j.key.solver.label(),
+                j.key.kernel
+            )
+        })
+        .collect())
+}
+
+/// `ftcg report` — folds traces, metrics sidecars, and journals into
+/// per-configuration tables and reconciles trace counts against
+/// journal records.
+pub fn report(args: &[String]) -> i32 {
+    use std::collections::BTreeMap;
+    let result = (|| -> Result<(), String> {
+        let files = positionals(args, &campaign_value_flags());
+        if files.is_empty() {
+            return Err(
+                "need at least one file: ftcg report run.trace.jsonl [run.metrics.jsonl] \
+                 [run.jsonl] [--spec FILE]"
+                    .into(),
+            );
+        }
+        // Classify each positional file by its header line; any mix of
+        // traces (shards merge), metrics sidecars, and journals works.
+        let mut traces: Vec<Trace> = Vec::new();
+        let mut metrics_files: Vec<MetricsFile> = Vec::new();
+        let mut journals: Vec<Journal> = Vec::new();
+        for path in &files {
+            let p = std::path::Path::new(path);
+            let head = first_line(p)?;
+            if head.contains("\"ftcg_trace\"") {
+                traces.push(Trace::load(p)?);
+            } else if head.contains("\"ftcg_metrics\"") {
+                metrics_files.push(MetricsFile::load(p)?);
+            } else if head.contains("\"ftcg_journal\"") {
+                journals.push(Journal::load(p).map_err(|e| e.to_string())?);
+            } else {
+                return Err(format!(
+                    "{path}: not a ftcg trace, metrics sidecar, or journal \
+                     (unrecognized header line)"
+                ));
+            }
+        }
+        let merged_trace = if traces.is_empty() {
+            None
+        } else {
+            Some(Trace::merge(traces)?)
+        };
+        // One campaign identity across every telemetry file.
+        let mut meta: Option<TraceMeta> = merged_trace.as_ref().map(|t| t.meta.clone());
+        let mut by_job: BTreeMap<usize, JobPhases> = BTreeMap::new();
+        for mf in &metrics_files {
+            match &meta {
+                None => meta = Some(mf.meta.clone()),
+                Some(m) if *m != mf.meta => {
+                    return Err(format!(
+                        "metrics sidecar for campaign `{}` does not match the other \
+                         telemetry files (campaign `{}`)",
+                        mf.meta.name, m.name
+                    ));
+                }
+                _ => {}
+            }
+            for jp in &mf.jobs {
+                by_job.insert(jp.job, jp.clone()); // later files win
+            }
+        }
+        let metrics_jobs: Vec<JobPhases> = by_job.into_values().collect();
+        let meta = meta
+            .ok_or("need at least one trace or metrics file (journals alone carry no telemetry)")?;
+        for j in &journals {
+            let m = &j.manifest;
+            if m.name != meta.name
+                || m.fingerprint != meta.fingerprint
+                || m.seed != meta.seed
+                || m.reps != meta.reps
+                || m.total_jobs != meta.total_jobs
+            {
+                return Err(format!(
+                    "journal for campaign `{}` (fingerprint {:#018x}) does not match the \
+                     telemetry files (campaign `{}`, fingerprint {:#018x})",
+                    m.name, m.fingerprint, meta.name, meta.fingerprint
+                ));
+            }
+        }
+        let labels = report_labels(args, &meta)?;
+        let trace_events = match &merged_trace {
+            Some(t) => t.parsed()?,
+            None => Vec::new(),
+        };
+        let rows = fold_report(&labels, meta.reps, &trace_events, &metrics_jobs)?;
+        print!("{}", render_report(&rows));
+        // Reconcile trace event counts against journal records when both
+        // sides are present; any disagreement is a failing exit code.
+        if merged_trace.is_some() && !journals.is_empty() {
+            let mut counts: BTreeMap<usize, JobCounts> = BTreeMap::new();
+            for j in &journals {
+                for (idx, rec) in &j.records {
+                    if let JobRecord::Done(m) = rec {
+                        counts.insert(
+                            *idx,
+                            JobCounts {
+                                faults: m.faults as u64,
+                                rollbacks: m.rollbacks as u64,
+                                corrections: m.corrections as u64,
+                                converged: m.converged,
+                            },
+                        );
+                    }
+                }
+            }
+            let rec = reconcile(&trace_events, &counts);
+            eprintln!(
+                "reconciliation: {} job(s) ok, {} skipped (ring overflow), {} mismatch(es)",
+                rec.jobs_ok,
+                rec.jobs_skipped,
+                rec.mismatches.len()
+            );
+            if !rec.ok() {
+                for m in rec.mismatches.iter().take(10) {
+                    eprintln!("  {m}");
+                }
+                if rec.mismatches.len() > 10 {
+                    eprintln!("  ... and {} more", rec.mismatches.len() - 10);
+                }
+                return Err("trace does not reconcile with the journal records".into());
+            }
+        }
+        Ok(())
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
 /// `ftcg table1`.
 pub fn table1(args: &[String]) -> i32 {
     if value(args, "--kernel") == Some("list") {
@@ -581,8 +848,8 @@ pub fn table1(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let journal_dir = match parse_journal_dir(args) {
-        Ok(d) => d,
+    let (journal_dir, trace_dir, metrics_dir) = match parse_experiment_dirs(args) {
+        Ok(dirs) => dirs,
         Err(e) => {
             eprintln!("error: {e}");
             return 1;
@@ -595,6 +862,8 @@ pub fn table1(args: &[String]) -> i32 {
         kernel,
         solver,
         journal_dir,
+        trace_dir,
+        metrics_dir,
         ..Table1Params::default()
     };
     eprintln!(
@@ -631,8 +900,8 @@ pub fn figure1(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let journal_dir = match parse_journal_dir(args) {
-        Ok(d) => d,
+    let (journal_dir, trace_dir, metrics_dir) = match parse_experiment_dirs(args) {
+        Ok(dirs) => dirs,
         Err(e) => {
             eprintln!("error: {e}");
             return 1;
@@ -646,6 +915,8 @@ pub fn figure1(args: &[String]) -> i32 {
         kernel,
         solver,
         journal_dir,
+        trace_dir,
+        metrics_dir,
         ..Figure1Params::default()
     };
     let n_matrices = parse_or(args, "--matrices", PAPER_MATRICES.len());

@@ -13,12 +13,15 @@
 //! $ ftcg campaign --spec sweep.campaign --journal run.jsonl --resume
 //! $ ftcg campaign --spec sweep.campaign --shard 0/4 --journal shard0.jsonl
 //! $ ftcg merge --spec sweep.campaign shard0.jsonl shard1.jsonl --out results.jsonl
+//! $ ftcg campaign --spec sweep.campaign --journal run.jsonl --trace run.trace.jsonl
+//! $ ftcg report run.trace.jsonl run.metrics.jsonl run.jsonl --spec sweep.campaign
 //! $ ftcg table1 --scale 32 --reps 20
 //! $ ftcg figure1 --scale 32 --reps 20 --points 6 --matrices 3
 //! ```
 
 mod args;
 mod commands;
+mod progress;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +30,7 @@ fn main() {
         Some("stats") => commands::stats(&argv[1..]),
         Some("campaign") => commands::campaign(&argv[1..]),
         Some("merge") => commands::merge(&argv[1..]),
+        Some("report") => commands::report(&argv[1..]),
         Some("table1") => commands::table1(&argv[1..]),
         Some("figure1") => commands::figure1(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {

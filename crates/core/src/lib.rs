@@ -40,6 +40,7 @@
 //! | `ftcg-solvers` | steppable CG/PCG/BiCGSTAB/CGNE state machines + the scheme-generic resilient executor |
 //! | `ftcg-engine` | concurrent campaign engine: declarative sweeps, worker pool, JSONL/CSV sinks |
 //! | `ftcg-sim` | Table 1 / Figure 1 experiment harness (engine campaigns) and reports |
+//! | `ftcg-telemetry` | zero-overhead recorders, deterministic event traces, phase-timing sidecars, report folds |
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -53,6 +54,7 @@ pub use ftcg_model as model;
 pub use ftcg_sim as sim;
 pub use ftcg_solvers as solvers;
 pub use ftcg_sparse as sparse;
+pub use ftcg_telemetry as telemetry;
 
 use ftcg_checkpoint::ResilienceCosts;
 use ftcg_kernels::KernelSpec;
@@ -229,6 +231,29 @@ impl<'a> ResilientCg<'a> {
                 solve_resilient(self.a, b, &cfg, Some(&mut inj))
             }
             _ => solve_resilient(self.a, b, &cfg, None),
+        }
+    }
+
+    /// Runs the solve with a telemetry [`Recorder`] threaded through the
+    /// executor's hot path (phase timers, protocol events). The numeric
+    /// result is bit-identical to [`solve`](Self::solve) — recording
+    /// never influences control flow.
+    ///
+    /// [`Recorder`]: ftcg_telemetry::Recorder
+    pub fn solve_recorded<R: ftcg_telemetry::Recorder>(
+        &self,
+        b: &[f64],
+        rec: &mut R,
+    ) -> ResilientOutcome {
+        use ftcg_solvers::resilient::solve_resilient_recorded;
+        let cfg = self.config();
+        let mut ws = ftcg_solvers::SolverWorkspace::new();
+        match self.alpha {
+            Some(alpha) if alpha > 0.0 => {
+                let mut inj = ftcg_sim::runner::paper_injector(self.a, alpha, self.seed);
+                solve_resilient_recorded(self.a, b, &cfg, Some(&mut inj), &mut ws, rec)
+            }
+            _ => solve_resilient_recorded(self.a, b, &cfg, None, &mut ws, rec),
         }
     }
 }

@@ -16,7 +16,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::time::Instant;
 
-use ftcg_solvers::resilient::solve_resilient_in;
+use ftcg_solvers::resilient::{solve_resilient_in, solve_resilient_recorded};
+use ftcg_telemetry::metrics::MetricsWriter;
+use ftcg_telemetry::{Event, Recorder, TraceMeta, TraceWriter};
 use parking_lot::Mutex;
 
 use crate::aggregate::{Aggregator, ConfigSummary, JobMetrics};
@@ -65,6 +67,17 @@ pub struct RunOptions<'a> {
     pub resume: bool,
     /// Progress callback over the jobs this process actually executes.
     pub progress: Option<ProgressFn<'a>>,
+    /// Deterministic protocol-event trace (JSONL) to append as jobs
+    /// complete. Follows the journal's crash discipline — a job's trace
+    /// block is flushed *before* its journal record, so a journal
+    /// record always implies a durable trace block — and is rewritten
+    /// in canonical `(job, seq)` order when the run completes, making
+    /// the file byte-identical across threads, shards, and resumes.
+    pub trace: Option<&'a Path>,
+    /// Non-deterministic phase-timing sidecar (JSONL): per-job phase
+    /// wall times and merged duration histograms. Kept separate from
+    /// the trace precisely because timings are not reproducible.
+    pub metrics: Option<&'a Path>,
 }
 
 impl Default for RunOptions<'_> {
@@ -74,6 +87,8 @@ impl Default for RunOptions<'_> {
             journal: None,
             resume: false,
             progress: None,
+            trace: None,
+            metrics: None,
         }
     }
 }
@@ -118,6 +133,69 @@ fn run_one(job: &ConfigJob, seed: u64, ws: &mut JobWorkspace) -> JobMetrics {
         _ => solve_resilient_in(a, &job.rhs, &job.cfg, None, sw),
     };
     JobMetrics::from(&out)
+}
+
+/// [`run_one`] with the worker's [`ActiveRecorder`] threaded through
+/// the solve: resets the recorder, brackets the solve with
+/// `job_start`/`job_finish` events, and leaves the drained-but-pending
+/// telemetry in the recorder for the campaign loop to flush. Identical
+/// solve results to [`run_one`] — the recorder never influences
+/// control flow (pinned by the solvers crate's bit-identity test).
+///
+/// [`ActiveRecorder`]: ftcg_telemetry::ActiveRecorder
+fn run_one_traced(job: &ConfigJob, seed: u64, ws: &mut JobWorkspace) -> JobMetrics {
+    let a = job.matrix.as_ref();
+    let alpha = job.key.alpha;
+    let (sw, rec) = ws.solver_and_recorder();
+    rec.reset();
+    rec.event(Event::job_start());
+    let out = match job.injector {
+        InjectorSpec::None => solve_resilient_recorded(a, &job.rhs, &job.cfg, None, sw, rec),
+        InjectorSpec::Paper if alpha > 0.0 => {
+            let mut inj = paper_injector(a, alpha, seed);
+            solve_resilient_recorded(a, &job.rhs, &job.cfg, Some(&mut inj), sw, rec)
+        }
+        InjectorSpec::Calibrated if alpha > 0.0 => {
+            let mut inj = calibrated_injector(a, alpha, seed);
+            solve_resilient_recorded(a, &job.rhs, &job.cfg, Some(&mut inj), sw, rec)
+        }
+        _ => solve_resilient_recorded(a, &job.rhs, &job.cfg, None, sw, rec),
+    };
+    rec.finish_job(
+        out.executed_iterations as u64,
+        out.productive_iterations as u64,
+        out.converged,
+    );
+    JobMetrics::from(&out)
+}
+
+/// Opens the deterministic trace file under the same create/resume
+/// rules as the journal: an existing file without `resume` is an
+/// error, a resumed file must carry this campaign's header (torn tails
+/// are truncated), and a file killed before its header became durable
+/// is started fresh.
+fn open_trace(path: &Path, meta: &TraceMeta, resume: bool) -> Result<TraceWriter, EngineError> {
+    if resume && path.exists() {
+        if !Journal::is_unstarted(path)? {
+            let (w, _prior) = TraceWriter::resume(path, meta).map_err(EngineError::Telemetry)?;
+            return Ok(w);
+        }
+        std::fs::remove_file(path)
+            .map_err(|e| EngineError::Telemetry(format!("{}: {e}", path.display())))?;
+    }
+    TraceWriter::create(path, meta).map_err(EngineError::Telemetry)
+}
+
+/// Opens the phase-timing sidecar; same rules as [`open_trace`].
+fn open_metrics(path: &Path, meta: &TraceMeta, resume: bool) -> Result<MetricsWriter, EngineError> {
+    if resume && path.exists() {
+        if !Journal::is_unstarted(path)? {
+            return MetricsWriter::resume(path, meta).map_err(EngineError::Telemetry);
+        }
+        std::fs::remove_file(path)
+            .map_err(|e| EngineError::Telemetry(format!("{}: {e}", path.display())))?;
+    }
+    MetricsWriter::create(path, meta).map_err(EngineError::Telemetry)
 }
 
 /// A repetition whose aggregate metrics are non-finite is a *failed*
@@ -186,6 +264,23 @@ pub fn run_configs_sharded(
         }
         Some(path) => Some(Mutex::new(JournalWriter::create(path, &manifest)?)),
     };
+    // Telemetry sinks carry the shard-free campaign identity so shard
+    // traces of one campaign share a header and merge cleanly.
+    let trace_meta = TraceMeta {
+        name: manifest.name.clone(),
+        fingerprint: manifest.fingerprint,
+        seed: manifest.seed,
+        reps: manifest.reps,
+        total_jobs: manifest.total_jobs,
+    };
+    let tracer: Option<Mutex<TraceWriter>> = match opts.trace {
+        None => None,
+        Some(path) => Some(Mutex::new(open_trace(path, &trace_meta, opts.resume)?)),
+    };
+    let metrics: Option<Mutex<MetricsWriter>> = match opts.metrics {
+        None => None,
+        Some(path) => Some(Mutex::new(open_metrics(path, &trace_meta, opts.resume)?)),
+    };
     let have: HashSet<usize> = replayed_records.iter().map(|&(j, _)| j).collect();
     let todo: Vec<usize> = manifest
         .shard
@@ -194,10 +289,12 @@ pub fn run_configs_sharded(
         .filter(|j| !have.contains(j))
         .collect();
     let threads = effective_threads(threads, todo.len());
-    // First journal-write failure, if any: workers keep solving (the
-    // results still come back in memory) but stop appending, and the
-    // run as a whole errors out rather than claim a durable journal.
-    let io_error: Mutex<Option<String>> = Mutex::new(None);
+    // First journal/trace/metrics-write failure, if any: workers keep
+    // solving (the results still come back in memory) but stop
+    // appending, and the run as a whole errors out rather than claim a
+    // durable artifact.
+    let io_error: Mutex<Option<EngineError>> = Mutex::new(None);
+    let traced = tracer.is_some() || metrics.is_some();
     let results = run_indices_ctx(
         threads,
         &todo,
@@ -213,20 +310,60 @@ pub fn run_configs_sharded(
             // Panics are caught *here*, inside the job, so the failure
             // reaches the journal as a record — a resumed run must not
             // re-run a deterministically panicking repetition forever.
-            let record =
-                match catch_unwind(AssertUnwindSafe(|| run_one(&configs[config], seed, ws))) {
-                    Ok(m) => match failure_reason(&m) {
-                        None => JobRecord::Done(m),
-                        Some(reason) => JobRecord::Failed(reason),
-                    },
-                    Err(payload) => JobRecord::Failed(panic_message(payload.as_ref())),
-                };
+            let record = match catch_unwind(AssertUnwindSafe(|| {
+                if traced {
+                    run_one_traced(&configs[config], seed, ws)
+                } else {
+                    run_one(&configs[config], seed, ws)
+                }
+            })) {
+                Ok(m) => match failure_reason(&m) {
+                    None => JobRecord::Done(m),
+                    Some(reason) => JobRecord::Failed(reason),
+                },
+                Err(payload) => JobRecord::Failed(panic_message(payload.as_ref())),
+            };
+            // Trace/metrics blocks go out *before* the journal record:
+            // a journal record must imply a durable trace block, so a
+            // kill between the two re-runs the job on resume and the
+            // re-run's block deduplicates byte-identically. Failed jobs
+            // (panics, NaN-poisoned metrics) write no telemetry — the
+            // recorder resets at the next job's start.
+            if traced && matches!(record, JobRecord::Done(_)) {
+                let tele = ws.recorder().drain(idx);
+                if let Some(t) = &tracer {
+                    let mut err = io_error.lock();
+                    if err.is_none() {
+                        if let Err(e) = t.lock().append_job(idx, &tele.events) {
+                            *err = Some(EngineError::Telemetry(e));
+                        }
+                    }
+                }
+                if let Some(m) = &metrics {
+                    let mut err = io_error.lock();
+                    if err.is_none() {
+                        if let Err(e) = m.lock().append_job(&tele) {
+                            *err = Some(EngineError::Telemetry(e));
+                        }
+                    }
+                }
+            }
             if let Some(w) = &writer {
                 let mut err = io_error.lock();
                 if err.is_none() {
                     if let Err(e) = w.lock().append(idx, &record) {
-                        *err = Some(e.to_string());
+                        *err = Some(EngineError::Journal(format!(
+                            "{}: append failed: {e}",
+                            opts.journal
+                                .map(|p| p.display().to_string())
+                                .unwrap_or_default()
+                        )));
                     }
+                }
+            }
+            if let JobRecord::Done(m) = &record {
+                if let Some(obs) = opts.progress {
+                    obs.job_stats(m.faults as u64, m.rollbacks as u64);
                 }
             }
             record
@@ -234,12 +371,19 @@ pub fn run_configs_sharded(
         opts.progress,
     );
     if let Some(e) = io_error.into_inner() {
-        return Err(EngineError::Journal(format!(
-            "{}: append failed: {e}",
-            opts.journal
-                .map(|p| p.display().to_string())
-                .unwrap_or_default()
-        )));
+        return Err(e);
+    }
+    if let Some(m) = metrics {
+        m.into_inner().finish().map_err(EngineError::Telemetry)?;
+    }
+    if let Some(t) = tracer {
+        // Close the append handle, then rewrite the file in canonical
+        // (job, seq) order — this is what makes the on-disk trace
+        // byte-identical across every threads × shards × resume
+        // decomposition of the campaign.
+        drop(t);
+        ftcg_telemetry::trace::canonicalize(opts.trace.expect("tracer implies a path"))
+            .map_err(EngineError::Telemetry)?;
     }
     let executed = results.len();
     let replayed = replayed_records.len();

@@ -70,7 +70,9 @@ pub use campaign::{
 };
 pub use grid::{plan_config, ConfigJob, ConfigKey, InjectorSpec};
 pub use journal::{JobRecord, Journal, JournalWriter, Manifest, Shard};
-pub use pool::{run_indexed, run_indexed_ctx, run_indices_ctx, JobPanic};
+pub use pool::{
+    run_indexed, run_indexed_ctx, run_indices_ctx, JobPanic, ProgressFn, WorkerObserver,
+};
 pub use spec::{CampaignSpec, DefaultResolver, IntervalPolicy, MatrixResolver, MatrixSource};
 pub use workspace::JobWorkspace;
 
@@ -102,6 +104,9 @@ pub enum EngineError {
     /// A campaign journal is missing, stale, corrupt, incomplete, or
     /// could not be written.
     Journal(String),
+    /// A telemetry trace or metrics sidecar is stale, corrupt, or could
+    /// not be written.
+    Telemetry(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -111,6 +116,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Matrix(m) => write!(f, "matrix error: {m}"),
             EngineError::EmptyGrid => write!(f, "campaign expands to an empty grid"),
             EngineError::Journal(m) => write!(f, "journal error: {m}"),
+            EngineError::Telemetry(m) => write!(f, "telemetry error: {m}"),
         }
     }
 }

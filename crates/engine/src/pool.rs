@@ -21,9 +21,38 @@ pub struct JobPanic {
     pub message: String,
 }
 
-/// Progress callback: `(jobs_done, jobs_total)`, invoked after every
-/// job completion from whichever worker finished it.
-pub type ProgressFn<'a> = &'a (dyn Fn(usize, usize) + Sync);
+/// Observer notified from worker threads as the job stream progresses.
+///
+/// Every method is called from whichever worker happened to finish a
+/// job, concurrently with other workers, and **outside** any pool lock
+/// — implementations must be cheap and must synchronize internally
+/// (atomics are the expected idiom). Because workers race between
+/// taking their `jobs_done` snapshot and delivering it, callbacks can
+/// arrive out of order; each delivered `done` value was the maximum at
+/// snapshot time, so consumers should fold with `fetch_max` rather
+/// than assume the last call carries the highest count.
+pub trait WorkerObserver: Sync {
+    /// A job finished; `done` of `total` jobs are now complete.
+    fn job_done(&self, done: usize, total: usize);
+
+    /// Optional per-job statistics hook (fault-tolerance campaigns
+    /// report faults seen and rollbacks taken here so a live progress
+    /// line can show them). Default: ignore.
+    fn job_stats(&self, _faults: u64, _rollbacks: u64) {}
+}
+
+/// Every plain `Fn(done, total)` progress closure is an observer — the
+/// historical callback shape keeps compiling unchanged.
+impl<F: Fn(usize, usize) + Sync> WorkerObserver for F {
+    fn job_done(&self, done: usize, total: usize) {
+        self(done, total)
+    }
+}
+
+/// Progress callback: [`WorkerObserver::job_done`] is invoked with
+/// `(jobs_done, jobs_total)` after every job completion from whichever
+/// worker finished it.
+pub type ProgressFn<'a> = &'a (dyn WorkerObserver + 'a);
 
 /// Runs `n_jobs` jobs across `threads` workers; `job(i)` produces the
 /// result of job `i`. Results come back indexed (scheduling order never
@@ -99,7 +128,7 @@ where
     let slots: Vec<Mutex<Option<Result<T, JobPanic>>>> =
         (0..n_jobs).map(|_| Mutex::new(None)).collect();
     let done = AtomicUsize::new(0);
-    let reported = Mutex::new(0usize);
+    let reported = AtomicUsize::new(0);
     crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| {
@@ -124,15 +153,14 @@ where
                     *slots[pos].lock() = Some(result);
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if let Some(report) = progress {
-                        // Monotonic guard: the lock covers the callback too,
-                        // so a preempted worker can never emit a lower count
-                        // after a higher one went out (the CLI ticker would
-                        // end on a stale line otherwise). Jobs dwarf the
-                        // callback, so the serialization is immaterial.
-                        let mut highest = reported.lock();
-                        if finished > *highest {
-                            *highest = finished;
-                            report(finished, n_jobs);
+                        // Monotonic dedupe without serializing workers:
+                        // `fetch_max` admits each count at most once, and
+                        // the callback runs outside every pool lock, so a
+                        // slow observer (a terminal write, say) never
+                        // stalls the other workers. Delivery order across
+                        // workers is not guaranteed — see WorkerObserver.
+                        if finished > reported.fetch_max(finished, Ordering::Relaxed) {
+                            report.job_done(finished, n_jobs);
                         }
                     }
                 }

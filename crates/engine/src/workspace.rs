@@ -16,12 +16,14 @@
 //! determinism tests pin this.
 
 use ftcg_solvers::SolverWorkspace;
+use ftcg_telemetry::ActiveRecorder;
 
 /// Reusable per-worker memory for the campaign job stream (see the
 /// module docs). One per worker thread; never shared.
 #[derive(Debug, Default)]
 pub struct JobWorkspace {
     solver: SolverWorkspace,
+    recorder: Option<ActiveRecorder>,
 }
 
 impl JobWorkspace {
@@ -34,5 +36,23 @@ impl JobWorkspace {
     /// [`ftcg_solvers::resilient::solve_resilient_in`].
     pub fn solver_workspace(&mut self) -> &mut SolverWorkspace {
         &mut self.solver
+    }
+
+    /// The worker's telemetry recorder, created (with its fixed-size
+    /// event ring and histograms) on first use and retained for the
+    /// rest of the job stream. Instrumented campaigns `reset` it per
+    /// job; uninstrumented ones never pay for it.
+    pub fn recorder(&mut self) -> &mut ActiveRecorder {
+        self.recorder.get_or_insert_with(ActiveRecorder::new)
+    }
+
+    /// Both arenas at once — the shape
+    /// [`solve_resilient_recorded`](ftcg_solvers::resilient::solve_resilient_recorded)
+    /// wants (split borrows of one workspace).
+    pub fn solver_and_recorder(&mut self) -> (&mut SolverWorkspace, &mut ActiveRecorder) {
+        (
+            &mut self.solver,
+            self.recorder.get_or_insert_with(ActiveRecorder::new),
+        )
     }
 }

@@ -75,6 +75,13 @@ pub struct Figure1Params {
     /// from it, so a killed Figure 1 run re-executes only the missing
     /// repetitions. Results are byte-identical either way.
     pub journal_dir: Option<std::path::PathBuf>,
+    /// When set, each (matrix, scheme) curve campaign writes its
+    /// deterministic protocol-event trace to
+    /// `<dir>/figure1-<id>-<scheme>.trace.jsonl`.
+    pub trace_dir: Option<std::path::PathBuf>,
+    /// When set, each (matrix, scheme) curve campaign writes its
+    /// phase-timing sidecar to `<dir>/figure1-<id>-<scheme>.metrics.jsonl`.
+    pub metrics_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for Figure1Params {
@@ -88,6 +95,8 @@ impl Default for Figure1Params {
             kernel: KernelSpec::Csr,
             solver: SolverKind::Cg,
             journal_dir: None,
+            trace_dir: None,
+            metrics_dir: None,
         }
     }
 }
@@ -168,17 +177,28 @@ pub fn run_panel(spec: &MatrixSpec, params: &Figure1Params) -> Figure1Panel {
     let mut curves: Vec<(Scheme, Vec<Figure1Point>)> = Vec::with_capacity(3);
     for scheme in Scheme::ALL {
         let configs = curve_campaign(spec, &a, &costs, scheme, params);
+        let stem = format!("figure1-{}-{}", spec.id, scheme.name());
         let journal = params
             .journal_dir
             .as_ref()
-            .map(|dir| dir.join(format!("figure1-{}-{}.jsonl", spec.id, scheme.name())));
-        let result = crate::runner::run_configs_journaled(
+            .map(|dir| dir.join(format!("{stem}.jsonl")));
+        let trace = params
+            .trace_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{stem}.trace.jsonl")));
+        let metrics = params
+            .metrics_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{stem}.metrics.jsonl")));
+        let result = crate::runner::run_configs_instrumented(
             "figure1",
             campaign_seed,
             params.reps,
             params.threads,
             configs,
             journal.as_deref(),
+            trace.as_deref(),
+            metrics.as_deref(),
         )
         .unwrap_or_else(|e| {
             panic!(

@@ -43,8 +43,38 @@ pub fn run_configs_journaled(
     configs: Vec<ConfigJob>,
     journal: Option<&Path>,
 ) -> Result<CampaignResult, EngineError> {
+    run_configs_instrumented(
+        name,
+        campaign_seed,
+        reps,
+        threads,
+        configs,
+        journal,
+        None,
+        None,
+    )
+}
+
+/// [`run_configs_journaled`] plus telemetry sinks: an optional
+/// deterministic event trace and an optional phase-timing metrics
+/// sidecar, both following the journal's auto-resume discipline. The
+/// campaign's numeric results are bit-identical with the sinks on or
+/// off — recording never influences the solve.
+#[allow(clippy::too_many_arguments)]
+pub fn run_configs_instrumented(
+    name: &str,
+    campaign_seed: u64,
+    reps: usize,
+    threads: usize,
+    configs: Vec<ConfigJob>,
+    journal: Option<&Path>,
+    trace: Option<&Path>,
+    metrics: Option<&Path>,
+) -> Result<CampaignResult, EngineError> {
     let opts = RunOptions {
         journal,
+        trace,
+        metrics,
         resume: true,
         ..RunOptions::default()
     };

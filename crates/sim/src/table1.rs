@@ -73,6 +73,13 @@ pub struct Table1Params {
     /// auto-resumes from it, so a killed Table 1 run re-executes only
     /// the missing repetitions. Results are byte-identical either way.
     pub journal_dir: Option<std::path::PathBuf>,
+    /// When set, each (matrix, scheme) campaign writes its
+    /// deterministic protocol-event trace to
+    /// `<dir>/table1-<id>-<scheme>.trace.jsonl`.
+    pub trace_dir: Option<std::path::PathBuf>,
+    /// When set, each (matrix, scheme) campaign writes its phase-timing
+    /// sidecar to `<dir>/table1-<id>-<scheme>.metrics.jsonl`.
+    pub metrics_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for Table1Params {
@@ -87,6 +94,8 @@ impl Default for Table1Params {
             kernel: KernelSpec::Csr,
             solver: SolverKind::Cg,
             journal_dir: None,
+            trace_dir: None,
+            metrics_dir: None,
         }
     }
 }
@@ -148,17 +157,28 @@ pub fn run_entry(
     params: &Table1Params,
 ) -> Table1Entry {
     let configs = entry_campaign(spec, a, costs, scheme, params);
+    let stem = format!("table1-{}-{}", spec.id, scheme.name());
     let journal = params
         .journal_dir
         .as_ref()
-        .map(|dir| dir.join(format!("table1-{}-{}.jsonl", spec.id, scheme.name())));
-    let result = crate::runner::run_configs_journaled(
+        .map(|dir| dir.join(format!("{stem}.jsonl")));
+    let trace = params
+        .trace_dir
+        .as_ref()
+        .map(|dir| dir.join(format!("{stem}.trace.jsonl")));
+    let metrics = params
+        .metrics_dir
+        .as_ref()
+        .map(|dir| dir.join(format!("{stem}.metrics.jsonl")));
+    let result = crate::runner::run_configs_instrumented(
         "table1",
         10_000 + spec.id as u64,
         params.reps,
         params.threads,
         configs,
         journal.as_deref(),
+        trace.as_deref(),
+        metrics.as_deref(),
     )
     .unwrap_or_else(|e| {
         panic!(

@@ -49,6 +49,8 @@ use ftcg_fault::target::{FaultTarget, VectorId};
 use ftcg_fault::{FaultEvent, Injector};
 use ftcg_kernels::DefensiveProduct;
 use ftcg_sparse::{vector, CsrMatrix};
+use ftcg_telemetry::event::{target as ev_target, via as ev_via};
+use ftcg_telemetry::{Event, Phase, Recorder};
 
 use super::scheme::{ProductCheck, VerificationScheme};
 use super::{true_residual, EscalationGuard, ResilientConfig, ResilientOutcome, RunStats, SimTime};
@@ -61,6 +63,20 @@ fn flip(v: &mut f64, bit: u32) {
     *v = f64::from_bits(v.to_bits() ^ (1u64 << bit));
 }
 
+/// Maps the injector's fault target onto the telemetry trace's stable
+/// target codes.
+fn fault_code(target: &FaultTarget) -> u64 {
+    match target {
+        FaultTarget::MatrixVal => ev_target::A_VALUES,
+        FaultTarget::MatrixColid => ev_target::A_COL_IDX,
+        FaultTarget::MatrixRowidx => ev_target::A_ROW_PTR,
+        FaultTarget::Vector(VectorId::P) => ev_target::P,
+        FaultTarget::Vector(VectorId::Q) => ev_target::Q,
+        FaultTarget::Vector(VectorId::R) => ev_target::R,
+        FaultTarget::Vector(VectorId::X) => ev_target::X,
+    }
+}
+
 /// The resilient [`StepContext`]: products run defensively against the
 /// live (corruptible) matrix image; the scheme verifies each one. The
 /// iteration's first product carries the pre-captured input reference
@@ -68,7 +84,7 @@ fn flip(v: &mut f64, bit: u32) {
 /// (BiCGStab's second) capture their reference at call time — their
 /// inputs were computed in-step from already verified data, after this
 /// iteration's faults struck — into the retained scratch reference.
-struct ResilientCtx<'a, V: VerificationScheme> {
+struct ResilientCtx<'a, V: VerificationScheme, R: Recorder> {
     a: &'a mut CsrMatrix,
     kernel: &'a mut DefensiveProduct,
     scheme: &'a V,
@@ -91,12 +107,15 @@ struct ResilientCtx<'a, V: VerificationScheme> {
     /// multiplier — a half-step exit or an early breakdown runs fewer
     /// than the solver's nominal count).
     products_run: usize,
+    rec: &'a mut R,
 }
 
-impl<V: VerificationScheme> StepContext for ResilientCtx<'_, V> {
+impl<V: VerificationScheme, R: Recorder> StepContext for ResilientCtx<'_, V, R> {
     fn product(&mut self, x: &mut [f64], y: &mut [f64]) -> ProductStatus {
         self.products_run += 1;
+        let t_prod = self.rec.start();
         self.kernel.product(self.a, x, y);
+        self.rec.phase(Phase::Product, t_prod);
         let first = std::mem::replace(&mut self.first, false);
         if !self.scheme.hardened_vectors() {
             return ProductStatus::Trusted; // ONLINE: unverified products
@@ -114,14 +133,19 @@ impl<V: VerificationScheme> StepContext for ResilientCtx<'_, V> {
                 self.xref_scratch
             }
         };
+        let t_check = self.rec.start();
         let check = self.scheme.check_product(self.a, x, xref, y);
+        self.rec.phase(Phase::ProductCheck, t_check);
+        self.stats.product_checks += 1;
         if check != ProductCheck::Clean && self.scheme.check_may_mutate() {
             *self.structure_dirty = true;
         }
+        let it = self.stats.executed as u64;
         match check {
             ProductCheck::Clean => ProductStatus::Trusted,
             ProductCheck::FalseAlarm => {
                 self.stats.detections += 1;
+                self.rec.event(Event::detect(it, ev_via::PRODUCT));
                 // The correction attempt may have touched the arrays.
                 self.kernel.invalidate();
                 ProductStatus::Trusted
@@ -129,6 +153,8 @@ impl<V: VerificationScheme> StepContext for ResilientCtx<'_, V> {
             ProductCheck::Corrected => {
                 self.stats.detections += 1;
                 self.stats.forward_corrections += 1;
+                self.rec.event(Event::detect(it, ev_via::PRODUCT));
+                self.rec.event(Event::correct_forward(it));
                 self.kernel.invalidate();
                 self.ledger.resolve_iteration_where(
                     self.stats.executed,
@@ -145,6 +171,7 @@ impl<V: VerificationScheme> StepContext for ResilientCtx<'_, V> {
             }
             ProductCheck::Rejected => {
                 self.stats.detections += 1;
+                self.rec.event(Event::detect(it, ev_via::PRODUCT));
                 self.kernel.invalidate();
                 ProductStatus::Rejected
             }
@@ -168,7 +195,7 @@ impl<V: VerificationScheme> StepContext for ResilientCtx<'_, V> {
 /// and `arena` provides the retained buffers — all three come from
 /// [`SolverWorkspace::checkout`](crate::SolverWorkspace).
 #[allow(clippy::too_many_arguments)]
-pub(super) fn run_executor<V: VerificationScheme>(
+pub(super) fn run_executor<V: VerificationScheme, R: Recorder>(
     a0: &CsrMatrix,
     b: &[f64],
     cfg: &ResilientConfig,
@@ -177,6 +204,7 @@ pub(super) fn run_executor<V: VerificationScheme>(
     solver: &mut dyn IterativeSolver,
     image: &mut CsrMatrix,
     arena: &mut ExecArena,
+    rec: &mut R,
 ) -> ResilientOutcome {
     let hardened = scheme.hardened_vectors();
     // Pin `auto` against the pristine matrix; conversions are cached
@@ -243,6 +271,7 @@ pub(super) fn run_executor<V: VerificationScheme>(
         () => {{
             time.add(cfg.costs.trec);
             stats.rollbacks += 1;
+            let t_rb = rec.start();
             if guard.must_escalate() {
                 // Re-read input data: discard the tainted checkpoint.
                 // The escape target's structure is the pristine one,
@@ -251,6 +280,7 @@ pub(super) fn run_executor<V: VerificationScheme>(
                 slot.save(initial);
                 structure_dirty = true;
                 guard.consecutive_rollbacks = 0;
+                rec.event(Event::escalate(stats.executed as u64));
             }
             guard.note_restore();
             let st = slot.latest().expect("initial checkpoint always present");
@@ -273,6 +303,8 @@ pub(super) fn run_executor<V: VerificationScheme>(
             if hardened {
                 xref.store(solver.vector(CanonVec::Direction));
             }
+            rec.phase(Phase::Rollback, t_rb);
+            rec.event(Event::rollback(stats.executed as u64, productive as u64));
         }};
     }
 
@@ -289,6 +321,12 @@ pub(super) fn run_executor<V: VerificationScheme>(
             .unwrap_or_default();
         for e in &events {
             ledger.record(stats.executed, *e);
+            rec.event(Event::fault(
+                stats.executed as u64,
+                fault_code(&e.target),
+                e.offset as u64,
+                e.bit as u64,
+            ));
         }
         guard.note_faults(events.len());
         q_faults.clear();
@@ -342,6 +380,7 @@ pub(super) fn run_executor<V: VerificationScheme>(
         // actually ran (ABFT schemes; `verified_products` is the
         // nominal count, but half-step exits and early breakdowns run
         // fewer).
+        let t_step = rec.start();
         let (step, products_run) = {
             let mut ctx = ResilientCtx {
                 a: &mut *a,
@@ -355,10 +394,12 @@ pub(super) fn run_executor<V: VerificationScheme>(
                 ledger: &mut ledger,
                 first: true,
                 products_run: 0,
+                rec: &mut *rec,
             };
             let res = solver.step(&mut ctx);
             (res, ctx.products_run)
         };
+        rec.phase(Phase::Step, t_step);
         time.add(1.0 + scheme.iteration_cost(&cfg.costs, products_run));
         match step {
             StepResult::Done => {}
@@ -371,6 +412,7 @@ pub(super) fn run_executor<V: VerificationScheme>(
                 // Numerical breakdown caused by an undetected
                 // perturbation: treat as detection and roll back.
                 stats.detections += 1;
+                rec.event(Event::detect(stats.executed as u64, ev_via::BREAKDOWN));
                 rollback!();
                 continue;
             }
@@ -378,17 +420,21 @@ pub(super) fn run_executor<V: VerificationScheme>(
 
         // 4. TMR vote on the vector data (ABFT schemes).
         if hardened {
+            let t_vote = rec.start();
             let vr = r_tmr.vote();
             let vx = x_tmr.vote();
+            rec.phase(Phase::TmrVote, t_vote);
             if !vr.is_trusted() || !vx.is_trusted() {
                 // Colliding replica faults: detected, not correctable.
                 stats.detections += 1;
+                rec.event(Event::detect(stats.executed as u64, ev_via::TMR));
                 rollback!();
                 continue;
             }
             let tmr_fixed = vr.corrected + vx.corrected;
             if tmr_fixed > 0 {
                 stats.tmr_corrections += tmr_fixed;
+                rec.event(Event::correct_tmr(stats.executed as u64, tmr_fixed as u64));
                 ledger.resolve_iteration_where(stats.executed, FaultOutcome::Corrected, |rec| {
                     matches!(
                         rec.event.target,
@@ -409,24 +455,40 @@ pub(super) fn run_executor<V: VerificationScheme>(
         // 5. Chunk boundary (or convergence claim): verify, then accept
         // convergence / checkpoint strictly behind the verification.
         if iters_in_chunk >= d || recursive_converged {
-            time.add(scheme.chunk_cost(&cfg.costs));
-            if !scheme.verify_chunk(a, &*solver, &cfg.online_tol) {
+            let chunk_cost = scheme.chunk_cost(&cfg.costs);
+            time.add(chunk_cost);
+            stats.chunk_checks += 1;
+            let t_verify = rec.start();
+            let chunk_ok = scheme.verify_chunk(a, &*solver, &cfg.online_tol);
+            rec.phase(Phase::ChunkVerify, t_verify);
+            // Priced verifications (ONLINE) always leave a trace event;
+            // the ABFT schemes' free per-iteration no-op checks only do
+            // when they fail (they never should).
+            if chunk_cost > 0.0 || !chunk_ok {
+                rec.event(Event::chunk_verify(stats.executed as u64, chunk_ok));
+            }
+            if !chunk_ok {
                 stats.detections += 1;
+                rec.event(Event::detect(stats.executed as u64, ev_via::CHUNK));
                 rollback!();
                 continue;
             }
             iters_in_chunk = 0;
             if recursive_converged {
                 converged = true;
+                rec.event(Event::converged(stats.executed as u64, productive as u64));
                 break;
             }
             chunks_since_ckpt += 1;
             if chunks_since_ckpt >= cfg.checkpoint_interval {
                 time.add(cfg.costs.tcp);
+                let t_ckpt = rec.start();
                 solver.snapshot_into(productive, a, slot.begin_save());
                 slot.commit();
+                rec.phase(Phase::Checkpoint, t_ckpt);
                 structure_dirty = false; // checkpoint == live image again
                 stats.checkpoints += 1;
+                rec.event(Event::checkpoint(stats.executed as u64, productive as u64));
                 guard.note_checkpoint();
                 chunks_since_ckpt = 0;
             }
@@ -450,6 +512,8 @@ pub(super) fn run_executor<V: VerificationScheme>(
         forward_corrections: stats.forward_corrections,
         tmr_corrections: stats.tmr_corrections,
         detections: stats.detections,
+        product_checks: stats.product_checks,
+        chunk_checks: stats.chunk_checks,
         ledger,
         true_residual: tr,
         x: xv,

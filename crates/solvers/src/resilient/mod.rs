@@ -38,6 +38,7 @@ use ftcg_fault::Injector;
 use ftcg_kernels::KernelSpec;
 use ftcg_model::Scheme;
 use ftcg_sparse::{vector, CsrMatrix};
+use ftcg_telemetry::{NoopRecorder, Recorder};
 
 pub use scheme::{AbftCorrection, AbftDetection, OnlineDetection, VerificationScheme};
 
@@ -182,6 +183,16 @@ pub struct ResilientOutcome {
     pub tmr_corrections: usize,
     /// Verification failures (each triggers a rollback).
     pub detections: usize,
+    /// Checksum product verifications run (the ABFT schemes check every
+    /// forward product; BiCGStab runs two per full iteration, so its
+    /// `Tverif` bill is `tverif × product_checks`, not `tverif ×
+    /// executed`). Zero under ONLINE-DETECTION, whose products run
+    /// unverified.
+    pub product_checks: usize,
+    /// Chunk-boundary verifications run (one per chunk end reached —
+    /// priced at [`VerificationScheme::chunk_cost`] each, which is zero
+    /// for the ABFT schemes and `tverif` for ONLINE-DETECTION).
+    pub chunk_checks: usize,
     /// Ground-truth fault ledger.
     pub ledger: FaultLedger,
     /// True final residual `‖b − A·x‖₂` computed against the *pristine*
@@ -210,6 +221,8 @@ pub(crate) struct RunStats {
     pub forward_corrections: usize,
     pub tmr_corrections: usize,
     pub detections: usize,
+    pub product_checks: usize,
+    pub chunk_checks: usize,
 }
 
 /// Solves `Ax = b` (zero initial guess) under the configured resilience
@@ -243,6 +256,28 @@ pub fn solve_resilient_in(
     injector: Option<&mut Injector>,
     ws: &mut SolverWorkspace,
 ) -> ResilientOutcome {
+    solve_resilient_recorded(a, b, cfg, injector, ws, &mut NoopRecorder)
+}
+
+/// [`solve_resilient_in`] with a telemetry [`Recorder`] observing the
+/// executor's phases and protocol events.
+///
+/// The recorder is strictly an observer: it never influences control
+/// flow, so the returned [`ResilientOutcome`] is bit-identical to an
+/// un-instrumented solve. The executor is generic over the recorder
+/// type — passing [`NoopRecorder`] monomorphizes every telemetry call
+/// to nothing (which is exactly what [`solve_resilient_in`] does), and
+/// an [`ActiveRecorder`](ftcg_telemetry::ActiveRecorder) records
+/// without allocating (see the `Recorder` contract in
+/// [`ftcg_telemetry::recorder`]).
+pub fn solve_resilient_recorded<R: Recorder>(
+    a: &CsrMatrix,
+    b: &[f64],
+    cfg: &ResilientConfig,
+    injector: Option<&mut Injector>,
+    ws: &mut SolverWorkspace,
+    rec: &mut R,
+) -> ResilientOutcome {
     assert!(a.is_square(), "resilient solve: matrix must be square");
     assert_eq!(b.len(), a.n_rows(), "resilient solve: b length mismatch");
     if let Err(e) = cfg.validate() {
@@ -259,6 +294,7 @@ pub fn solve_resilient_in(
             solver,
             image,
             arena,
+            rec,
         ),
         Scheme::AbftDetection => executor::run_executor(
             a,
@@ -269,6 +305,7 @@ pub fn solve_resilient_in(
             solver,
             image,
             arena,
+            rec,
         ),
         Scheme::AbftCorrection => executor::run_executor(
             a,
@@ -279,6 +316,7 @@ pub fn solve_resilient_in(
             solver,
             image,
             arena,
+            rec,
         ),
     }
 }

@@ -1,7 +1,7 @@
 //! The allocation gate: a counting global allocator proving the
 //! zero-allocation claims of the workspace pipeline.
 //!
-//! Two claims are pinned:
+//! Three claims are pinned:
 //!
 //! 1. a plain CG machine step allocates nothing — the machine owns all
 //!    its vectors and every kernel writes into caller buffers;
@@ -10,7 +10,11 @@
 //!    allocates nothing: two fault-free solves on a warm workspace that
 //!    differ only in their iteration budget (10 vs 60 productive
 //!    iterations, checkpoints taken throughout) must perform exactly
-//!    the same number of allocations.
+//!    the same number of allocations;
+//! 3. recording telemetry through a pre-allocated `ActiveRecorder`
+//!    (phase timers, histograms, the bounded event ring) adds *zero*
+//!    allocations to the warm solve — the `Recorder` contract's
+//!    no-allocation-after-construction clause, enforced.
 //!
 //! The file holds a single `#[test]` on purpose: the counter is
 //! process-global, and sibling tests running on other threads would
@@ -22,9 +26,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use ftcg_kernels::KernelSpec;
 use ftcg_model::Scheme;
 use ftcg_solvers::machine::{PlainContext, SolverKind, StepResult};
-use ftcg_solvers::resilient::{solve_resilient_in, ResilientConfig};
+use ftcg_solvers::resilient::{solve_resilient_in, solve_resilient_recorded, ResilientConfig};
 use ftcg_solvers::{SolverWorkspace, StoppingCriterion};
 use ftcg_sparse::gen;
+use ftcg_telemetry::ActiveRecorder;
 
 /// Counts heap allocations (alloc + realloc) while enabled.
 struct CountingAlloc;
@@ -134,5 +139,31 @@ fn steady_state_cg_iterations_allocate_nothing() {
     assert!(
         long_allocs < cold_allocs,
         "warm workspace ({long_allocs} allocs) must beat cold ({cold_allocs})"
+    );
+
+    // Claim 3: telemetry does not re-open the allocator. An active
+    // recorder is pre-allocated at construction (counter arrays, fixed
+    // histograms, bounded event ring); recording phases and events
+    // through a whole resilient solve must leave the allocation count
+    // exactly where the un-instrumented warm solve put it.
+    let mut rec = ActiveRecorder::new();
+    let warm_traced = solve_resilient_recorded(&a, &b, &cfg_for(60), None, &mut ws, &mut rec);
+    assert_eq!(warm_traced.executed_iterations, 60);
+    rec.reset();
+    let (recorded_allocs, recorded) =
+        count_allocs(|| solve_resilient_recorded(&a, &b, &cfg_for(60), None, &mut ws, &mut rec));
+    assert_eq!(recorded.executed_iterations, 60);
+    assert!(
+        recorded.checkpoints > 0,
+        "recorded gate must cover checkpoint events"
+    );
+    assert!(
+        rec.dropped() == 0 && !rec.histogram(ftcg_telemetry::Phase::Step).is_empty(),
+        "recorder must actually have recorded"
+    );
+    assert_eq!(
+        recorded_allocs, long_allocs,
+        "an active recorder must not add a single allocation to the warm \
+         solve: {long_allocs} allocs un-instrumented vs {recorded_allocs} recorded"
     );
 }

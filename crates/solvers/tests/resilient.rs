@@ -310,3 +310,145 @@ fn kernel_backends_survive_faults_with_abft() {
     }
     assert!(total_faults > 0, "fault rate too low to exercise recovery");
 }
+
+#[test]
+fn verification_counters_split_products_from_chunks() {
+    let (a, b) = test_system(150, 11);
+    // CG under ABFT: exactly one checksum-verified product per executed
+    // iteration; the free per-iteration chunk checks are counted too.
+    let cfg = ResilientConfig::new(Scheme::AbftDetection, 10);
+    let out = solve_resilient(&a, &b, &cfg, None);
+    assert!(out.converged);
+    assert_eq!(out.product_checks, out.executed_iterations);
+    assert_eq!(out.chunk_checks, out.executed_iterations);
+
+    // BiCGStab charges *two* verified products per full iteration —
+    // the undercount the split exists to expose (a half-step
+    // convergence exit runs one fewer).
+    let mut cfg = ResilientConfig::new(Scheme::AbftDetection, 10);
+    cfg.solver = ftcg_solvers::machine::SolverKind::Bicgstab;
+    let out = solve_resilient(&a, &b, &cfg, None);
+    assert!(out.converged);
+    assert!(
+        out.product_checks >= 2 * out.executed_iterations - 1
+            && out.product_checks <= 2 * out.executed_iterations,
+        "bicgstab: {} product checks over {} iterations",
+        out.product_checks,
+        out.executed_iterations
+    );
+
+    // ONLINE-DETECTION never verifies products; it pays only at chunk
+    // ends (one check per chunk boundary reached).
+    let mut cfg = ResilientConfig::new(Scheme::OnlineDetection, 4);
+    cfg.verif_interval = 6;
+    let out = solve_resilient(&a, &b, &cfg, None);
+    assert!(out.converged);
+    assert_eq!(out.product_checks, 0);
+    assert!(out.chunk_checks >= out.executed_iterations / 6);
+    assert!(out.chunk_checks <= out.executed_iterations / 6 + 1);
+}
+
+#[test]
+fn simulated_time_reconciles_with_verification_counters() {
+    // The split counters make the time bill exactly reconstructible:
+    //   time = executed·1 + tverif·product_checks
+    //        + chunk_cost·chunk_checks + tcp·checkpoints + trec·rollbacks
+    // where chunk_cost is tverif for ONLINE-DETECTION and 0 for ABFT.
+    let (a, b) = test_system(150, 12);
+    for scheme in Scheme::ALL {
+        for (solver, alpha) in [
+            (ftcg_solvers::machine::SolverKind::Cg, 1.0 / 8.0),
+            (ftcg_solvers::machine::SolverKind::Bicgstab, 1.0 / 16.0),
+        ] {
+            let mut cfg = ResilientConfig::new(scheme, 6);
+            cfg.solver = solver;
+            cfg.verif_interval = 4;
+            let mut inj = injector_for(&a, alpha, 55);
+            let out = solve_resilient(&a, &b, &cfg, Some(&mut inj));
+            let chunk_cost = match scheme {
+                Scheme::OnlineDetection => cfg.costs.tverif,
+                _ => 0.0,
+            };
+            let expected = out.executed_iterations as f64
+                + cfg.costs.tverif * out.product_checks as f64
+                + chunk_cost * out.chunk_checks as f64
+                + cfg.costs.tcp * out.checkpoints as f64
+                + cfg.costs.trec * out.rollbacks as f64;
+            let err = (out.simulated_time - expected).abs();
+            assert!(
+                err < 1e-9 * expected.max(1.0),
+                "{scheme:?}/{solver:?}: simulated {} vs reconstructed {expected}",
+                out.simulated_time
+            );
+        }
+    }
+}
+
+#[test]
+fn recorded_solve_is_bit_identical_and_events_match_counters() {
+    use ftcg_solvers::resilient::solve_resilient_recorded;
+    use ftcg_solvers::SolverWorkspace;
+    use ftcg_telemetry::{ActiveRecorder, EventKind};
+
+    let (a, b) = test_system(150, 13);
+    for scheme in Scheme::ALL {
+        let mut cfg = ResilientConfig::new(scheme, 6);
+        cfg.verif_interval = 4;
+        let mut inj = injector_for(&a, 1.0 / 8.0, 99);
+        let plain = solve_resilient(&a, &b, &cfg, Some(&mut inj));
+
+        let mut inj = injector_for(&a, 1.0 / 8.0, 99);
+        let mut ws = SolverWorkspace::new();
+        let mut rec = ActiveRecorder::new();
+        let traced = solve_resilient_recorded(&a, &b, &cfg, Some(&mut inj), &mut ws, &mut rec);
+
+        // The recorder is an observer: outcomes are bit-identical.
+        assert_eq!(plain.x, traced.x, "{scheme:?}");
+        assert_eq!(
+            plain.simulated_time.to_bits(),
+            traced.simulated_time.to_bits(),
+            "{scheme:?}"
+        );
+        assert_eq!(plain.rollbacks, traced.rollbacks);
+        assert_eq!(plain.detections, traced.detections);
+        assert_eq!(plain.product_checks, traced.product_checks);
+        assert_eq!(plain.chunk_checks, traced.chunk_checks);
+
+        // Every counter has its event-stream counterpart.
+        let tele = rec.drain(0);
+        let count = |k: EventKind| tele.event_counts[k.index()] as usize;
+        assert_eq!(count(EventKind::Fault), traced.ledger.len(), "{scheme:?}");
+        assert_eq!(count(EventKind::Rollback), traced.rollbacks, "{scheme:?}");
+        assert_eq!(
+            count(EventKind::Checkpoint),
+            traced.checkpoints,
+            "{scheme:?}"
+        );
+        assert_eq!(count(EventKind::Detect), traced.detections, "{scheme:?}");
+        assert_eq!(
+            tele.events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::CorrectForward | EventKind::CorrectTmr))
+                .map(|e| e.b as usize)
+                .sum::<usize>(),
+            traced.forward_corrections + traced.tmr_corrections,
+            "{scheme:?}"
+        );
+        assert_eq!(count(EventKind::Converged), traced.converged as usize);
+        // Phases were actually timed.
+        use ftcg_telemetry::Phase;
+        assert_eq!(
+            tele.phase_calls[Phase::Step.index()] as usize,
+            traced.executed_iterations
+        );
+        assert_eq!(
+            tele.phase_calls[Phase::ProductCheck.index()] as usize,
+            traced.product_checks
+        );
+        assert_eq!(
+            tele.phase_calls[Phase::ChunkVerify.index()] as usize,
+            traced.chunk_checks
+        );
+        assert!(tele.phase_ns[Phase::Step.index()] > 0);
+    }
+}

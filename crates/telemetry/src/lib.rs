@@ -1,0 +1,39 @@
+//! `ftcg-telemetry`: zero-overhead observability for the fault-tolerant
+//! CG pipeline.
+//!
+//! The crate splits observability into three strictly separated layers:
+//!
+//! 1. **Recording** ([`Recorder`], [`NoopRecorder`], [`ActiveRecorder`])
+//!    — the hot-path contract. The resilient executor is generic over
+//!    `R: Recorder`; the no-op default monomorphizes to nothing (no
+//!    clock reads, no stores), and the active recorder is pre-allocated
+//!    per worker (plain counter arrays, fixed-bucket log-scale
+//!    [`DurationHist`]s, a bounded event ring) so recording passes the
+//!    workspace pipeline's counting-allocator gate.
+//! 2. **The deterministic trace** ([`trace`]) — drained protocol events
+//!    rendered as JSONL keyed by `(job index, seq)`, never wall-clock.
+//!    The canonical form is byte-identical across threads, shards, and
+//!    kill/resume cycles of the same campaign.
+//! 3. **The non-deterministic sidecar** ([`metrics`]) — per-job phase
+//!    wall times and merged histograms, quarantined in a separate file
+//!    precisely because timings are not reproducible.
+//!
+//! [`report`] folds both back into per-configuration tables and
+//! reconciles trace event counts against journal counters — the
+//! measured counterpart of the paper's cost decomposition.
+
+#![warn(missing_docs)]
+
+pub mod active;
+pub mod event;
+pub mod hist;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+pub mod trace;
+
+pub use active::{ActiveRecorder, JobTelemetry, DEFAULT_RING_CAPACITY};
+pub use event::{Event, EventKind};
+pub use hist::DurationHist;
+pub use recorder::{NoopRecorder, Phase, Recorder, Stamp};
+pub use trace::{Trace, TraceMeta, TraceWriter};

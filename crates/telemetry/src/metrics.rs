@@ -1,0 +1,367 @@
+//! The non-deterministic metrics sidecar: per-job phase timings.
+//!
+//! Where the trace records *what happened* (deterministically), the
+//! sidecar records *how long it took*: one JSONL line per job with
+//! per-phase wall-time and call counts, plus a final summary line with
+//! merged per-phase duration histograms. The file is explicitly
+//! non-deterministic — timings differ run to run — which is exactly
+//! why they are quarantined here instead of riding the trace.
+//!
+//! Crash discipline mirrors the journal: per-job lines are appended
+//! and flushed at job completion; a torn tail is dropped on load;
+//! duplicate job lines (a job re-run after a crash) keep the *last*
+//! occurrence, the one whose job actually produced a journal record.
+
+use std::io::{Read, Seek, Write};
+use std::path::Path;
+
+use serde::json::{self, Value};
+
+use crate::active::JobTelemetry;
+use crate::hist::DurationHist;
+use crate::recorder::Phase;
+use crate::trace::{read_u64, TraceMeta};
+
+/// One job's phase breakdown, as recorded in the sidecar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPhases {
+    /// Global job index.
+    pub job: usize,
+    /// Per-phase accumulated wall time (ns), indexed by [`Phase::index`].
+    pub ns: [u64; Phase::COUNT],
+    /// Per-phase call counts, indexed by [`Phase::index`].
+    pub calls: [u64; Phase::COUNT],
+    /// Events the bounded trace ring dropped for this job.
+    pub dropped: u64,
+}
+
+fn phase_map(values: &[u64; Phase::COUNT]) -> String {
+    let mut out = String::from("{");
+    for (i, p) in Phase::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", p.name(), values[p.index()]));
+    }
+    out.push('}');
+    out
+}
+
+fn parse_phase_map(v: &Value) -> Result<[u64; Phase::COUNT], String> {
+    let mut out = [0u64; Phase::COUNT];
+    for p in Phase::ALL {
+        out[p.index()] = v
+            .get(p.name())
+            .and_then(read_u64)
+            .ok_or_else(|| format!("phase map missing `{}`", p.name()))?;
+    }
+    Ok(out)
+}
+
+/// Renders one job line (no trailing newline).
+pub fn job_line(
+    job: usize,
+    ns: &[u64; Phase::COUNT],
+    calls: &[u64; Phase::COUNT],
+    dropped: u64,
+) -> String {
+    format!(
+        "{{\"job\":{job},\"ns\":{},\"calls\":{},\"dropped\":{dropped}}}",
+        phase_map(ns),
+        phase_map(calls),
+    )
+}
+
+fn hist_summary_line(hists: &[DurationHist; Phase::COUNT]) -> String {
+    let mut out = String::from("{\"summary\":{\"hist_ns\":{");
+    for (i, p) in Phase::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let b = hists[p.index()].buckets();
+        let last = b.iter().rposition(|&c| c != 0).map_or(0, |j| j + 1);
+        out.push_str(&format!("\"{}\":[", p.name()));
+        for (j, c) in b[..last].iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_string());
+        }
+        out.push(']');
+    }
+    out.push_str("}}}");
+    out
+}
+
+fn parse_hist_summary(v: &Value) -> Result<[DurationHist; Phase::COUNT], String> {
+    let h = v
+        .get("summary")
+        .and_then(|s| s.get("hist_ns"))
+        .ok_or("summary line missing `hist_ns`")?;
+    let mut out = [DurationHist::new(); Phase::COUNT];
+    for p in Phase::ALL {
+        let arr = h
+            .get(p.name())
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("summary missing histogram for `{}`", p.name()))?;
+        let counts: Option<Vec<u64>> = arr.iter().map(read_u64).collect();
+        out[p.index()] = counts
+            .and_then(|c| DurationHist::from_buckets(&c))
+            .ok_or_else(|| format!("malformed histogram for `{}`", p.name()))?;
+    }
+    Ok(out)
+}
+
+/// A loaded metrics sidecar.
+#[derive(Debug)]
+pub struct MetricsFile {
+    /// The campaign identity from the header line.
+    pub meta: TraceMeta,
+    /// Per-job phase breakdowns, last occurrence per job, file order.
+    pub jobs: Vec<JobPhases>,
+    /// Merged per-phase histograms from the last summary line, if any.
+    pub hist: Option<[DurationHist; Phase::COUNT]>,
+    /// Whether a torn final line was dropped.
+    pub torn_tail: bool,
+    /// Byte length of the valid prefix of the file.
+    valid_len: u64,
+}
+
+impl MetricsFile {
+    /// Loads and validates a metrics sidecar; drops a torn final line.
+    pub fn load(path: &Path) -> Result<MetricsFile, String> {
+        let merr = |m: String| format!("{}: {m}", path.display());
+        let mut text = String::new();
+        std::fs::File::open(path)
+            .and_then(|mut f| f.read_to_string(&mut text))
+            .map_err(|e| merr(e.to_string()))?;
+        let mut lines: Vec<(usize, &str)> = Vec::new();
+        let mut start = 0usize;
+        for (i, byte) in text.bytes().enumerate() {
+            if byte == b'\n' {
+                lines.push((start, &text[start..i]));
+                start = i + 1;
+            }
+        }
+        let tail = &text[start..];
+        let meta = match lines.first() {
+            Some((_, first)) => TraceMeta::parse_metrics_header(first).map_err(merr)?,
+            None if !tail.is_empty() => {
+                return Err(merr(
+                    "torn header line (crash during sidecar creation)".into(),
+                ));
+            }
+            None => return Err(merr("empty metrics sidecar".into())),
+        };
+        let mut jobs: Vec<JobPhases> = Vec::new();
+        let mut by_job: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut hist = None;
+        for &(off, line) in &lines[1..] {
+            let v = json::parse(line).map_err(|e| merr(format!("line at byte {off}: {e}")))?;
+            if v.get("summary").is_some() {
+                hist = Some(parse_hist_summary(&v).map_err(|e| merr(format!("byte {off}: {e}")))?);
+                continue;
+            }
+            let job = v
+                .get("job")
+                .and_then(read_u64)
+                .ok_or_else(|| merr(format!("line at byte {off}: missing `job`")))?
+                as usize;
+            if job >= meta.total_jobs {
+                return Err(merr(format!("job {job} out of range")));
+            }
+            let rec = JobPhases {
+                job,
+                ns: v
+                    .get("ns")
+                    .ok_or_else(|| merr(format!("byte {off}: missing `ns`")))
+                    .and_then(|m| {
+                        parse_phase_map(m).map_err(|e| merr(format!("byte {off}: {e}")))
+                    })?,
+                calls: v
+                    .get("calls")
+                    .ok_or_else(|| merr(format!("byte {off}: missing `calls`")))
+                    .and_then(|m| {
+                        parse_phase_map(m).map_err(|e| merr(format!("byte {off}: {e}")))
+                    })?,
+                dropped: v
+                    .get("dropped")
+                    .and_then(read_u64)
+                    .ok_or_else(|| merr(format!("byte {off}: missing `dropped`")))?,
+            };
+            match by_job.get(&job) {
+                Some(&i) => jobs[i] = rec, // re-run after a crash: last wins
+                None => {
+                    by_job.insert(job, jobs.len());
+                    jobs.push(rec);
+                }
+            }
+        }
+        Ok(MetricsFile {
+            meta,
+            jobs,
+            hist,
+            torn_tail: !tail.is_empty(),
+            valid_len: start as u64,
+        })
+    }
+}
+
+/// An open, append-mode metrics sidecar. Accumulates merged per-phase
+/// histograms across the jobs it writes and appends them as a summary
+/// line on [`finish`](Self::finish).
+#[derive(Debug)]
+pub struct MetricsWriter {
+    file: std::fs::File,
+    hists: [DurationHist; Phase::COUNT],
+}
+
+impl MetricsWriter {
+    /// Creates a fresh sidecar at `path`, writing (and flushing) the
+    /// header. Refuses to overwrite an existing file.
+    pub fn create(path: &Path, meta: &TraceMeta) -> Result<MetricsWriter, String> {
+        let merr = |m: String| format!("{}: {m}", path.display());
+        let mut file = std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .map_err(|e| {
+                if e.kind() == std::io::ErrorKind::AlreadyExists {
+                    merr("metrics sidecar already exists (pass --resume to continue it, or remove it)".into())
+                } else {
+                    merr(e.to_string())
+                }
+            })?;
+        let mut line = meta.metrics_header();
+        line.push('\n');
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| merr(e.to_string()))?;
+        Ok(MetricsWriter {
+            file,
+            hists: [DurationHist::new(); Phase::COUNT],
+        })
+    }
+
+    /// Reopens an existing sidecar for appending: validates the header
+    /// against `meta`, truncates a torn tail, seeds the histogram
+    /// accumulator from the prior run's summary (if any), and seeks to
+    /// the end.
+    pub fn resume(path: &Path, meta: &TraceMeta) -> Result<MetricsWriter, String> {
+        let merr = |m: String| format!("{}: {m}", path.display());
+        let loaded = MetricsFile::load(path)?;
+        if loaded.meta != *meta {
+            return Err(merr(format!(
+                "metrics sidecar belongs to a different campaign (header name `{}`)",
+                loaded.meta.name
+            )));
+        }
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| merr(e.to_string()))?;
+        file.set_len(loaded.valid_len)
+            .map_err(|e| merr(e.to_string()))?;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0))
+            .map_err(|e| merr(e.to_string()))?;
+        Ok(MetricsWriter {
+            file,
+            hists: loaded.hist.unwrap_or([DurationHist::new(); Phase::COUNT]),
+        })
+    }
+
+    /// Appends one job's phase breakdown and flushes; merges its
+    /// histograms into the summary accumulator.
+    pub fn append_job(&mut self, tele: &JobTelemetry) -> Result<(), String> {
+        for (acc, h) in self.hists.iter_mut().zip(tele.hist.iter()) {
+            acc.merge(h);
+        }
+        let mut line = job_line(tele.job, &tele.phase_ns, &tele.phase_calls, tele.dropped);
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| e.to_string())
+    }
+
+    /// Appends the merged-histogram summary line and flushes.
+    pub fn finish(&mut self) -> Result<(), String> {
+        let mut line = hist_summary_line(&self.hists);
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            name: "unit".into(),
+            fingerprint: 7,
+            seed: 9,
+            reps: 1,
+            total_jobs: 3,
+        }
+    }
+
+    fn tele(job: usize, step_ns: u64) -> JobTelemetry {
+        let mut t = JobTelemetry {
+            job,
+            events: Vec::new(),
+            dropped: 0,
+            phase_ns: [0; Phase::COUNT],
+            phase_calls: [0; Phase::COUNT],
+            event_counts: [0; crate::event::EventKind::COUNT],
+            hist: [DurationHist::new(); Phase::COUNT],
+        };
+        t.phase_ns[Phase::Step.index()] = step_ns;
+        t.phase_calls[Phase::Step.index()] = 4;
+        t.hist[Phase::Step.index()].record(step_ns / 4);
+        t
+    }
+
+    #[test]
+    fn write_load_resume_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ftcg-metrics-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("m.jsonl");
+        let _ = std::fs::remove_file(&p);
+        let m = meta();
+        let mut w = MetricsWriter::create(&p, &m).unwrap();
+        w.append_job(&tele(0, 4000)).unwrap();
+        w.append_job(&tele(2, 8000)).unwrap();
+        w.finish().unwrap();
+        drop(w);
+
+        let loaded = MetricsFile::load(&p).unwrap();
+        assert_eq!(loaded.meta, m);
+        assert_eq!(loaded.jobs.len(), 2);
+        assert_eq!(loaded.jobs[0].ns[Phase::Step.index()], 4000);
+        assert_eq!(loaded.jobs[1].calls[Phase::Step.index()], 4);
+        let hist = loaded.hist.unwrap();
+        assert_eq!(hist[Phase::Step.index()].count(), 2);
+
+        // Resume with a torn tail: tail dropped, summary seeded, a
+        // duplicate job line keeps the last occurrence.
+        let mut f = std::fs::OpenOptions::new().append(true).open(&p).unwrap();
+        f.write_all(b"{\"job\":1,\"ns\":{").unwrap();
+        drop(f);
+        let mut w = MetricsWriter::resume(&p, &m).unwrap();
+        w.append_job(&tele(1, 2000)).unwrap();
+        w.append_job(&tele(2, 6000)).unwrap();
+        w.finish().unwrap();
+        drop(w);
+        let loaded = MetricsFile::load(&p).unwrap();
+        assert_eq!(loaded.jobs.len(), 3);
+        let j2 = loaded.jobs.iter().find(|j| j.job == 2).unwrap();
+        assert_eq!(j2.ns[Phase::Step.index()], 6000, "last occurrence wins");
+        assert_eq!(loaded.hist.unwrap()[Phase::Step.index()].count(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,562 @@
+//! The byte-deterministic event trace: rendering, appending, loading.
+//!
+//! A trace is a JSONL file: one header line identifying the campaign,
+//! then one line per event keyed by `(job, seq)` — the global job index
+//! and the event's position in that job's drained ring. No line ever
+//! carries wall-clock data, so the *canonical* form of a trace (lines
+//! sorted by `(job, seq)`) is byte-identical for a given campaign
+//! across thread counts, shard splits, and kill/resume cycles; timings
+//! live in the separate metrics sidecar (see [`crate::metrics`]).
+//!
+//! On disk the file follows the journal's crash discipline: a job's
+//! whole event block is appended and flushed at job completion (before
+//! the journal record, so a journal record implies a durable trace
+//! block), a torn final line is dropped on load, and re-run jobs
+//! produce byte-identical duplicate blocks that deduplicate on load.
+
+use std::io::{Read, Seek, Write};
+use std::path::Path;
+
+use serde::json::{self, Value};
+
+use crate::event::{target, via, Event, EventKind};
+
+/// Trace format version (bumped on any incompatible line change).
+pub const TRACE_VERSION: u64 = 1;
+
+/// The campaign identity at the head of a trace or metrics file.
+///
+/// Deliberately shard-free (unlike the journal manifest): every shard
+/// of one campaign writes the same header, so shard traces concatenate
+/// into the full campaign's canonical trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Campaign name.
+    pub name: String,
+    /// FNV-1a fingerprint of the expanded grid (journal-compatible).
+    pub fingerprint: u64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Repetitions per configuration (job `j` runs configuration
+    /// `j / reps`).
+    pub reps: usize,
+    /// Total jobs in the full campaign.
+    pub total_jobs: usize,
+}
+
+impl TraceMeta {
+    fn header_line(&self, file_key: &str) -> String {
+        // The seed is rendered as a decimal *string*: u64 seeds above
+        // 2^53 do not survive a round-trip through an f64 JSON number.
+        format!(
+            "{{\"{file_key}\":{TRACE_VERSION},\"name\":{},\"fingerprint\":\"{:#018x}\",\
+             \"seed\":\"{}\",\"reps\":{},\"total_jobs\":{}}}",
+            Value::Str(self.name.clone()),
+            self.fingerprint,
+            self.seed,
+            self.reps,
+            self.total_jobs,
+        )
+    }
+
+    /// Renders the trace header line (no trailing newline).
+    pub fn trace_header(&self) -> String {
+        self.header_line("ftcg_trace")
+    }
+
+    /// Renders the metrics-sidecar header line (no trailing newline).
+    pub fn metrics_header(&self) -> String {
+        self.header_line("ftcg_metrics")
+    }
+
+    fn parse_header(line: &str, file_key: &str) -> Result<TraceMeta, String> {
+        let v = json::parse(line).map_err(|e| format!("header line: {e}"))?;
+        let version = v
+            .get(file_key)
+            .and_then(read_u64)
+            .ok_or_else(|| format!("not a ftcg file (missing `{file_key}` version field)"))?;
+        if version != TRACE_VERSION {
+            return Err(format!(
+                "file version {version} is not the supported version {TRACE_VERSION}"
+            ));
+        }
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("header missing `name`")?
+            .to_string();
+        let fingerprint = v
+            .get("fingerprint")
+            .and_then(Value::as_str)
+            .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+            .ok_or("header missing or malformed `fingerprint`")?;
+        let seed = v
+            .get("seed")
+            .and_then(Value::as_str)
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or("header missing or malformed `seed` (expected a decimal string)")?;
+        let reps = v
+            .get("reps")
+            .and_then(read_u64)
+            .ok_or("header missing `reps`")? as usize;
+        let total_jobs = v
+            .get("total_jobs")
+            .and_then(read_u64)
+            .ok_or("header missing `total_jobs`")? as usize;
+        Ok(TraceMeta {
+            name,
+            fingerprint,
+            seed,
+            reps,
+            total_jobs,
+        })
+    }
+
+    /// Parses a trace header line.
+    pub fn parse_trace_header(line: &str) -> Result<TraceMeta, String> {
+        Self::parse_header(line, "ftcg_trace")
+    }
+
+    /// Parses a metrics-sidecar header line.
+    pub fn parse_metrics_header(line: &str) -> Result<TraceMeta, String> {
+        Self::parse_header(line, "ftcg_metrics")
+    }
+}
+
+/// Reads a non-negative integer JSON number that fits u64 exactly.
+pub(crate) fn read_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Num(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= 9_007_199_254_740_992.0 => {
+            Some(*f as u64)
+        }
+        _ => None,
+    }
+}
+
+/// Renders one event as a trace JSONL line (no trailing newline). The
+/// field order is fixed per kind; this rendering *is* the byte-level
+/// determinism contract.
+pub fn render_event(job: usize, seq: usize, ev: &Event) -> String {
+    let head = format!(
+        "{{\"job\":{job},\"seq\":{seq},\"ev\":\"{}\"",
+        ev.kind.name()
+    );
+    match ev.kind {
+        EventKind::JobStart => format!("{head}}}"),
+        EventKind::Fault => format!(
+            "{head},\"it\":{},\"target\":\"{}\",\"at\":{},\"bit\":{}}}",
+            ev.it,
+            target::name(ev.a),
+            ev.b,
+            ev.c
+        ),
+        EventKind::Detect => format!("{head},\"it\":{},\"via\":\"{}\"}}", ev.it, via::name(ev.a)),
+        EventKind::CorrectForward => format!("{head},\"it\":{}}}", ev.it),
+        EventKind::CorrectTmr => format!("{head},\"it\":{},\"n\":{}}}", ev.it, ev.b),
+        EventKind::ChunkVerify => {
+            format!("{head},\"it\":{},\"ok\":{}}}", ev.it, ev.a == 1)
+        }
+        EventKind::Checkpoint | EventKind::Converged => {
+            format!("{head},\"it\":{},\"at\":{}}}", ev.it, ev.a)
+        }
+        EventKind::Rollback => format!("{head},\"it\":{},\"to\":{}}}", ev.it, ev.a),
+        EventKind::Escalate => format!("{head},\"it\":{}}}", ev.it),
+        EventKind::JobFinish => format!(
+            "{head},\"executed\":{},\"productive\":{},\"converged\":{},\"dropped\":{}}}",
+            ev.it,
+            ev.a,
+            ev.b == 1,
+            ev.c
+        ),
+    }
+}
+
+/// Parses one trace line back into `(job, seq, event)`.
+pub fn parse_event(line: &str) -> Result<(usize, usize, Event), String> {
+    let v = json::parse(line).map_err(|e| e.to_string())?;
+    let u = |key: &str| {
+        v.get(key)
+            .and_then(read_u64)
+            .ok_or_else(|| format!("event missing `{key}`"))
+    };
+    let job = u("job")? as usize;
+    let seq = u("seq")? as usize;
+    let name = v
+        .get("ev")
+        .and_then(Value::as_str)
+        .ok_or("event missing `ev`")?;
+    let kind = EventKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| format!("unknown event kind `{name}`"))?;
+    let b = |key: &str| match v.get(key) {
+        Some(Value::Bool(x)) => Ok(*x as u64),
+        _ => Err(format!("event missing boolean `{key}`")),
+    };
+    let s = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event missing `{key}`"))
+    };
+    let ev = match kind {
+        EventKind::JobStart => Event::job_start(),
+        EventKind::Fault => Event::fault(
+            u("it")?,
+            target::code(s("target")?).ok_or("unknown fault target")?,
+            u("at")?,
+            u("bit")?,
+        ),
+        EventKind::Detect => Event::detect(
+            u("it")?,
+            via::code(s("via")?).ok_or("unknown detector code")?,
+        ),
+        EventKind::CorrectForward => Event::correct_forward(u("it")?),
+        EventKind::CorrectTmr => Event::correct_tmr(u("it")?, u("n")?),
+        EventKind::ChunkVerify => Event::chunk_verify(u("it")?, b("ok")? == 1),
+        EventKind::Checkpoint => Event::checkpoint(u("it")?, u("at")?),
+        EventKind::Rollback => Event::rollback(u("it")?, u("to")?),
+        EventKind::Escalate => Event::escalate(u("it")?),
+        EventKind::Converged => Event::converged(u("it")?, u("at")?),
+        EventKind::JobFinish => Event::job_finish(
+            u("executed")?,
+            u("productive")?,
+            b("converged")? == 1,
+            u("dropped")?,
+        ),
+    };
+    Ok((job, seq, ev))
+}
+
+/// A loaded trace: header, deduplicated event lines, torn-tail flag.
+#[derive(Debug)]
+pub struct Trace {
+    /// The campaign identity from the header line.
+    pub meta: TraceMeta,
+    /// Deduplicated `(job, seq, raw_line)` triples in file order.
+    pub lines: Vec<(usize, usize, String)>,
+    /// Whether a torn final line was dropped.
+    pub torn_tail: bool,
+    /// Byte length of the valid prefix of the file.
+    valid_len: u64,
+}
+
+impl Trace {
+    /// Loads and validates a trace file. A torn final line (crash
+    /// mid-write) is dropped; duplicate `(job, seq)` lines are benign
+    /// when byte-identical (a job re-run after a crash re-appends its
+    /// deterministic block) and an error when they differ.
+    pub fn load(path: &Path) -> Result<Trace, String> {
+        let terr = |m: String| format!("{}: {m}", path.display());
+        let mut text = String::new();
+        std::fs::File::open(path)
+            .and_then(|mut f| f.read_to_string(&mut text))
+            .map_err(|e| terr(e.to_string()))?;
+        let mut lines: Vec<(usize, &str)> = Vec::new();
+        let mut start = 0usize;
+        for (i, byte) in text.bytes().enumerate() {
+            if byte == b'\n' {
+                lines.push((start, &text[start..i]));
+                start = i + 1;
+            }
+        }
+        let tail = &text[start..];
+        let meta = match lines.first() {
+            Some((_, first)) => TraceMeta::parse_trace_header(first).map_err(terr)?,
+            None if !tail.is_empty() => {
+                return Err(terr(
+                    "torn header line (crash during trace creation)".into(),
+                ));
+            }
+            None => return Err(terr("empty trace".into())),
+        };
+        let mut out: Vec<(usize, usize, String)> = Vec::with_capacity(lines.len() - 1);
+        let mut seen: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        for &(off, line) in &lines[1..] {
+            let (job, seq, _) =
+                parse_event(line).map_err(|e| terr(format!("event at byte {off}: {e}")))?;
+            if job >= meta.total_jobs {
+                return Err(terr(format!(
+                    "event for job {job} out of range (campaign has {} jobs)",
+                    meta.total_jobs
+                )));
+            }
+            match seen.get(&(job, seq)) {
+                None => {
+                    seen.insert((job, seq), out.len());
+                    out.push((job, seq, line.to_string()));
+                }
+                Some(&i) if out[i].2 == line => {} // benign re-run duplicate
+                Some(_) => {
+                    return Err(terr(format!(
+                        "conflicting duplicate trace lines for job {job} seq {seq}"
+                    )));
+                }
+            }
+        }
+        Ok(Trace {
+            meta,
+            lines: out,
+            torn_tail: !tail.is_empty(),
+            valid_len: start as u64,
+        })
+    }
+
+    /// The canonical byte-deterministic rendering: header plus all
+    /// event lines stably sorted by `(job, seq)`.
+    pub fn canonical_string(&self) -> String {
+        let mut sorted: Vec<&(usize, usize, String)> = self.lines.iter().collect();
+        sorted.sort_by_key(|(job, seq, _)| (*job, *seq));
+        let mut out = self.meta.trace_header();
+        out.push('\n');
+        for (_, _, line) in sorted {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses every line into `(job, seq, event)` triples (file order).
+    pub fn parsed(&self) -> Result<Vec<(usize, usize, Event)>, String> {
+        self.lines
+            .iter()
+            .map(|(_, _, line)| parse_event(line))
+            .collect()
+    }
+
+    /// Merges shard traces of one campaign into a single trace.
+    /// Headers must agree; overlapping `(job, seq)` lines must be
+    /// byte-identical.
+    pub fn merge(traces: Vec<Trace>) -> Result<Trace, String> {
+        let mut iter = traces.into_iter();
+        let mut base = iter.next().ok_or("no traces to merge")?;
+        let mut seen: std::collections::HashMap<(usize, usize), usize> = base
+            .lines
+            .iter()
+            .enumerate()
+            .map(|(i, (job, seq, _))| ((*job, *seq), i))
+            .collect();
+        for t in iter {
+            if t.meta != base.meta {
+                return Err(format!(
+                    "trace headers disagree: campaign `{}` (fingerprint {:#x}) vs `{}` ({:#x})",
+                    base.meta.name, base.meta.fingerprint, t.meta.name, t.meta.fingerprint
+                ));
+            }
+            for (job, seq, line) in t.lines {
+                match seen.get(&(job, seq)) {
+                    None => {
+                        seen.insert((job, seq), base.lines.len());
+                        base.lines.push((job, seq, line));
+                    }
+                    Some(&i) if base.lines[i].2 == line => {}
+                    Some(_) => {
+                        return Err(format!(
+                            "conflicting trace lines for job {job} seq {seq} across files"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(base)
+    }
+}
+
+/// An open, append-mode trace file. Each
+/// [`append_job`](Self::append_job) writes one job's whole event block
+/// and flushes it, so a crash costs at most the in-flight job's block
+/// (a torn final line, dropped on load).
+#[derive(Debug)]
+pub struct TraceWriter {
+    file: std::fs::File,
+}
+
+impl TraceWriter {
+    /// Creates a fresh trace at `path`, writing (and flushing) the
+    /// header. Refuses to overwrite an existing file.
+    pub fn create(path: &Path, meta: &TraceMeta) -> Result<TraceWriter, String> {
+        let terr = |m: String| format!("{}: {m}", path.display());
+        let mut file = std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .map_err(|e| {
+                if e.kind() == std::io::ErrorKind::AlreadyExists {
+                    terr("trace already exists (pass --resume to continue it, or remove it)".into())
+                } else {
+                    terr(e.to_string())
+                }
+            })?;
+        let mut line = meta.trace_header();
+        line.push('\n');
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| terr(e.to_string()))?;
+        Ok(TraceWriter { file })
+    }
+
+    /// Reopens an existing trace for appending: validates the header
+    /// against `meta`, truncates away a torn final line, and seeks to
+    /// the end. Returns the writer and the loaded prefix.
+    pub fn resume(path: &Path, meta: &TraceMeta) -> Result<(TraceWriter, Trace), String> {
+        let terr = |m: String| format!("{}: {m}", path.display());
+        let trace = Trace::load(path)?;
+        if trace.meta != *meta {
+            return Err(terr(format!(
+                "trace belongs to a different campaign (header name `{}`, fingerprint {:#x})",
+                trace.meta.name, trace.meta.fingerprint
+            )));
+        }
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| terr(e.to_string()))?;
+        file.set_len(trace.valid_len)
+            .map_err(|e| terr(e.to_string()))?;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0))
+            .map_err(|e| terr(e.to_string()))?;
+        Ok((TraceWriter { file }, trace))
+    }
+
+    /// Appends one job's event block (one line per event, `seq` = ring
+    /// position) and flushes. One `write_all` call keeps the torn-write
+    /// window to a single job block.
+    pub fn append_job(&mut self, job: usize, events: &[Event]) -> Result<(), String> {
+        let mut block = String::new();
+        for (seq, ev) in events.iter().enumerate() {
+            block.push_str(&render_event(job, seq, ev));
+            block.push('\n');
+        }
+        self.file
+            .write_all(block.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Rewrites the trace at `path` into its canonical form (lines sorted
+/// by `(job, seq)`, duplicates removed) via a sibling temp file and an
+/// atomic rename. Called once a run completes successfully; after
+/// this, traces of the same campaign are directly byte-comparable.
+pub fn canonicalize(path: &Path) -> Result<(), String> {
+    let trace = Trace::load(path)?;
+    let tmp = path.with_extension("canonical.tmp");
+    std::fs::write(&tmp, trace.canonical_string())
+        .map_err(|e| format!("{}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            name: "unit".into(),
+            fingerprint: 0xdead_beef,
+            seed: 18_446_744_073_709_551_615, // u64::MAX survives the string round-trip
+            reps: 2,
+            total_jobs: 4,
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let m = meta();
+        assert_eq!(TraceMeta::parse_trace_header(&m.trace_header()).unwrap(), m);
+        assert_eq!(
+            TraceMeta::parse_metrics_header(&m.metrics_header()).unwrap(),
+            m
+        );
+        assert!(TraceMeta::parse_trace_header(&m.metrics_header()).is_err());
+    }
+
+    #[test]
+    fn event_render_parse_roundtrip() {
+        let evs = [
+            Event::job_start(),
+            Event::fault(3, target::R, 17, 52),
+            Event::detect(4, via::TMR),
+            Event::correct_forward(5),
+            Event::correct_tmr(6, 2),
+            Event::chunk_verify(7, false),
+            Event::checkpoint(8, 6),
+            Event::rollback(9, 6),
+            Event::escalate(10),
+            Event::converged(11, 9),
+            Event::job_finish(12, 9, true, 0),
+        ];
+        for (seq, ev) in evs.iter().enumerate() {
+            let line = render_event(2, seq, ev);
+            let (job, s, back) = parse_event(&line).unwrap();
+            assert_eq!((job, s, &back), (2, seq, ev), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn write_load_canonicalize_and_merge() {
+        let dir = std::env::temp_dir().join(format!("ftcg-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p1 = dir.join("t1.jsonl");
+        let p2 = dir.join("t2.jsonl");
+        let _ = std::fs::remove_file(&p1);
+        let _ = std::fs::remove_file(&p2);
+        let m = meta();
+        let block = |it| vec![Event::job_start(), Event::job_finish(it, it, true, 0)];
+
+        // Shard 1 writes jobs 1 then 0 (completion order ≠ index order).
+        let mut w = TraceWriter::create(&p1, &m).unwrap();
+        w.append_job(1, &block(5)).unwrap();
+        w.append_job(0, &block(3)).unwrap();
+        // Shard 2 writes jobs 3, 2 — plus a duplicate of job 1.
+        let mut w2 = TraceWriter::create(&p2, &m).unwrap();
+        w2.append_job(3, &block(7)).unwrap();
+        w2.append_job(1, &block(5)).unwrap();
+        w2.append_job(2, &block(6)).unwrap();
+        drop((w, w2));
+
+        // A torn tail is dropped on load...
+        let mut f = std::fs::OpenOptions::new().append(true).open(&p1).unwrap();
+        f.write_all(b"{\"job\":2,\"seq\":0,\"ev\":\"job_st")
+            .unwrap();
+        drop(f);
+        let t1 = Trace::load(&p1).unwrap();
+        assert!(t1.torn_tail);
+        assert_eq!(t1.lines.len(), 4);
+
+        // ...and resume truncates it away and keeps appending.
+        let (mut w, replayed) = TraceWriter::resume(&p1, &m).unwrap();
+        assert_eq!(replayed.lines.len(), 4);
+        w.append_job(2, &block(6)).unwrap();
+        w.append_job(3, &block(7)).unwrap();
+        drop(w);
+
+        // Merge of the two shard traces == canonical full trace.
+        let merged = Trace::merge(vec![Trace::load(&p1).unwrap(), Trace::load(&p2).unwrap()])
+            .unwrap()
+            .canonical_string();
+        canonicalize(&p1).unwrap();
+        let t1c = std::fs::read_to_string(&p1).unwrap();
+        // p1 saw all four jobs, so its canonical form is the campaign's.
+        assert_eq!(t1c, merged);
+        // Canonical form is sorted by (job, seq).
+        let jobs: Vec<usize> = Trace::load(&p1)
+            .unwrap()
+            .parsed()
+            .unwrap()
+            .iter()
+            .map(|(j, _, _)| *j)
+            .collect();
+        assert_eq!(jobs, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+
+        // Conflicting duplicates are an error.
+        let mut f = std::fs::OpenOptions::new().append(true).open(&p1).unwrap();
+        f.write_all(render_event(0, 0, &Event::escalate(9)).as_bytes())
+            .unwrap();
+        f.write_all(b"\n").unwrap();
+        drop(f);
+        assert!(Trace::load(&p1).unwrap_err().contains("conflicting"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

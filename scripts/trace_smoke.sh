@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Telemetry smoke: a traced campaign must (a) leave the JSONL/CSV
+# artifacts byte-identical to an untraced run, (b) produce a canonical
+# event trace that is byte-identical across thread counts, and
+# (c) reconcile with its journal under `ftcg report`.
+# Usage: scripts/trace_smoke.sh [path-to-ftcg-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-target/release/ftcg}"
+if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not built (run cargo build --release first)" >&2
+    exit 2
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+cat > "$tmp/smoke.campaign" <<'EOF'
+name     = trace-smoke
+seed     = 13
+reps     = 4
+matrices = poisson2d:12
+schemes  = detection, correction
+alphas   = 0, 1/16
+EOF
+
+echo "-- untraced reference (2 threads)"
+"$BIN" campaign --spec "$tmp/smoke.campaign" --threads 2 --quiet \
+    --out "$tmp/plain.jsonl" --csv "$tmp/plain.csv"
+
+echo "-- traced run (2 threads): telemetry must not perturb the artifacts"
+"$BIN" campaign --spec "$tmp/smoke.campaign" --threads 2 --quiet \
+    --journal "$tmp/run.jsonl" \
+    --trace "$tmp/run.trace.jsonl" --metrics "$tmp/run.metrics.jsonl" \
+    --out "$tmp/traced.jsonl" --csv "$tmp/traced.csv"
+
+cmp "$tmp/plain.jsonl" "$tmp/traced.jsonl"
+cmp "$tmp/plain.csv" "$tmp/traced.csv"
+echo "   artifacts byte-identical with telemetry on"
+
+echo "-- traced run again (1 thread): the canonical trace must not change"
+"$BIN" campaign --spec "$tmp/smoke.campaign" --threads 1 --quiet \
+    --journal "$tmp/run1.jsonl" --trace "$tmp/run1.trace.jsonl" --out /dev/null
+
+cmp "$tmp/run.trace.jsonl" "$tmp/run1.trace.jsonl"
+echo "   trace byte-identical across 2 vs 1 threads"
+
+echo "-- ftcg report: fold trace + metrics and reconcile against the journal"
+"$BIN" report "$tmp/run.trace.jsonl" "$tmp/run.metrics.jsonl" "$tmp/run.jsonl" \
+    --spec "$tmp/smoke.campaign" > "$tmp/report.txt"
+grep -q "Protocol events" "$tmp/report.txt"
+grep -q "Phase wall time" "$tmp/report.txt"
+grep -q "poisson2d:12" "$tmp/report.txt"
+echo "   report rendered and reconciled (exit 0 means 0 mismatches)"
+
+# The report must count exactly the journal's job records: 16 jobs
+# across 4 configurations of 4 reps each.
+jobs_in_report="$(awk '/^Protocol events/{f=1;next} /^$/{f=0} f && !/^config/ {s+=$(NF-7)} END{print s}' "$tmp/report.txt")"
+records_in_journal="$(($(wc -l < "$tmp/run.jsonl") - 1))"
+if [ "$jobs_in_report" != "$records_in_journal" ]; then
+    echo "error: report counts $jobs_in_report traced jobs but the journal has $records_in_journal records" >&2
+    exit 1
+fi
+echo "   report job totals match the journal ($records_in_journal records)"
+
+echo "trace/report smoke passed."
