@@ -46,4 +46,15 @@ bash scripts/shard_smoke.sh target/release/ftcg
 echo "==> trace → report smoke (deterministic telemetry, journal reconciliation)"
 bash scripts/trace_smoke.sh target/release/ftcg
 
+echo "==> bench observatory smoke (record, migrate, deterministic gate exits)"
+bash scripts/bench_smoke.sh target/release/ftcg
+
+echo "==> advisory bench regression gate (vs the checked-in baseline)"
+if [ -f BENCH_2026-08-08.json ]; then
+    target/release/ftcg bench --suite quick --runs 2 \
+        --against BENCH_2026-08-08.json --warn-only
+else
+    echo "    no checked-in baseline; skipping"
+fi
+
 echo "CI gate passed."

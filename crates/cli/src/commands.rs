@@ -2,6 +2,7 @@
 
 use ftcg::kernels::{self, KernelRegistry, KernelSpec};
 use ftcg::model::Scheme;
+use ftcg::obs::{analyze, perfetto_json, render_analytics};
 use ftcg::prelude::*;
 use ftcg::sim::figure1::{log_grid, run_panel, Figure1Params};
 use ftcg::sim::matrices::PaperMatrixResolver;
@@ -10,9 +11,12 @@ use ftcg::sim::table1::{run_table1, Table1Params};
 use ftcg::sim::PAPER_MATRICES;
 use ftcg::solvers::SolverKind;
 use ftcg::sparse::stats::MatrixStats;
+use ftcg::telemetry::hist::DurationHist;
 use ftcg::telemetry::metrics::{JobPhases, MetricsFile, MetricsWriter};
-use ftcg::telemetry::report::{fold_report, reconcile, render_report, JobCounts};
-use ftcg::telemetry::{ActiveRecorder, Event, Recorder, Trace, TraceMeta, TraceWriter};
+use ftcg::telemetry::report::{
+    fold_report, reconcile, render_phase_quantiles, render_report, JobCounts,
+};
+use ftcg::telemetry::{ActiveRecorder, Event, Phase, Recorder, Trace, TraceMeta, TraceWriter};
 use ftcg_engine::{
     merge_journals, run_campaign_sharded, sink, spec, CampaignSpec, JobRecord, Journal, RunOptions,
     Shard,
@@ -35,7 +39,11 @@ USAGE:
                 [--trace F.jsonl] [--metrics F.jsonl]
   ftcg merge    (--spec FILE | inline flags) JOURNAL... [--out F.jsonl]
                 [--csv F.csv] [--reps N] [--seed N]
-  ftcg report   FILE... [--spec FILE]   traces, metrics sidecars, journals
+  ftcg report   FILE... [--spec FILE] [--perfetto OUT.json]
+  ftcg bench    [--suite S] [--runs N] [--out BENCH.json] [--label S] [--pr N]
+                [--against BASELINE.json] [--threshold PCT] [--warn-only]
+  ftcg bench migrate LEGACY.json [--out F.json]
+  ftcg bench compare NEW.json BASELINE.json [--threshold PCT] [--warn-only]
   ftcg table1   [--scale N] [--reps N] [--threads N] [--kernel K] [--solver S]
                 [--journal-dir D] [--trace-dir D] [--metrics-dir D]
   ftcg figure1  [--scale N] [--reps N] [--points N] [--matrices N] [--threads N]
@@ -126,9 +134,46 @@ OBSERVABILITY:
                 journal.
   ftcg report   folds any mix of trace, metrics, and journal files
                 into per-configuration event and phase-time tables
-                (--spec labels rows with the campaign grid), and
-                reconciles trace event counts against journal records —
-                exits nonzero on any mismatch.
+                (--spec labels rows with the campaign grid), phase
+                duration quantiles (p50/p90/p99 from the sidecar's
+                log-scale histograms), and protocol analytics computed
+                from the deterministic trace alone (detection-latency
+                distribution, rollback wasted work, empirical fault
+                pressure — byte-identical across threads/shards/
+                resume), and reconciles trace event counts against
+                journal records — exits nonzero on any mismatch.
+                --perfetto OUT.json additionally writes a Chrome
+                trace_event timeline (per-worker tracks, phase spans,
+                fault/detect/rollback instants) for ui.perfetto.dev or
+                chrome://tracing.
+
+PERFORMANCE OBSERVATORY (ftcg bench):
+  Runs a standardized suite through the real pipeline (telemetry
+  enabled) and records a schema-versioned entry: host info, the exact
+  suite spec, and min-of-N measurements with every raw sample kept so
+  later diffs know the noise floor. Suites:
+    quick        small campaign (poisson2d:24, 2 schemes x 2 alphas) —
+                 seconds; the CI advisory gate
+    table1       the paper's Table 1 campaign throughput suite
+                 (--scale, --reps forwarded; minutes)
+    solver-step  CG state machine vs the legacy inlined loop, ns/iter
+    telemetry    recording overhead: baseline vs noop vs active
+    all          quick + solver-step + telemetry
+  --out F        append the entry to a BENCH_*.json file (created if
+                 missing); without --out the entry prints to stdout
+  --against F    diff the fresh entry against F's latest entry for the
+                 same suite; a measurement that moved in the worse
+                 direction by more than max(--threshold, 2x observed
+                 sample spread) is a regression => exit 1
+  --threshold P  regression threshold percent (default 5)
+  --warn-only    print the diff but always exit 0 (advisory CI gate on
+                 noisy/1-core hosts; pin strict thresholds on real,
+                 idle, many-core machines)
+  migrate F      convert a legacy hand-written bench file to the
+                 schema (one entry per recognized section), in place
+                 unless --out names a different file
+  compare A B    diff two recorded files without running anything
+                 (deterministic exit codes: self-vs-self is 0)
 ";
 
 fn load_matrix(args: &[String]) -> Result<CsrMatrix, String> {
@@ -392,6 +437,7 @@ fn campaign_value_flags() -> Vec<&'static str> {
         "--shard",
         "--trace",
         "--metrics",
+        "--perfetto",
     ]);
     flags
 }
@@ -781,6 +827,37 @@ pub fn report(args: &[String]) -> i32 {
         };
         let rows = fold_report(&labels, meta.reps, &trace_events, &metrics_jobs)?;
         print!("{}", render_report(&rows));
+        // Phase duration quantiles from the sidecars' merged summary
+        // histograms (p50/p90/p99 at log2-bucket resolution).
+        let mut merged_hist: Option<[DurationHist; Phase::COUNT]> = None;
+        for mf in &metrics_files {
+            if let Some(h) = &mf.hist {
+                let acc = merged_hist.get_or_insert([DurationHist::new(); Phase::COUNT]);
+                for (a, b) in acc.iter_mut().zip(h.iter()) {
+                    a.merge(b);
+                }
+            }
+        }
+        if let Some(h) = &merged_hist {
+            if h.iter().any(|d| !d.is_empty()) {
+                print!("\n{}", render_phase_quantiles(h));
+            }
+        }
+        // Protocol analytics need only the deterministic trace, so the
+        // tables are byte-identical across any decomposition of the run.
+        if merged_trace.is_some() {
+            let analytics = analyze(&labels, meta.reps, &trace_events)?;
+            print!("\n{}", render_analytics(&analytics));
+        }
+        // Perfetto / chrome://tracing timeline: trace instants placed
+        // inside the sidecar's wall-clock job spans.
+        if let Some(path) = value(args, "--perfetto") {
+            let text = perfetto_json(&meta.name, &trace_events, &metrics_jobs);
+            std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "wrote perfetto timeline {path} (open in ui.perfetto.dev or chrome://tracing)"
+            );
+        }
         // Reconcile trace event counts against journal records when both
         // sides are present; any disagreement is a failing exit code.
         if merged_trace.is_some() && !journals.is_empty() {

@@ -15,11 +15,17 @@
 //! $ ftcg merge --spec sweep.campaign shard0.jsonl shard1.jsonl --out results.jsonl
 //! $ ftcg campaign --spec sweep.campaign --journal run.jsonl --trace run.trace.jsonl
 //! $ ftcg report run.trace.jsonl run.metrics.jsonl run.jsonl --spec sweep.campaign
+//! $ ftcg report run.trace.jsonl run.metrics.jsonl --perfetto timeline.json
+//! $ ftcg bench --suite quick --runs 5 --out BENCH_2026-08-08.json
+//! $ ftcg bench --suite quick --against BENCH_2026-08-08.json --warn-only
+//! $ ftcg bench migrate BENCH_2026-07-27.json
+//! $ ftcg bench compare new.json baseline.json --threshold 5
 //! $ ftcg table1 --scale 32 --reps 20
 //! $ ftcg figure1 --scale 32 --reps 20 --points 6 --matrices 3
 //! ```
 
 mod args;
+mod bench;
 mod commands;
 mod progress;
 
@@ -27,6 +33,7 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = match argv.first().map(String::as_str) {
         Some("solve") => commands::solve(&argv[1..]),
+        Some("bench") => bench::bench(&argv[1..]),
         Some("stats") => commands::stats(&argv[1..]),
         Some("campaign") => commands::campaign(&argv[1..]),
         Some("merge") => commands::merge(&argv[1..]),

@@ -41,6 +41,7 @@
 //! | `ftcg-engine` | concurrent campaign engine: declarative sweeps, worker pool, JSONL/CSV sinks |
 //! | `ftcg-sim` | Table 1 / Figure 1 experiment harness (engine campaigns) and reports |
 //! | `ftcg-telemetry` | zero-overhead recorders, deterministic event traces, phase-timing sidecars, report folds |
+//! | `ftcg-obs` | performance observatory: self-measuring bench suites, regression gating, Perfetto export, protocol analytics |
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -51,6 +52,7 @@ pub use ftcg_engine as engine;
 pub use ftcg_fault as fault;
 pub use ftcg_kernels as kernels;
 pub use ftcg_model as model;
+pub use ftcg_obs as obs;
 pub use ftcg_sim as sim;
 pub use ftcg_solvers as solvers;
 pub use ftcg_sparse as sparse;

@@ -14,11 +14,12 @@
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use ftcg_solvers::resilient::{solve_resilient_in, solve_resilient_recorded};
 use ftcg_telemetry::metrics::MetricsWriter;
-use ftcg_telemetry::{Event, Recorder, TraceMeta, TraceWriter};
+use ftcg_telemetry::{Event, JobSpan, Recorder, TraceMeta, TraceWriter};
 use parking_lot::Mutex;
 
 use crate::aggregate::{Aggregator, ConfigSummary, JobMetrics};
@@ -177,25 +178,26 @@ fn run_one_traced(job: &ConfigJob, seed: u64, ws: &mut JobWorkspace) -> JobMetri
 fn open_trace(path: &Path, meta: &TraceMeta, resume: bool) -> Result<TraceWriter, EngineError> {
     if resume && path.exists() {
         if !Journal::is_unstarted(path)? {
-            let (w, _prior) = TraceWriter::resume(path, meta).map_err(EngineError::Telemetry)?;
+            let (w, _prior) =
+                TraceWriter::resume(path, meta).map_err(|e| EngineError::Telemetry(e.into()))?;
             return Ok(w);
         }
         std::fs::remove_file(path)
             .map_err(|e| EngineError::Telemetry(format!("{}: {e}", path.display())))?;
     }
-    TraceWriter::create(path, meta).map_err(EngineError::Telemetry)
+    TraceWriter::create(path, meta).map_err(|e| EngineError::Telemetry(e.into()))
 }
 
 /// Opens the phase-timing sidecar; same rules as [`open_trace`].
 fn open_metrics(path: &Path, meta: &TraceMeta, resume: bool) -> Result<MetricsWriter, EngineError> {
     if resume && path.exists() {
         if !Journal::is_unstarted(path)? {
-            return MetricsWriter::resume(path, meta).map_err(EngineError::Telemetry);
+            return MetricsWriter::resume(path, meta).map_err(|e| EngineError::Telemetry(e.into()));
         }
         std::fs::remove_file(path)
             .map_err(|e| EngineError::Telemetry(format!("{}: {e}", path.display())))?;
     }
-    MetricsWriter::create(path, meta).map_err(EngineError::Telemetry)
+    MetricsWriter::create(path, meta).map_err(|e| EngineError::Telemetry(e.into()))
 }
 
 /// A repetition whose aggregate metrics are non-finite is a *failed*
@@ -295,10 +297,15 @@ pub fn run_configs_sharded(
     // durable artifact.
     let io_error: Mutex<Option<EngineError>> = Mutex::new(None);
     let traced = tracer.is_some() || metrics.is_some();
+    // Each worker context gets a distinct ordinal, so metrics-sidecar
+    // span records can name the worker that ran each job (the Perfetto
+    // export's per-worker tracks). The ordinal labels timelines only —
+    // it never reaches a deterministic artifact.
+    let next_worker = AtomicU64::new(0);
     let results = run_indices_ctx(
         threads,
         &todo,
-        JobWorkspace::new,
+        || JobWorkspace::for_worker(next_worker.fetch_add(1, Ordering::Relaxed)),
         |ws, idx| {
             let (config, rep) = (idx / reps, idx % reps);
             // Seeds derive from the job's seed group (its own index by
@@ -310,6 +317,7 @@ pub fn run_configs_sharded(
             // Panics are caught *here*, inside the job, so the failure
             // reaches the journal as a record — a resumed run must not
             // re-run a deterministically panicking repetition forever.
+            let job_start_ns = started.elapsed().as_nanos() as u64;
             let record = match catch_unwind(AssertUnwindSafe(|| {
                 if traced {
                     run_one_traced(&configs[config], seed, ws)
@@ -330,12 +338,19 @@ pub fn run_configs_sharded(
             // (panics, NaN-poisoned metrics) write no telemetry — the
             // recorder resets at the next job's start.
             if traced && matches!(record, JobRecord::Done(_)) {
-                let tele = ws.recorder().drain(idx);
+                let mut tele = ws.recorder().drain(idx);
+                // Stamp the wall-clock execution window (sidecar only;
+                // the trace appender never sees it).
+                tele.span = Some(JobSpan {
+                    worker: ws.worker(),
+                    start_ns: job_start_ns,
+                    end_ns: started.elapsed().as_nanos() as u64,
+                });
                 if let Some(t) = &tracer {
                     let mut err = io_error.lock();
                     if err.is_none() {
                         if let Err(e) = t.lock().append_job(idx, &tele.events) {
-                            *err = Some(EngineError::Telemetry(e));
+                            *err = Some(EngineError::Telemetry(e.into()));
                         }
                     }
                 }
@@ -343,7 +358,7 @@ pub fn run_configs_sharded(
                     let mut err = io_error.lock();
                     if err.is_none() {
                         if let Err(e) = m.lock().append_job(&tele) {
-                            *err = Some(EngineError::Telemetry(e));
+                            *err = Some(EngineError::Telemetry(e.into()));
                         }
                     }
                 }
@@ -374,7 +389,9 @@ pub fn run_configs_sharded(
         return Err(e);
     }
     if let Some(m) = metrics {
-        m.into_inner().finish().map_err(EngineError::Telemetry)?;
+        m.into_inner()
+            .finish()
+            .map_err(|e| EngineError::Telemetry(e.into()))?;
     }
     if let Some(t) = tracer {
         // Close the append handle, then rewrite the file in canonical
@@ -383,7 +400,7 @@ pub fn run_configs_sharded(
         // decomposition of the campaign.
         drop(t);
         ftcg_telemetry::trace::canonicalize(opts.trace.expect("tracer implies a path"))
-            .map_err(EngineError::Telemetry)?;
+            .map_err(|e| EngineError::Telemetry(e.into()))?;
     }
     let executed = results.len();
     let replayed = replayed_records.len();

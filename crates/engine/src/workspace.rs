@@ -24,12 +24,27 @@ use ftcg_telemetry::ActiveRecorder;
 pub struct JobWorkspace {
     solver: SolverWorkspace,
     recorder: Option<ActiveRecorder>,
+    worker: u64,
 }
 
 impl JobWorkspace {
     /// An empty workspace; buffers are retained as job shapes are seen.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty workspace stamped with the owning worker's ordinal
+    /// (used only to label metrics-sidecar span records).
+    pub fn for_worker(worker: u64) -> Self {
+        JobWorkspace {
+            worker,
+            ..Self::default()
+        }
+    }
+
+    /// The owning worker's ordinal (0 for single-context use).
+    pub fn worker(&self) -> u64 {
+        self.worker
     }
 
     /// The solver-side arena to pass to

@@ -1,0 +1,513 @@
+//! The schema-versioned `BENCH_*.json` format.
+//!
+//! PR 4–6 tracked performance in hand-edited prose JSON; this module
+//! replaces that with machine-generated entries a tool can diff. A
+//! bench file is
+//!
+//! ```json
+//! {"ftcg_bench": 1, "entries": [ <entry>, ... ]}
+//! ```
+//!
+//! and each entry records *one suite run on one host*: identity
+//! (`id`, `date`, `label`, optional `pr`), the [`HostInfo`], the suite
+//! name, the exact campaign/bench `spec` text it executed, and a flat
+//! list of [`Measurement`]s — `key`, `unit`, the headline `value`
+//! (min-of-N for timings), every raw sample (so a later diff can
+//! estimate noise), and the direction (`lower_is_better`).
+//!
+//! Non-timing fields are pure functions of the suite spec, so two runs
+//! of the same suite produce entries that differ only in `value`s and
+//! `samples` — pinned by a test. Legacy hand-written files (the PR 4
+//! shape) are converted by [`migrate_legacy`], keyed off the absence
+//! of the `ftcg_bench` version field.
+
+use std::path::Path;
+
+use serde::json::{self, Value};
+
+use crate::host::HostInfo;
+
+/// Bench file schema version.
+pub const BENCH_VERSION: u64 = 1;
+
+/// One measured quantity of a suite run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Stable dotted key, e.g. `campaign.reps_per_sec`.
+    pub key: String,
+    /// Unit label, e.g. `reps/s`, `ns/iter`, `s`.
+    pub unit: String,
+    /// Headline value (min-of-N for times, best-of-N for rates).
+    pub value: f64,
+    /// Every raw sample behind `value` (noise estimation in diffs).
+    pub samples: Vec<f64>,
+    /// Whether smaller values are better (times) or worse (rates).
+    pub lower_is_better: bool,
+}
+
+impl Measurement {
+    /// Relative spread of the samples as a percentage of the best one
+    /// (`0` with fewer than two samples) — the diff's noise floor.
+    pub fn noise_pct(&self) -> f64 {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &s in &self.samples {
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        if self.samples.len() < 2 || lo <= 0.0 {
+            return 0.0;
+        }
+        (hi / lo - 1.0) * 100.0
+    }
+}
+
+/// One suite run on one host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Stable identity, `"<suite>/<date>"` by convention.
+    pub id: String,
+    /// ISO date the entry was recorded.
+    pub date: String,
+    /// Free-form label (what changed in this PR).
+    pub label: String,
+    /// PR number, when known.
+    pub pr: Option<u64>,
+    /// The measuring machine.
+    pub host: HostInfo,
+    /// Suite name (`quick`, `table1`, `solver-step`, `telemetry`).
+    pub suite: String,
+    /// The exact spec text the suite executed.
+    pub spec: String,
+    /// The measurements, in suite-defined order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl BenchEntry {
+    /// The entry's measurement with the given key.
+    pub fn measurement(&self, key: &str) -> Option<&Measurement> {
+        self.measurements.iter().find(|m| m.key == key)
+    }
+}
+
+/// A loaded (or assembled) bench file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchFile {
+    /// Entries in file order (append-only by convention).
+    pub entries: Vec<BenchEntry>,
+}
+
+/// Formats an f64 as a JSON number (finite inputs only).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn render_measurement(m: &Measurement, out: &mut String, indent: &str) {
+    out.push_str(indent);
+    out.push_str(&format!(
+        "{{\"key\":{},\"unit\":{},\"value\":{},\"samples\":[",
+        Value::Str(m.key.clone()),
+        Value::Str(m.unit.clone()),
+        num(m.value)
+    ));
+    for (i, s) in m.samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&num(*s));
+    }
+    out.push_str(&format!("],\"lower_is_better\":{}}}", m.lower_is_better));
+}
+
+fn render_entry(e: &BenchEntry, out: &mut String) {
+    out.push_str("    {\n");
+    out.push_str(&format!("      \"id\": {},\n", Value::Str(e.id.clone())));
+    out.push_str(&format!(
+        "      \"date\": {},\n",
+        Value::Str(e.date.clone())
+    ));
+    out.push_str(&format!(
+        "      \"label\": {},\n",
+        Value::Str(e.label.clone())
+    ));
+    if let Some(pr) = e.pr {
+        out.push_str(&format!("      \"pr\": {pr},\n"));
+    }
+    out.push_str(&format!("      \"host\": {},\n", e.host.to_json()));
+    out.push_str(&format!(
+        "      \"suite\": {},\n",
+        Value::Str(e.suite.clone())
+    ));
+    out.push_str(&format!(
+        "      \"spec\": {},\n",
+        Value::Str(e.spec.clone())
+    ));
+    out.push_str("      \"measurements\": [\n");
+    for (i, m) in e.measurements.iter().enumerate() {
+        render_measurement(m, out, "        ");
+        out.push_str(if i + 1 < e.measurements.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("      ]\n");
+    out.push_str("    }");
+}
+
+impl BenchFile {
+    /// Renders the whole file (deterministic field order, one
+    /// measurement per line — reviewable in diffs).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"ftcg_bench\": {BENCH_VERSION},\n  \"entries\": [\n"
+        ));
+        for (i, e) in self.entries.iter().enumerate() {
+            render_entry(e, &mut out);
+            out.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the file to disk.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        std::fs::write(path, self.render()).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Loads a schema-versioned bench file. Legacy hand-written files
+    /// (no `ftcg_bench` field) are rejected with a pointer at
+    /// `ftcg bench migrate`.
+    pub fn load(path: &Path) -> Result<BenchFile, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let v = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let version = v.get("ftcg_bench").and_then(Value::as_f64);
+        match version {
+            None => Err(format!(
+                "{}: not a schema-versioned bench file (missing `ftcg_bench`); \
+                 convert legacy hand-written entries with `ftcg bench migrate {}`",
+                path.display(),
+                path.display()
+            )),
+            Some(x) if x == BENCH_VERSION as f64 => {
+                Self::from_value(&v).map_err(|e| format!("{}: {e}", path.display()))
+            }
+            Some(x) => Err(format!(
+                "{}: bench schema version {x} is not the supported version {BENCH_VERSION}",
+                path.display()
+            )),
+        }
+    }
+
+    /// Parses the schema-versioned shape from a JSON value.
+    pub fn from_value(v: &Value) -> Result<BenchFile, String> {
+        let entries = v
+            .get("entries")
+            .and_then(Value::as_arr)
+            .ok_or("bench file missing `entries` array")?;
+        let mut out = Vec::with_capacity(entries.len());
+        for e in entries {
+            out.push(parse_entry(e)?);
+        }
+        Ok(BenchFile { entries: out })
+    }
+
+    /// The latest entry for a suite, if any (baseline for `--against`).
+    pub fn latest(&self, suite: &str) -> Option<&BenchEntry> {
+        self.entries.iter().rev().find(|e| e.suite == suite)
+    }
+}
+
+fn parse_entry(v: &Value) -> Result<BenchEntry, String> {
+    let s = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("entry missing `{key}`"))
+    };
+    let mut measurements = Vec::new();
+    for m in v
+        .get("measurements")
+        .and_then(Value::as_arr)
+        .ok_or("entry missing `measurements`")?
+    {
+        let ms = |key: &str| {
+            m.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("measurement missing `{key}`"))
+        };
+        let samples = m
+            .get("samples")
+            .and_then(Value::as_arr)
+            .ok_or("measurement missing `samples`")?
+            .iter()
+            .map(|x| x.as_f64().ok_or("non-numeric sample"))
+            .collect::<Result<Vec<f64>, _>>()?;
+        measurements.push(Measurement {
+            key: ms("key")?,
+            unit: ms("unit")?,
+            value: m
+                .get("value")
+                .and_then(Value::as_f64)
+                .ok_or("measurement missing `value`")?,
+            samples,
+            lower_is_better: matches!(m.get("lower_is_better"), Some(Value::Bool(true))),
+        });
+    }
+    Ok(BenchEntry {
+        id: s("id")?,
+        date: s("date")?,
+        label: s("label")?,
+        pr: v.get("pr").and_then(Value::as_f64).map(|p| p as u64),
+        host: HostInfo::from_value(v.get("host").ok_or("entry missing `host`")?)?,
+        suite: s("suite")?,
+        spec: s("spec")?,
+        measurements,
+    })
+}
+
+/// Converts a legacy hand-written bench file (the PR 4–6 shape of
+/// `BENCH_2026-07-27.json`) into schema-versioned entries, one per
+/// top-level section, so `ftcg bench --against` works across the
+/// repository's whole measurement trajectory. Hand-recorded numbers
+/// become single-sample measurements (their noise is unknown).
+pub fn migrate_legacy(text: &str) -> Result<BenchFile, String> {
+    let v = json::parse(text).map_err(|e| e.to_string())?;
+    if v.get("ftcg_bench").is_some() {
+        return Err("file already carries the `ftcg_bench` schema; nothing to migrate".into());
+    }
+    let date = v
+        .get("date")
+        .and_then(Value::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let label = v
+        .get("label")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .to_string();
+    let pr = v.get("pr").and_then(Value::as_f64).map(|p| p as u64);
+    let host = HostInfo {
+        cores: v
+            .get("host")
+            .and_then(|h| h.get("cores"))
+            .and_then(Value::as_f64)
+            .unwrap_or(1.0) as usize,
+        arch: "unknown".into(),
+        os: "unknown".into(),
+    };
+    let one = |key: &str, unit: &str, value: f64, lower: bool| Measurement {
+        key: key.to_string(),
+        unit: unit.to_string(),
+        value,
+        samples: vec![value],
+        lower_is_better: lower,
+    };
+    let entry = |suite: &str, spec: String, measurements: Vec<Measurement>| BenchEntry {
+        id: format!("{suite}/{date}"),
+        date: date.clone(),
+        label: label.clone(),
+        pr,
+        host: host.clone(),
+        suite: suite.to_string(),
+        spec,
+        measurements,
+    };
+    let mut entries = Vec::new();
+
+    if let Some(ct) = v.get("campaign_throughput") {
+        let f = |key: &str| ct.get(key).and_then(Value::as_f64);
+        let mut ms = Vec::new();
+        if let Some(x) = f("elapsed_secs") {
+            ms.push(one("campaign.elapsed_secs", "s", x, true));
+        }
+        if let Some(x) = f("reps_per_sec") {
+            ms.push(one("campaign.reps_per_sec", "reps/s", x, false));
+        }
+        entries.push(entry(
+            "table1",
+            ct.get("spec").map(|s| s.to_string()).unwrap_or_default(),
+            ms,
+        ));
+    }
+    if let Some(wr) = v.get("workspace_reuse_bench") {
+        let mut ms = Vec::new();
+        if let Some(Value::Obj(schemes)) = wr.get("results") {
+            for (scheme, r) in schemes {
+                for (field, unit, lower) in [
+                    ("fresh_alloc_ms_per_batch", "ms/batch", true),
+                    ("pooled_ms_per_batch", "ms/batch", true),
+                    ("speedup_pct", "%", false),
+                ] {
+                    if let Some(x) = r.get(field).and_then(Value::as_f64) {
+                        ms.push(one(&format!("workspace.{scheme}.{field}"), unit, x, lower));
+                    }
+                }
+            }
+        }
+        entries.push(entry(
+            "workspace-reuse",
+            wr.get("matrix")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            ms,
+        ));
+    }
+    if let Some(to) = v.get("telemetry_overhead") {
+        let mut ms = Vec::new();
+        if let Some(r) = to.get("results") {
+            for (field, key, unit, lower) in [
+                (
+                    "baseline_ns_per_iter",
+                    "telemetry.baseline_ns_per_iter",
+                    "ns/iter",
+                    true,
+                ),
+                (
+                    "noop_recorded_ns_per_iter",
+                    "telemetry.noop_ns_per_iter",
+                    "ns/iter",
+                    true,
+                ),
+                (
+                    "active_recorded_ns_per_iter",
+                    "telemetry.active_ns_per_iter",
+                    "ns/iter",
+                    true,
+                ),
+                (
+                    "noop_overhead_pct",
+                    "telemetry.noop_overhead_pct",
+                    "%",
+                    true,
+                ),
+                (
+                    "active_overhead_pct",
+                    "telemetry.active_overhead_pct",
+                    "%",
+                    true,
+                ),
+            ] {
+                if let Some(x) = r.get(field).and_then(Value::as_f64) {
+                    ms.push(one(key, unit, x, lower));
+                }
+            }
+        }
+        entries.push(entry(
+            "telemetry",
+            to.get("matrix")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            ms,
+        ));
+    }
+    if entries.is_empty() {
+        return Err("no recognizable legacy sections (campaign_throughput, \
+                    workspace_reuse_bench, telemetry_overhead)"
+            .into());
+    }
+    Ok(BenchFile { entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry() -> BenchEntry {
+        BenchEntry {
+            id: "quick/2026-08-08".into(),
+            date: "2026-08-08".into(),
+            label: "unit".into(),
+            pr: Some(7),
+            host: HostInfo {
+                cores: 1,
+                arch: "x86_64".into(),
+                os: "linux".into(),
+            },
+            suite: "quick".into(),
+            spec: "name = bench-quick\nseed = 42\n".into(),
+            measurements: vec![Measurement {
+                key: "campaign.elapsed_secs".into(),
+                unit: "s".into(),
+                value: 1.25,
+                samples: vec![1.3, 1.25, 1.4],
+                lower_is_better: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let f = BenchFile {
+            entries: vec![sample_entry()],
+        };
+        let text = f.render();
+        assert!(text.starts_with("{\n  \"ftcg_bench\": 1"));
+        let back = BenchFile::from_value(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(back.latest("quick").unwrap().id, "quick/2026-08-08");
+        assert!(back.latest("table1").is_none());
+    }
+
+    #[test]
+    fn noise_pct_is_sample_spread() {
+        let m = sample_entry().measurements[0].clone();
+        assert!((m.noise_pct() - 12.0).abs() < 1e-9, "{}", m.noise_pct());
+        let single = Measurement {
+            samples: vec![5.0],
+            ..m
+        };
+        assert_eq!(single.noise_pct(), 0.0);
+    }
+
+    #[test]
+    fn migrate_legacy_maps_known_sections() {
+        let legacy = r#"{
+            "date": "2026-07-27", "pr": 4, "label": "baseline",
+            "host": {"cores": 1, "note": "ci"},
+            "campaign_throughput": {
+                "suite": "Table 1", "spec": {"reps": 50},
+                "elapsed_secs": 53.88, "reps_per_sec": 25.06
+            },
+            "telemetry_overhead": {
+                "matrix": "poisson2d(64)",
+                "results": {"baseline_ns_per_iter": 63033, "active_overhead_pct": 0.02}
+            }
+        }"#;
+        let f = migrate_legacy(legacy).unwrap();
+        assert_eq!(f.entries.len(), 2);
+        let t1 = f.latest("table1").unwrap();
+        assert_eq!(
+            t1.measurement("campaign.reps_per_sec").unwrap().value,
+            25.06
+        );
+        assert!(
+            t1.measurement("campaign.elapsed_secs")
+                .unwrap()
+                .lower_is_better
+        );
+        let tel = f.latest("telemetry").unwrap();
+        assert_eq!(
+            tel.measurement("telemetry.baseline_ns_per_iter")
+                .unwrap()
+                .value,
+            63033.0
+        );
+        // Round-trips through the new schema.
+        let back = BenchFile::from_value(&json::parse(&f.render()).unwrap()).unwrap();
+        assert_eq!(back, f);
+        // Already-migrated files are refused.
+        assert!(migrate_legacy(&f.render()).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Noise-aware bench diffing and the regression gate.
+//!
+//! `ftcg bench --against baseline.json` compares the fresh entry's
+//! measurements to the baseline's, key by key. A raw percentage delta
+//! is meaningless on a noisy CI box, so the gate only flags a
+//! measurement as regressed when it moved in the *worse* direction by
+//! more than `max(threshold, 2 × noise)`, where noise is the larger
+//! relative sample spread of the two entries. Single-sample entries
+//! (hand-recorded legacy numbers) have zero recorded noise and fall
+//! back to the plain threshold.
+
+use crate::benchfile::BenchEntry;
+
+/// One compared measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Measurement key shared by both entries.
+    pub key: String,
+    /// Unit label (taken from the new entry).
+    pub unit: String,
+    /// Baseline headline value.
+    pub old_value: f64,
+    /// Fresh headline value.
+    pub new_value: f64,
+    /// Signed relative change in percent (`new/old - 1`).
+    pub delta_pct: f64,
+    /// Noise floor used for this row, in percent.
+    pub noise_pct: f64,
+    /// Moved in the worse direction beyond the gate.
+    pub regressed: bool,
+    /// Moved in the better direction beyond the gate.
+    pub improved: bool,
+}
+
+/// Compares the fresh entry against a baseline entry.
+///
+/// Rows appear in the fresh entry's measurement order; keys missing
+/// from the baseline are skipped (new measurements are not
+/// regressions).
+pub fn diff_entries(new: &BenchEntry, old: &BenchEntry, threshold_pct: f64) -> Vec<DiffRow> {
+    let mut rows = Vec::new();
+    for m in &new.measurements {
+        let Some(base) = old.measurement(&m.key) else {
+            continue;
+        };
+        if base.value <= 0.0 {
+            continue;
+        }
+        let delta_pct = (m.value / base.value - 1.0) * 100.0;
+        let noise_pct = m.noise_pct().max(base.noise_pct());
+        let gate = threshold_pct.max(2.0 * noise_pct);
+        let worse = if m.lower_is_better {
+            delta_pct
+        } else {
+            -delta_pct
+        };
+        rows.push(DiffRow {
+            key: m.key.clone(),
+            unit: m.unit.clone(),
+            old_value: base.value,
+            new_value: m.value,
+            delta_pct,
+            noise_pct,
+            regressed: worse > gate,
+            improved: -worse > gate,
+        });
+    }
+    rows
+}
+
+/// Whether any row trips the gate.
+pub fn any_regression(rows: &[DiffRow]) -> bool {
+    rows.iter().any(|r| r.regressed)
+}
+
+/// Renders the diff as an aligned table.
+pub fn render_diff(rows: &[DiffRow], new: &BenchEntry, old: &BenchEntry) -> String {
+    let mut out = format!("Bench diff: {} (new) vs {} (baseline)\n\n", new.id, old.id);
+    if rows.is_empty() {
+        out.push_str("no shared measurement keys\n");
+        return out;
+    }
+    let mut table: Vec<[String; 6]> = vec![[
+        "measurement".into(),
+        "unit".into(),
+        "baseline".into(),
+        "new".into(),
+        "delta".into(),
+        "verdict".into(),
+    ]];
+    for r in rows {
+        let verdict = if r.regressed {
+            "REGRESSED".to_string()
+        } else if r.improved {
+            "improved".to_string()
+        } else {
+            format!("ok (noise {:.1}%)", r.noise_pct)
+        };
+        table.push([
+            r.key.clone(),
+            r.unit.clone(),
+            format!("{:.4}", r.old_value),
+            format!("{:.4}", r.new_value),
+            format!("{:+.2}%", r.delta_pct),
+            verdict,
+        ]);
+    }
+    let mut widths = [0usize; 6];
+    for row in &table {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    for (i, row) in table.iter().enumerate() {
+        let mut line = String::new();
+        for (w, cell) in widths.iter().zip(row.iter()) {
+            if !line.is_empty() {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<w$}"));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        if i == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchfile::Measurement;
+    use crate::host::HostInfo;
+
+    fn entry(values: &[(&str, f64, Vec<f64>, bool)]) -> BenchEntry {
+        BenchEntry {
+            id: "quick/test".into(),
+            date: "2026-08-08".into(),
+            label: String::new(),
+            pr: None,
+            host: HostInfo {
+                cores: 1,
+                arch: "x".into(),
+                os: "y".into(),
+            },
+            suite: "quick".into(),
+            spec: String::new(),
+            measurements: values
+                .iter()
+                .map(|(k, v, samples, lower)| Measurement {
+                    key: (*k).into(),
+                    unit: "u".into(),
+                    value: *v,
+                    samples: samples.clone(),
+                    lower_is_better: *lower,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn self_diff_never_regresses() {
+        let e = entry(&[
+            ("a.time", 10.0, vec![10.0, 10.4], true),
+            ("a.rate", 5.0, vec![5.0, 4.9], false),
+        ]);
+        let rows = diff_entries(&e, &e, 5.0);
+        assert_eq!(rows.len(), 2);
+        assert!(!any_regression(&rows));
+        assert!(rows.iter().all(|r| r.delta_pct == 0.0));
+    }
+
+    #[test]
+    fn synthetic_regression_trips_gate_in_the_right_direction() {
+        let old = entry(&[
+            ("a.time", 10.0, vec![10.0], true),
+            ("a.rate", 100.0, vec![100.0], false),
+        ]);
+        // Time doubled (worse), rate doubled (better).
+        let new = entry(&[
+            ("a.time", 20.0, vec![20.0], true),
+            ("a.rate", 200.0, vec![200.0], false),
+        ]);
+        let rows = diff_entries(&new, &old, 5.0);
+        assert!(rows[0].regressed && !rows[0].improved);
+        assert!(rows[1].improved && !rows[1].regressed);
+        assert!(any_regression(&rows));
+        // Reversed: time halved, rate halved.
+        let rows = diff_entries(&old, &new, 5.0);
+        assert!(rows[0].improved && rows[1].regressed);
+    }
+
+    #[test]
+    fn noise_widens_the_gate() {
+        // 20% delta, but samples spread 15% -> gate is 30%, no flag.
+        let old = entry(&[("a.time", 10.0, vec![10.0, 11.5], true)]);
+        let new = entry(&[("a.time", 12.0, vec![12.0, 13.8], true)]);
+        let rows = diff_entries(&new, &old, 5.0);
+        assert!(!rows[0].regressed, "{rows:?}");
+        assert!(rows[0].noise_pct > 14.0);
+        // Same delta with tight samples trips the 5% threshold.
+        let old = entry(&[("a.time", 10.0, vec![10.0, 10.01], true)]);
+        let new = entry(&[("a.time", 12.0, vec![12.0, 12.01], true)]);
+        assert!(diff_entries(&new, &old, 5.0)[0].regressed);
+    }
+
+    #[test]
+    fn missing_keys_are_skipped() {
+        let old = entry(&[("a.time", 10.0, vec![10.0], true)]);
+        let new = entry(&[("b.time", 10.0, vec![10.0], true)]);
+        assert!(diff_entries(&new, &old, 5.0).is_empty());
+        let table = render_diff(&[], &new, &old);
+        assert!(table.contains("no shared measurement keys"));
+    }
+}

@@ -1,0 +1,36 @@
+//! `ftcg-obs`: the performance observatory — the *consumption* layer
+//! on top of `ftcg-telemetry`'s artifacts.
+//!
+//! Where the telemetry crate records (deterministic protocol traces,
+//! quarantined timing sidecars), this crate measures, compares, and
+//! visualizes:
+//!
+//! * [`suites`] — standardized self-measuring bench suites that drive
+//!   the real campaign/solver pipeline (`ftcg bench`);
+//! * [`benchfile`] — the schema-versioned `BENCH_*.json` format those
+//!   suites write, with a migrator for the legacy hand-written shape;
+//! * [`host`] — host identification stamped into every entry;
+//! * [`diff`] — noise-aware entry comparison and the regression gate
+//!   behind `ftcg bench --against`;
+//! * [`perfetto`] — Chrome `trace_event` export folding trace +
+//!   sidecar into a per-worker timeline (`ftcg report --perfetto`);
+//! * [`analytics`] — protocol analytics from the deterministic trace
+//!   alone (detection latency, rollback waste, empirical fault
+//!   pressure), byte-reproducible by construction.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod analytics;
+pub mod benchfile;
+pub mod diff;
+pub mod host;
+pub mod perfetto;
+pub mod suites;
+
+pub use analytics::{analyze, render_analytics, ConfigAnalytics};
+pub use benchfile::{migrate_legacy, BenchEntry, BenchFile, Measurement, BENCH_VERSION};
+pub use diff::{any_regression, diff_entries, render_diff, DiffRow};
+pub use host::HostInfo;
+pub use perfetto::perfetto_json;
+pub use suites::{run_campaign_suite, solver_step_suite, telemetry_suite, SuiteResult};

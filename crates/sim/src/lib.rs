@@ -13,11 +13,14 @@
 //!   (each entry's interval sweep runs as one engine campaign);
 //! * [`figure1`] — execution time of the three schemes against the
 //!   normalized MTBF `1/α` (each panel runs as one engine campaign);
-//! * [`report`] — markdown / CSV / ASCII-plot rendering.
+//! * [`report`] — markdown / CSV / ASCII-plot rendering;
+//! * [`benchspec`] — the standardized `ftcg bench` campaign suites
+//!   (pinned spec texts over the paper matrices).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod benchspec;
 pub mod figure1;
 pub mod matrices;
 pub mod measure;

@@ -18,6 +18,23 @@ use crate::recorder::{Phase, Recorder, Stamp};
 /// for a given campaign no matter how it is executed.
 pub const DEFAULT_RING_CAPACITY: usize = 16_384;
 
+/// One job's wall-clock execution window, relative to the run's start.
+///
+/// Spans are *not* recorded by the solve hot path — the campaign layer
+/// stamps them around the whole job after draining the recorder — and
+/// they ride the non-deterministic metrics sidecar only (never the
+/// trace), so the determinism contract is untouched. They exist so the
+/// Perfetto export can reconstruct per-worker timelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpan {
+    /// Worker-thread ordinal that executed the job (0-based).
+    pub worker: u64,
+    /// Nanoseconds from run start to job start.
+    pub start_ns: u64,
+    /// Nanoseconds from run start to job completion.
+    pub end_ns: u64,
+}
+
 /// Everything one job recorded, drained out of the worker's recorder
 /// after the solve completes.
 #[derive(Debug, Clone)]
@@ -38,6 +55,10 @@ pub struct JobTelemetry {
     pub event_counts: [u64; EventKind::COUNT],
     /// Per-phase duration histograms, indexed by [`Phase::index`].
     pub hist: [DurationHist; Phase::COUNT],
+    /// Wall-clock execution window, stamped by the campaign layer
+    /// after the drain (never by the recorder itself). `None` for
+    /// drains that never pass through a campaign run.
+    pub span: Option<JobSpan>,
 }
 
 /// A pre-allocated per-worker recorder (see the module docs).
@@ -127,6 +148,7 @@ impl ActiveRecorder {
             phase_calls: self.phase_calls,
             event_counts: self.event_counts,
             hist: self.hist,
+            span: None,
         };
         self.reset();
         out

@@ -135,6 +135,35 @@ mod tests {
     }
 
     #[test]
+    fn quantile_rank_math_is_pinned() {
+        // Ceil-rank semantics: with counts [2 in bucket 1, 2 in bucket 3],
+        // rank(q) = max(1, ceil(q * 4)).
+        let mut h = DurationHist::new();
+        h.record(1); // bucket 1, upper bound 2
+        h.record(1);
+        h.record(5); // bucket 3, upper bound 8
+        h.record(7);
+        assert_eq!(h.quantile_upper_ns(0.0), Some(2), "q=0 is the minimum");
+        assert_eq!(h.quantile_upper_ns(0.25), Some(2)); // rank 1
+        assert_eq!(h.quantile_upper_ns(0.5), Some(2)); // rank 2
+        assert_eq!(h.quantile_upper_ns(0.51), Some(8)); // rank 3
+        assert_eq!(h.quantile_upper_ns(0.75), Some(8)); // rank 3
+        assert_eq!(h.quantile_upper_ns(1.0), Some(8), "q=1 is the maximum");
+        assert_eq!(h.quantile_upper_ns(2.0), Some(8), "q clamps to [0,1]");
+
+        // Bucket 0 (exact zero durations) reports an upper bound of 0.
+        let mut z = DurationHist::new();
+        z.record(0);
+        assert_eq!(z.quantile_upper_ns(0.5), Some(0));
+
+        // The saturating top bucket reports 2^63 (its lower bound —
+        // the only representable bound) rather than overflowing.
+        let mut top = DurationHist::new();
+        top.record(u64::MAX);
+        assert_eq!(top.quantile_upper_ns(0.5), Some(1u64 << 63));
+    }
+
+    #[test]
     fn roundtrip_from_trimmed_buckets() {
         let mut h = DurationHist::new();
         h.record(7);

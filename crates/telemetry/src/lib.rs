@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod active;
+pub mod error;
 pub mod event;
 pub mod hist;
 pub mod metrics;
@@ -32,7 +33,8 @@ pub mod recorder;
 pub mod report;
 pub mod trace;
 
-pub use active::{ActiveRecorder, JobTelemetry, DEFAULT_RING_CAPACITY};
+pub use active::{ActiveRecorder, JobSpan, JobTelemetry, DEFAULT_RING_CAPACITY};
+pub use error::TelemetryError;
 pub use event::{Event, EventKind};
 pub use hist::DurationHist;
 pub use recorder::{NoopRecorder, Phase, Recorder, Stamp};

@@ -7,6 +7,11 @@
 //! non-deterministic — timings differ run to run — which is exactly
 //! why they are quarantined here instead of riding the trace.
 //!
+//! Campaign runs also stamp each job line with an optional `span`
+//! object (`worker`, `start_ns`, `end_ns` relative to run start) so
+//! the Perfetto export can reconstruct per-worker timelines; readers
+//! ignore unknown keys, so span-less files from older runs still load.
+//!
 //! Crash discipline mirrors the journal: per-job lines are appended
 //! and flushed at job completion; a torn tail is dropped on load;
 //! duplicate job lines (a job re-run after a crash) keep the *last*
@@ -17,7 +22,8 @@ use std::path::Path;
 
 use serde::json::{self, Value};
 
-use crate::active::JobTelemetry;
+use crate::active::{JobSpan, JobTelemetry};
+use crate::error::TelemetryError;
 use crate::hist::DurationHist;
 use crate::recorder::Phase;
 use crate::trace::{read_u64, TraceMeta};
@@ -33,6 +39,9 @@ pub struct JobPhases {
     pub calls: [u64; Phase::COUNT],
     /// Events the bounded trace ring dropped for this job.
     pub dropped: u64,
+    /// Wall-clock execution window relative to run start, when the
+    /// writing run recorded one (campaign runs do; older files don't).
+    pub span: Option<JobSpan>,
 }
 
 fn phase_map(values: &[u64; Phase::COUNT]) -> String {
@@ -64,12 +73,36 @@ pub fn job_line(
     ns: &[u64; Phase::COUNT],
     calls: &[u64; Phase::COUNT],
     dropped: u64,
+    span: Option<&JobSpan>,
 ) -> String {
+    let span_part = match span {
+        Some(s) => format!(
+            ",\"span\":{{\"worker\":{},\"start_ns\":{},\"end_ns\":{}}}",
+            s.worker, s.start_ns, s.end_ns
+        ),
+        None => String::new(),
+    };
     format!(
-        "{{\"job\":{job},\"ns\":{},\"calls\":{},\"dropped\":{dropped}}}",
+        "{{\"job\":{job},\"ns\":{},\"calls\":{},\"dropped\":{dropped}{span_part}}}",
         phase_map(ns),
         phase_map(calls),
     )
+}
+
+fn parse_span(v: &Value) -> Result<Option<JobSpan>, String> {
+    let Some(s) = v.get("span") else {
+        return Ok(None);
+    };
+    let u = |key: &str| {
+        s.get(key)
+            .and_then(read_u64)
+            .ok_or_else(|| format!("span missing `{key}`"))
+    };
+    Ok(Some(JobSpan {
+        worker: u("worker")?,
+        start_ns: u("start_ns")?,
+        end_ns: u("end_ns")?,
+    }))
 }
 
 fn hist_summary_line(hists: &[DurationHist; Phase::COUNT]) -> String {
@@ -129,12 +162,12 @@ pub struct MetricsFile {
 
 impl MetricsFile {
     /// Loads and validates a metrics sidecar; drops a torn final line.
-    pub fn load(path: &Path) -> Result<MetricsFile, String> {
-        let merr = |m: String| format!("{}: {m}", path.display());
+    pub fn load(path: &Path) -> Result<MetricsFile, TelemetryError> {
+        let p = || path.display().to_string();
         let mut text = String::new();
         std::fs::File::open(path)
             .and_then(|mut f| f.read_to_string(&mut text))
-            .map_err(|e| merr(e.to_string()))?;
+            .map_err(|e| TelemetryError::io(path, e))?;
         let mut lines: Vec<(usize, &str)> = Vec::new();
         let mut start = 0usize;
         for (i, byte) in text.bytes().enumerate() {
@@ -145,49 +178,56 @@ impl MetricsFile {
         }
         let tail = &text[start..];
         let meta = match lines.first() {
-            Some((_, first)) => TraceMeta::parse_metrics_header(first).map_err(merr)?,
+            Some((_, first)) => TraceMeta::parse_metrics_header(first)
+                .map_err(|msg| TelemetryError::Header { path: p(), msg })?,
             None if !tail.is_empty() => {
-                return Err(merr(
-                    "torn header line (crash during sidecar creation)".into(),
-                ));
+                return Err(TelemetryError::Header {
+                    path: p(),
+                    msg: "torn header line (crash during sidecar creation)".into(),
+                });
             }
-            None => return Err(merr("empty metrics sidecar".into())),
+            None => return Err(TelemetryError::Empty { path: p() }),
+        };
+        let mal = |off: usize, msg: String| TelemetryError::Malformed {
+            path: p(),
+            offset: off,
+            msg,
         };
         let mut jobs: Vec<JobPhases> = Vec::new();
         let mut by_job: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
         let mut hist = None;
         for &(off, line) in &lines[1..] {
-            let v = json::parse(line).map_err(|e| merr(format!("line at byte {off}: {e}")))?;
+            let v = json::parse(line).map_err(|e| mal(off, e.to_string()))?;
             if v.get("summary").is_some() {
-                hist = Some(parse_hist_summary(&v).map_err(|e| merr(format!("byte {off}: {e}")))?);
+                hist = Some(parse_hist_summary(&v).map_err(|e| mal(off, e))?);
                 continue;
             }
             let job = v
                 .get("job")
                 .and_then(read_u64)
-                .ok_or_else(|| merr(format!("line at byte {off}: missing `job`")))?
-                as usize;
+                .ok_or_else(|| mal(off, "missing `job`".into()))? as usize;
             if job >= meta.total_jobs {
-                return Err(merr(format!("job {job} out of range")));
+                return Err(TelemetryError::JobOutOfRange {
+                    path: p(),
+                    job,
+                    total: meta.total_jobs,
+                });
             }
             let rec = JobPhases {
                 job,
                 ns: v
                     .get("ns")
-                    .ok_or_else(|| merr(format!("byte {off}: missing `ns`")))
-                    .and_then(|m| {
-                        parse_phase_map(m).map_err(|e| merr(format!("byte {off}: {e}")))
-                    })?,
+                    .ok_or_else(|| mal(off, "missing `ns`".into()))
+                    .and_then(|m| parse_phase_map(m).map_err(|e| mal(off, e)))?,
                 calls: v
                     .get("calls")
-                    .ok_or_else(|| merr(format!("byte {off}: missing `calls`")))
-                    .and_then(|m| {
-                        parse_phase_map(m).map_err(|e| merr(format!("byte {off}: {e}")))
-                    })?,
+                    .ok_or_else(|| mal(off, "missing `calls`".into()))
+                    .and_then(|m| parse_phase_map(m).map_err(|e| mal(off, e)))?,
                 dropped: v
                     .get("dropped")
                     .and_then(read_u64)
-                    .ok_or_else(|| merr(format!("byte {off}: missing `dropped`")))?,
+                    .ok_or_else(|| mal(off, "missing `dropped`".into()))?,
+                span: parse_span(&v).map_err(|e| mal(off, e))?,
             };
             match by_job.get(&job) {
                 Some(&i) => jobs[i] = rec, // re-run after a crash: last wins
@@ -219,24 +259,25 @@ pub struct MetricsWriter {
 impl MetricsWriter {
     /// Creates a fresh sidecar at `path`, writing (and flushing) the
     /// header. Refuses to overwrite an existing file.
-    pub fn create(path: &Path, meta: &TraceMeta) -> Result<MetricsWriter, String> {
-        let merr = |m: String| format!("{}: {m}", path.display());
+    pub fn create(path: &Path, meta: &TraceMeta) -> Result<MetricsWriter, TelemetryError> {
         let mut file = std::fs::OpenOptions::new()
             .write(true)
             .create_new(true)
             .open(path)
             .map_err(|e| {
                 if e.kind() == std::io::ErrorKind::AlreadyExists {
-                    merr("metrics sidecar already exists (pass --resume to continue it, or remove it)".into())
+                    TelemetryError::AlreadyExists {
+                        path: path.display().to_string(),
+                    }
                 } else {
-                    merr(e.to_string())
+                    TelemetryError::io(path, e)
                 }
             })?;
         let mut line = meta.metrics_header();
         line.push('\n');
         file.write_all(line.as_bytes())
             .and_then(|()| file.flush())
-            .map_err(|e| merr(e.to_string()))?;
+            .map_err(|e| TelemetryError::io(path, e))?;
         Ok(MetricsWriter {
             file,
             hists: [DurationHist::new(); Phase::COUNT],
@@ -247,24 +288,26 @@ impl MetricsWriter {
     /// against `meta`, truncates a torn tail, seeds the histogram
     /// accumulator from the prior run's summary (if any), and seeks to
     /// the end.
-    pub fn resume(path: &Path, meta: &TraceMeta) -> Result<MetricsWriter, String> {
-        let merr = |m: String| format!("{}: {m}", path.display());
+    pub fn resume(path: &Path, meta: &TraceMeta) -> Result<MetricsWriter, TelemetryError> {
         let loaded = MetricsFile::load(path)?;
         if loaded.meta != *meta {
-            return Err(merr(format!(
-                "metrics sidecar belongs to a different campaign (header name `{}`)",
-                loaded.meta.name
-            )));
+            return Err(TelemetryError::CampaignMismatch {
+                path: path.display().to_string(),
+                msg: format!(
+                    "metrics sidecar belongs to a different campaign (header name `{}`)",
+                    loaded.meta.name
+                ),
+            });
         }
         let file = std::fs::OpenOptions::new()
             .write(true)
             .open(path)
-            .map_err(|e| merr(e.to_string()))?;
+            .map_err(|e| TelemetryError::io(path, e))?;
         file.set_len(loaded.valid_len)
-            .map_err(|e| merr(e.to_string()))?;
+            .map_err(|e| TelemetryError::io(path, e))?;
         let mut file = file;
         file.seek(std::io::SeekFrom::End(0))
-            .map_err(|e| merr(e.to_string()))?;
+            .map_err(|e| TelemetryError::io(path, e))?;
         Ok(MetricsWriter {
             file,
             hists: loaded.hist.unwrap_or([DurationHist::new(); Phase::COUNT]),
@@ -273,26 +316,38 @@ impl MetricsWriter {
 
     /// Appends one job's phase breakdown and flushes; merges its
     /// histograms into the summary accumulator.
-    pub fn append_job(&mut self, tele: &JobTelemetry) -> Result<(), String> {
+    pub fn append_job(&mut self, tele: &JobTelemetry) -> Result<(), TelemetryError> {
         for (acc, h) in self.hists.iter_mut().zip(tele.hist.iter()) {
             acc.merge(h);
         }
-        let mut line = job_line(tele.job, &tele.phase_ns, &tele.phase_calls, tele.dropped);
+        let mut line = job_line(
+            tele.job,
+            &tele.phase_ns,
+            &tele.phase_calls,
+            tele.dropped,
+            tele.span.as_ref(),
+        );
         line.push('\n');
         self.file
             .write_all(line.as_bytes())
             .and_then(|()| self.file.flush())
-            .map_err(|e| e.to_string())
+            .map_err(|e| TelemetryError::Io {
+                path: "<metrics>".into(),
+                msg: e.to_string(),
+            })
     }
 
     /// Appends the merged-histogram summary line and flushes.
-    pub fn finish(&mut self) -> Result<(), String> {
+    pub fn finish(&mut self) -> Result<(), TelemetryError> {
         let mut line = hist_summary_line(&self.hists);
         line.push('\n');
         self.file
             .write_all(line.as_bytes())
             .and_then(|()| self.file.flush())
-            .map_err(|e| e.to_string())
+            .map_err(|e| TelemetryError::Io {
+                path: "<metrics>".into(),
+                msg: e.to_string(),
+            })
     }
 }
 
@@ -319,6 +374,7 @@ mod tests {
             phase_calls: [0; Phase::COUNT],
             event_counts: [0; crate::event::EventKind::COUNT],
             hist: [DurationHist::new(); Phase::COUNT],
+            span: None,
         };
         t.phase_ns[Phase::Step.index()] = step_ns;
         t.phase_calls[Phase::Step.index()] = 4;
@@ -362,6 +418,37 @@ mod tests {
         let j2 = loaded.jobs.iter().find(|j| j.job == 2).unwrap();
         assert_eq!(j2.ns[Phase::Step.index()], 6000, "last occurrence wins");
         assert_eq!(loaded.hist.unwrap()[Phase::Step.index()].count(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn span_records_roundtrip_and_stay_optional() {
+        let dir = std::env::temp_dir().join(format!("ftcg-span-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("m.jsonl");
+        let _ = std::fs::remove_file(&p);
+        let m = meta();
+        let mut w = MetricsWriter::create(&p, &m).unwrap();
+        let mut spanned = tele(0, 4000);
+        spanned.span = Some(JobSpan {
+            worker: 2,
+            start_ns: 1000,
+            end_ns: 5500,
+        });
+        w.append_job(&spanned).unwrap();
+        w.append_job(&tele(1, 2000)).unwrap(); // span-less line in the same file
+        w.finish().unwrap();
+        drop(w);
+        let loaded = MetricsFile::load(&p).unwrap();
+        assert_eq!(
+            loaded.jobs[0].span,
+            Some(JobSpan {
+                worker: 2,
+                start_ns: 1000,
+                end_ns: 5500,
+            })
+        );
+        assert_eq!(loaded.jobs[1].span, None);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

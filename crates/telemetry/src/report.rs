@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use crate::event::{Event, EventKind};
+use crate::hist::DurationHist;
 use crate::metrics::JobPhases;
 use crate::recorder::Phase;
 
@@ -136,8 +137,46 @@ pub fn render_report(rows: &[ConfigReport]) -> String {
     out
 }
 
-/// Renders rows as an aligned two-space-separated table.
-fn render_table(rows: &[Vec<String>]) -> String {
+/// Renders the merged per-phase duration quantiles (the sidecar's
+/// summary histograms) as an aligned table. Each quantile is an *upper
+/// bound* at log2-bucket resolution — a factor of two — which is the
+/// precision the allocation-free recorder can afford; phases with no
+/// recorded calls are omitted.
+pub fn render_phase_quantiles(hists: &[DurationHist; Phase::COUNT]) -> String {
+    let mut table: Vec<Vec<String>> = vec![vec![
+        "phase".into(),
+        "calls".into(),
+        "p50 ns".into(),
+        "p90 ns".into(),
+        "p99 ns".into(),
+    ]];
+    for p in Phase::ALL {
+        let h = &hists[p.index()];
+        if h.is_empty() {
+            continue;
+        }
+        let q = |x: f64| {
+            h.quantile_upper_ns(x)
+                .map_or_else(|| "-".to_string(), |v| v.to_string())
+        };
+        table.push(vec![
+            p.name().to_string(),
+            h.count().to_string(),
+            q(0.50),
+            q(0.90),
+            q(0.99),
+        ]);
+    }
+    let mut out =
+        String::from("Phase duration quantiles (log2-bucket upper bounds, all timed jobs)\n");
+    out.push_str(&render_table(&table));
+    out
+}
+
+/// Renders rows as an aligned two-space-separated table (first column
+/// left-aligned, the rest right-aligned). Shared by every report-style
+/// renderer in the workspace so tables look uniform.
+pub fn render_table(rows: &[Vec<String>]) -> String {
     let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
     let mut width = vec![0usize; cols];
     for row in rows {
@@ -308,6 +347,7 @@ mod tests {
             ns: [10; Phase::COUNT],
             calls: [1; Phase::COUNT],
             dropped: 0,
+            span: None,
         }];
         let rows = fold_report(&labels, 2, &events, &metrics).unwrap();
         assert_eq!(rows[0].traced_jobs, 2);
@@ -320,6 +360,33 @@ mod tests {
         assert!(rendered.contains("Phase wall time"));
         // Out-of-range jobs are an error.
         assert!(fold_report(&labels, 2, &trace_of(4), &[]).is_err());
+    }
+
+    #[test]
+    fn phase_quantile_table_is_pinned() {
+        let mut hists = [DurationHist::new(); Phase::COUNT];
+        // 90 fast steps (100 ns → bucket 7, bound 128) and 10 slow ones
+        // (100 µs → bucket 17, bound 131072); one 3 ns checkpoint.
+        for _ in 0..90 {
+            hists[Phase::Step.index()].record(100);
+        }
+        for _ in 0..10 {
+            hists[Phase::Step.index()].record(100_000);
+        }
+        hists[Phase::Checkpoint.index()].record(3);
+        let rendered = render_phase_quantiles(&hists);
+        let step_row: Vec<&str> = rendered
+            .lines()
+            .find(|l| l.starts_with("step"))
+            .unwrap()
+            .split_whitespace()
+            .collect();
+        assert_eq!(step_row, ["step", "100", "128", "128", "131072"]);
+        assert!(rendered.contains("checkpoint"));
+        assert!(
+            !rendered.contains("rollback"),
+            "empty phases must be omitted"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::path::Path;
 
 use serde::json::{self, Value};
 
+use crate::error::TelemetryError;
 use crate::event::{target, via, Event, EventKind};
 
 /// Trace format version (bumped on any incompatible line change).
@@ -245,12 +246,12 @@ impl Trace {
     /// mid-write) is dropped; duplicate `(job, seq)` lines are benign
     /// when byte-identical (a job re-run after a crash re-appends its
     /// deterministic block) and an error when they differ.
-    pub fn load(path: &Path) -> Result<Trace, String> {
-        let terr = |m: String| format!("{}: {m}", path.display());
+    pub fn load(path: &Path) -> Result<Trace, TelemetryError> {
+        let p = || path.display().to_string();
         let mut text = String::new();
         std::fs::File::open(path)
             .and_then(|mut f| f.read_to_string(&mut text))
-            .map_err(|e| terr(e.to_string()))?;
+            .map_err(|e| TelemetryError::io(path, e))?;
         let mut lines: Vec<(usize, &str)> = Vec::new();
         let mut start = 0usize;
         for (i, byte) in text.bytes().enumerate() {
@@ -261,25 +262,31 @@ impl Trace {
         }
         let tail = &text[start..];
         let meta = match lines.first() {
-            Some((_, first)) => TraceMeta::parse_trace_header(first).map_err(terr)?,
+            Some((_, first)) => TraceMeta::parse_trace_header(first)
+                .map_err(|msg| TelemetryError::Header { path: p(), msg })?,
             None if !tail.is_empty() => {
-                return Err(terr(
-                    "torn header line (crash during trace creation)".into(),
-                ));
+                return Err(TelemetryError::Header {
+                    path: p(),
+                    msg: "torn header line (crash during trace creation)".into(),
+                });
             }
-            None => return Err(terr("empty trace".into())),
+            None => return Err(TelemetryError::Empty { path: p() }),
         };
         let mut out: Vec<(usize, usize, String)> = Vec::with_capacity(lines.len() - 1);
         let mut seen: std::collections::HashMap<(usize, usize), usize> =
             std::collections::HashMap::new();
         for &(off, line) in &lines[1..] {
-            let (job, seq, _) =
-                parse_event(line).map_err(|e| terr(format!("event at byte {off}: {e}")))?;
+            let (job, seq, _) = parse_event(line).map_err(|msg| TelemetryError::Malformed {
+                path: p(),
+                offset: off,
+                msg,
+            })?;
             if job >= meta.total_jobs {
-                return Err(terr(format!(
-                    "event for job {job} out of range (campaign has {} jobs)",
-                    meta.total_jobs
-                )));
+                return Err(TelemetryError::JobOutOfRange {
+                    path: p(),
+                    job,
+                    total: meta.total_jobs,
+                });
             }
             match seen.get(&(job, seq)) {
                 None => {
@@ -288,9 +295,11 @@ impl Trace {
                 }
                 Some(&i) if out[i].2 == line => {} // benign re-run duplicate
                 Some(_) => {
-                    return Err(terr(format!(
-                        "conflicting duplicate trace lines for job {job} seq {seq}"
-                    )));
+                    return Err(TelemetryError::ConflictingDuplicate {
+                        path: p(),
+                        job,
+                        seq,
+                    });
                 }
             }
         }
@@ -327,9 +336,9 @@ impl Trace {
     /// Merges shard traces of one campaign into a single trace.
     /// Headers must agree; overlapping `(job, seq)` lines must be
     /// byte-identical.
-    pub fn merge(traces: Vec<Trace>) -> Result<Trace, String> {
+    pub fn merge(traces: Vec<Trace>) -> Result<Trace, TelemetryError> {
         let mut iter = traces.into_iter();
-        let mut base = iter.next().ok_or("no traces to merge")?;
+        let mut base = iter.next().ok_or(TelemetryError::NoInput)?;
         let mut seen: std::collections::HashMap<(usize, usize), usize> = base
             .lines
             .iter()
@@ -338,10 +347,13 @@ impl Trace {
             .collect();
         for t in iter {
             if t.meta != base.meta {
-                return Err(format!(
-                    "trace headers disagree: campaign `{}` (fingerprint {:#x}) vs `{}` ({:#x})",
-                    base.meta.name, base.meta.fingerprint, t.meta.name, t.meta.fingerprint
-                ));
+                return Err(TelemetryError::CampaignMismatch {
+                    path: "<merge>".into(),
+                    msg: format!(
+                        "trace headers disagree: campaign `{}` (fingerprint {:#x}) vs `{}` ({:#x})",
+                        base.meta.name, base.meta.fingerprint, t.meta.name, t.meta.fingerprint
+                    ),
+                });
             }
             for (job, seq, line) in t.lines {
                 match seen.get(&(job, seq)) {
@@ -351,9 +363,11 @@ impl Trace {
                     }
                     Some(&i) if base.lines[i].2 == line => {}
                     Some(_) => {
-                        return Err(format!(
-                            "conflicting trace lines for job {job} seq {seq} across files"
-                        ));
+                        return Err(TelemetryError::ConflictingDuplicate {
+                            path: "<merge>".into(),
+                            job,
+                            seq,
+                        });
                     }
                 }
             }
@@ -374,55 +388,58 @@ pub struct TraceWriter {
 impl TraceWriter {
     /// Creates a fresh trace at `path`, writing (and flushing) the
     /// header. Refuses to overwrite an existing file.
-    pub fn create(path: &Path, meta: &TraceMeta) -> Result<TraceWriter, String> {
-        let terr = |m: String| format!("{}: {m}", path.display());
+    pub fn create(path: &Path, meta: &TraceMeta) -> Result<TraceWriter, TelemetryError> {
         let mut file = std::fs::OpenOptions::new()
             .write(true)
             .create_new(true)
             .open(path)
             .map_err(|e| {
                 if e.kind() == std::io::ErrorKind::AlreadyExists {
-                    terr("trace already exists (pass --resume to continue it, or remove it)".into())
+                    TelemetryError::AlreadyExists {
+                        path: path.display().to_string(),
+                    }
                 } else {
-                    terr(e.to_string())
+                    TelemetryError::io(path, e)
                 }
             })?;
         let mut line = meta.trace_header();
         line.push('\n');
         file.write_all(line.as_bytes())
             .and_then(|()| file.flush())
-            .map_err(|e| terr(e.to_string()))?;
+            .map_err(|e| TelemetryError::io(path, e))?;
         Ok(TraceWriter { file })
     }
 
     /// Reopens an existing trace for appending: validates the header
     /// against `meta`, truncates away a torn final line, and seeks to
     /// the end. Returns the writer and the loaded prefix.
-    pub fn resume(path: &Path, meta: &TraceMeta) -> Result<(TraceWriter, Trace), String> {
-        let terr = |m: String| format!("{}: {m}", path.display());
+    pub fn resume(path: &Path, meta: &TraceMeta) -> Result<(TraceWriter, Trace), TelemetryError> {
         let trace = Trace::load(path)?;
         if trace.meta != *meta {
-            return Err(terr(format!(
-                "trace belongs to a different campaign (header name `{}`, fingerprint {:#x})",
-                trace.meta.name, trace.meta.fingerprint
-            )));
+            return Err(TelemetryError::CampaignMismatch {
+                path: path.display().to_string(),
+                msg: format!(
+                    "trace belongs to a different campaign (header name `{}`, fingerprint {:#x})",
+                    trace.meta.name, trace.meta.fingerprint
+                ),
+            });
         }
         let file = std::fs::OpenOptions::new()
             .write(true)
             .open(path)
-            .map_err(|e| terr(e.to_string()))?;
+            .map_err(|e| TelemetryError::io(path, e))?;
         file.set_len(trace.valid_len)
-            .map_err(|e| terr(e.to_string()))?;
+            .map_err(|e| TelemetryError::io(path, e))?;
         let mut file = file;
         file.seek(std::io::SeekFrom::End(0))
-            .map_err(|e| terr(e.to_string()))?;
+            .map_err(|e| TelemetryError::io(path, e))?;
         Ok((TraceWriter { file }, trace))
     }
 
     /// Appends one job's event block (one line per event, `seq` = ring
     /// position) and flushes. One `write_all` call keeps the torn-write
     /// window to a single job block.
-    pub fn append_job(&mut self, job: usize, events: &[Event]) -> Result<(), String> {
+    pub fn append_job(&mut self, job: usize, events: &[Event]) -> Result<(), TelemetryError> {
         let mut block = String::new();
         for (seq, ev) in events.iter().enumerate() {
             block.push_str(&render_event(job, seq, ev));
@@ -431,7 +448,10 @@ impl TraceWriter {
         self.file
             .write_all(block.as_bytes())
             .and_then(|()| self.file.flush())
-            .map_err(|e| e.to_string())
+            .map_err(|e| TelemetryError::Io {
+                path: "<trace>".into(),
+                msg: e.to_string(),
+            })
     }
 }
 
@@ -439,12 +459,11 @@ impl TraceWriter {
 /// by `(job, seq)`, duplicates removed) via a sibling temp file and an
 /// atomic rename. Called once a run completes successfully; after
 /// this, traces of the same campaign are directly byte-comparable.
-pub fn canonicalize(path: &Path) -> Result<(), String> {
+pub fn canonicalize(path: &Path) -> Result<(), TelemetryError> {
     let trace = Trace::load(path)?;
     let tmp = path.with_extension("canonical.tmp");
-    std::fs::write(&tmp, trace.canonical_string())
-        .map_err(|e| format!("{}: {e}", tmp.display()))?;
-    std::fs::rename(&tmp, path).map_err(|e| format!("{}: {e}", path.display()))
+    std::fs::write(&tmp, trace.canonical_string()).map_err(|e| TelemetryError::io(&tmp, e))?;
+    std::fs::rename(&tmp, path).map_err(|e| TelemetryError::io(path, e))
 }
 
 #[cfg(test)]
@@ -556,7 +575,10 @@ mod tests {
             .unwrap();
         f.write_all(b"\n").unwrap();
         drop(f);
-        assert!(Trace::load(&p1).unwrap_err().contains("conflicting"));
+        assert!(matches!(
+            Trace::load(&p1).unwrap_err(),
+            TelemetryError::ConflictingDuplicate { job: 0, seq: 0, .. }
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

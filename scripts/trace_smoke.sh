@@ -64,4 +64,71 @@ if [ "$jobs_in_report" != "$records_in_journal" ]; then
 fi
 echo "   report job totals match the journal ($records_in_journal records)"
 
+echo "-- observatory sections: quantiles + protocol analytics tables"
+grep -q "Phase duration quantiles" "$tmp/report.txt"
+grep -q "Detection latency" "$tmp/report.txt"
+grep -q "Rollback waste" "$tmp/report.txt"
+grep -q "Empirical fault pressure" "$tmp/report.txt"
+echo "   all four analytics sections rendered"
+
+echo "-- perfetto timeline export"
+"$BIN" report "$tmp/run.trace.jsonl" "$tmp/run.metrics.jsonl" \
+    --perfetto "$tmp/timeline.json" > /dev/null
+grep -q '"traceEvents"' "$tmp/timeline.json"
+grep -q 'process_name' "$tmp/timeline.json"
+grep -q '"ph":"X"' "$tmp/timeline.json"
+echo "   timeline written with metadata and duration spans"
+
+echo "-- kill mid-run, resume: sidecar duplicates must dedupe last-wins"
+"$BIN" campaign --spec "$tmp/smoke.campaign" --threads 1 --quiet --resume \
+    --journal "$tmp/kr.jsonl" --trace "$tmp/kr.trace.jsonl" \
+    --metrics "$tmp/kr.metrics.jsonl" --out /dev/null
+# Simulate the kill: the journal keeps its manifest plus 4 records and
+# a torn 5th; the trace keeps the jobs the journal knows about plus two
+# more (a trace block is durable *before* its journal record); the
+# sidecar keeps those same 6 job lines plus a torn 7th. The resumed run
+# therefore re-executes jobs 4 and 5 and re-appends their sidecar
+# lines — exactly the duplicate-line case the loader must last-wins.
+head -n 5 "$tmp/kr.jsonl" > "$tmp/kr.jsonl.cut" \
+    && printf '{"job":4,"el' >> "$tmp/kr.jsonl.cut" \
+    && mv "$tmp/kr.jsonl.cut" "$tmp/kr.jsonl"
+awk 'NR==1 || /"job":[0-5],/' "$tmp/kr.trace.jsonl" > "$tmp/kr.trace.jsonl.cut" \
+    && mv "$tmp/kr.trace.jsonl.cut" "$tmp/kr.trace.jsonl"
+head -n 7 "$tmp/kr.metrics.jsonl" > "$tmp/kr.metrics.jsonl.cut" \
+    && printf '{"job":6,"ns":{"st' >> "$tmp/kr.metrics.jsonl.cut" \
+    && mv "$tmp/kr.metrics.jsonl.cut" "$tmp/kr.metrics.jsonl"
+"$BIN" campaign --spec "$tmp/smoke.campaign" --threads 2 --quiet --resume \
+    --journal "$tmp/kr.jsonl" --trace "$tmp/kr.trace.jsonl" \
+    --metrics "$tmp/kr.metrics.jsonl" --out "$tmp/kr.out.jsonl"
+
+cmp "$tmp/plain.jsonl" "$tmp/kr.out.jsonl"
+cmp "$tmp/run.trace.jsonl" "$tmp/kr.trace.jsonl"
+echo "   resumed artifacts and trace byte-identical to the clean run"
+
+for job in 4 5; do
+    n="$(grep -c "\"job\":$job," "$tmp/kr.metrics.jsonl")"
+    if [ "$n" -lt 2 ]; then
+        echo "error: expected a duplicate sidecar line for re-run job $job (got $n)" >&2
+        exit 1
+    fi
+done
+grep -q '"summary"' "$tmp/kr.metrics.jsonl"
+echo "   re-run jobs left duplicate sidecar lines and a summary line"
+
+"$BIN" report "$tmp/kr.trace.jsonl" "$tmp/kr.metrics.jsonl" "$tmp/kr.jsonl" \
+    --spec "$tmp/smoke.campaign" > "$tmp/kr.report.txt"
+kr_jobs="$(awk '/^Protocol events/{f=1;next} /^$/{f=0} f && !/^config/ {s+=$(NF-7)} END{print s}' "$tmp/kr.report.txt")"
+if [ "$kr_jobs" != "$records_in_journal" ]; then
+    echo "error: resumed report counts $kr_jobs jobs, want $records_in_journal (duplicates not deduped?)" >&2
+    exit 1
+fi
+echo "   resumed report dedupes to $kr_jobs jobs (last occurrence wins)"
+
+# The trace-only report (protocol events + analytics, no wall-clock
+# sections) must be byte-identical between the clean and resumed runs.
+"$BIN" report "$tmp/run.trace.jsonl" --spec "$tmp/smoke.campaign" > "$tmp/clean.tr.txt"
+"$BIN" report "$tmp/kr.trace.jsonl" --spec "$tmp/smoke.campaign" > "$tmp/kr.tr.txt"
+cmp "$tmp/clean.tr.txt" "$tmp/kr.tr.txt"
+echo "   trace-only analytics byte-identical across the resume boundary"
+
 echo "trace/report smoke passed."
