@@ -53,6 +53,8 @@ echo "==> advisory bench regression gate (vs the checked-in baseline)"
 if [ -f BENCH_2026-08-08.json ]; then
     target/release/ftcg bench --suite quick --runs 2 \
         --against BENCH_2026-08-08.json --warn-only
+    target/release/ftcg bench --suite kernels --runs 3 \
+        --against BENCH_2026-08-08.json --warn-only
 else
     echo "    no checked-in baseline; skipping"
 fi

@@ -19,7 +19,9 @@
 use ftcg::obs::benchfile::{migrate_legacy, BenchEntry, BenchFile};
 use ftcg::obs::diff::{any_regression, diff_entries, render_diff};
 use ftcg::obs::host::HostInfo;
-use ftcg::obs::suites::{run_campaign_suite, solver_step_suite, telemetry_suite, SuiteResult};
+use ftcg::obs::suites::{
+    kernels_suite, run_campaign_suite, solver_step_suite, telemetry_suite, SuiteResult,
+};
 use ftcg::sim::benchspec::{quick_bench_spec, table1_bench_spec};
 use ftcg::sim::matrices::PaperMatrixResolver;
 
@@ -79,17 +81,20 @@ fn run_suites(
         )
     };
     // Micro-suite parameters are pinned to the historical bench targets
-    // (poisson2d(64), 150 iterations) so entries line up across PRs.
+    // (poisson2d(64), 150 iterations, 8 fused columns) so entries line
+    // up across PRs.
     let solver = || solver_step_suite(64, 150, runs.max(5));
     let telemetry = || telemetry_suite(64, 150, runs.max(5));
+    let kernels = || kernels_suite(64, 8, runs.max(5));
     match suite {
         "quick" => Ok(vec![quick()?]),
         "table1" => Ok(vec![table1()?]),
+        "kernels" => Ok(vec![kernels()?]),
         "solver-step" => Ok(vec![solver()?]),
         "telemetry" => Ok(vec![telemetry()?]),
-        "all" => Ok(vec![quick()?, solver()?, telemetry()?]),
+        "all" => Ok(vec![quick()?, kernels()?, solver()?, telemetry()?]),
         other => Err(format!(
-            "unknown suite `{other}` (quick | table1 | solver-step | telemetry | all)"
+            "unknown suite `{other}` (quick | table1 | kernels | solver-step | telemetry | all)"
         )),
     }
 }

@@ -34,7 +34,7 @@ USAGE:
                 [--seed N] [--kernel K] [--threads N] [--trace F] [--metrics F]
   ftcg stats    (--matrix F.mtx | --gen SPEC)
   ftcg campaign (--spec FILE | inline flags) [--out F.jsonl] [--csv F.csv]
-                [--reps N] [--seed N] [--threads N] [--quiet]
+                [--reps N] [--seed N] [--threads N] [--batch N|auto] [--quiet]
                 [--journal F.jsonl] [--resume] [--shard i/k]
                 [--trace F.jsonl] [--metrics F.jsonl]
   ftcg merge    (--spec FILE | inline flags) JOURNAL... [--out F.jsonl]
@@ -79,7 +79,7 @@ CAMPAIGNS:
   spec + seed => byte-identical JSONL/CSV output.
 
   --spec FILE   declarative spec: `key = value` lines or a JSON object
-                (keys: name seed reps threads max_iters matrices
+                (keys: name seed reps threads batch max_iters matrices
                 schemes alphas solvers kernels interval). `-` reads
                 stdin.
   Inline flags instead of a file:
@@ -91,6 +91,14 @@ CAMPAIGNS:
   fault streams, so solver columns are directly comparable. The
   `kernels` axis sweeps SpMV backends the same way; `auto:bench` is
   rejected there because its choice is wall-clock dependent.
+  --batch N|auto  advance up to N repetitions of one configuration in
+                lockstep against a shared matrix image, fusing their
+                SpMVs into one multi-vector traversal (`auto` sizes
+                the width from reps/threads and only fuses matrices
+                whose image spills the cache — small images run
+                faster sequentially). Pure throughput knob: every
+                artifact — summaries, journals, traces — is
+                byte-identical to --batch 1.
   --out F       write JSONL summaries (default: print to stdout)
   --csv F       also write CSV
   --quiet       suppress the progress ticker
@@ -156,9 +164,13 @@ PERFORMANCE OBSERVATORY (ftcg bench):
                  seconds; the CI advisory gate
     table1       the paper's Table 1 campaign throughput suite
                  (--scale, --reps forwarded; minutes)
+    kernels      SpMV microkernels, ns/nonzero: reference CSR vs
+                 SELL-8 vs BCSR-2, plus the fused multi-RHS traversal
+                 per column and its speedup over k separate products
     solver-step  CG state machine vs the legacy inlined loop, ns/iter
+                 (warmed, pair-interleaved samples; min-of-pair ratio)
     telemetry    recording overhead: baseline vs noop vs active
-    all          quick + solver-step + telemetry
+    all          quick + kernels + solver-step + telemetry
   --out F        append the entry to a BENCH_*.json file (created if
                  missing); without --out the entry prints to stdout
   --against F    diff the fresh entry against F's latest entry for the
@@ -431,6 +443,7 @@ fn campaign_value_flags() -> Vec<&'static str> {
         "--reps",
         "--seed",
         "--threads",
+        "--batch",
         "--out",
         "--csv",
         "--journal",
@@ -449,7 +462,7 @@ fn campaign_spec(args: &[String]) -> Result<CampaignSpec, String> {
         if let Some(flag) = GRID_FLAGS.iter().find(|f| args.iter().any(|a| a == *f)) {
             return Err(format!(
                 "{flag} cannot be combined with --spec (edit the spec file instead; \
-                 only --reps/--seed/--threads override a file)"
+                 only --reps/--seed/--threads/--batch override a file)"
             ));
         }
         let text = if path == "-" {
@@ -511,6 +524,7 @@ fn campaign_spec(args: &[String]) -> Result<CampaignSpec, String> {
     cs.reps = parse_strict(args, "--reps", cs.reps)?;
     cs.seed = parse_strict(args, "--seed", cs.seed)?;
     cs.threads = parse_strict(args, "--threads", cs.threads)?;
+    cs.batch = parse_strict(args, "--batch", cs.batch)?;
     Ok(cs)
 }
 
@@ -598,6 +612,7 @@ pub fn campaign(args: &[String]) -> i32 {
             progress: if quiet { None } else { Some(&ticker) },
             trace: trace.as_deref(),
             metrics: metrics.as_deref(),
+            batch: cs.batch,
         };
         let (outcome, folded) =
             run_campaign_sharded(&cs, &PaperMatrixResolver, &opts).map_err(|e| e.to_string())?;

@@ -73,7 +73,9 @@ pub use journal::{JobRecord, Journal, JournalWriter, Manifest, Shard};
 pub use pool::{
     run_indexed, run_indexed_ctx, run_indices_ctx, JobPanic, ProgressFn, WorkerObserver,
 };
-pub use spec::{CampaignSpec, DefaultResolver, IntervalPolicy, MatrixResolver, MatrixSource};
+pub use spec::{
+    BatchPolicy, CampaignSpec, DefaultResolver, IntervalPolicy, MatrixResolver, MatrixSource,
+};
 pub use workspace::JobWorkspace;
 
 /// Everything a typical engine user needs.
@@ -87,7 +89,7 @@ pub mod prelude {
     pub use crate::journal::{JobRecord, Shard};
     pub use crate::sink::{write_csv, write_jsonl};
     pub use crate::spec::{
-        CampaignSpec, DefaultResolver, IntervalPolicy, MatrixResolver, MatrixSource,
+        BatchPolicy, CampaignSpec, DefaultResolver, IntervalPolicy, MatrixResolver, MatrixSource,
     };
     pub use crate::workspace::JobWorkspace;
 }

@@ -1,7 +1,7 @@
 //! The built-in backends and their prepared forms.
 
 use ftcg_sparse::parallel::{partition_rows_balanced, spmv_parallel, RowBlock};
-use ftcg_sparse::{BcsrMatrix, CsrMatrix, SellCSigma};
+use ftcg_sparse::{BcsrMatrix, CsrMatrix, MultiVec, SellCSigma};
 
 use crate::kernel::{PreparedSpmv, SpmvKernel};
 use crate::spec::KernelSpec;
@@ -44,6 +44,10 @@ impl SpmvKernel for CsrSerial {
 impl PreparedSpmv for PreparedCsr<'_> {
     fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
         self.0.spmv_into(x, y);
+    }
+
+    fn spmm_into(&self, x: &MultiVec, y: &mut MultiVec) {
+        self.0.spmm_into(x, y);
     }
 
     fn backend(&self) -> String {
@@ -109,6 +113,10 @@ impl PreparedSpmv for PreparedCsrPar<'_> {
         spmv_parallel(self.a, x, y, &self.blocks);
     }
 
+    fn row_blocks(&self) -> Option<&[RowBlock]> {
+        Some(&self.blocks)
+    }
+
     fn backend(&self) -> String {
         format!("csr-par:{}", self.blocks.len().max(1))
     }
@@ -159,6 +167,10 @@ impl SpmvKernel for BcsrKernel {
 impl PreparedSpmv for BcsrMatrix {
     fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
         BcsrMatrix::spmv_into(self, x, y);
+    }
+
+    fn spmm_into(&self, x: &MultiVec, y: &mut MultiVec) {
+        BcsrMatrix::spmm_into(self, x, y);
     }
 
     fn backend(&self) -> String {
@@ -220,6 +232,10 @@ impl SpmvKernel for SellKernel {
 impl PreparedSpmv for SellCSigma {
     fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
         SellCSigma::spmv_into(self, x, y);
+    }
+
+    fn spmm_into(&self, x: &MultiVec, y: &mut MultiVec) {
+        SellCSigma::spmm_into(self, x, y);
     }
 
     fn backend(&self) -> String {
@@ -311,6 +327,54 @@ mod tests {
         assert_ne!(p.backend(), "auto");
         let p = CsrSerial.prepare(&a).unwrap();
         assert_eq!(p.backend(), "csr");
+    }
+
+    #[test]
+    fn every_builtin_spmm_is_bit_identical_to_spmv() {
+        let a = gen::random_spd(150, 0.05, 9).unwrap();
+        let k = 5usize;
+        let mut x = MultiVec::zeros(150, k);
+        for c in 0..k {
+            for (i, v) in x.col_mut(c).iter_mut().enumerate() {
+                *v = ((i + 3 * c) as f64 * 0.29).sin();
+            }
+        }
+        let kernels: Vec<Box<dyn SpmvKernel>> = vec![
+            Box::new(CsrSerial),
+            Box::new(CsrParallel { threads: 3 }),
+            Box::new(BcsrKernel { block: 2 }),
+            Box::new(BcsrKernel { block: 4 }),
+            Box::new(SellKernel {
+                chunk: 8,
+                sigma: 32,
+            }),
+        ];
+        for kern in kernels {
+            let p = kern.prepare(&a).unwrap();
+            let mut y = MultiVec::zeros(150, k);
+            p.spmm_into(&x, &mut y);
+            for c in 0..k {
+                let want = p.spmv(x.col(c));
+                for (i, w) in want.iter().enumerate() {
+                    assert_eq!(
+                        y.col(c)[i].to_bits(),
+                        w.to_bits(),
+                        "kernel {} col {c} row {i}",
+                        kern.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_par_exposes_cached_row_blocks() {
+        let a = gen::poisson2d(12).unwrap();
+        let p = CsrParallel { threads: 3 }.prepare(&a).unwrap();
+        let blocks = p.row_blocks().expect("csr-par caches its partition");
+        assert_eq!(blocks, &partition_rows_balanced(&a, 3)[..]);
+        // Serial backends have no partition to share.
+        assert!(CsrSerial.prepare(&a).unwrap().row_blocks().is_none());
     }
 
     #[test]

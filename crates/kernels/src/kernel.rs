@@ -7,7 +7,8 @@
 //! drivers' case) use [`crate::KernelSpec::product_defensive`], which
 //! re-materializes the format defensively from the live CSR image.
 
-use ftcg_sparse::CsrMatrix;
+use ftcg_sparse::parallel::RowBlock;
+use ftcg_sparse::{CsrMatrix, MultiVec};
 
 use crate::KernelError;
 
@@ -41,6 +42,38 @@ pub trait PreparedSpmv: Send + Sync {
 
     /// Number of columns of the prepared matrix.
     fn n_cols(&self) -> usize;
+
+    /// Multi-RHS product `Y ← A·X` over a column-major block of `k`
+    /// vectors.
+    ///
+    /// The default runs `k` independent [`PreparedSpmv::spmv_into`]
+    /// column loops; format-aware backends (CSR, SELL-C-σ, BCSR)
+    /// override it with a fused single-traversal kernel. Either way the
+    /// contract is the [`MultiVec`] determinism contract: every output
+    /// column is bit-identical to the single-vector product of the
+    /// matching input column.
+    ///
+    /// # Panics
+    /// Panics if `x.n() != n_cols`, `y.n() != n_rows`, or the column
+    /// counts differ.
+    fn spmm_into(&self, x: &MultiVec, y: &mut MultiVec) {
+        assert_eq!(x.n(), self.n_cols(), "spmm: x row count mismatch");
+        assert_eq!(y.n(), self.n_rows(), "spmm: y row count mismatch");
+        assert_eq!(x.k(), y.k(), "spmm: column count mismatch");
+        for c in 0..x.k() {
+            self.spmv_into(x.col(c), y.col_mut(c));
+        }
+    }
+
+    /// The cached balanced row partition, for backends that own one
+    /// (the parallel CSR backend computes it once at preparation time).
+    /// `None` for serial backends. Callers that want a reusable
+    /// partition without re-running the balancing heuristic (see
+    /// `ftcg_sparse::parallel::spmv_parallel_auto`'s caveat) read it
+    /// from here.
+    fn row_blocks(&self) -> Option<&[RowBlock]> {
+        None
+    }
 
     /// Allocating convenience wrapper around
     /// [`PreparedSpmv::spmv_into`].

@@ -230,7 +230,11 @@ impl DefensiveProduct {
     /// Panics if `y.len() != a.n_rows()`.
     pub fn product(&mut self, a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
         match self.spec {
-            KernelSpec::Csr | KernelSpec::Auto { .. } => a.spmv_clamped_into(x, y),
+            // Row-band variant: bit-identical to `spmv_clamped_into`
+            // (each row keeps one sequential chain) but four rows
+            // advance in lockstep, breaking the FP-add latency
+            // serialization of the scalar loop.
+            KernelSpec::Csr | KernelSpec::Auto { .. } => a.spmv_clamped_rowband_into(x, y),
             KernelSpec::CsrPar { threads } => spmv_clamped_parallel(a, x, y, threads),
             KernelSpec::Bcsr { block } => {
                 if !matches!(self.cache, Some(CachedFormat::Bcsr(_))) {
@@ -265,7 +269,7 @@ fn spmv_clamped_parallel(a: &CsrMatrix, x: &[f64], y: &mut [f64], threads: usize
     assert_eq!(y.len(), n, "csr-par defensive: y length mismatch");
     let t = effective_threads(threads).clamp(1, n.max(1));
     if t <= 1 || n == 0 {
-        a.spmv_clamped_into(x, y);
+        a.spmv_clamped_rowband_into(x, y);
         return;
     }
     let rows_per = n.div_ceil(t);
@@ -273,9 +277,8 @@ fn spmv_clamped_parallel(a: &CsrMatrix, x: &[f64], y: &mut [f64], threads: usize
         for (bi, ys) in y.chunks_mut(rows_per).enumerate() {
             scope.spawn(move |_| {
                 let base = bi * rows_per;
-                for (off, yi) in ys.iter_mut().enumerate() {
-                    *yi = a.row_product_clamped(x, base + off);
-                }
+                let hi = base + ys.len();
+                a.row_band_product_clamped(base..hi, x, ys);
             });
         }
     })
@@ -395,6 +398,36 @@ mod tests {
             assert_eq!(y3, want, "{}", spec.label());
             assert_ne!(y3, y1, "{}", spec.label());
             a.val_mut()[0] -= 1.0; // restore for the next spec
+        }
+    }
+
+    #[test]
+    fn rowband_defensive_csr_is_bit_identical_to_scalar_clamped() {
+        // The serial and parallel defensive CSR paths both run the
+        // row-band kernel; both must reproduce the scalar clamped
+        // reference bit for bit, clean and corrupted.
+        let mut a = gen::random_spd(230, 0.04, 17).unwrap();
+        let x: Vec<f64> = (0..230).map(|i| (i as f64 * 0.23).sin() * 1.5).collect();
+        for corrupt in [false, true] {
+            if corrupt {
+                a.rowptr_mut()[31] = usize::MAX;
+                a.rowptr_mut()[100] = 5;
+                a.colid_mut()[19] = 1 << 44;
+            }
+            let mut want = vec![0.0; 230];
+            a.spmv_clamped_into(&x, &mut want);
+            for spec in [KernelSpec::Csr, KernelSpec::CsrPar { threads: 3 }] {
+                let mut y = vec![0.0; 230];
+                spec.product_defensive(&a, &x, &mut y);
+                for i in 0..230 {
+                    assert_eq!(
+                        y[i].to_bits(),
+                        want[i].to_bits(),
+                        "spec {} corrupt {corrupt} row {i}",
+                        spec.label()
+                    );
+                }
+            }
         }
     }
 

@@ -10,6 +10,10 @@
 //! * [`run_campaign_suite`] — end-to-end campaign throughput with
 //!   telemetry enabled, plus the per-phase time budget from the
 //!   metrics sidecar of the best run;
+//! * [`kernels_suite`] — per-nonzero cost of the prepared SpMV
+//!   backends (reference CSR, fixed-C SELL-C-σ, register-blocked
+//!   BCSR) and the fused multi-RHS traversal's per-column cost
+//!   against single-vector products;
 //! * [`solver_step_suite`] — per-iteration cost of the CG state
 //!   machine against the historical inlined loop (the `solver_step`
 //!   bench target's gate, as a recorded measurement);
@@ -27,7 +31,7 @@ use ftcg_kernels::KernelSpec;
 use ftcg_model::Scheme;
 use ftcg_solvers::resilient::{solve_resilient_in, solve_resilient_recorded, ResilientConfig};
 use ftcg_solvers::{cg_solve_with, CgConfig, SolveStats, SolverWorkspace, StoppingCriterion};
-use ftcg_sparse::{gen, vector, CsrMatrix};
+use ftcg_sparse::{gen, vector, CsrMatrix, MultiVec};
 use ftcg_telemetry::metrics::MetricsFile;
 use ftcg_telemetry::{ActiveRecorder, NoopRecorder, Phase};
 
@@ -220,6 +224,16 @@ fn det_rhs(n: usize) -> Vec<f64> {
 
 /// Per-iteration cost of the CG state machine vs the legacy inlined
 /// loop, min-of-`reps` over `iters` full iterations on a Poisson grid.
+///
+/// The two loops are timed as *interleaved pairs* — one legacy run
+/// immediately followed by one machine run per sample — after an
+/// untimed warmup of each, and the overhead headline is the minimum
+/// over the per-pair ratios. Back-to-back pairing means frequency
+/// drift, page-cache warmup and scheduler interference hit both sides
+/// of a ratio equally, which is what makes the overhead number stable
+/// on noisy shared hosts (timing all legacy runs first and all machine
+/// runs second let a mid-suite turbo transition swing the headline by
+/// whole percents).
 pub fn solver_step_suite(grid: usize, iters: usize, reps: usize) -> Result<SuiteResult, String> {
     let a = gen::poisson2d(grid).map_err(|e| e.to_string())?;
     let n = a.n_rows();
@@ -230,11 +244,29 @@ pub fn solver_step_suite(grid: usize, iters: usize, reps: usize) -> Result<Suite
         max_iters: iters,
     };
     let kernel = KernelSpec::Csr.prepare(&a).map_err(|e| e.to_string())?;
-    let legacy = per_iter_samples(reps, || legacy_cg(&a, &b, &x0, &cfg).iterations);
-    let machine = per_iter_samples(reps, || {
-        cg_solve_with(&a, &b, &x0, &cfg, kernel.as_ref()).iterations
-    });
-    let overhead_pct = (min_of(&machine) / min_of(&legacy) - 1.0) * 100.0;
+    let time_one = |f: &mut dyn FnMut() -> usize| {
+        let t0 = Instant::now();
+        let iters = std::hint::black_box(f());
+        t0.elapsed().as_nanos() as f64 / iters.max(1) as f64
+    };
+    let mut run_legacy = || legacy_cg(&a, &b, &x0, &cfg).iterations;
+    let mut run_machine = || cg_solve_with(&a, &b, &x0, &cfg, kernel.as_ref()).iterations;
+    // Untimed warmup: fault the pages in and let the branch predictors
+    // settle before the first sample of either loop is recorded.
+    std::hint::black_box(run_legacy());
+    std::hint::black_box(run_machine());
+    let mut legacy = Vec::with_capacity(reps);
+    let mut machine = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        legacy.push(time_one(&mut run_legacy));
+        machine.push(time_one(&mut run_machine));
+    }
+    let best_ratio = legacy
+        .iter()
+        .zip(&machine)
+        .map(|(l, m)| m / l)
+        .fold(f64::INFINITY, f64::min);
+    let overhead_pct = (best_ratio - 1.0) * 100.0;
     Ok(SuiteResult {
         suite: "solver-step".into(),
         spec: format!("poisson2d({grid}), {iters} iters, min of {reps}"),
@@ -242,6 +274,79 @@ pub fn solver_step_suite(grid: usize, iters: usize, reps: usize) -> Result<Suite
             measurement("solver.legacy_ns_per_iter", "ns/iter", legacy, true),
             measurement("solver.machine_ns_per_iter", "ns/iter", machine, true),
             measurement("solver.machine_overhead_pct", "%", vec![overhead_pct], true),
+        ],
+    })
+}
+
+/// SpMV microkernel suite: per-nonzero cost of each prepared backend
+/// on one Poisson grid (reference CSR, the fixed-C SELL-C-σ kernels,
+/// register-blocked BCSR), plus the fused multi-RHS traversal timed
+/// per column against `k` single-vector products.
+///
+/// Timing policy matches the other micro-suites: each backend gets an
+/// untimed warmup product, every sample times a burst of products (so
+/// one sample sits far above timer resolution), and the headline is
+/// min-of-`reps`. The fused speedup is reported as a ratio of the two
+/// minima — > 1 means one `spmm_into` traversal beats `k` separate
+/// `spmv_into` calls, which is the whole point of batching.
+pub fn kernels_suite(grid: usize, k: usize, reps: usize) -> Result<SuiteResult, String> {
+    const INNER: usize = 16;
+    let a = gen::poisson2d(grid).map_err(|e| e.to_string())?;
+    let n = a.n_rows();
+    let nnz = a.nnz().max(1) as f64;
+    let x = det_rhs(n);
+    let mut y = vec![0.0; n];
+    let mut spmv_ns_per_nnz = |spec: KernelSpec| -> Result<Vec<f64>, String> {
+        let p = spec.prepare(&a).map_err(|e| e.to_string())?;
+        p.spmv_into(&x, &mut y);
+        let samples = per_iter_samples(reps, || {
+            for _ in 0..INNER {
+                p.spmv_into(std::hint::black_box(&x), &mut y);
+            }
+            INNER
+        });
+        Ok(samples.into_iter().map(|ns| ns / nnz).collect())
+    };
+    let csr = spmv_ns_per_nnz(KernelSpec::Csr)?;
+    let sell = spmv_ns_per_nnz(KernelSpec::Sell {
+        chunk: 8,
+        sigma: 32,
+    })?;
+    let bcsr = spmv_ns_per_nnz(KernelSpec::Bcsr { block: 2 })?;
+    // Fused multi-RHS: k shifted copies of the probe vector through one
+    // CSR spmm traversal, timed per column so the numbers compare
+    // directly with the single-vector rows above.
+    let k = k.max(2);
+    let mut xb = MultiVec::zeros(n, k);
+    for c in 0..k {
+        for (i, v) in xb.col_mut(c).iter_mut().enumerate() {
+            *v = x[(i + c) % n];
+        }
+    }
+    let mut yb = MultiVec::zeros(n, k);
+    let p = KernelSpec::Csr.prepare(&a).map_err(|e| e.to_string())?;
+    p.spmm_into(&xb, &mut yb);
+    let fused: Vec<f64> = per_iter_samples(reps, || {
+        for _ in 0..INNER {
+            p.spmm_into(std::hint::black_box(&xb), &mut yb);
+        }
+        INNER * k
+    })
+    .into_iter()
+    .map(|ns| ns / nnz)
+    .collect();
+    let speedup = min_of(&csr) / min_of(&fused);
+    Ok(SuiteResult {
+        suite: "kernels".into(),
+        spec: format!(
+            "poisson2d({grid}), {k} fused columns, {INNER}-product bursts, min of {reps}"
+        ),
+        measurements: vec![
+            measurement("kernels.csr_ns_per_nnz", "ns/nnz", csr, true),
+            measurement("kernels.sell8_ns_per_nnz", "ns/nnz", sell, true),
+            measurement("kernels.bcsr2_ns_per_nnz", "ns/nnz", bcsr, true),
+            measurement("kernels.spmm_col_ns_per_nnz", "ns/nnz", fused, true),
+            measurement("kernels.spmm_fused_speedup", "x", vec![speedup], false),
         ],
     })
 }
@@ -349,9 +454,34 @@ mod tests {
         assert_eq!(s.measurements.len(), 3);
         assert!(s.measurements[0].value > 0.0);
         assert_eq!(s.measurements[1].samples.len(), 2);
+        // The paired-sample overhead headline is the min over per-pair
+        // ratios of the recorded samples, not the ratio of the mins.
+        let ratio: Vec<f64> = s.measurements[0]
+            .samples
+            .iter()
+            .zip(&s.measurements[1].samples)
+            .map(|(l, m)| (m / l - 1.0) * 100.0)
+            .collect();
+        assert_eq!(s.measurements[2].value, min_of(&ratio));
         let t = telemetry_suite(12, 20, 2).unwrap();
         assert_eq!(t.measurements.len(), 5);
         assert!(t.measurements[0].value > 0.0);
         assert!(t.measurements.iter().all(|m| m.lower_is_better));
+    }
+
+    #[test]
+    fn kernels_suite_measures_every_backend() {
+        let r = kernels_suite(12, 4, 2).unwrap();
+        assert_eq!(r.suite, "kernels");
+        assert_eq!(r.measurements.len(), 5);
+        for m in &r.measurements[..4] {
+            assert!(m.lower_is_better, "{}", m.key);
+            assert!(m.value > 0.0, "{}", m.key);
+            assert_eq!(m.samples.len(), 2, "{}", m.key);
+        }
+        let speedup = &r.measurements[4];
+        assert_eq!(speedup.key, "kernels.spmm_fused_speedup");
+        assert!(!speedup.lower_is_better);
+        assert!(speedup.value > 0.0);
     }
 }

@@ -1,0 +1,347 @@
+//! Batched resilient solves: `k` independent repetitions advanced in
+//! lockstep against one shared pristine matrix.
+//!
+//! A Monte-Carlo campaign repeats the same `(A, b, config)` solve with
+//! `k` different fault streams. Run sequentially, every repetition
+//! streams the matrix through the cache once per iteration; run
+//! *batched*, all repetitions whose live image is still bit-identical
+//! to the pristine `A` share **one fused multi-RHS traversal**
+//! ([`ftcg_kernels::PreparedSpmv::spmm_into`]) per lockstep round —
+//! `k×` the arithmetic for one pass over the matrix bytes.
+//!
+//! ## Independence and the dropout rule
+//!
+//! Lanes share memory traffic, never state: each repetition keeps its
+//! own solver machine, corruptible image, fault stream, checkpoint
+//! slot, detection/rollback history and telemetry recorder. A lane
+//! leaves the fused traversal — computing its products solo while still
+//! advancing in lockstep — whenever its image diverges from the
+//! pristine matrix (an injected matrix fault or a mutating correction
+//! attempt), rejoining when a rollback restores a clean checkpoint. A
+//! lane that **converges** stops iterating; a lane that **escalates**
+//! (re-reads the initial data) leaves the fused traversal for good.
+//!
+//! ## Determinism
+//!
+//! The outcome, trace events and statistics of every repetition are
+//! **bit-for-bit identical** to `k` sequential
+//! [`solve_resilient_in`](super::solve_resilient_in) calls: a fused
+//! column is only substituted for a lane's own product when the inputs
+//! are bitwise the ones the lane would use (clean image ≡ pristine
+//! matrix), and the multi-RHS kernels compute each column as exactly
+//! the single-vector sum ([`ftcg_sparse::MultiVec`]'s determinism
+//! contract). The
+//! batched-vs-sequential property suite pins this across solver ×
+//! scheme × kernel under fault injection.
+
+use ftcg_fault::Injector;
+use ftcg_model::Scheme;
+use ftcg_sparse::CsrMatrix;
+use ftcg_telemetry::{NoopRecorder, Recorder};
+
+use super::executor::ExecutorMachine;
+use super::scheme::VerificationScheme;
+use super::{AbftCorrection, AbftDetection, OnlineDetection, ResilientConfig, ResilientOutcome};
+use crate::workspace::BatchWorkspace;
+
+/// Batched [`solve_resilient`](super::solve_resilient): one repetition
+/// per injector slot (`None` = fault-free lane), outcomes in lane
+/// order. Convenience wrapper over
+/// [`solve_resilient_batch_recorded`] with no-op telemetry.
+pub fn solve_resilient_batch(
+    a: &CsrMatrix,
+    b: &[f64],
+    cfg: &ResilientConfig,
+    injectors: &mut [Option<Injector>],
+    ws: &mut BatchWorkspace,
+) -> Vec<ResilientOutcome> {
+    let mut recs: Vec<NoopRecorder> = injectors.iter().map(|_| NoopRecorder).collect();
+    solve_resilient_batch_recorded(a, b, cfg, injectors, ws, &mut recs)
+}
+
+/// Runs `injectors.len()` repetitions of the configured resilient solve
+/// in lockstep, recording each lane's telemetry into the matching
+/// element of `recs`. Returns the outcomes in lane order,
+/// bit-identical to running the lanes sequentially (see the module
+/// docs).
+///
+/// # Panics
+/// Panics on dimension mismatch, an invalid config, or
+/// `recs.len() != injectors.len()`.
+pub fn solve_resilient_batch_recorded<R: Recorder>(
+    a: &CsrMatrix,
+    b: &[f64],
+    cfg: &ResilientConfig,
+    injectors: &mut [Option<Injector>],
+    ws: &mut BatchWorkspace,
+    recs: &mut [R],
+) -> Vec<ResilientOutcome> {
+    assert!(a.is_square(), "resilient batch: matrix must be square");
+    assert_eq!(b.len(), a.n_rows(), "resilient batch: b length mismatch");
+    assert_eq!(
+        recs.len(),
+        injectors.len(),
+        "resilient batch: one recorder per lane"
+    );
+    if let Err(e) = cfg.validate() {
+        panic!("resilient batch: {e}");
+    }
+    match cfg.scheme {
+        Scheme::OnlineDetection => {
+            run_batch(a, b, cfg, injectors, ws, recs, || OnlineDetection::new(a))
+        }
+        Scheme::AbftDetection => {
+            run_batch(a, b, cfg, injectors, ws, recs, || AbftDetection::new(a))
+        }
+        Scheme::AbftCorrection => {
+            run_batch(a, b, cfg, injectors, ws, recs, || AbftCorrection::new(a))
+        }
+    }
+}
+
+fn run_batch<V, R, F>(
+    a0: &CsrMatrix,
+    b: &[f64],
+    cfg: &ResilientConfig,
+    injectors: &mut [Option<Injector>],
+    ws: &mut BatchWorkspace,
+    recs: &mut [R],
+    make_scheme: F,
+) -> Vec<ResilientOutcome>
+where
+    V: VerificationScheme,
+    R: Recorder,
+    F: Fn() -> V,
+{
+    let k = injectors.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    ws.ensure_lanes(k);
+    let BatchWorkspace {
+        lanes,
+        xblock,
+        yblock,
+        live,
+        fused,
+    } = ws;
+
+    // The fused traversal runs against the *pristine* matrix, so it is
+    // prepared once (conversion, partitioning) and never invalidated;
+    // lanes only read from it while their live image is bit-identical
+    // to `a0`. A backend that fails to prepare simply disables fusion.
+    let prepared = cfg.kernel.resolve(a0).prepare(a0).ok();
+
+    let mut machines: Vec<ExecutorMachine<'_, V, R>> = lanes[..k]
+        .iter_mut()
+        .zip(injectors.iter_mut())
+        .zip(recs.iter_mut())
+        .map(|((lane, inj), rec)| {
+            let (solver, image, arena) = lane.checkout(cfg.solver, a0, b);
+            ExecutorMachine::new(
+                a0,
+                b,
+                cfg,
+                inj.as_mut(),
+                make_scheme(),
+                solver,
+                image,
+                arena,
+                rec,
+            )
+        })
+        .collect();
+
+    loop {
+        live.clear();
+        for (i, m) in machines.iter().enumerate() {
+            if m.active() {
+                live.push(i);
+            }
+        }
+        if live.is_empty() {
+            break;
+        }
+
+        // Phase 1 everywhere first: faults must land before any fused
+        // direction is packed (the first product's input is the
+        // post-fault direction).
+        for &i in live.iter() {
+            machines[i].begin_iteration();
+        }
+
+        // Pack the clean lanes' directions and run one fused traversal.
+        // Fusing a single lane would be a plain product with an extra
+        // copy — not worth it.
+        fused.clear();
+        if let Some(p) = &prepared {
+            for &i in live.iter() {
+                if machines[i].fusable() {
+                    fused.push(i);
+                }
+            }
+            if fused.len() >= 2 {
+                xblock.reshape(a0.n_cols(), fused.len());
+                yblock.reshape(a0.n_rows(), fused.len());
+                for (c, &i) in fused.iter().enumerate() {
+                    xblock.col_mut(c).copy_from_slice(machines[i].direction());
+                }
+                p.spmm_into(xblock, yblock);
+            } else {
+                fused.clear();
+            }
+        }
+
+        // Phases 2–5 per lane, fused lanes consuming their column.
+        for &i in live.iter() {
+            let pre = fused.iter().position(|&j| j == i).map(|c| yblock.col(c));
+            machines[i].finish_iteration(pre);
+        }
+    }
+
+    machines.into_iter().map(|m| m.finish()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::SolverKind;
+    use crate::resilient::solve_resilient_in;
+    use crate::workspace::SolverWorkspace;
+    use ftcg_fault::{BitRange, FaultRate, Injector, InjectorConfig};
+    use ftcg_kernels::KernelSpec;
+    use ftcg_sparse::gen;
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 1.0 + (i as f64 * 0.23).sin()).collect()
+    }
+
+    fn injector(a: &CsrMatrix, seed: u64) -> Injector {
+        let layout = ftcg_fault::target::MemoryLayout::with_vectors(a.nnz(), a.n_rows());
+        let rate = FaultRate::from_alpha(1.0 / 16.0, layout.total_words());
+        let fc = InjectorConfig {
+            rate,
+            value_bits: BitRange::Full,
+            index_bits: BitRange::for_index_bound(a.n_cols().max(a.nnz() + 1)),
+            include_vectors: true,
+        };
+        Injector::for_matrix(fc, a, seed)
+    }
+
+    fn assert_outcomes_bit_identical(got: &ResilientOutcome, want: &ResilientOutcome, label: &str) {
+        assert_eq!(got.converged, want.converged, "{label}: converged");
+        assert_eq!(
+            got.productive_iterations, want.productive_iterations,
+            "{label}: productive"
+        );
+        assert_eq!(
+            got.executed_iterations, want.executed_iterations,
+            "{label}: executed"
+        );
+        assert_eq!(
+            got.simulated_time.to_bits(),
+            want.simulated_time.to_bits(),
+            "{label}: simulated time"
+        );
+        assert_eq!(got.rollbacks, want.rollbacks, "{label}: rollbacks");
+        assert_eq!(got.detections, want.detections, "{label}: detections");
+        assert_eq!(
+            got.true_residual.to_bits(),
+            want.true_residual.to_bits(),
+            "{label}: true residual"
+        );
+        assert_eq!(got.x.len(), want.x.len(), "{label}: x length");
+        for i in 0..got.x.len() {
+            assert_eq!(
+                got.x[i].to_bits(),
+                want.x[i].to_bits(),
+                "{label}: x[{i}] differs"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_matches_sequential_under_faults() {
+        let a = gen::random_spd(60, 0.1, 3).unwrap();
+        let b = rhs(60);
+        let mut cfg = ResilientConfig::new(Scheme::AbftCorrection, 5);
+        cfg.max_productive_iters = 300;
+        let k = 4;
+        let mut seq_ws = SolverWorkspace::new();
+        let want: Vec<ResilientOutcome> = (0..k)
+            .map(|r| {
+                let mut inj = injector(&a, 100 + r as u64);
+                solve_resilient_in(&a, &b, &cfg, Some(&mut inj), &mut seq_ws)
+            })
+            .collect();
+        let mut injectors: Vec<Option<Injector>> =
+            (0..k).map(|r| Some(injector(&a, 100 + r as u64))).collect();
+        let mut bws = BatchWorkspace::new();
+        let got = solve_resilient_batch(&a, &b, &cfg, &mut injectors, &mut bws);
+        assert_eq!(got.len(), k);
+        for (r, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_outcomes_bit_identical(g, w, &format!("rep {r}"));
+        }
+    }
+
+    #[test]
+    fn batched_matches_sequential_fault_free_all_kernels() {
+        let a = gen::random_spd(50, 0.12, 9).unwrap();
+        let b = rhs(50);
+        for kernel in [
+            KernelSpec::Csr,
+            KernelSpec::Bcsr { block: 2 },
+            KernelSpec::Sell {
+                chunk: 8,
+                sigma: 32,
+            },
+        ] {
+            let mut cfg = ResilientConfig::new(Scheme::AbftDetection, 4);
+            cfg.kernel = kernel;
+            let mut seq_ws = SolverWorkspace::new();
+            let want = solve_resilient_in(&a, &b, &cfg, None, &mut seq_ws);
+            let mut injectors: Vec<Option<Injector>> = vec![None, None, None];
+            let mut bws = BatchWorkspace::new();
+            let got = solve_resilient_batch(&a, &b, &cfg, &mut injectors, &mut bws);
+            for (r, g) in got.iter().enumerate() {
+                assert_outcomes_bit_identical(
+                    g,
+                    &want,
+                    &format!("kernel {} rep {r}", kernel.label()),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let a = gen::poisson2d(4).unwrap();
+        let b = rhs(16);
+        let cfg = ResilientConfig::new(Scheme::AbftDetection, 3);
+        let mut bws = BatchWorkspace::new();
+        let got = solve_resilient_batch(&a, &b, &cfg, &mut [], &mut bws);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn batch_workspace_is_reusable_across_shapes() {
+        let a1 = gen::poisson2d(6).unwrap();
+        let a2 = gen::poisson2d(8).unwrap();
+        let mut cfg = ResilientConfig::new(Scheme::OnlineDetection, 3);
+        cfg.solver = SolverKind::Bicgstab;
+        let mut bws = BatchWorkspace::new();
+        for a in [&a1, &a2, &a1] {
+            let b = rhs(a.n_rows());
+            let mut injectors: Vec<Option<Injector>> =
+                (0..3).map(|r| Some(injector(a, r as u64))).collect();
+            let got = solve_resilient_batch(a, &b, &cfg, &mut injectors, &mut bws);
+            let mut seq_ws = SolverWorkspace::new();
+            for (r, g) in got.iter().enumerate() {
+                let mut inj = injector(a, r as u64);
+                let want = solve_resilient_in(a, &b, &cfg, Some(&mut inj), &mut seq_ws);
+                assert_outcomes_bit_identical(g, &want, &format!("n {} rep {r}", a.n_rows()));
+            }
+        }
+        assert_eq!(bws.lanes(), 3);
+    }
+}

@@ -96,6 +96,17 @@ struct ResilientCtx<'a, V: VerificationScheme, R: Recorder> {
     /// so rollback must restore the full image, not just the values.
     /// Pure detection checks never mutate and leave the flag alone.
     structure_dirty: &'a mut bool,
+    /// Cleared alongside `structure_dirty` whenever a check may have
+    /// rewritten the arrays: the live image can no longer be assumed
+    /// bit-identical to the pristine input, so the batched driver must
+    /// not serve this lane's products from the shared fused traversal.
+    image_clean: &'a mut bool,
+    /// The iteration's first product, already computed by the batched
+    /// driver's fused multi-RHS traversal of the pristine image
+    /// (bit-identical to what [`DefensiveProduct::product`] would
+    /// compute — only offered when `image_clean`). Later products in
+    /// the same step always compute.
+    precomputed_first: Option<&'a [f64]>,
     /// Retained buffer for call-time captures of later products.
     xref_scratch: &'a mut XRef,
     /// Product-output faults deferred onto the first product.
@@ -113,10 +124,13 @@ struct ResilientCtx<'a, V: VerificationScheme, R: Recorder> {
 impl<V: VerificationScheme, R: Recorder> StepContext for ResilientCtx<'_, V, R> {
     fn product(&mut self, x: &mut [f64], y: &mut [f64]) -> ProductStatus {
         self.products_run += 1;
-        let t_prod = self.rec.start();
-        self.kernel.product(self.a, x, y);
-        self.rec.phase(Phase::Product, t_prod);
         let first = std::mem::replace(&mut self.first, false);
+        let t_prod = self.rec.start();
+        match (first, self.precomputed_first) {
+            (true, Some(pre)) => y.copy_from_slice(pre),
+            _ => self.kernel.product(self.a, x, y),
+        }
+        self.rec.phase(Phase::Product, t_prod);
         if !self.scheme.hardened_vectors() {
             return ProductStatus::Trusted; // ONLINE: unverified products
         }
@@ -139,6 +153,7 @@ impl<V: VerificationScheme, R: Recorder> StepContext for ResilientCtx<'_, V, R> 
         self.stats.product_checks += 1;
         if check != ProductCheck::Clean && self.scheme.check_may_mutate() {
             *self.structure_dirty = true;
+            *self.image_clean = false;
         }
         let it = self.stats.executed as u64;
         match check {
@@ -188,6 +203,490 @@ impl<V: VerificationScheme, R: Recorder> StepContext for ResilientCtx<'_, V, R> 
     }
 }
 
+/// The protocol loop, restructured as an explicit state machine so one
+/// iteration can be driven from outside: [`ExecutorMachine::new`] +
+/// `while active { begin_iteration(); finish_iteration(None); }` +
+/// [`ExecutorMachine::finish`] is operation-for-operation the historical
+/// `run_executor` loop, and the batched driver interleaves `k` machines
+/// in lockstep, feeding fused product columns through
+/// `finish_iteration(Some(column))`.
+pub(super) struct ExecutorMachine<'a, V: VerificationScheme, R: Recorder> {
+    a0: &'a CsrMatrix,
+    b: &'a [f64],
+    cfg: &'a ResilientConfig,
+    injector: Option<&'a mut Injector>,
+    scheme: V,
+    solver: &'a mut dyn IterativeSolver,
+    /// The live (corruptible) matrix image.
+    a: &'a mut CsrMatrix,
+    arena: &'a mut ExecArena,
+    rec: &'a mut R,
+    hardened: bool,
+    kernel: DefensiveProduct,
+    d: usize,
+    threshold: f64,
+    guard: EscalationGuard,
+    time: SimTime,
+    stats: RunStats,
+    ledger: FaultLedger,
+    productive: usize,
+    iters_in_chunk: usize,
+    chunks_since_ckpt: usize,
+    replica_rot: usize,
+    converged: bool,
+    /// `true` while the live image's *structure* (`colid`/`rowptr`) may
+    /// differ from the latest checkpoint's: set by index-array faults
+    /// and by correction attempts, cleared whenever image and checkpoint
+    /// are re-synchronized (checkpoint taken, rollback restored).
+    /// While clean, rollback takes the cheaper values-only restore
+    /// ([`CsrMatrix::copy_values_from`], whose debug-mode pattern check
+    /// verifies this very tracking on every test run).
+    structure_dirty: bool,
+    /// `true` while the live image is bit-identical to the pristine
+    /// `a0`: cleared by any matrix fault and by mutating product checks,
+    /// restored on rollback iff the restored checkpoint was itself
+    /// taken of a clean image.
+    image_clean: bool,
+    /// Whether the state in the checkpoint slot snapshots a clean image.
+    checkpoint_clean: bool,
+    /// Set on escalation: per the batch-dropout rule an escalated
+    /// repetition leaves the fused traversal for good (it keeps
+    /// iterating in lockstep, computing its products solo).
+    fuse_banned: bool,
+}
+
+impl<'a, V: VerificationScheme, R: Recorder> ExecutorMachine<'a, V, R> {
+    /// Sets up the protocol state exactly as the historical executor
+    /// prologue did, same operations in the same order.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn new(
+        a0: &'a CsrMatrix,
+        b: &'a [f64],
+        cfg: &'a ResilientConfig,
+        injector: Option<&'a mut Injector>,
+        scheme: V,
+        solver: &'a mut dyn IterativeSolver,
+        image: &'a mut CsrMatrix,
+        arena: &'a mut ExecArena,
+        rec: &'a mut R,
+    ) -> Self {
+        let hardened = scheme.hardened_vectors();
+        // Pin `auto` against the pristine matrix; conversions are cached
+        // and dropped whenever the matrix image mutates.
+        let kernel = DefensiveProduct::new(cfg.kernel.resolve(a0));
+        let d = scheme.chunk_len(cfg.verif_interval);
+        let threshold = cfg
+            .stopping
+            .threshold(a0, vector::norm2(b), solver.residual_norm());
+        solver.set_threshold(threshold);
+
+        // TMR shadows of the canonical r/x (ABFT schemes): replicas
+        // receive the injected flips and are voted each iteration; the
+        // vote only ever feeds statistics and rollback decisions — an
+        // outvoted flip never reaches the trajectory, exactly like the
+        // historical triplicated updates.
+        if hardened {
+            arena.r_tmr.store(solver.vector(CanonVec::Residual));
+            arena.x_tmr.store(solver.vector(CanonVec::Iterate));
+        }
+
+        // The pristine input data ("for the first frame we recover by
+        // reading initial data again") and the rolling checkpoint slot.
+        solver.snapshot_into(0, a0, &mut arena.initial);
+        arena.slot.save(&arena.initial);
+
+        if hardened {
+            arena.xref.store(solver.vector(CanonVec::Direction));
+        }
+        let converged = solver.residual_norm() <= threshold;
+        ExecutorMachine {
+            a0,
+            b,
+            cfg,
+            injector,
+            scheme,
+            solver,
+            a: image,
+            arena,
+            rec,
+            hardened,
+            kernel,
+            d,
+            threshold,
+            guard: EscalationGuard::default(),
+            time: SimTime::default(),
+            stats: RunStats::default(),
+            ledger: FaultLedger::new(),
+            productive: 0,
+            iters_in_chunk: 0,
+            chunks_since_ckpt: 0,
+            replica_rot: 0,
+            converged,
+            structure_dirty: false,
+            image_clean: true,
+            checkpoint_clean: true,
+            fuse_banned: false,
+        }
+    }
+
+    /// `true` while the loop condition of the historical executor holds.
+    pub(super) fn active(&self) -> bool {
+        !self.converged
+            && self.productive < self.cfg.max_productive_iters
+            && self.stats.executed < self.cfg.max_executed_iters
+    }
+
+    /// `true` when this iteration's first product may be served from the
+    /// shared fused traversal of the pristine image: the live image is
+    /// bit-identical to `a0` and the repetition has not escalated out of
+    /// the batch.
+    pub(super) fn fusable(&self) -> bool {
+        self.image_clean && !self.fuse_banned
+    }
+
+    /// The post-fault direction vector — the first product's input,
+    /// which the batched driver packs into the fused block.
+    pub(super) fn direction(&self) -> &[f64] {
+        self.solver.vector(CanonVec::Direction)
+    }
+
+    /// Phase 1 of an iteration: count it and let this iteration's
+    /// faults strike the unreliable region.
+    pub(super) fn begin_iteration(&mut self) {
+        self.stats.executed += 1;
+        let events = self
+            .injector
+            .as_deref_mut()
+            .map(|i| i.plan_iteration())
+            .unwrap_or_default();
+        for e in &events {
+            self.ledger.record(self.stats.executed, *e);
+            self.rec.event(Event::fault(
+                self.stats.executed as u64,
+                fault_code(&e.target),
+                e.offset as u64,
+                e.bit as u64,
+            ));
+        }
+        self.guard.note_faults(events.len());
+        self.arena.q_faults.clear();
+        for e in &events {
+            match e.target {
+                FaultTarget::Vector(VectorId::P) => {
+                    flip(
+                        &mut self.solver.vector_mut(CanonVec::Direction)[e.offset],
+                        e.bit,
+                    );
+                }
+                FaultTarget::Vector(VectorId::Q) => {
+                    if self.hardened {
+                        self.arena.q_faults.push(*e); // deferred onto the product
+                    } else {
+                        flip(
+                            &mut self.solver.vector_mut(CanonVec::Product)[e.offset],
+                            e.bit,
+                        );
+                    }
+                }
+                FaultTarget::Vector(VectorId::R) => {
+                    if self.hardened {
+                        let rep = self.replica_rot % 3;
+                        self.replica_rot += 1;
+                        flip(&mut self.arena.r_tmr.replica_mut(rep)[e.offset], e.bit);
+                    } else {
+                        flip(
+                            &mut self.solver.vector_mut(CanonVec::Residual)[e.offset],
+                            e.bit,
+                        );
+                    }
+                }
+                FaultTarget::Vector(VectorId::X) => {
+                    if self.hardened {
+                        let rep = self.replica_rot % 3;
+                        self.replica_rot += 1;
+                        flip(&mut self.arena.x_tmr.replica_mut(rep)[e.offset], e.bit);
+                    } else {
+                        flip(
+                            &mut self.solver.vector_mut(CanonVec::Iterate)[e.offset],
+                            e.bit,
+                        );
+                    }
+                }
+                _ => {
+                    if matches!(
+                        e.target,
+                        FaultTarget::MatrixColid | FaultTarget::MatrixRowidx
+                    ) {
+                        self.structure_dirty = true;
+                    }
+                    Injector::apply_to_matrix(e, self.a);
+                }
+            }
+        }
+        if events.iter().any(|e| e.target.is_matrix()) {
+            self.kernel.invalidate();
+            self.image_clean = false;
+        }
+    }
+
+    /// Phases 2–5 of an iteration: one verified solver step, the TMR
+    /// vote, the chunk-boundary verification, convergence acceptance
+    /// and checkpointing. `precomputed_first`, when given, serves the
+    /// step's first product (only offered to [`fusable`] lanes — the
+    /// column is bit-identical to what the lane would compute itself).
+    ///
+    /// [`fusable`]: ExecutorMachine::fusable
+    pub(super) fn finish_iteration(&mut self, precomputed_first: Option<&[f64]>) {
+        // 2./3. One step, products verified by the scheme. The
+        // iteration is charged `1 + Tverif` per product the step
+        // actually ran (ABFT schemes; `verified_products` is the
+        // nominal count, but half-step exits and early breakdowns run
+        // fewer).
+        let t_step = self.rec.start();
+        let (step, products_run) = {
+            let mut ctx = ResilientCtx {
+                a: &mut *self.a,
+                kernel: &mut self.kernel,
+                scheme: &self.scheme,
+                xref: self.hardened.then_some(&self.arena.xref),
+                structure_dirty: &mut self.structure_dirty,
+                image_clean: &mut self.image_clean,
+                precomputed_first,
+                xref_scratch: &mut self.arena.xref_scratch,
+                q_faults: &self.arena.q_faults,
+                stats: &mut self.stats,
+                ledger: &mut self.ledger,
+                first: true,
+                products_run: 0,
+                rec: &mut *self.rec,
+            };
+            let res = self.solver.step(&mut ctx);
+            (res, ctx.products_run)
+        };
+        self.rec.phase(Phase::Step, t_step);
+        self.time
+            .add(1.0 + self.scheme.iteration_cost(&self.cfg.costs, products_run));
+        match step {
+            StepResult::Done => {}
+            StepResult::Rejected => {
+                // Detection already counted by the context.
+                self.rollback();
+                return;
+            }
+            StepResult::Breakdown => {
+                // Numerical breakdown caused by an undetected
+                // perturbation: treat as detection and roll back.
+                self.stats.detections += 1;
+                self.rec
+                    .event(Event::detect(self.stats.executed as u64, ev_via::BREAKDOWN));
+                self.rollback();
+                return;
+            }
+        }
+
+        // 4. TMR vote on the vector data (ABFT schemes).
+        if self.hardened {
+            let t_vote = self.rec.start();
+            let vr = self.arena.r_tmr.vote();
+            let vx = self.arena.x_tmr.vote();
+            self.rec.phase(Phase::TmrVote, t_vote);
+            if !vr.is_trusted() || !vx.is_trusted() {
+                // Colliding replica faults: detected, not correctable.
+                self.stats.detections += 1;
+                self.rec
+                    .event(Event::detect(self.stats.executed as u64, ev_via::TMR));
+                self.rollback();
+                return;
+            }
+            let tmr_fixed = vr.corrected + vx.corrected;
+            if tmr_fixed > 0 {
+                self.stats.tmr_corrections += tmr_fixed;
+                self.rec.event(Event::correct_tmr(
+                    self.stats.executed as u64,
+                    tmr_fixed as u64,
+                ));
+                self.ledger.resolve_iteration_where(
+                    self.stats.executed,
+                    FaultOutcome::Corrected,
+                    |rec| {
+                        matches!(
+                            rec.event.target,
+                            FaultTarget::Vector(VectorId::R | VectorId::X)
+                        )
+                    },
+                );
+            }
+            // Replicas follow the verified update (identical bits to
+            // applying the update to each voted replica).
+            self.arena
+                .r_tmr
+                .store(self.solver.vector(CanonVec::Residual));
+            self.arena
+                .x_tmr
+                .store(self.solver.vector(CanonVec::Iterate));
+        }
+
+        self.productive += 1;
+        self.iters_in_chunk += 1;
+        let recursive_converged = self.solver.residual_norm() <= self.threshold;
+
+        // 5. Chunk boundary (or convergence claim): verify, then accept
+        // convergence / checkpoint strictly behind the verification.
+        if self.iters_in_chunk >= self.d || recursive_converged {
+            let chunk_cost = self.scheme.chunk_cost(&self.cfg.costs);
+            self.time.add(chunk_cost);
+            self.stats.chunk_checks += 1;
+            let t_verify = self.rec.start();
+            let chunk_ok = self
+                .scheme
+                .verify_chunk(self.a, &*self.solver, &self.cfg.online_tol);
+            self.rec.phase(Phase::ChunkVerify, t_verify);
+            // Priced verifications (ONLINE) always leave a trace event;
+            // the ABFT schemes' free per-iteration no-op checks only do
+            // when they fail (they never should).
+            if chunk_cost > 0.0 || !chunk_ok {
+                self.rec
+                    .event(Event::chunk_verify(self.stats.executed as u64, chunk_ok));
+            }
+            if !chunk_ok {
+                self.stats.detections += 1;
+                self.rec
+                    .event(Event::detect(self.stats.executed as u64, ev_via::CHUNK));
+                self.rollback();
+                return;
+            }
+            self.iters_in_chunk = 0;
+            if recursive_converged {
+                self.converged = true;
+                self.rec.event(Event::converged(
+                    self.stats.executed as u64,
+                    self.productive as u64,
+                ));
+                // `break` in the historical loop: the trailing xref
+                // re-capture is skipped.
+                return;
+            }
+            self.chunks_since_ckpt += 1;
+            if self.chunks_since_ckpt >= self.cfg.checkpoint_interval {
+                self.time.add(self.cfg.costs.tcp);
+                let t_ckpt = self.rec.start();
+                self.solver
+                    .snapshot_into(self.productive, self.a, self.arena.slot.begin_save());
+                self.arena.slot.commit();
+                self.rec.phase(Phase::Checkpoint, t_ckpt);
+                self.structure_dirty = false; // checkpoint == live image again
+                self.checkpoint_clean = self.image_clean;
+                self.stats.checkpoints += 1;
+                self.rec.event(Event::checkpoint(
+                    self.stats.executed as u64,
+                    self.productive as u64,
+                ));
+                self.guard.note_checkpoint();
+                self.chunks_since_ckpt = 0;
+            }
+        }
+        if self.hardened {
+            self.arena
+                .xref
+                .store(self.solver.vector(CanonVec::Direction));
+        }
+    }
+
+    /// Restores the latest checkpoint (or, when the escalation guard
+    /// flags a tainted one, the pristine initial data) into the solver
+    /// and the shadows — all in place, no allocation.
+    fn rollback(&mut self) {
+        self.time.add(self.cfg.costs.trec);
+        self.stats.rollbacks += 1;
+        let t_rb = self.rec.start();
+        if self.guard.must_escalate() {
+            // Re-read input data: discard the tainted checkpoint.
+            // The escape target's structure is the pristine one,
+            // not the (possibly sub-tolerance-corrupted) structure
+            // the discarded checkpoint shared with the live image.
+            self.arena.slot.save(&self.arena.initial);
+            self.structure_dirty = true;
+            self.checkpoint_clean = true; // snapshots the pristine a0
+            self.fuse_banned = true; // escalated: out of the batch
+            self.guard.consecutive_rollbacks = 0;
+            self.rec.event(Event::escalate(self.stats.executed as u64));
+        }
+        self.guard.note_restore();
+        let st = self
+            .arena
+            .slot
+            .latest()
+            .expect("initial checkpoint always present");
+        if self.structure_dirty {
+            self.a.copy_image_from(&st.matrix);
+        } else {
+            self.a.copy_values_from(&st.matrix);
+        }
+        self.structure_dirty = false;
+        self.image_clean = self.checkpoint_clean;
+        self.kernel.invalidate(); // rollback replaced the matrix image
+        self.solver.restore(st, self.a);
+        if self.hardened {
+            self.arena
+                .r_tmr
+                .store(self.solver.vector(CanonVec::Residual));
+            self.arena
+                .x_tmr
+                .store(self.solver.vector(CanonVec::Iterate));
+        }
+        self.productive = st.iteration;
+        self.iters_in_chunk = 0;
+        self.chunks_since_ckpt = 0;
+        self.ledger.resolve_all_pending(FaultOutcome::RolledBack);
+        if self.hardened {
+            self.arena
+                .xref
+                .store(self.solver.vector(CanonVec::Direction));
+        }
+        self.rec.phase(Phase::Rollback, t_rb);
+        self.rec.event(Event::rollback(
+            self.stats.executed as u64,
+            self.productive as u64,
+        ));
+    }
+
+    /// Resolves the ledger and assembles the outcome (the historical
+    /// epilogue).
+    pub(super) fn finish(self) -> ResilientOutcome {
+        let ExecutorMachine {
+            a0,
+            b,
+            solver,
+            mut ledger,
+            stats,
+            time,
+            converged,
+            productive,
+            ..
+        } = self;
+        // Whatever is still pending was never detected.
+        ledger.resolve_all_pending(FaultOutcome::Undetected);
+        let xv = solver.vector(CanonVec::Iterate).to_vec();
+        let tr = true_residual(a0, b, &xv);
+        ResilientOutcome {
+            converged,
+            productive_iterations: productive,
+            executed_iterations: stats.executed,
+            simulated_time: time.total,
+            checkpoints: stats.checkpoints,
+            rollbacks: stats.rollbacks,
+            forward_corrections: stats.forward_corrections,
+            tmr_corrections: stats.tmr_corrections,
+            detections: stats.detections,
+            product_checks: stats.product_checks,
+            chunk_checks: stats.chunk_checks,
+            ledger,
+            true_residual: tr,
+            x: xv,
+        }
+    }
+}
+
 /// Runs the protocol for one solver × scheme combination.
 ///
 /// `solver` must be in the zero-start state over `(a0, b)`, `image`
@@ -199,323 +698,17 @@ pub(super) fn run_executor<V: VerificationScheme, R: Recorder>(
     a0: &CsrMatrix,
     b: &[f64],
     cfg: &ResilientConfig,
-    mut injector: Option<&mut Injector>,
+    injector: Option<&mut Injector>,
     scheme: V,
     solver: &mut dyn IterativeSolver,
     image: &mut CsrMatrix,
     arena: &mut ExecArena,
     rec: &mut R,
 ) -> ResilientOutcome {
-    let hardened = scheme.hardened_vectors();
-    // Pin `auto` against the pristine matrix; conversions are cached
-    // and dropped whenever the matrix image mutates.
-    let mut kernel = DefensiveProduct::new(cfg.kernel.resolve(a0));
-    let d = scheme.chunk_len(cfg.verif_interval);
-
-    // Working (corruptible) state and the retained buffers.
-    let a = image;
-    let ExecArena {
-        initial,
-        slot,
-        xref,
-        xref_scratch,
-        r_tmr,
-        x_tmr,
-        q_faults,
-    } = arena;
-    let threshold = cfg
-        .stopping
-        .threshold(a0, vector::norm2(b), solver.residual_norm());
-    solver.set_threshold(threshold);
-
-    // TMR shadows of the canonical r/x (ABFT schemes): replicas receive
-    // the injected flips and are voted each iteration; the vote only
-    // ever feeds statistics and rollback decisions — an outvoted flip
-    // never reaches the trajectory, exactly like the historical
-    // triplicated updates.
-    if hardened {
-        r_tmr.store(solver.vector(CanonVec::Residual));
-        x_tmr.store(solver.vector(CanonVec::Iterate));
+    let mut m = ExecutorMachine::new(a0, b, cfg, injector, scheme, solver, image, arena, rec);
+    while m.active() {
+        m.begin_iteration();
+        m.finish_iteration(None);
     }
-
-    // The pristine input data ("for the first frame we recover by
-    // reading initial data again") and the rolling checkpoint slot.
-    solver.snapshot_into(0, a0, initial);
-    slot.save(initial);
-    let mut guard = EscalationGuard::default();
-
-    let mut time = SimTime::default();
-    let mut stats = RunStats::default();
-    let mut ledger = FaultLedger::new();
-    if hardened {
-        xref.store(solver.vector(CanonVec::Direction));
-    }
-    let mut productive = 0usize;
-    let mut iters_in_chunk = 0usize;
-    let mut chunks_since_ckpt = 0usize;
-    let mut replica_rot = 0usize;
-    let mut converged = solver.residual_norm() <= threshold;
-    // `true` while the live image's *structure* (`colid`/`rowptr`) may
-    // differ from the latest checkpoint's: set by index-array faults
-    // and by correction attempts, cleared whenever image and checkpoint
-    // are re-synchronized (checkpoint taken, rollback restored).
-    // While clean, rollback takes the cheaper values-only restore
-    // ([`CsrMatrix::copy_values_from`], whose debug-mode pattern check
-    // verifies this very tracking on every test run).
-    let mut structure_dirty = false;
-
-    // Restores the latest checkpoint (or, when the escalation guard
-    // flags a tainted one, the pristine initial data) into the solver
-    // and the shadows — all in place, no allocation.
-    macro_rules! rollback {
-        () => {{
-            time.add(cfg.costs.trec);
-            stats.rollbacks += 1;
-            let t_rb = rec.start();
-            if guard.must_escalate() {
-                // Re-read input data: discard the tainted checkpoint.
-                // The escape target's structure is the pristine one,
-                // not the (possibly sub-tolerance-corrupted) structure
-                // the discarded checkpoint shared with the live image.
-                slot.save(initial);
-                structure_dirty = true;
-                guard.consecutive_rollbacks = 0;
-                rec.event(Event::escalate(stats.executed as u64));
-            }
-            guard.note_restore();
-            let st = slot.latest().expect("initial checkpoint always present");
-            if structure_dirty {
-                a.copy_image_from(&st.matrix);
-            } else {
-                a.copy_values_from(&st.matrix);
-            }
-            structure_dirty = false;
-            kernel.invalidate(); // rollback replaced the matrix image
-            solver.restore(st, a);
-            if hardened {
-                r_tmr.store(solver.vector(CanonVec::Residual));
-                x_tmr.store(solver.vector(CanonVec::Iterate));
-            }
-            productive = st.iteration;
-            iters_in_chunk = 0;
-            chunks_since_ckpt = 0;
-            ledger.resolve_all_pending(FaultOutcome::RolledBack);
-            if hardened {
-                xref.store(solver.vector(CanonVec::Direction));
-            }
-            rec.phase(Phase::Rollback, t_rb);
-            rec.event(Event::rollback(stats.executed as u64, productive as u64));
-        }};
-    }
-
-    while !converged
-        && productive < cfg.max_productive_iters
-        && stats.executed < cfg.max_executed_iters
-    {
-        stats.executed += 1;
-
-        // 1. Fault injection for this iteration.
-        let events = injector
-            .as_deref_mut()
-            .map(|i| i.plan_iteration())
-            .unwrap_or_default();
-        for e in &events {
-            ledger.record(stats.executed, *e);
-            rec.event(Event::fault(
-                stats.executed as u64,
-                fault_code(&e.target),
-                e.offset as u64,
-                e.bit as u64,
-            ));
-        }
-        guard.note_faults(events.len());
-        q_faults.clear();
-        for e in &events {
-            match e.target {
-                FaultTarget::Vector(VectorId::P) => {
-                    flip(&mut solver.vector_mut(CanonVec::Direction)[e.offset], e.bit);
-                }
-                FaultTarget::Vector(VectorId::Q) => {
-                    if hardened {
-                        q_faults.push(*e); // deferred onto the product
-                    } else {
-                        flip(&mut solver.vector_mut(CanonVec::Product)[e.offset], e.bit);
-                    }
-                }
-                FaultTarget::Vector(VectorId::R) => {
-                    if hardened {
-                        let rep = replica_rot % 3;
-                        replica_rot += 1;
-                        flip(&mut r_tmr.replica_mut(rep)[e.offset], e.bit);
-                    } else {
-                        flip(&mut solver.vector_mut(CanonVec::Residual)[e.offset], e.bit);
-                    }
-                }
-                FaultTarget::Vector(VectorId::X) => {
-                    if hardened {
-                        let rep = replica_rot % 3;
-                        replica_rot += 1;
-                        flip(&mut x_tmr.replica_mut(rep)[e.offset], e.bit);
-                    } else {
-                        flip(&mut solver.vector_mut(CanonVec::Iterate)[e.offset], e.bit);
-                    }
-                }
-                _ => {
-                    if matches!(
-                        e.target,
-                        FaultTarget::MatrixColid | FaultTarget::MatrixRowidx
-                    ) {
-                        structure_dirty = true;
-                    }
-                    Injector::apply_to_matrix(e, a);
-                }
-            }
-        }
-        if events.iter().any(|e| e.target.is_matrix()) {
-            kernel.invalidate();
-        }
-
-        // 2./3. One step, products verified by the scheme. The
-        // iteration is charged `1 + Tverif` per product the step
-        // actually ran (ABFT schemes; `verified_products` is the
-        // nominal count, but half-step exits and early breakdowns run
-        // fewer).
-        let t_step = rec.start();
-        let (step, products_run) = {
-            let mut ctx = ResilientCtx {
-                a: &mut *a,
-                kernel: &mut kernel,
-                scheme: &scheme,
-                xref: hardened.then_some(&*xref),
-                structure_dirty: &mut structure_dirty,
-                xref_scratch: &mut *xref_scratch,
-                q_faults: &*q_faults,
-                stats: &mut stats,
-                ledger: &mut ledger,
-                first: true,
-                products_run: 0,
-                rec: &mut *rec,
-            };
-            let res = solver.step(&mut ctx);
-            (res, ctx.products_run)
-        };
-        rec.phase(Phase::Step, t_step);
-        time.add(1.0 + scheme.iteration_cost(&cfg.costs, products_run));
-        match step {
-            StepResult::Done => {}
-            StepResult::Rejected => {
-                // Detection already counted by the context.
-                rollback!();
-                continue;
-            }
-            StepResult::Breakdown => {
-                // Numerical breakdown caused by an undetected
-                // perturbation: treat as detection and roll back.
-                stats.detections += 1;
-                rec.event(Event::detect(stats.executed as u64, ev_via::BREAKDOWN));
-                rollback!();
-                continue;
-            }
-        }
-
-        // 4. TMR vote on the vector data (ABFT schemes).
-        if hardened {
-            let t_vote = rec.start();
-            let vr = r_tmr.vote();
-            let vx = x_tmr.vote();
-            rec.phase(Phase::TmrVote, t_vote);
-            if !vr.is_trusted() || !vx.is_trusted() {
-                // Colliding replica faults: detected, not correctable.
-                stats.detections += 1;
-                rec.event(Event::detect(stats.executed as u64, ev_via::TMR));
-                rollback!();
-                continue;
-            }
-            let tmr_fixed = vr.corrected + vx.corrected;
-            if tmr_fixed > 0 {
-                stats.tmr_corrections += tmr_fixed;
-                rec.event(Event::correct_tmr(stats.executed as u64, tmr_fixed as u64));
-                ledger.resolve_iteration_where(stats.executed, FaultOutcome::Corrected, |rec| {
-                    matches!(
-                        rec.event.target,
-                        FaultTarget::Vector(VectorId::R | VectorId::X)
-                    )
-                });
-            }
-            // Replicas follow the verified update (identical bits to
-            // applying the update to each voted replica).
-            r_tmr.store(solver.vector(CanonVec::Residual));
-            x_tmr.store(solver.vector(CanonVec::Iterate));
-        }
-
-        productive += 1;
-        iters_in_chunk += 1;
-        let recursive_converged = solver.residual_norm() <= threshold;
-
-        // 5. Chunk boundary (or convergence claim): verify, then accept
-        // convergence / checkpoint strictly behind the verification.
-        if iters_in_chunk >= d || recursive_converged {
-            let chunk_cost = scheme.chunk_cost(&cfg.costs);
-            time.add(chunk_cost);
-            stats.chunk_checks += 1;
-            let t_verify = rec.start();
-            let chunk_ok = scheme.verify_chunk(a, &*solver, &cfg.online_tol);
-            rec.phase(Phase::ChunkVerify, t_verify);
-            // Priced verifications (ONLINE) always leave a trace event;
-            // the ABFT schemes' free per-iteration no-op checks only do
-            // when they fail (they never should).
-            if chunk_cost > 0.0 || !chunk_ok {
-                rec.event(Event::chunk_verify(stats.executed as u64, chunk_ok));
-            }
-            if !chunk_ok {
-                stats.detections += 1;
-                rec.event(Event::detect(stats.executed as u64, ev_via::CHUNK));
-                rollback!();
-                continue;
-            }
-            iters_in_chunk = 0;
-            if recursive_converged {
-                converged = true;
-                rec.event(Event::converged(stats.executed as u64, productive as u64));
-                break;
-            }
-            chunks_since_ckpt += 1;
-            if chunks_since_ckpt >= cfg.checkpoint_interval {
-                time.add(cfg.costs.tcp);
-                let t_ckpt = rec.start();
-                solver.snapshot_into(productive, a, slot.begin_save());
-                slot.commit();
-                rec.phase(Phase::Checkpoint, t_ckpt);
-                structure_dirty = false; // checkpoint == live image again
-                stats.checkpoints += 1;
-                rec.event(Event::checkpoint(stats.executed as u64, productive as u64));
-                guard.note_checkpoint();
-                chunks_since_ckpt = 0;
-            }
-        }
-        if hardened {
-            xref.store(solver.vector(CanonVec::Direction));
-        }
-    }
-
-    // Whatever is still pending was never detected.
-    ledger.resolve_all_pending(FaultOutcome::Undetected);
-    let xv = solver.vector(CanonVec::Iterate).to_vec();
-    let tr = true_residual(a0, b, &xv);
-    ResilientOutcome {
-        converged,
-        productive_iterations: productive,
-        executed_iterations: stats.executed,
-        simulated_time: time.total,
-        checkpoints: stats.checkpoints,
-        rollbacks: stats.rollbacks,
-        forward_corrections: stats.forward_corrections,
-        tmr_corrections: stats.tmr_corrections,
-        detections: stats.detections,
-        product_checks: stats.product_checks,
-        chunk_checks: stats.chunk_checks,
-        ledger,
-        true_residual: tr,
-        x: xv,
-    }
+    m.finish()
 }

@@ -29,6 +29,7 @@
 //! to 2 for BiCGStab); ONLINE-DETECTION pays `Tverif` only at chunk
 //! ends. Checkpoints cost `Tcp`, rollbacks `Trec`.
 
+pub mod batch;
 pub mod executor;
 pub mod scheme;
 

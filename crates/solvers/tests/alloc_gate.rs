@@ -14,7 +14,12 @@
 //! 3. recording telemetry through a pre-allocated `ActiveRecorder`
 //!    (phase timers, histograms, the bounded event ring) adds *zero*
 //!    allocations to the warm solve — the `Recorder` contract's
-//!    no-allocation-after-construction clause, enforced.
+//!    no-allocation-after-construction clause, enforced;
+//! 4. a steady-state *batched* iteration is allocation-free too: k
+//!    lanes advancing in lockstep through the fused multi-RHS
+//!    traversal draw every buffer (lane arenas, the packed x/y blocks,
+//!    the live/fused lane lists) from a warm `BatchWorkspace`, so the
+//!    iteration budget must not change the batched allocation count.
 //!
 //! The file holds a single `#[test]` on purpose: the counter is
 //! process-global, and sibling tests running on other threads would
@@ -27,7 +32,7 @@ use ftcg_kernels::KernelSpec;
 use ftcg_model::Scheme;
 use ftcg_solvers::machine::{PlainContext, SolverKind, StepResult};
 use ftcg_solvers::resilient::{solve_resilient_in, solve_resilient_recorded, ResilientConfig};
-use ftcg_solvers::{SolverWorkspace, StoppingCriterion};
+use ftcg_solvers::{solve_resilient_batch, BatchWorkspace, SolverWorkspace, StoppingCriterion};
 use ftcg_sparse::gen;
 use ftcg_telemetry::ActiveRecorder;
 
@@ -165,5 +170,28 @@ fn steady_state_cg_iterations_allocate_nothing() {
         recorded_allocs, long_allocs,
         "an active recorder must not add a single allocation to the warm \
          solve: {long_allocs} allocs un-instrumented vs {recorded_allocs} recorded"
+    );
+
+    // Claim 4: steady-state batched iterations are allocation-free. The
+    // fault-free lanes all stay fusable, so the 50 extra lockstep
+    // rounds run through the packed multi-RHS traversal — the exact
+    // path the batched campaign spends its time on.
+    let mut no_faults: Vec<Option<ftcg_fault::Injector>> = (0..4).map(|_| None).collect();
+    let mut bws = BatchWorkspace::new();
+    // Warm the batch arena: first call sizes every lane and block.
+    let warm_batch = solve_resilient_batch(&a, &b, &cfg_for(60), &mut no_faults, &mut bws);
+    assert!(warm_batch.iter().all(|o| o.executed_iterations == 60));
+    let (bshort_allocs, bshort) =
+        count_allocs(|| solve_resilient_batch(&a, &b, &cfg_for(10), &mut no_faults, &mut bws));
+    let (blong_allocs, blong) =
+        count_allocs(|| solve_resilient_batch(&a, &b, &cfg_for(60), &mut no_faults, &mut bws));
+    assert!(bshort.iter().all(|o| o.executed_iterations == 10));
+    assert!(blong.iter().all(|o| o.executed_iterations == 60));
+    assert!(blong.iter().all(|o| o.checkpoints > bshort[0].checkpoints));
+    assert_eq!(
+        blong_allocs, bshort_allocs,
+        "50 extra steady-state batched iterations across 4 lanes must \
+         allocate nothing: {bshort_allocs} allocs at 10 iters vs \
+         {blong_allocs} at 60"
     );
 }

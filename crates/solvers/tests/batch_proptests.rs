@@ -1,0 +1,155 @@
+//! Property tests for the batched lockstep driver: advancing k
+//! repetitions of one configuration through [`solve_resilient_batch`]
+//! — one shared corruptible matrix image per lane, fused multi-RHS
+//! products whenever lanes are fusable — must produce outcomes
+//! **bit-identical** to k independent sequential solves, for every
+//! solver × scheme × kernel combination, under real fault injection.
+//!
+//! This is the determinism bar the engine's batched campaign stands
+//! on: if a lane's injected fault, detection, rollback or escalation
+//! ever leaked into a sibling lane, or the fused traversal reassociated
+//! a single column's accumulation, these properties would catch it at
+//! the first diverging bit.
+
+use ftcg_fault::Injector;
+use ftcg_kernels::KernelSpec;
+use ftcg_model::Scheme;
+use ftcg_solvers::machine::SolverKind;
+use ftcg_solvers::resilient::{solve_resilient_in, ResilientConfig};
+use ftcg_solvers::{solve_resilient_batch, BatchWorkspace, ResilientOutcome, SolverWorkspace};
+use ftcg_sparse::{gen, CsrMatrix};
+use proptest::prelude::*;
+
+fn system(n: usize, density_mil: usize, seed: u64) -> (CsrMatrix, Vec<f64>) {
+    let a = gen::random_spd(n, density_mil as f64 / 1000.0, seed).unwrap();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.29).sin()).collect();
+    (a, b)
+}
+
+/// The paper-model injector (matrix arrays + the four vectors), so the
+/// batched property runs under the same fault streams the campaigns
+/// draw.
+fn injector_for(a: &CsrMatrix, alpha: f64, seed: u64) -> Injector {
+    use ftcg_fault::{target::MemoryLayout, BitRange, FaultRate, InjectorConfig};
+    let layout = MemoryLayout::with_vectors(a.nnz(), a.n_rows());
+    let cfg = InjectorConfig {
+        rate: FaultRate::from_alpha(alpha, layout.total_words()),
+        value_bits: BitRange::Full,
+        index_bits: BitRange::for_index_bound(a.n_cols().max(a.nnz() + 1)),
+        include_vectors: true,
+    };
+    Injector::for_matrix(cfg, a, seed)
+}
+
+/// Asserts a batched lane's outcome agrees with its sequential twin bit
+/// for bit, counters included.
+fn assert_lane_bitexact(label: &str, seq: &ResilientOutcome, bat: &ResilientOutcome) {
+    assert_eq!(seq.converged, bat.converged, "{label}: converged");
+    assert_eq!(
+        seq.productive_iterations, bat.productive_iterations,
+        "{label}: productive"
+    );
+    assert_eq!(
+        seq.executed_iterations, bat.executed_iterations,
+        "{label}: executed"
+    );
+    assert_eq!(
+        seq.simulated_time.to_bits(),
+        bat.simulated_time.to_bits(),
+        "{label}: simulated time"
+    );
+    assert_eq!(seq.checkpoints, bat.checkpoints, "{label}: checkpoints");
+    assert_eq!(seq.rollbacks, bat.rollbacks, "{label}: rollbacks");
+    assert_eq!(
+        seq.forward_corrections, bat.forward_corrections,
+        "{label}: forward corrections"
+    );
+    assert_eq!(
+        seq.tmr_corrections, bat.tmr_corrections,
+        "{label}: tmr corrections"
+    );
+    assert_eq!(seq.detections, bat.detections, "{label}: detections");
+    assert_eq!(
+        seq.true_residual.to_bits(),
+        bat.true_residual.to_bits(),
+        "{label}: true residual"
+    );
+    assert_eq!(seq.x.len(), bat.x.len(), "{label}: x length");
+    for i in 0..seq.x.len() {
+        assert_eq!(
+            seq.x[i].to_bits(),
+            bat.x[i].to_bits(),
+            "{label}: x[{i}] diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Batched == sequential, bit for bit, across the full grid under
+    /// fault injection. Both arenas are deliberately dirty: one
+    /// `BatchWorkspace` and one `SolverWorkspace` serve every
+    /// combination in sequence, so lane checkout reset is exercised
+    /// across changing (solver, scheme, kernel) shapes too.
+    #[test]
+    fn batched_lanes_are_bitexact_to_sequential_solves(
+        n in 30usize..70,
+        density_mil in 40usize..90,
+        seed in 0u64..300,
+        s in 2usize..8,
+        k in 2usize..5,
+    ) {
+        const ALPHA: f64 = 1.0 / 16.0;
+        let (a, b) = system(n, density_mil, seed);
+        let mut sws = SolverWorkspace::new();
+        let mut bws = BatchWorkspace::new();
+        for scheme in [Scheme::AbftDetection, Scheme::AbftCorrection, Scheme::OnlineDetection] {
+            for kind in SolverKind::ALL {
+                for kernel in ["csr", "sell:8:32", "bcsr:2"] {
+                    let mut cfg = ResilientConfig::new(scheme, s);
+                    cfg.solver = kind;
+                    cfg.kernel = KernelSpec::parse(kernel).unwrap();
+                    cfg.max_productive_iters = 30;
+                    cfg.max_executed_iters = 300;
+                    let lane_seed = |lane: usize| seed ^ 0x5eed ^ ((lane as u64) << 32);
+                    let sequential: Vec<ResilientOutcome> = (0..k)
+                        .map(|lane| {
+                            let mut inj = injector_for(&a, ALPHA, lane_seed(lane));
+                            solve_resilient_in(&a, &b, &cfg, Some(&mut inj), &mut sws)
+                        })
+                        .collect();
+                    let mut injectors: Vec<Option<Injector>> = (0..k)
+                        .map(|lane| Some(injector_for(&a, ALPHA, lane_seed(lane))))
+                        .collect();
+                    let batched = solve_resilient_batch(&a, &b, &cfg, &mut injectors, &mut bws);
+                    prop_assert_eq!(batched.len(), k);
+                    for (lane, (seq, bat)) in sequential.iter().zip(&batched).enumerate() {
+                        assert_lane_bitexact(
+                            &format!("{scheme:?} × {kind} × {kernel}, lane {lane}/{k}"),
+                            seq,
+                            bat,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic fault-free spot-check on a structured matrix: with no
+/// faults every lane converges identically, and a batch of identical
+/// lanes must reproduce the single-solve trajectory exactly.
+#[test]
+fn fault_free_batch_matches_single_solve() {
+    let a = gen::poisson2d(9).unwrap();
+    let n = a.n_rows();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.17).cos()).collect();
+    let cfg = ResilientConfig::new(Scheme::AbftCorrection, 6);
+    let single = solve_resilient_in(&a, &b, &cfg, None, &mut SolverWorkspace::new());
+    let mut injectors: Vec<Option<Injector>> = (0..3).map(|_| None).collect();
+    let batched = solve_resilient_batch(&a, &b, &cfg, &mut injectors, &mut BatchWorkspace::new());
+    for (lane, out) in batched.iter().enumerate() {
+        assert_lane_bitexact(&format!("fault-free lane {lane}"), &single, out);
+    }
+}

@@ -16,6 +16,7 @@
 
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
+use crate::multivec::MultiVec;
 use crate::Result;
 
 /// A sparse matrix in blocked CSR format with `b × b` dense blocks.
@@ -176,11 +177,26 @@ impl BcsrMatrix {
 
     /// `y ← A·x`.
     ///
+    /// Block edges 2 and 4 dispatch to fully unrolled register-blocked
+    /// kernels ([`BcsrMatrix::spmv_fixed`]); other edges use the generic
+    /// loop. Both paths are bit-identical (per row, blocks ascending and
+    /// lanes in ascending column order, one sequential add chain).
+    ///
     /// # Panics
     /// Panics if `x.len() != n_cols` or `y.len() != n_rows`.
     pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n_cols, "bcsr spmv: x length mismatch");
         assert_eq!(y.len(), self.n_rows, "bcsr spmv: y length mismatch");
+        match self.b {
+            2 => self.spmv_fixed::<2>(x, y),
+            4 => self.spmv_fixed::<4>(x, y),
+            _ => self.spmv_generic(x, y),
+        }
+    }
+
+    /// The generic block-row product loop (any block edge) — the
+    /// reference the fixed-edge kernels are verified against.
+    fn spmv_generic(&self, x: &[f64], y: &mut [f64]) {
         let b = self.b;
         let mut acc = [0.0f64; 4];
         for br in 0..self.n_block_rows {
@@ -202,6 +218,116 @@ impl BcsrMatrix {
                 }
             }
             y[row_lo..row_lo + rows].copy_from_slice(&acc[..rows]);
+        }
+    }
+
+    /// Register-blocked fixed-edge kernel (`B ∈ {2, 4}`). Interior
+    /// blocks load `x[col_lo..col_lo+B]` into a register tile once and
+    /// run a fully unrolled `B × B` multiply-accumulate — the dense FMA
+    /// shape register blocking exists for — while boundary blocks
+    /// (partial rows or columns at the matrix edge) fall back to the
+    /// generic bounded loop. Padding lanes participate exactly as in the
+    /// generic kernel (an explicit `±0.0` add in sequence), and every
+    /// row keeps one sequential accumulation chain in ascending column
+    /// order, so outputs are bit-identical to
+    /// [`BcsrMatrix::spmv_generic`].
+    fn spmv_fixed<const B: usize>(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(self.b, B);
+        for br in 0..self.n_block_rows {
+            let row_lo = br * B;
+            if row_lo + B > self.n_rows {
+                // Partial final block row: generic bounded loop.
+                let rows = self.n_rows - row_lo;
+                let mut acc = [0.0f64; B];
+                for blk in self.blockptr[br]..self.blockptr[br + 1] {
+                    let col_lo = self.blockcol[blk] * B;
+                    let cols = B.min(self.n_cols - col_lo);
+                    let base = blk * B * B;
+                    for (r, a) in acc.iter_mut().enumerate().take(rows) {
+                        for c in 0..cols {
+                            *a += self.val[base + r * B + c] * x[col_lo + c];
+                        }
+                    }
+                }
+                y[row_lo..row_lo + rows].copy_from_slice(&acc[..rows]);
+                continue;
+            }
+            let mut acc = [0.0f64; B];
+            for blk in self.blockptr[br]..self.blockptr[br + 1] {
+                let col_lo = self.blockcol[blk] * B;
+                let base = blk * B * B;
+                if col_lo + B <= self.n_cols {
+                    // Interior block: register tile, fully unrolled.
+                    let xs: &[f64; B] = x[col_lo..col_lo + B].try_into().unwrap();
+                    let vs = &self.val[base..base + B * B];
+                    for (r, a) in acc.iter_mut().enumerate() {
+                        let row = &vs[r * B..(r + 1) * B];
+                        let mut s = *a;
+                        for c in 0..B {
+                            s += row[c] * xs[c];
+                        }
+                        *a = s;
+                    }
+                } else {
+                    // Partial final block column.
+                    let cols = self.n_cols - col_lo;
+                    for (r, a) in acc.iter_mut().enumerate() {
+                        for c in 0..cols {
+                            *a += self.val[base + r * B + c] * x[col_lo + c];
+                        }
+                    }
+                }
+            }
+            y[row_lo..row_lo + B].copy_from_slice(&acc);
+        }
+    }
+
+    /// Fused multi-RHS product `Y ← A·X`: each block row's tiles are
+    /// traversed once per group of up to four right-hand sides. Every
+    /// output column is the exact per-row sequential sum
+    /// [`BcsrMatrix::spmv_into`] computes for that column alone —
+    /// ascending blocks, ascending lanes, padding `±0.0` adds included —
+    /// bit for bit (see the [`MultiVec`] determinism contract).
+    ///
+    /// # Panics
+    /// Panics if `x.n() != n_cols`, `y.n() != n_rows`, or the column
+    /// counts differ.
+    pub fn spmm_into(&self, x: &MultiVec, y: &mut MultiVec) {
+        assert_eq!(x.n(), self.n_cols, "bcsr spmm: x row count mismatch");
+        assert_eq!(y.n(), self.n_rows, "bcsr spmm: y row count mismatch");
+        assert_eq!(x.k(), y.k(), "bcsr spmm: column count mismatch");
+        let (b, nc, nr, k) = (self.b, self.n_cols, self.n_rows, x.k());
+        let xd = x.data();
+        let yd = y.data_mut();
+        let mut cb = 0;
+        while cb < k {
+            let w = (k - cb).min(4);
+            for br in 0..self.n_block_rows {
+                let row_lo = br * b;
+                let rows = b.min(nr - row_lo);
+                // acc[r][ci]: accumulator for output row `row_lo + r`,
+                // RHS column `cb + ci`.
+                let mut acc = [[0.0f64; 4]; 4];
+                for blk in self.blockptr[br]..self.blockptr[br + 1] {
+                    let col_lo = self.blockcol[blk] * b;
+                    let cols = b.min(nc - col_lo);
+                    let base = blk * b * b;
+                    for (r, ar) in acc.iter_mut().enumerate().take(rows) {
+                        for c in 0..cols {
+                            let v = self.val[base + r * b + c];
+                            for (ci, a) in ar.iter_mut().enumerate().take(w) {
+                                *a += v * xd[(cb + ci) * nc + col_lo + c];
+                            }
+                        }
+                    }
+                }
+                for (r, ar) in acc.iter().enumerate().take(rows) {
+                    for (ci, a) in ar.iter().enumerate().take(w) {
+                        yd[(cb + ci) * nr + row_lo + r] = *a;
+                    }
+                }
+            }
+            cb += w;
         }
     }
 
@@ -342,6 +468,57 @@ mod tests {
         // b=1 stores exactly the nonzeros: fill ratio 1.
         let unit = BcsrMatrix::from_csr(&a, 1).unwrap();
         assert_eq!(unit.fill_ratio(), 1.0);
+    }
+
+    #[test]
+    fn fixed_edge_kernels_are_bit_identical_to_generic() {
+        for n in [3usize, 4, 5, 7, 8, 9, 30, 63, 64, 65] {
+            let a = gen::random_spd(n, 0.2, n as u64).unwrap();
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.47).sin() + 0.5).collect();
+            for b in [2usize, 4] {
+                let blocked = BcsrMatrix::from_csr(&a, b).unwrap();
+                let mut fixed = vec![0.0; n];
+                let mut generic = vec![0.0; n];
+                blocked.spmv_into(&x, &mut fixed);
+                blocked.spmv_generic(&x, &mut generic);
+                for i in 0..n {
+                    assert_eq!(
+                        fixed[i].to_bits(),
+                        generic[i].to_bits(),
+                        "n {n} b {b} row {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_columns_are_bit_identical_to_spmv() {
+        let a = gen::random_spd(90, 0.08, 11).unwrap();
+        for b in [2usize, 3, 4] {
+            let blocked = BcsrMatrix::from_csr(&a, b).unwrap();
+            for k in [1usize, 2, 4, 5] {
+                let mut x = MultiVec::zeros(90, k);
+                for c in 0..k {
+                    for (i, v) in x.col_mut(c).iter_mut().enumerate() {
+                        *v = ((i * (c + 2)) as f64 * 0.13).cos();
+                    }
+                }
+                let mut y = MultiVec::zeros(90, k);
+                blocked.spmm_into(&x, &mut y);
+                let mut want = vec![0.0; 90];
+                for c in 0..k {
+                    blocked.spmv_into(x.col(c), &mut want);
+                    for (i, w) in want.iter().enumerate() {
+                        assert_eq!(
+                            y.col(c)[i].to_bits(),
+                            w.to_bits(),
+                            "b {b} k {k} col {c} row {i}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

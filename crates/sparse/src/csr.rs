@@ -10,7 +10,18 @@
 
 use crate::coo::CooMatrix;
 use crate::error::SparseError;
+use crate::multivec::MultiVec;
 use crate::Result;
+
+/// Rows per cache band of the row-band kernels: wide enough to amortize
+/// loop overhead, small enough that a band's `rowptr`/`colid`/`val`
+/// stay cache-resident while [`CsrMatrix::spmm_into`] re-traverses the
+/// band once per 4-column group of the right-hand-side block.
+const ROW_BAND: usize = 256;
+
+/// Right-hand sides processed per fused traversal in the SpMM kernels
+/// (bounded so the per-row accumulators stay in registers).
+const RHS_BLOCK: usize = 4;
 
 /// A sparse matrix in compressed sparse row format.
 #[derive(Debug, Clone, PartialEq)]
@@ -248,6 +259,147 @@ impl CsrMatrix {
         y
     }
 
+    /// Cache-blocked row-band `y ← A·x`: rows are processed four at a
+    /// time with one independent accumulator chain per row, so the four
+    /// serial floating-point add chains overlap in the pipeline instead
+    /// of serializing on one accumulator's latency. **Bit-identical** to
+    /// [`CsrMatrix::spmv_into`]: each row's entries are summed in the
+    /// same ascending storage order into its own accumulator — only the
+    /// interleaving of *independent* rows changes, which no output cell
+    /// observes.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n_cols` or `y.len() != n_rows`.
+    pub fn spmv_rowband_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols, "spmv: x length mismatch");
+        assert_eq!(y.len(), self.n_rows, "spmv: y length mismatch");
+        let (colid, val) = (&self.colid[..], &self.val[..]);
+        let mut i = 0;
+        while i + 4 <= self.n_rows {
+            let s = [
+                self.rowptr[i],
+                self.rowptr[i + 1],
+                self.rowptr[i + 2],
+                self.rowptr[i + 3],
+            ];
+            let e = self.rowptr[i + 4];
+            let lens = [s[1] - s[0], s[2] - s[1], s[3] - s[2], e - s[3]];
+            let m = lens[0].min(lens[1]).min(lens[2]).min(lens[3]);
+            let mut acc = [0.0f64; 4];
+            // Lockstep section: all four rows have at least `m` entries.
+            for j in 0..m {
+                let k = [s[0] + j, s[1] + j, s[2] + j, s[3] + j];
+                acc[0] += val[k[0]] * x[colid[k[0]]];
+                acc[1] += val[k[1]] * x[colid[k[1]]];
+                acc[2] += val[k[2]] * x[colid[k[2]]];
+                acc[3] += val[k[3]] * x[colid[k[3]]];
+            }
+            // Per-row tails, still in ascending storage order.
+            for (lane, a) in acc.iter_mut().enumerate() {
+                for k in s[lane] + m..s[lane] + lens[lane] {
+                    *a += val[k] * x[colid[k]];
+                }
+            }
+            y[i..i + 4].copy_from_slice(&acc);
+            i += 4;
+        }
+        for (i, yi) in y.iter_mut().enumerate().skip(i) {
+            let mut acc = 0.0;
+            for k in self.rowptr[i]..self.rowptr[i + 1] {
+                acc += val[k] * x[colid[k]];
+            }
+            *yi = acc;
+        }
+    }
+
+    /// Fused multi-RHS product `Y ← A·X` (the batched form of
+    /// [`CsrMatrix::spmv_into`]): one traversal of the matrix band
+    /// serves up to [`RHS_BLOCK`] right-hand sides, and row bands keep
+    /// the CSR arrays cache-resident across the column groups.
+    ///
+    /// **Determinism:** each output column is computed as the exact
+    /// floating-point sum `spmv_into` computes for that column alone —
+    /// same entries, same ascending storage order, bit for bit (see the
+    /// [`MultiVec`] contract).
+    ///
+    /// # Panics
+    /// Panics if `x.n() != n_cols`, `y.n() != n_rows`, or the column
+    /// counts differ.
+    pub fn spmm_into(&self, x: &MultiVec, y: &mut MultiVec) {
+        assert_eq!(x.n(), self.n_cols, "spmm: x row count mismatch");
+        assert_eq!(y.n(), self.n_rows, "spmm: y row count mismatch");
+        assert_eq!(x.k(), y.k(), "spmm: column count mismatch");
+        let (n, nc, k) = (self.n_rows, self.n_cols, x.k());
+        let (colid, val) = (&self.colid[..], &self.val[..]);
+        let xd = x.data();
+        let yd = y.data_mut();
+        for lo in (0..n).step_by(ROW_BAND) {
+            let hi = (lo + ROW_BAND).min(n);
+            let mut cb = 0;
+            while cb < k {
+                let w = (k - cb).min(RHS_BLOCK);
+                for i in lo..hi {
+                    let mut acc = [0.0f64; RHS_BLOCK];
+                    for kk in self.rowptr[i]..self.rowptr[i + 1] {
+                        let v = val[kk];
+                        let j = colid[kk];
+                        for (c, a) in acc.iter_mut().enumerate().take(w) {
+                            *a += v * xd[(cb + c) * nc + j];
+                        }
+                    }
+                    for (c, a) in acc.iter().enumerate().take(w) {
+                        yd[(cb + c) * n + i] = *a;
+                    }
+                }
+                cb += w;
+            }
+        }
+    }
+
+    /// Defensive fused multi-RHS product `Y ← A·X` — the batched form of
+    /// [`CsrMatrix::spmv_clamped_into`], applying the same clamping rule
+    /// per entry ([`CsrMatrix::row_range_clamped`] bounds, out-of-range
+    /// columns skipped). On a well-formed matrix each column is
+    /// bit-identical to the clamped single-vector product, which is
+    /// itself bit-identical to the plain one.
+    ///
+    /// # Panics
+    /// Panics if `x.n() != n_cols`, `y.n() != n_rows`, or the column
+    /// counts differ (buffers are caller state, not corruptible matrix
+    /// data).
+    pub fn spmm_clamped_into(&self, x: &MultiVec, y: &mut MultiVec) {
+        assert_eq!(x.n(), self.n_cols, "spmm_clamped: x row count mismatch");
+        assert_eq!(y.n(), self.n_rows, "spmm_clamped: y row count mismatch");
+        assert_eq!(x.k(), y.k(), "spmm_clamped: column count mismatch");
+        let (n, nc, k) = (self.n_rows, self.n_cols, x.k());
+        let (colid, val) = (&self.colid[..], &self.val[..]);
+        let xd = x.data();
+        let yd = y.data_mut();
+        for lo in (0..n).step_by(ROW_BAND) {
+            let hi = (lo + ROW_BAND).min(n);
+            let mut cb = 0;
+            while cb < k {
+                let w = (k - cb).min(RHS_BLOCK);
+                for i in lo..hi {
+                    let mut acc = [0.0f64; RHS_BLOCK];
+                    for kk in self.row_range_clamped(i) {
+                        let j = colid[kk];
+                        if j < nc {
+                            let v = val[kk];
+                            for (c, a) in acc.iter_mut().enumerate().take(w) {
+                                *a += v * xd[(cb + c) * nc + j];
+                            }
+                        }
+                    }
+                    for (c, a) in acc.iter().enumerate().take(w) {
+                        yd[(cb + c) * n + i] = *a;
+                    }
+                }
+                cb += w;
+            }
+        }
+    }
+
     /// Storage range of row `i` with the defensive clamping rule: both
     /// bounds clamped to `[0, nnz]`, an inverted range treated as an
     /// empty row. The one canonical clamp shared by the ABFT kernel
@@ -293,6 +445,74 @@ impl CsrMatrix {
         for (i, yi) in y.iter_mut().enumerate() {
             *yi = self.row_product_clamped(x, i);
         }
+    }
+
+    /// Defensive products of the row band `rows` into `y` (one output
+    /// per row of the band), with the row-band interleaving of
+    /// [`CsrMatrix::spmv_rowband_into`]: four clamped rows advance in
+    /// lockstep, each summing into its own accumulator in ascending
+    /// storage order with the [`CsrMatrix::row_product_clamped`] skip
+    /// rule — bit-identical to calling `row_product_clamped` per row.
+    /// The building block both the serial and the parallel defensive
+    /// row-band products share.
+    ///
+    /// # Panics
+    /// Panics if `rows.end > n_rows` or `y.len() != rows.len()`.
+    pub fn row_band_product_clamped(&self, rows: std::ops::Range<usize>, x: &[f64], y: &mut [f64]) {
+        assert!(rows.end <= self.n_rows, "row band out of range");
+        assert_eq!(y.len(), rows.len(), "row band: y length mismatch");
+        let (colid, val) = (&self.colid[..], &self.val[..]);
+        let mut i = rows.start;
+        let mut o = 0;
+        while i + 4 <= rows.end {
+            let r = [
+                self.row_range_clamped(i),
+                self.row_range_clamped(i + 1),
+                self.row_range_clamped(i + 2),
+                self.row_range_clamped(i + 3),
+            ];
+            let m = r[0].len().min(r[1].len()).min(r[2].len()).min(r[3].len());
+            let mut acc = [0.0f64; 4];
+            // Lockstep section: every lane has at least `m` entries.
+            for j in 0..m {
+                for (lane, a) in acc.iter_mut().enumerate() {
+                    let k = r[lane].start + j;
+                    let c = colid[k];
+                    if c < x.len() {
+                        *a += val[k] * x[c];
+                    }
+                }
+            }
+            // Per-lane tails, same order and skip rule.
+            for (lane, a) in acc.iter_mut().enumerate() {
+                for k in r[lane].start + m..r[lane].end {
+                    let c = colid[k];
+                    if c < x.len() {
+                        *a += val[k] * x[c];
+                    }
+                }
+            }
+            y[o..o + 4].copy_from_slice(&acc);
+            i += 4;
+            o += 4;
+        }
+        while i < rows.end {
+            y[o] = self.row_product_clamped(x, i);
+            i += 1;
+            o += 1;
+        }
+    }
+
+    /// Defensive `y ← A·x` through the cache-blocked row-band kernel —
+    /// the same outputs as [`CsrMatrix::spmv_clamped_into`], bit for bit
+    /// (see [`CsrMatrix::row_band_product_clamped`]), with four
+    /// independent accumulator chains in flight.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != n_rows`.
+    pub fn spmv_clamped_rowband_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(y.len(), self.n_rows, "spmv_clamped: y length mismatch");
+        self.row_band_product_clamped(0..self.n_rows, x, y);
     }
 
     /// Copies the *value* array of `src` into this matrix in place — the
@@ -867,5 +1087,109 @@ mod tests {
         assert_eq!(m.density(), 0.0);
         let y = m.spmv(&[]);
         assert!(y.is_empty());
+    }
+
+    fn det_x(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.37).sin() * 1.5).collect()
+    }
+
+    #[test]
+    fn rowband_spmv_is_bit_identical_to_reference() {
+        // Sizes straddling the 4-row quads and the 256-row band edge.
+        for n in [1usize, 3, 4, 5, 7, 64, 255, 256, 257] {
+            let a = crate::gen::random_spd(n, 0.08, n as u64).unwrap();
+            let x = det_x(n);
+            let want = a.spmv(&x);
+            let mut got = vec![0.0; n];
+            a.spmv_rowband_into(&x, &mut got);
+            assert!(
+                want.iter()
+                    .zip(&got)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "n = {n}"
+            );
+            let mut clamped = vec![0.0; n];
+            a.spmv_clamped_rowband_into(&x, &mut clamped);
+            assert!(
+                want.iter()
+                    .zip(&clamped)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "clamped, n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn rowband_clamped_matches_scalar_clamped_on_corruption() {
+        let mut a = crate::gen::poisson2d(9).unwrap(); // 81 rows
+        a.rowptr_mut()[10] = usize::MAX;
+        a.rowptr_mut()[40] = 2; // inverted range
+        a.colid_mut()[17] = 1 << 45;
+        let x = det_x(81);
+        let mut want = vec![0.0; 81];
+        a.spmv_clamped_into(&x, &mut want);
+        let mut got = vec![0.0; 81];
+        a.spmv_clamped_rowband_into(&x, &mut got);
+        assert!(want
+            .iter()
+            .zip(&got)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn spmm_columns_are_bit_identical_to_spmv() {
+        let n = 300; // crosses a row-band boundary
+        let a = crate::gen::random_spd(n, 0.03, 11).unwrap();
+        for k in [1usize, 2, 3, 4, 5, 8] {
+            let mut x = MultiVec::zeros(n, k);
+            for c in 0..k {
+                let xc: Vec<f64> = (0..n).map(|i| ((i + 31 * c) as f64 * 0.29).cos()).collect();
+                x.col_mut(c).copy_from_slice(&xc);
+            }
+            let mut y = MultiVec::zeros(n, k);
+            a.spmm_into(&x, &mut y);
+            let mut yc = MultiVec::zeros(n, k);
+            a.spmm_clamped_into(&x, &mut yc);
+            for c in 0..k {
+                let want = a.spmv(x.col(c));
+                assert!(
+                    want.iter()
+                        .zip(y.col(c))
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "k = {k}, col {c}"
+                );
+                assert!(
+                    want.iter()
+                        .zip(yc.col(c))
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "clamped, k = {k}, col {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_clamped_matches_per_column_clamped_on_corruption() {
+        let mut a = crate::gen::poisson2d(8).unwrap(); // 64 rows
+        a.rowptr_mut()[5] = usize::MAX;
+        a.colid_mut()[9] = 1 << 33;
+        let k = 3;
+        let mut x = MultiVec::zeros(64, k);
+        for c in 0..k {
+            let xc: Vec<f64> = (0..64)
+                .map(|i| ((i * (c + 2)) as f64 * 0.11).sin())
+                .collect();
+            x.col_mut(c).copy_from_slice(&xc);
+        }
+        let mut y = MultiVec::zeros(64, k);
+        a.spmm_clamped_into(&x, &mut y);
+        for c in 0..k {
+            let mut want = vec![0.0; 64];
+            a.spmv_clamped_into(x.col(c), &mut want);
+            assert!(want
+                .iter()
+                .zip(y.col(c))
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
     }
 }

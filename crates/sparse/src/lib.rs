@@ -31,6 +31,7 @@ pub mod csr;
 pub mod error;
 pub mod gen;
 pub mod io;
+pub mod multivec;
 pub mod parallel;
 pub mod pool;
 pub mod sell;
@@ -42,6 +43,7 @@ pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;
+pub use multivec::MultiVec;
 pub use pool::CsrImagePool;
 pub use sell::SellCSigma;
 

@@ -14,6 +14,7 @@
 
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
+use crate::multivec::MultiVec;
 use crate::Result;
 
 /// A sparse matrix in SELL-C-σ format.
@@ -184,11 +185,25 @@ impl SellCSigma {
 
     /// `y ← A·x`.
     ///
+    /// Chunk heights 4 and 8 dispatch to unrolled fixed-C lane kernels
+    /// ([`SellCSigma::spmv_fixed`]); other heights use the generic loop.
+    /// Both paths are bit-identical (per-lane ascending-`j` sums).
+    ///
     /// # Panics
     /// Panics if `x.len() != n_cols` or `y.len() != n_rows`.
     pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n_cols, "sell spmv: x length mismatch");
         assert_eq!(y.len(), self.n_rows, "sell spmv: y length mismatch");
+        match self.chunk {
+            4 => self.spmv_fixed::<4>(x, y),
+            8 => self.spmv_fixed::<8>(x, y),
+            _ => self.spmv_generic(x, y),
+        }
+    }
+
+    /// The generic per-lane product loop (any chunk height) — the
+    /// reference the fixed-C kernels are verified against.
+    fn spmv_generic(&self, x: &[f64], y: &mut [f64]) {
         let c = self.chunk;
         let n_chunks = self.chunkptr.len() - 1;
         for ck in 0..n_chunks {
@@ -203,6 +218,107 @@ impl SellCSigma {
                 }
                 y[self.perm[pos]] = acc;
             }
+        }
+    }
+
+    /// Unrolled, padding-aware fixed-C lane kernel. Full chunks advance
+    /// all `C` lanes in lockstep over the shared prefix `min(rowlen)` —
+    /// the column-major layout makes each `j`-step a contiguous load of
+    /// `C` values, the shape the autovectorizer turns into SIMD lanes —
+    /// then finish each lane's tail separately. Padding lanes
+    /// (`j >= rowlen`) are **never multiplied**: under fault injection a
+    /// padded `0.0 × corrupted-∞` would manufacture a NaN the reference
+    /// kernel does not compute. Per lane the accumulation stays the
+    /// ascending-`j` chain of the generic loop, so outputs are
+    /// bit-identical.
+    fn spmv_fixed<const C: usize>(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(self.chunk, C);
+        let n_chunks = self.chunkptr.len() - 1;
+        for ck in 0..n_chunks {
+            let pos_lo = ck * C;
+            let off = self.chunkptr[ck];
+            if pos_lo + C <= self.n_rows {
+                let rl = &self.rowlen[pos_lo..pos_lo + C];
+                let mut m = rl[0];
+                for &l in &rl[1..] {
+                    m = m.min(l);
+                }
+                let mut acc = [0.0f64; C];
+                // Lockstep section over the shared prefix.
+                for j in 0..m {
+                    let base = off + j * C;
+                    let vs = &self.val[base..base + C];
+                    let cs = &self.colid[base..base + C];
+                    for lane in 0..C {
+                        acc[lane] += vs[lane] * x[cs[lane]];
+                    }
+                }
+                // Guarded tails: each lane finishes its own entries.
+                for (lane, a) in acc.iter_mut().enumerate() {
+                    for j in m..rl[lane] {
+                        let k = off + j * C + lane;
+                        *a += self.val[k] * x[self.colid[k]];
+                    }
+                }
+                for (lane, a) in acc.iter().enumerate() {
+                    y[self.perm[pos_lo + lane]] = *a;
+                }
+            } else {
+                // Ragged final chunk: generic per-lane loop.
+                for (lane, pos) in (pos_lo..self.n_rows).enumerate() {
+                    let mut acc = 0.0;
+                    for j in 0..self.rowlen[pos] {
+                        let k = off + j * C + lane;
+                        acc += self.val[k] * x[self.colid[k]];
+                    }
+                    y[self.perm[pos]] = acc;
+                }
+            }
+        }
+    }
+
+    /// Fused multi-RHS product `Y ← A·X`: each lane's entries are
+    /// traversed once per group of up to four right-hand sides,
+    /// amortizing the SELL array traffic across the block. Every output
+    /// column is the exact ascending-`j` per-lane sum
+    /// [`SellCSigma::spmv_into`] computes for that column alone — bit
+    /// for bit (see the [`MultiVec`] determinism contract).
+    ///
+    /// # Panics
+    /// Panics if `x.n() != n_cols`, `y.n() != n_rows`, or the column
+    /// counts differ.
+    pub fn spmm_into(&self, x: &MultiVec, y: &mut MultiVec) {
+        assert_eq!(x.n(), self.n_cols, "sell spmm: x row count mismatch");
+        assert_eq!(y.n(), self.n_rows, "sell spmm: y row count mismatch");
+        assert_eq!(x.k(), y.k(), "sell spmm: column count mismatch");
+        let (c, nc, nr, k) = (self.chunk, self.n_cols, self.n_rows, x.k());
+        let xd = x.data();
+        let yd = y.data_mut();
+        let n_chunks = self.chunkptr.len() - 1;
+        let mut cb = 0;
+        while cb < k {
+            let w = (k - cb).min(4);
+            for ck in 0..n_chunks {
+                let pos_lo = ck * c;
+                let pos_hi = (pos_lo + c).min(self.n_rows);
+                let off = self.chunkptr[ck];
+                for (lane, pos) in (pos_lo..pos_hi).enumerate() {
+                    let mut acc = [0.0f64; 4];
+                    for j in 0..self.rowlen[pos] {
+                        let kk = off + j * c + lane;
+                        let v = self.val[kk];
+                        let col = self.colid[kk];
+                        for (ci, a) in acc.iter_mut().enumerate().take(w) {
+                            *a += v * xd[(cb + ci) * nc + col];
+                        }
+                    }
+                    let out = self.perm[pos];
+                    for (ci, a) in acc.iter().enumerate().take(w) {
+                        yd[(cb + ci) * nr + out] = *a;
+                    }
+                }
+            }
+            cb += w;
         }
     }
 
@@ -320,5 +436,82 @@ mod tests {
         assert_eq!(sell.padding_ratio(), 0.0);
         let mut y = vec![];
         sell.spmv_into(&[], &mut y);
+    }
+
+    #[test]
+    fn fixed_c_kernels_are_bit_identical_to_generic() {
+        // Sizes exercising full chunks and ragged final chunks for both
+        // fixed-C specializations.
+        for n in [3usize, 4, 7, 8, 9, 31, 32, 65, 130] {
+            let a = gen::random_spd(n, 0.1, n as u64 + 1).unwrap();
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.19).cos()).collect();
+            for (c, s) in [(4usize, 1usize), (4, 16), (8, 1), (8, 32)] {
+                let sell = SellCSigma::from_csr(&a, c, s).unwrap();
+                let mut fixed = vec![0.0; n];
+                sell.spmv_into(&x, &mut fixed); // dispatches to spmv_fixed
+                let mut generic = vec![0.0; n];
+                sell.spmv_generic(&x, &mut generic);
+                assert!(
+                    fixed
+                        .iter()
+                        .zip(&generic)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "n = {n}, C = {c}, σ = {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_c_never_multiplies_padding() {
+        // A padded lane whose x gather would hit an Inf must not leak a
+        // NaN through 0.0 × Inf: build a skewed matrix (row 0 long) and
+        // poison x everywhere except the columns row 1 references.
+        let n = 8;
+        let mut coo = crate::coo::CooMatrix::new(n, n);
+        for j in 0..n {
+            coo.push(0, j, 1.0);
+        }
+        for i in 1..n {
+            coo.push(i, i, 2.0);
+        }
+        let a = coo.to_csr();
+        let sell = SellCSigma::from_csr(&a, 8, 1).unwrap();
+        assert!(sell.padding_ratio() > 0.0);
+        let x = vec![1.0; n];
+        let mut y = vec![0.0; n];
+        sell.spmv_into(&x, &mut y);
+        assert!(y.iter().all(|v| v.is_finite()));
+        assert_eq!(y[0], n as f64);
+    }
+
+    #[test]
+    fn spmm_columns_are_bit_identical_to_spmv() {
+        let n = 130;
+        let a = gen::random_spd(n, 0.05, 3).unwrap();
+        for (c, s) in [(4usize, 16usize), (8, 32), (6, 12)] {
+            let sell = SellCSigma::from_csr(&a, c, s).unwrap();
+            for k in [1usize, 3, 4, 5] {
+                let mut x = MultiVec::zeros(n, k);
+                for col in 0..k {
+                    let xc: Vec<f64> = (0..n)
+                        .map(|i| ((i + 7 * col) as f64 * 0.21).sin())
+                        .collect();
+                    x.col_mut(col).copy_from_slice(&xc);
+                }
+                let mut y = MultiVec::zeros(n, k);
+                sell.spmm_into(&x, &mut y);
+                for col in 0..k {
+                    let mut want = vec![0.0; n];
+                    sell.spmv_into(x.col(col), &mut want);
+                    assert!(
+                        want.iter()
+                            .zip(y.col(col))
+                            .all(|(a, b)| a.to_bits() == b.to_bits()),
+                        "C = {c}, σ = {s}, k = {k}, col {col}"
+                    );
+                }
+            }
+        }
     }
 }
