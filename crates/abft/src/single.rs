@@ -97,29 +97,61 @@ impl SingleChecksum {
 
     /// Evaluates tests (i), (ii), (iii) of Theorem 1.
     pub fn verify(&self, a: &CsrMatrix, x: &[f64], xref: &XRef, y: &[f64]) -> SingleOutcome {
-        assert_eq!(x.len(), self.n, "verify: x length mismatch");
         assert_eq!(y.len(), self.n, "verify: y length mismatch");
+        // Output checksum Σ ỹᵢ (the auxiliary y_{n+1} contribution).
+        let sum_y: f64 = y.iter().sum();
+        self.verify_core(a, x, xref, sum_y)
+    }
+
+    /// [`SingleChecksum::verify`] with the output checksum `Σᵢ ỹᵢ` taken
+    /// from a fused product probe instead of a separate sweep over `y`.
+    ///
+    /// `probe` must be the probe of the product output this call is
+    /// verifying (see [`ftcg_sparse::fused::probe_of`]; `probe[0]` is
+    /// bit-identical to `y.iter().sum::<f64>()`). The outcome is then
+    /// bit-for-bit the outcome [`SingleChecksum::verify`] would return
+    /// for that `y`, with one fewer O(n) sweep on the hot path.
+    pub fn verify_probed(
+        &self,
+        a: &CsrMatrix,
+        x: &[f64],
+        xref: &XRef,
+        probe: &[f64; 2],
+    ) -> SingleOutcome {
+        self.verify_core(a, x, xref, probe[0])
+    }
+
+    /// Shared tail of the two `verify` entry points: everything after
+    /// the `Σ ỹᵢ` sweep, with the three remaining sum chains (Σ x̃ᵢ,
+    /// ĉᵀx̃, ĉᵀx′) fused into one pass. Each chain keeps its original
+    /// element order, so residues are bit-identical to the
+    /// separate-sweep formulation; the `‖·‖∞` reductions stay separate
+    /// sweeps on purpose — `max` folds vectorize on their own but
+    /// serialize a fused loop when interleaved with the strict FP sum
+    /// chains.
+    fn verify_core(&self, a: &CsrMatrix, x: &[f64], xref: &XRef, sum_y: f64) -> SingleOutcome {
+        assert_eq!(x.len(), self.n, "verify: x length mismatch");
+        assert_eq!(xref.xcopy.len(), self.n, "verify: xref length mismatch");
 
         // Test (iii): exact integer row-pointer checksum.
         let sr = rowptr_weighted_sum(a.rowptr())[0];
         let dr = (self.cr as i128).wrapping_sub(sr as i128);
 
-        // Common right-hand side: Σ ỹᵢ + k·Σ x̃ᵢ (the auxiliary y_{n+1}).
-        let sum_y: f64 = y.iter().sum();
-        let sum_x: f64 = x.iter().sum();
-        let rhs = sum_y + self.k * sum_x;
-
-        // Test (i): ĉᵀx̃ against rhs.
-        let lhs1: f64 = self.c.iter().zip(x.iter()).map(|(c, v)| c * v).sum();
-        // Test (ii): ĉᵀx′ against rhs.
-        let lhs2: f64 = self
-            .c
-            .iter()
-            .zip(xref.xcopy.iter())
-            .map(|(c, v)| c * v)
-            .sum();
-
+        // One pass for the three sum chains: Σ x̃ᵢ, test (i)'s ĉᵀx̃ and
+        // test (ii)'s ĉᵀx′. Each chain starts from -0.0, matching
+        // `Iterator::sum` exactly.
+        let mut sum_x = -0.0f64;
+        let mut lhs1 = -0.0f64;
+        let mut lhs2 = -0.0f64;
+        for ((&xv, &cv), &xpv) in x.iter().zip(&self.c).zip(&xref.xcopy) {
+            sum_x += xv;
+            lhs1 += cv * xv;
+            lhs2 += cv * xpv;
+        }
         let xni = vector::norm_inf(x).max(vector::norm_inf(&xref.xcopy));
+
+        // Common right-hand side: Σ ỹᵢ + k·Σ x̃ᵢ (the auxiliary y_{n+1}).
+        let rhs = sum_y + self.k * sum_x;
         let d1 = lhs1 - rhs;
         let d2 = lhs2 - rhs;
         if dr != 0 || self.tol.is_error(d1, xni) || self.tol.is_error(d2, xni) {
@@ -282,6 +314,59 @@ mod tests {
             let xref = XRef::capture(&x);
             let mut y = vec![0.0; 40];
             assert!(s.spmv_detect(&a, &x, &xref, &mut y).is_trusted());
+        }
+    }
+
+    fn assert_outcome_bits(plain: &SingleOutcome, probed: &SingleOutcome) {
+        match (plain, probed) {
+            (SingleOutcome::Clean, SingleOutcome::Clean) => {}
+            (
+                SingleOutcome::Detected { d1, d2, dr },
+                SingleOutcome::Detected {
+                    d1: e1,
+                    d2: e2,
+                    dr: er,
+                },
+            ) => {
+                assert_eq!(d1.to_bits(), e1.to_bits(), "d1 bits differ");
+                assert_eq!(d2.to_bits(), e2.to_bits(), "d2 bits differ");
+                assert_eq!(dr, er, "dr differs");
+            }
+            other => panic!("outcomes diverge: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_probed_is_bit_identical_to_verify() {
+        use ftcg_sparse::fused;
+        for seed in 0..6 {
+            let (a, s, x, xref) = setup(40, seed);
+            let mut y = vec![0.0; 40];
+            s.spmv(&a, &x, &mut y);
+
+            // Clean plus one corruption per protected array; every case
+            // must give bit-identical residues through both entry points.
+            let mut cases: Vec<(CsrMatrix, Vec<f64>, Vec<f64>)> = Vec::new();
+            cases.push((a.clone(), x.clone(), y.clone()));
+            let mut b = a.clone();
+            b.val_mut()[2] += 0.75;
+            cases.push((b, x.clone(), y.clone()));
+            let mut b = a.clone();
+            b.rowptr_mut()[11] += 3;
+            cases.push((b, x.clone(), y.clone()));
+            let mut xc = x.clone();
+            xc[9] = f64::NAN;
+            cases.push((a.clone(), xc, y.clone()));
+            let mut yc = y.clone();
+            yc[0] = -0.0;
+            yc[17] += 2.0;
+            cases.push((a.clone(), x.clone(), yc));
+
+            for (b, xc, yc) in &cases {
+                let plain = s.verify(b, xc, &xref, yc);
+                let probed = s.verify_probed(b, xc, &xref, &fused::probe_of(yc));
+                assert_outcome_bits(&plain, &probed);
+            }
         }
     }
 

@@ -28,7 +28,7 @@
 //! resilient drivers therefore run any backend defensively against the
 //! live CSR image and keep detection + correction semantics intact.
 
-use ftcg_sparse::{vector, CsrMatrix};
+use ftcg_sparse::{fused, vector, CsrMatrix};
 
 use crate::checksum::{int_weight, MatrixChecksums};
 use crate::correct::CorrectionReport;
@@ -185,9 +185,43 @@ impl ProtectedSpmv {
     /// Evaluates the three residue tests of Algorithm 2 line 23 against
     /// the current state of `a`, `x` and `y`.
     pub fn verify(&self, a: &CsrMatrix, x: &[f64], xref: &XRef, y: &[f64]) -> TestResults {
+        assert_eq!(y.len(), self.checks.n, "verify: y length mismatch");
+        // One pass over `y` replaces the two weighted output sweeps:
+        // [`fused::probe_of`]'s chains are bit-identical to
+        // `Σᵢ w_r(i)·ỹᵢ` for the paper's weight rows w₁(i)=1,
+        // w₂(i)=i+1 (see [`crate::weights`]).
+        let lhs = fused::probe_of(y);
+        self.verify_core(a, x, xref, &lhs)
+    }
+
+    /// [`ProtectedSpmv::verify`] with the weighted output sums
+    /// `Σᵢ w_r(i)·ỹᵢ` taken from a fused product probe instead of
+    /// sweeping `y` again.
+    ///
+    /// `probe` must be the probe of the product output this call is
+    /// verifying (see [`ftcg_sparse::fused::probe_of`]). The residues
+    /// are then bit-for-bit what [`ProtectedSpmv::verify`] would return
+    /// for that `y`, without any O(n) sweep over the output.
+    pub fn verify_probed(
+        &self,
+        a: &CsrMatrix,
+        x: &[f64],
+        xref: &XRef,
+        probe: &[f64; 2],
+    ) -> TestResults {
+        self.verify_core(a, x, xref, probe)
+    }
+
+    /// Shared tail of the two `verify` entry points: the exact `dr` and
+    /// `dx′` tests plus a single fused pass over `x̃` computing both
+    /// checksummed right-hand sides. Each reduction chain keeps its
+    /// original element order, so residues are bit-identical to the
+    /// separate-sweep formulation; `‖x̃‖∞` stays its own sweep — a
+    /// `max` fold vectorizes alone but serializes a fused loop when
+    /// interleaved with the strict FP sum chains.
+    fn verify_core(&self, a: &CsrMatrix, x: &[f64], xref: &XRef, lhs: &[f64; 2]) -> TestResults {
         let n = self.checks.n;
         assert_eq!(x.len(), n, "verify: x length mismatch");
-        assert_eq!(y.len(), n, "verify: y length mismatch");
         assert_eq!(xref.xcopy.len(), n, "verify: xref length mismatch");
 
         // dr: exact integer row-pointer test.
@@ -197,22 +231,15 @@ impl ProtectedSpmv {
             (self.checks.rowptr[1] as i128).wrapping_sub(sr[1] as i128),
         ];
 
-        // dx: weighted output sums vs. checksummed input.
-        let mut dx = [0.0f64; 2];
-        for (r, d) in dx.iter_mut().enumerate() {
-            let lhs: f64 = y
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| weights::weight(r, i) * v)
-                .sum();
-            let rhs: f64 = self.checks.col[r]
-                .iter()
-                .zip(x.iter())
-                .map(|(c, xv)| c * xv)
-                .sum();
-            *d = lhs - rhs;
+        // dx: weighted output sums vs. checksummed input. One pass over
+        // x̃ feeds both rhs chains (from -0.0, matching `Iterator::sum`).
+        let mut rhs = [-0.0f64; 2];
+        for (i, &xv) in x.iter().enumerate() {
+            rhs[0] += self.checks.col[0][i] * xv;
+            rhs[1] += self.checks.col[1][i] * xv;
         }
         let x_norm_inf = vector::norm_inf(x);
+        let dx = [lhs[0] - rhs[0], lhs[1] - rhs[1]];
         let dx_fails = (0..2).any(|r| self.tol[r].is_error(dx[r], x_norm_inf));
 
         // dx′: input vs. reliable copy — exact (identical bits ⇒ exact 0).
@@ -421,6 +448,55 @@ mod tests {
             let mut y = vec![0.0; 80];
             let out = p.spmv_detect(&a, &x, &xref, &mut y);
             assert_eq!(out, SpmvOutcome::Clean, "false positive at {s}");
+        }
+    }
+
+    fn assert_results_bits(plain: &TestResults, probed: &TestResults) {
+        assert_eq!(plain.dr, probed.dr, "dr differs");
+        for r in 0..2 {
+            assert_eq!(plain.dx[r].to_bits(), probed.dx[r].to_bits(), "dx[{r}]");
+            assert_eq!(plain.dxp[r].to_bits(), probed.dxp[r].to_bits(), "dxp[{r}]");
+        }
+        assert_eq!(plain.dx_fails, probed.dx_fails);
+        assert_eq!(plain.dxp_fails, probed.dxp_fails);
+        assert_eq!(
+            plain.x_norm_inf.to_bits(),
+            probed.x_norm_inf.to_bits(),
+            "x_norm_inf"
+        );
+    }
+
+    #[test]
+    fn verify_probed_is_bit_identical_to_verify() {
+        use ftcg_sparse::fused;
+        for seed in 0..6 {
+            let (a, p, x, xref) = setup(40, seed);
+            let mut y = vec![0.0; 40];
+            p.spmv(&a, &x, &mut y);
+
+            // Clean plus one corruption per protected array; every case
+            // must give bit-identical residues through both entry points.
+            let mut cases: Vec<(CsrMatrix, Vec<f64>, Vec<f64>)> = Vec::new();
+            cases.push((a.clone(), x.clone(), y.clone()));
+            let mut b = a.clone();
+            b.val_mut()[6] += 0.5;
+            cases.push((b, x.clone(), y.clone()));
+            let mut b = a.clone();
+            b.rowptr_mut()[8] += 1;
+            cases.push((b, x.clone(), y.clone()));
+            let mut xc = x.clone();
+            xc[3] += 1.25;
+            cases.push((a.clone(), xc, y.clone()));
+            let mut yc = y.clone();
+            yc[0] = -0.0;
+            yc[21] = f64::INFINITY;
+            cases.push((a.clone(), x.clone(), yc));
+
+            for (b, xc, yc) in &cases {
+                let plain = p.verify(b, xc, &xref, yc);
+                let probed = p.verify_probed(b, xc, &xref, &fused::probe_of(yc));
+                assert_results_bits(&plain, &probed);
+            }
         }
     }
 

@@ -65,6 +65,42 @@ pub trait PreparedSpmv: Send + Sync {
         }
     }
 
+    /// `y ← A·x` with the ABFT output probe `[Σᵢ yᵢ, Σᵢ (i+1)·yᵢ]`
+    /// returned from the same call (see
+    /// [`ftcg_sparse::fused::probe_of`] for the exact chain contract).
+    ///
+    /// The default is the two-pass composition — the backend's product
+    /// followed by a separate `probe_of(y)` sweep — which is always
+    /// correct. Backends whose traversal finalizes output rows in
+    /// ascending index order (serial CSR) override it with a one-pass
+    /// kernel that folds each row into the probe as it is written;
+    /// permuted-write (SELL-C-σ) and parallel backends keep the
+    /// two-pass default. Either way `y` and the probe are bit-identical
+    /// to `spmv_into` + `probe_of`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n_cols` or `y.len() != n_rows`.
+    fn spmv_with_probe_into(&self, x: &[f64], y: &mut [f64]) -> [f64; 2] {
+        self.spmv_into(x, y);
+        ftcg_sparse::fused::probe_of(y)
+    }
+
+    /// Multi-RHS product with per-column ABFT probes: `probes[c]`
+    /// receives the probe of output column `c`. Same default/override
+    /// structure as [`PreparedSpmv::spmv_with_probe_into`]; every
+    /// column and probe is bit-identical to [`PreparedSpmv::spmm_into`]
+    /// followed by per-column
+    /// [`probe_of`](ftcg_sparse::fused::probe_of) sweeps.
+    ///
+    /// # Panics
+    /// Panics on the [`PreparedSpmv::spmm_into`] dimension mismatches
+    /// or if `probes.len() != x.k()`.
+    fn spmm_with_probe_into(&self, x: &MultiVec, y: &mut MultiVec, probes: &mut [[f64; 2]]) {
+        assert_eq!(probes.len(), x.k(), "spmm: probe count mismatch");
+        self.spmm_into(x, y);
+        ftcg_sparse::fused::probe_of_cols(y, probes);
+    }
+
     /// The cached balanced row partition, for backends that own one
     /// (the parallel CSR backend computes it once at preparation time).
     /// `None` for serial backends. Callers that want a reusable

@@ -258,6 +258,30 @@ impl DefensiveProduct {
             }
         }
     }
+
+    /// `y ← A·x` with the ABFT output probe `[Σᵢ yᵢ, Σᵢ (i+1)·yᵢ]`
+    /// returned from the same call — the defensive counterpart of
+    /// [`PreparedSpmv::spmv_with_probe_into`].
+    ///
+    /// The serial CSR path (also serving `auto`) folds the probe into
+    /// the product traversal
+    /// ([`CsrMatrix::spmv_clamped_probe_into`]); the parallel and
+    /// converted-format paths run their product and a separate
+    /// [`probe_of`](ftcg_sparse::fused::probe_of) sweep. `y` and the
+    /// probe are bit-identical to [`DefensiveProduct::product`]
+    /// followed by `probe_of(y)` in every case.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != a.n_rows()`.
+    pub fn product_with_probe(&mut self, a: &CsrMatrix, x: &[f64], y: &mut [f64]) -> [f64; 2] {
+        match self.spec {
+            KernelSpec::Csr | KernelSpec::Auto { .. } => a.spmv_clamped_probe_into(x, y),
+            _ => {
+                self.product(a, x, y);
+                ftcg_sparse::fused::probe_of(y)
+            }
+        }
+    }
 }
 
 /// Defensive parallel product: rows are split into equal-count blocks
@@ -427,6 +451,54 @@ mod tests {
                         spec.label()
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn defensive_probe_matches_product_plus_sweep() {
+        let mut a = gen::random_spd(120, 0.06, 23).unwrap();
+        let x: Vec<f64> = (0..120).map(|i| (i as f64 * 0.19).sin() * 2.5).collect();
+        for corrupt in [false, true] {
+            if corrupt {
+                a.rowptr_mut()[17] = usize::MAX;
+                a.colid_mut()[5] = 1 << 40;
+                a.val_mut()[8] = f64::INFINITY;
+            }
+            for spec in [
+                KernelSpec::Csr,
+                KernelSpec::CsrPar { threads: 3 },
+                KernelSpec::Bcsr { block: 2 },
+                KernelSpec::Sell {
+                    chunk: 8,
+                    sigma: 32,
+                },
+            ] {
+                let mut want = vec![0.0; 120];
+                DefensiveProduct::new(spec).product(&a, &x, &mut want);
+                let want_probe = ftcg_sparse::fused::probe_of(&want);
+                let mut y = vec![0.0; 120];
+                let probe = DefensiveProduct::new(spec).product_with_probe(&a, &x, &mut y);
+                for i in 0..120 {
+                    assert_eq!(
+                        y[i].to_bits(),
+                        want[i].to_bits(),
+                        "spec {} corrupt {corrupt} row {i}",
+                        spec.label()
+                    );
+                }
+                assert_eq!(
+                    probe[0].to_bits(),
+                    want_probe[0].to_bits(),
+                    "spec {} corrupt {corrupt}",
+                    spec.label()
+                );
+                assert_eq!(
+                    probe[1].to_bits(),
+                    want_probe[1].to_bits(),
+                    "spec {} corrupt {corrupt}",
+                    spec.label()
+                );
             }
         }
     }

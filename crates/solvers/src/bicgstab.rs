@@ -8,7 +8,7 @@
 
 use ftcg_checkpoint::SolverState;
 use ftcg_kernels::{CsrSerial, PreparedSpmv, SpmvKernel};
-use ftcg_sparse::{vector, CsrMatrix};
+use ftcg_sparse::{fused, vector, CsrMatrix};
 
 use crate::cg::{CgConfig, SolveStats};
 use crate::machine::{CanonVec, IterativeSolver, PlainContext, StepContext, StepResult};
@@ -101,7 +101,6 @@ impl IterativeSolver for BicgstabMachine {
     }
 
     fn step(&mut self, ctx: &mut dyn StepContext) -> StepResult {
-        let n = self.x.len();
         if self.rho == 0.0 || !self.rho.is_finite() {
             return StepResult::Breakdown;
         }
@@ -113,47 +112,48 @@ impl IterativeSolver for BicgstabMachine {
             return StepResult::Breakdown;
         }
         let alpha = self.rho / rhat_v;
-        // s = r − α v
-        for i in 0..n {
-            self.s[i] = self.r[i] - alpha * self.v[i];
-        }
-        if vector::norm2(&self.s) <= self.threshold {
+        // s ← r − α v fused with ‖s‖₂² (each s[i] read post-update, so
+        // both results match the separate loop + norm2 bit for bit).
+        let snorm_sq = fused::sub_scaled_norm2_sq(&self.r, alpha, &self.v, &mut self.s);
+        if snorm_sq.sqrt() <= self.threshold {
             // Half-step exit: already converged at the intermediate
             // residual. `ρ` stays stale, which is fine — the driver
             // stops (or, in resilient mode, verifies and then stops)
             // before it is read again.
             vector::axpy(alpha, &self.p, &mut self.x);
             self.r.copy_from_slice(&self.s);
-            self.rnorm = vector::norm2(&self.r);
+            // r is bitwise s, so ‖r‖₂ is the norm already computed.
+            self.rnorm = snorm_sq.sqrt();
             return StepResult::Done;
         }
         if ctx.product(&mut self.s, &mut self.t).rejected() {
             return StepResult::Rejected;
         }
-        let tt = vector::norm2_sq(&self.t);
+        // ⟨t, t⟩ and ⟨t, s⟩ share one sweep.
+        let (tt, ts) = fused::dot2(&self.t, &self.t, &self.t, &self.s);
         if tt == 0.0 {
             return StepResult::Breakdown;
         }
-        let omega = vector::dot(&self.t, &self.s) / tt;
+        let omega = ts / tt;
         if omega == 0.0 || !omega.is_finite() {
             return StepResult::Breakdown;
         }
-        // x += α p + ω s
-        for i in 0..n {
-            self.x[i] += alpha * self.p[i] + omega * self.s[i];
-        }
-        // r = s − ω t
-        for i in 0..n {
-            self.r[i] = self.s[i] - omega * self.t[i];
-        }
-        let rho_new = vector::dot(&self.rhat, &self.r);
+        // x += α p + ω s, r = s − ω t and ⟨r̂, r⟩ in one sweep.
+        let rho_new = fused::step_update_dot(
+            alpha,
+            &self.p,
+            omega,
+            &self.s,
+            &self.t,
+            &mut self.x,
+            &mut self.r,
+            &self.rhat,
+        );
         let beta = (rho_new / self.rho) * (alpha / omega);
         self.rho = rho_new;
-        // p = r + β (p − ω v)
-        for i in 0..n {
-            self.p[i] = self.r[i] + beta * (self.p[i] - omega * self.v[i]);
-        }
-        self.rnorm = vector::norm2(&self.r);
+        // p = r + β (p − ω v) fused with ‖r‖₂².
+        let rnorm_sq = fused::dir_update_norm2_sq(&self.r, beta, omega, &self.v, &mut self.p);
+        self.rnorm = rnorm_sq.sqrt();
         StepResult::Done
     }
 

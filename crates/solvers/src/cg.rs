@@ -8,7 +8,7 @@
 
 use ftcg_checkpoint::SolverState;
 use ftcg_kernels::{CsrSerial, PreparedSpmv, SpmvKernel};
-use ftcg_sparse::{vector, CsrMatrix};
+use ftcg_sparse::{fused, vector, CsrMatrix};
 
 use crate::machine::{CanonVec, IterativeSolver, PlainContext, StepContext, StepResult};
 use crate::stopping::StoppingCriterion;
@@ -119,9 +119,11 @@ impl IterativeSolver for CgMachine {
             return StepResult::Breakdown;
         }
         let alpha = self.rnorm_sq / pq;
-        vector::axpy(alpha, &self.p, &mut self.x);
-        vector::axpy(-alpha, &self.q, &mut self.r);
-        let new_rnorm_sq = vector::norm2_sq(&self.r);
+        // x ← x + α p, r ← r − α q and ‖r‖₂² in one sweep — the fused
+        // op reads each r[i] after its update, so the three results are
+        // bit-identical to the separate axpy/axpy/norm2_sq calls.
+        let new_rnorm_sq =
+            fused::axpy2_norm2_sq(alpha, &self.p, &mut self.x, -alpha, &self.q, &mut self.r);
         let beta = new_rnorm_sq / self.rnorm_sq;
         self.rnorm_sq = new_rnorm_sq;
         // p ← r + β p

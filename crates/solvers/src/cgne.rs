@@ -8,7 +8,7 @@
 
 use ftcg_checkpoint::SolverState;
 use ftcg_kernels::{CsrSerial, PreparedSpmv, SpmvKernel};
-use ftcg_sparse::{vector, CsrMatrix};
+use ftcg_sparse::{fused, vector, CsrMatrix};
 
 use crate::cg::{CgConfig, SolveStats};
 use crate::machine::{CanonVec, IterativeSolver, PlainContext, StepContext, StepResult};
@@ -117,8 +117,11 @@ impl IterativeSolver for CgneMachine {
             return StepResult::Breakdown;
         }
         let alpha = self.rtr / qq;
-        vector::axpy(alpha, &self.p, &mut self.x);
-        vector::axpy(-alpha, &self.q, &mut self.r);
+        // x ← x + α p, r ← r − α q and ‖r‖₂² in one sweep; r is not
+        // touched again this step, so the fused norm is exactly the
+        // step-end `vector::norm2(&r)` it replaces.
+        let rnorm_sq =
+            fused::axpy2_norm2_sq(alpha, &self.p, &mut self.x, -alpha, &self.q, &mut self.r);
         // z = Aᵀ r
         if ctx.product_transpose(&self.r, &mut self.z).rejected() {
             return StepResult::Rejected;
@@ -129,7 +132,7 @@ impl IterativeSolver for CgneMachine {
         for i in 0..n {
             self.p[i] = self.z[i] + beta * self.p[i];
         }
-        self.rnorm = vector::norm2(&self.r);
+        self.rnorm = rnorm_sq.sqrt();
         StepResult::Done
     }
 

@@ -7,7 +7,7 @@
 
 use ftcg_checkpoint::SolverState;
 use ftcg_kernels::{CsrSerial, PreparedSpmv, SpmvKernel};
-use ftcg_sparse::{vector, CsrMatrix};
+use ftcg_sparse::{fused, vector, CsrMatrix};
 
 use crate::cg::{CgConfig, SolveStats};
 use crate::machine::{CanonVec, IterativeSolver, PlainContext, StepContext, StepResult};
@@ -100,7 +100,6 @@ impl IterativeSolver for PcgMachine {
     }
 
     fn step(&mut self, ctx: &mut dyn StepContext) -> StepResult {
-        let n = self.x.len();
         if ctx.product(&mut self.p, &mut self.q).rejected() {
             return StepResult::Rejected;
         }
@@ -109,18 +108,24 @@ impl IterativeSolver for PcgMachine {
             return StepResult::Breakdown;
         }
         let alpha = self.rz / pq;
-        vector::axpy(alpha, &self.p, &mut self.x);
-        vector::axpy(-alpha, &self.q, &mut self.r);
-        for i in 0..n {
-            self.z[i] = self.r[i] * self.minv[i];
-        }
-        let rz_new = vector::dot(&self.r, &self.z);
+        // x ← x + α p, r ← r − α q, z ← M⁻¹ r and ⟨r, z⟩ in one sweep;
+        // each element of r/z is read after its update, so all four
+        // results are bit-identical to the separate calls.
+        let rz_new = fused::axpy2_precond_dot(
+            alpha,
+            &self.p,
+            &mut self.x,
+            -alpha,
+            &self.q,
+            &mut self.r,
+            &self.minv,
+            &mut self.z,
+        );
         let beta = rz_new / self.rz;
         self.rz = rz_new;
-        for i in 0..n {
-            self.p[i] = self.z[i] + beta * self.p[i];
-        }
-        self.rnorm = vector::norm2(&self.r);
+        // p ← z + β p fused with ‖r‖₂² (independent chains).
+        let rnorm_sq = fused::xpay_norm2_sq(&self.z, beta, &mut self.p, &self.r);
+        self.rnorm = rnorm_sq.sqrt();
         StepResult::Done
     }
 

@@ -124,6 +124,7 @@ where
         yblock,
         live,
         fused,
+        probes,
     } = ws;
 
     // The fused traversal runs against the *pristine* matrix, so it is
@@ -183,18 +184,25 @@ where
             if fused.len() >= 2 {
                 xblock.reshape(a0.n_cols(), fused.len());
                 yblock.reshape(a0.n_rows(), fused.len());
+                if probes.len() < fused.len() {
+                    probes.resize(fused.len(), [0.0; 2]);
+                }
                 for (c, &i) in fused.iter().enumerate() {
                     xblock.col_mut(c).copy_from_slice(machines[i].direction());
                 }
-                p.spmm_into(xblock, yblock);
+                p.spmm_with_probe_into(xblock, yblock, &mut probes[..fused.len()]);
             } else {
                 fused.clear();
             }
         }
 
-        // Phases 2–5 per lane, fused lanes consuming their column.
+        // Phases 2–5 per lane, fused lanes consuming their column and
+        // its output probe.
         for &i in live.iter() {
-            let pre = fused.iter().position(|&j| j == i).map(|c| yblock.col(c));
+            let pre = fused
+                .iter()
+                .position(|&j| j == i)
+                .map(|c| (yblock.col(c), &probes[c]));
             machines[i].finish_iteration(pre);
         }
     }

@@ -101,12 +101,13 @@ struct ResilientCtx<'a, V: VerificationScheme, R: Recorder> {
     /// bit-identical to the pristine input, so the batched driver must
     /// not serve this lane's products from the shared fused traversal.
     image_clean: &'a mut bool,
-    /// The iteration's first product, already computed by the batched
-    /// driver's fused multi-RHS traversal of the pristine image
-    /// (bit-identical to what [`DefensiveProduct::product`] would
-    /// compute — only offered when `image_clean`). Later products in
-    /// the same step always compute.
-    precomputed_first: Option<&'a [f64]>,
+    /// The iteration's first product and its output probe, already
+    /// computed by the batched driver's fused multi-RHS traversal of
+    /// the pristine image (bit-identical to what
+    /// [`DefensiveProduct::product_with_probe`] would compute — only
+    /// offered when `image_clean`). Later products in the same step
+    /// always compute.
+    precomputed_first: Option<(&'a [f64], &'a [f64; 2])>,
     /// Retained buffer for call-time captures of later products.
     xref_scratch: &'a mut XRef,
     /// Product-output faults deferred onto the first product.
@@ -125,13 +126,27 @@ impl<V: VerificationScheme, R: Recorder> StepContext for ResilientCtx<'_, V, R> 
     fn product(&mut self, x: &mut [f64], y: &mut [f64]) -> ProductStatus {
         self.products_run += 1;
         let first = std::mem::replace(&mut self.first, false);
+        let hardened = self.scheme.hardened_vectors();
+        // Deferred product-output faults rewrite `y` *after* the
+        // kernel, invalidating any probe accumulated alongside it —
+        // run the plain product and let the scheme sweep `y` itself.
+        let probe_stale = first && !self.q_faults.is_empty();
         let t_prod = self.rec.start();
+        let mut probe: Option<[f64; 2]> = None;
         match (first, self.precomputed_first) {
-            (true, Some(pre)) => y.copy_from_slice(pre),
+            (true, Some((pre, p))) => {
+                y.copy_from_slice(pre);
+                if !probe_stale {
+                    probe = Some(*p);
+                }
+            }
+            _ if hardened && !probe_stale => {
+                probe = Some(self.kernel.product_with_probe(self.a, x, y));
+            }
             _ => self.kernel.product(self.a, x, y),
         }
         self.rec.phase(Phase::Product, t_prod);
-        if !self.scheme.hardened_vectors() {
+        if !hardened {
             return ProductStatus::Trusted; // ONLINE: unverified products
         }
         if first {
@@ -148,7 +163,9 @@ impl<V: VerificationScheme, R: Recorder> StepContext for ResilientCtx<'_, V, R> 
             }
         };
         let t_check = self.rec.start();
-        let check = self.scheme.check_product(self.a, x, xref, y);
+        let check = self
+            .scheme
+            .check_product(self.a, x, xref, y, probe.as_ref());
         self.rec.phase(Phase::ProductCheck, t_check);
         self.stats.product_checks += 1;
         if check != ProductCheck::Clean && self.scheme.check_may_mutate() {
@@ -208,8 +225,8 @@ impl<V: VerificationScheme, R: Recorder> StepContext for ResilientCtx<'_, V, R> 
 /// `while active { begin_iteration(); finish_iteration(None); }` +
 /// [`ExecutorMachine::finish`] is operation-for-operation the historical
 /// `run_executor` loop, and the batched driver interleaves `k` machines
-/// in lockstep, feeding fused product columns through
-/// `finish_iteration(Some(column))`.
+/// in lockstep, feeding fused product columns (with their output
+/// probes) through `finish_iteration(Some((column, probe)))`.
 pub(super) struct ExecutorMachine<'a, V: VerificationScheme, R: Recorder> {
     a0: &'a CsrMatrix,
     b: &'a [f64],
@@ -432,11 +449,12 @@ impl<'a, V: VerificationScheme, R: Recorder> ExecutorMachine<'a, V, R> {
     /// Phases 2–5 of an iteration: one verified solver step, the TMR
     /// vote, the chunk-boundary verification, convergence acceptance
     /// and checkpointing. `precomputed_first`, when given, serves the
-    /// step's first product (only offered to [`fusable`] lanes — the
-    /// column is bit-identical to what the lane would compute itself).
+    /// step's first product from a `(column, probe)` pair (only offered
+    /// to [`fusable`] lanes — both are bit-identical to what the lane
+    /// would compute itself).
     ///
     /// [`fusable`]: ExecutorMachine::fusable
-    pub(super) fn finish_iteration(&mut self, precomputed_first: Option<&[f64]>) {
+    pub(super) fn finish_iteration(&mut self, precomputed_first: Option<(&[f64], &[f64; 2])>) {
         // 2./3. One step, products verified by the scheme. The
         // iteration is charged `1 + Tverif` per product the step
         // actually ran (ABFT schemes; `verified_products` is the

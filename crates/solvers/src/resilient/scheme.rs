@@ -85,12 +85,22 @@ pub trait VerificationScheme {
     /// computed from the live matrix image; `xref` is the trusted copy
     /// of the input captured in reliable memory before this iteration's
     /// faults struck.
+    ///
+    /// `probe`, when given, is the ABFT output probe
+    /// `[Σᵢ yᵢ, Σᵢ (i+1)·yᵢ]` accumulated by a fused product kernel
+    /// over exactly the bits currently in `y` (see
+    /// [`ftcg_sparse::fused::probe_of`]); the ABFT schemes then skip
+    /// their own sweep over the output. Callers that mutated `y` after
+    /// the product (deferred fault flips) must pass `None` — the scheme
+    /// falls back to sweeping `y` itself, so the outcome is identical
+    /// either way.
     fn check_product(
         &self,
         a: &mut CsrMatrix,
         x: &mut [f64],
         xref: &XRef,
         y: &mut [f64],
+        probe: Option<&[f64; 2]>,
     ) -> ProductCheck;
 
     /// Chunk-boundary whole-state verification; `true` means the state
@@ -145,8 +155,13 @@ impl VerificationScheme for AbftDetection {
         x: &mut [f64],
         xref: &XRef,
         y: &mut [f64],
+        probe: Option<&[f64; 2]>,
     ) -> ProductCheck {
-        if self.single.verify(a, x, xref, y).is_trusted() {
+        let outcome = match probe {
+            Some(p) => self.single.verify_probed(a, x, xref, p),
+            None => self.single.verify(a, x, xref, y),
+        };
+        if outcome.is_trusted() {
             ProductCheck::Clean
         } else {
             ProductCheck::Rejected
@@ -209,8 +224,12 @@ impl VerificationScheme for AbftCorrection {
         x: &mut [f64],
         xref: &XRef,
         y: &mut [f64],
+        probe: Option<&[f64; 2]>,
     ) -> ProductCheck {
-        let res = self.protected.verify(a, x, xref, y);
+        let res = match probe {
+            Some(p) => self.protected.verify_probed(a, x, xref, p),
+            None => self.protected.verify(a, x, xref, y),
+        };
         if res.clean() {
             return ProductCheck::Clean;
         }
@@ -277,6 +296,7 @@ impl VerificationScheme for OnlineDetection {
         _x: &mut [f64],
         _xref: &XRef,
         _y: &mut [f64],
+        _probe: Option<&[f64; 2]>,
     ) -> ProductCheck {
         ProductCheck::Clean // products run unverified
     }

@@ -192,6 +192,9 @@ pub struct BatchWorkspace {
     pub(crate) live: Vec<usize>,
     /// Lane indices served by the fused traversal this round.
     pub(crate) fused: Vec<usize>,
+    /// Per-fused-column output probes from the fused traversal
+    /// (retained scratch, `fused.len()` entries in use).
+    pub(crate) probes: Vec<[f64; 2]>,
 }
 
 impl std::fmt::Debug for BatchWorkspace {

@@ -18,8 +18,20 @@
 //! 4. a steady-state *batched* iteration is allocation-free too: k
 //!    lanes advancing in lockstep through the fused multi-RHS
 //!    traversal draw every buffer (lane arenas, the packed x/y blocks,
-//!    the live/fused lane lists) from a warm `BatchWorkspace`, so the
-//!    iteration budget must not change the batched allocation count.
+//!    the live/fused lane lists, the per-lane probes) from a warm
+//!    `BatchWorkspace`, so the iteration budget must not change the
+//!    batched allocation count;
+//! 5. the fused one-pass BLAS-1 steps of *every* machine (CG's
+//!    `axpy2_norm2_sq`, PCG's `axpy2_precond_dot`/`xpay_norm2_sq`,
+//!    BiCGStab's fused half-step and direction updates, CGNE's fused
+//!    tail) allocate nothing — the fusion rewrites may not introduce
+//!    temporaries;
+//! 6. the fused product-with-probe verification path (hardened kernel
+//!    computes the `[Σyᵢ, Σ(i+1)yᵢ]` probe in-pass, `verify_probed`
+//!    consumes it) is allocation-free at steady state for both ABFT
+//!    schemes — claim 2 pins the detection scheme, and a correction
+//!    (`ProtectedSpmv::verify_probed`) solve must likewise show an
+//!    iteration-count-invariant allocation count on a warm workspace.
 //!
 //! The file holds a single `#[test]` on purpose: the counter is
 //! process-global, and sibling tests running on other threads would
@@ -193,5 +205,71 @@ fn steady_state_cg_iterations_allocate_nothing() {
         "50 extra steady-state batched iterations across 4 lanes must \
          allocate nothing: {bshort_allocs} allocs at 10 iters vs \
          {blong_allocs} at 60"
+    );
+
+    // Claim 5: every machine's fused one-pass step is allocation-free,
+    // not just CG's (claim 1). Each kind gets a short warm-up, then a
+    // counted run; BiCGStab past convergence may legitimately hit a
+    // breakdown exit, so the gate requires a minimum of productive
+    // steps rather than a fixed count.
+    for kind in SolverKind::ALL {
+        let mut m = kind.start_zero(&a, &b);
+        m.set_threshold(0.0);
+        for _ in 0..3 {
+            assert_eq!(
+                m.step(&mut ctx),
+                StepResult::Done,
+                "{} warm-up",
+                kind.label()
+            );
+        }
+        let (kind_allocs, executed) = count_allocs(|| {
+            let mut done = 0usize;
+            for _ in 0..30 {
+                let r = m.step(&mut ctx);
+                assert_ne!(r, StepResult::Rejected, "{}", kind.label());
+                if r != StepResult::Done {
+                    break;
+                }
+                done += 1;
+            }
+            done
+        });
+        assert!(
+            executed >= 10,
+            "{}: gate needs steady-state steps, got {executed}",
+            kind.label()
+        );
+        assert_eq!(
+            kind_allocs,
+            0,
+            "a fused {} machine step must not touch the allocator",
+            kind.label()
+        );
+    }
+
+    // Claim 6: the correction scheme's fused-probe verification
+    // (`ProtectedSpmv::verify_probed` fed by the kernel's in-pass
+    // probe) is steady-state allocation-free, same 10-vs-60 technique
+    // as claim 2.
+    let corr_for = |iters: usize| {
+        let mut cfg = ResilientConfig::new(Scheme::AbftCorrection, 2);
+        cfg.stopping = StoppingCriterion::Absolute { eps: 0.0 };
+        cfg.max_productive_iters = iters;
+        cfg.max_executed_iters = 10 * iters;
+        cfg
+    };
+    let warm_corr = solve_resilient_in(&a, &b, &corr_for(60), None, &mut ws);
+    assert_eq!(warm_corr.executed_iterations, 60);
+    let (cshort_allocs, cshort) =
+        count_allocs(|| solve_resilient_in(&a, &b, &corr_for(10), None, &mut ws));
+    let (clong_allocs, clong) =
+        count_allocs(|| solve_resilient_in(&a, &b, &corr_for(60), None, &mut ws));
+    assert_eq!(cshort.executed_iterations, 10);
+    assert_eq!(clong.executed_iterations, 60);
+    assert_eq!(
+        clong_allocs, cshort_allocs,
+        "50 extra probe-verified correction iterations must allocate \
+         nothing: {cshort_allocs} allocs at 10 iters vs {clong_allocs} at 60"
     );
 }

@@ -400,6 +400,177 @@ impl CsrMatrix {
         }
     }
 
+    /// `y ← A·x` with the ABFT output probe accumulated in the same
+    /// pass: returns `[Σᵢ yᵢ, Σᵢ (i+1)·yᵢ]` (see
+    /// [`fused::probe_of`](crate::fused::probe_of)). The product runs
+    /// the row-band kernel ([`CsrMatrix::spmv_rowband_into`], itself
+    /// bit-identical to [`CsrMatrix::spmv_into`]); each row's output is
+    /// folded into the probe chains the moment it is finalized, and rows
+    /// finalize in ascending index order, so the probe is bit-identical
+    /// to a separate `probe_of(y)` sweep — without re-reading `y`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n_cols` or `y.len() != n_rows`.
+    pub fn spmv_with_probe_into(&self, x: &[f64], y: &mut [f64]) -> [f64; 2] {
+        assert_eq!(x.len(), self.n_cols, "spmv: x length mismatch");
+        assert_eq!(y.len(), self.n_rows, "spmv: y length mismatch");
+        let (colid, val) = (&self.colid[..], &self.val[..]);
+        let mut p0 = -0.0;
+        let mut p1 = -0.0;
+        let mut i = 0;
+        while i + 4 <= self.n_rows {
+            let s = [
+                self.rowptr[i],
+                self.rowptr[i + 1],
+                self.rowptr[i + 2],
+                self.rowptr[i + 3],
+            ];
+            let e = self.rowptr[i + 4];
+            let lens = [s[1] - s[0], s[2] - s[1], s[3] - s[2], e - s[3]];
+            let m = lens[0].min(lens[1]).min(lens[2]).min(lens[3]);
+            let mut acc = [0.0f64; 4];
+            for j in 0..m {
+                let k = [s[0] + j, s[1] + j, s[2] + j, s[3] + j];
+                acc[0] += val[k[0]] * x[colid[k[0]]];
+                acc[1] += val[k[1]] * x[colid[k[1]]];
+                acc[2] += val[k[2]] * x[colid[k[2]]];
+                acc[3] += val[k[3]] * x[colid[k[3]]];
+            }
+            for (lane, a) in acc.iter_mut().enumerate() {
+                for k in s[lane] + m..s[lane] + lens[lane] {
+                    *a += val[k] * x[colid[k]];
+                }
+            }
+            y[i..i + 4].copy_from_slice(&acc);
+            for (lane, a) in acc.iter().enumerate() {
+                p0 += a;
+                p1 += (i + lane + 1) as f64 * a;
+            }
+            i += 4;
+        }
+        for (i, yi) in y.iter_mut().enumerate().skip(i) {
+            let mut acc = 0.0;
+            for k in self.rowptr[i]..self.rowptr[i + 1] {
+                acc += val[k] * x[colid[k]];
+            }
+            *yi = acc;
+            p0 += acc;
+            p1 += (i + 1) as f64 * acc;
+        }
+        [p0, p1]
+    }
+
+    /// Defensive `y ← A·x` with the ABFT output probe accumulated in
+    /// the same pass — the clamped counterpart of
+    /// [`CsrMatrix::spmv_with_probe_into`]: the product is bit-identical
+    /// to [`CsrMatrix::spmv_clamped_rowband_into`] and the returned
+    /// probe to a separate
+    /// [`fused::probe_of`](crate::fused::probe_of)`(y)` sweep, with rows
+    /// folded into the probe chains in ascending index order as they
+    /// finalize.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != n_rows` (the output buffer is caller
+    /// state, not corruptible matrix data).
+    pub fn spmv_clamped_probe_into(&self, x: &[f64], y: &mut [f64]) -> [f64; 2] {
+        assert_eq!(y.len(), self.n_rows, "spmv_clamped: y length mismatch");
+        let (colid, val) = (&self.colid[..], &self.val[..]);
+        let mut p0 = -0.0;
+        let mut p1 = -0.0;
+        let mut i = 0;
+        while i + 4 <= self.n_rows {
+            let r = [
+                self.row_range_clamped(i),
+                self.row_range_clamped(i + 1),
+                self.row_range_clamped(i + 2),
+                self.row_range_clamped(i + 3),
+            ];
+            let m = r[0].len().min(r[1].len()).min(r[2].len()).min(r[3].len());
+            let mut acc = [0.0f64; 4];
+            for j in 0..m {
+                for (lane, a) in acc.iter_mut().enumerate() {
+                    let k = r[lane].start + j;
+                    let c = colid[k];
+                    if c < x.len() {
+                        *a += val[k] * x[c];
+                    }
+                }
+            }
+            for (lane, a) in acc.iter_mut().enumerate() {
+                for k in r[lane].start + m..r[lane].end {
+                    let c = colid[k];
+                    if c < x.len() {
+                        *a += val[k] * x[c];
+                    }
+                }
+            }
+            y[i..i + 4].copy_from_slice(&acc);
+            for (lane, a) in acc.iter().enumerate() {
+                p0 += a;
+                p1 += (i + lane + 1) as f64 * a;
+            }
+            i += 4;
+        }
+        while i < self.n_rows {
+            let acc = self.row_product_clamped(x, i);
+            y[i] = acc;
+            p0 += acc;
+            p1 += (i + 1) as f64 * acc;
+            i += 1;
+        }
+        [p0, p1]
+    }
+
+    /// Fused multi-RHS product with per-column ABFT probes: `probes[c]`
+    /// receives the probe of output column `c`, accumulated as the
+    /// column's rows are written. The outputs are bit-identical to
+    /// [`CsrMatrix::spmm_into`] and each probe to a separate
+    /// [`fused::probe_of`](crate::fused::probe_of) over that column —
+    /// within every column the traversal finalizes rows in ascending
+    /// index order (row bands outer, ascending; rows inside each band
+    /// ascending), so each column's probe chains accumulate in exactly
+    /// the separate sweep's order.
+    ///
+    /// # Panics
+    /// Panics on the [`CsrMatrix::spmm_into`] dimension mismatches or
+    /// if `probes.len() != x.k()`.
+    pub fn spmm_with_probe_into(&self, x: &MultiVec, y: &mut MultiVec, probes: &mut [[f64; 2]]) {
+        assert_eq!(x.n(), self.n_cols, "spmm: x row count mismatch");
+        assert_eq!(y.n(), self.n_rows, "spmm: y row count mismatch");
+        assert_eq!(x.k(), y.k(), "spmm: column count mismatch");
+        assert_eq!(probes.len(), x.k(), "spmm: probe count mismatch");
+        let (n, nc, k) = (self.n_rows, self.n_cols, x.k());
+        let (colid, val) = (&self.colid[..], &self.val[..]);
+        let xd = x.data();
+        let yd = y.data_mut();
+        for p in probes.iter_mut() {
+            *p = [-0.0, -0.0];
+        }
+        for lo in (0..n).step_by(ROW_BAND) {
+            let hi = (lo + ROW_BAND).min(n);
+            let mut cb = 0;
+            while cb < k {
+                let w = (k - cb).min(RHS_BLOCK);
+                for i in lo..hi {
+                    let mut acc = [0.0f64; RHS_BLOCK];
+                    for kk in self.rowptr[i]..self.rowptr[i + 1] {
+                        let v = val[kk];
+                        let j = colid[kk];
+                        for (c, a) in acc.iter_mut().enumerate().take(w) {
+                            *a += v * xd[(cb + c) * nc + j];
+                        }
+                    }
+                    for (c, a) in acc.iter().enumerate().take(w) {
+                        yd[(cb + c) * n + i] = *a;
+                        probes[cb + c][0] += *a;
+                        probes[cb + c][1] += (i + 1) as f64 * *a;
+                    }
+                }
+                cb += w;
+            }
+        }
+    }
+
     /// Storage range of row `i` with the defensive clamping rule: both
     /// bounds clamped to `[0, nnz]`, an inverted range treated as an
     /// empty row. The one canonical clamp shared by the ABFT kernel
@@ -868,6 +1039,88 @@ mod tests {
         let x = [1.0, 2.0, 3.0];
         let y = m.spmv(&x);
         assert_eq!(y, vec![6.0, 10.0, 8.0]);
+    }
+
+    #[test]
+    fn spmv_with_probe_is_bit_identical_to_separate_sweeps() {
+        for n in [1, 3, 4, 7, 50] {
+            let m = crate::gen::random_spd(n, 0.3, n as u64 + 5).unwrap();
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).sin() * 3.0).collect();
+            let mut y_ref = vec![0.0; n];
+            m.spmv_into(&x, &mut y_ref);
+            let want = crate::fused::probe_of(&y_ref);
+            let mut y = vec![0.0; n];
+            let probe = m.spmv_with_probe_into(&x, &mut y);
+            for i in 0..n {
+                assert_eq!(y[i].to_bits(), y_ref[i].to_bits(), "n={n} row {i}");
+            }
+            assert_eq!(probe[0].to_bits(), want[0].to_bits(), "n={n} probe[0]");
+            assert_eq!(probe[1].to_bits(), want[1].to_bits(), "n={n} probe[1]");
+        }
+    }
+
+    #[test]
+    fn spmv_clamped_probe_is_bit_identical_to_separate_sweeps() {
+        let m = crate::gen::random_spd(41, 0.15, 77).unwrap();
+        let x: Vec<f64> = (0..41).map(|i| ((i * 7 % 11) as f64) - 5.0).collect();
+        let mut y_ref = vec![0.0; 41];
+        m.spmv_clamped_into(&x, &mut y_ref);
+        let want = crate::fused::probe_of(&y_ref);
+        let mut y = vec![0.0; 41];
+        let probe = m.spmv_clamped_probe_into(&x, &mut y);
+        assert_eq!(y, y_ref);
+        assert_eq!(probe[0].to_bits(), want[0].to_bits());
+        assert_eq!(probe[1].to_bits(), want[1].to_bits());
+    }
+
+    #[test]
+    fn spmv_clamped_probe_survives_corruption() {
+        // Corrupt structure and a value: the fused kernel must match the
+        // separate clamped product + probe sweeps bit for bit, not panic.
+        let mut m = crate::gen::random_spd(30, 0.2, 13).unwrap();
+        m.colid_mut()[4] = 999;
+        m.rowptr_mut()[7] = usize::MAX / 2;
+        m.val_mut()[9] = f64::NAN;
+        let x: Vec<f64> = (0..30).map(|i| (i as f64 * 0.37).cos()).collect();
+        let mut y_ref = vec![0.0; 30];
+        m.spmv_clamped_into(&x, &mut y_ref);
+        let want = crate::fused::probe_of(&y_ref);
+        let mut y = vec![0.0; 30];
+        let probe = m.spmv_clamped_probe_into(&x, &mut y);
+        for i in 0..30 {
+            assert_eq!(y[i].to_bits(), y_ref[i].to_bits(), "row {i}");
+        }
+        assert_eq!(probe[0].to_bits(), want[0].to_bits());
+        assert_eq!(probe[1].to_bits(), want[1].to_bits());
+    }
+
+    #[test]
+    fn spmm_with_probe_matches_spmm_and_column_probes() {
+        let m = crate::gen::random_spd(33, 0.2, 31).unwrap();
+        let k = 5;
+        let mut x = MultiVec::zeros(33, k);
+        for c in 0..k {
+            for (i, v) in x.col_mut(c).iter_mut().enumerate() {
+                *v = ((i + 11 * c) as f64 * 0.23).sin();
+            }
+        }
+        let mut y_ref = MultiVec::zeros(33, k);
+        m.spmm_into(&x, &mut y_ref);
+        let mut y = MultiVec::zeros(33, k);
+        let mut probes = vec![[1.0; 2]; k]; // dirty: kernel must reset
+        m.spmm_with_probe_into(&x, &mut y, &mut probes);
+        for (c, probe) in probes.iter().enumerate() {
+            let want = crate::fused::probe_of(y_ref.col(c));
+            for i in 0..33 {
+                assert_eq!(
+                    y.col(c)[i].to_bits(),
+                    y_ref.col(c)[i].to_bits(),
+                    "col {c} row {i}"
+                );
+            }
+            assert_eq!(probe[0].to_bits(), want[0].to_bits(), "col {c} probe[0]");
+            assert_eq!(probe[1].to_bits(), want[1].to_bits(), "col {c} probe[1]");
+        }
     }
 
     #[test]

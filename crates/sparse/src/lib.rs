@@ -11,6 +11,7 @@
 //!   storage with exact CSR roundtrips, the formats behind the pluggable
 //!   SpMV backends in `ftcg-kernels`,
 //! * dense vector kernels ([`vector`]) used by the Conjugate Gradient solver,
+//! * one-pass fused sweeps ([`fused`]) combining those kernels bit-identically,
 //! * synthetic SPD matrix generators ([`gen`]) matched to the paper's test
 //!   set from the UFL collection,
 //! * MatrixMarket I/O ([`io`]) so real UFL files can be dropped in,
@@ -29,6 +30,7 @@ pub mod coo;
 pub mod csc;
 pub mod csr;
 pub mod error;
+pub mod fused;
 pub mod gen;
 pub mod io;
 pub mod multivec;

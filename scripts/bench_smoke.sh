@@ -35,6 +35,19 @@ echo "   ids, measurement keys/units/directions, and specs identical"
 echo "-- self-compare is exactly zero delta (exit 0)"
 "$BIN" bench compare "$tmp/a.json" "$tmp/a.json" > /dev/null
 
+echo "-- kernels suite records the fused measurement group"
+"$BIN" bench --suite kernels --runs 2 --seed 1 --out "$tmp/k.json"
+for key in kernels.sweep_separate_ns_per_iter kernels.sweep_fused_ns_per_iter \
+           kernels.sweep_fused_speedup kernels.probe_two_pass_ns_per_nnz \
+           kernels.probe_fused_ns_per_nnz kernels.probe_fused_speedup; do
+    grep -q "\"$key\"" "$tmp/k.json" || {
+        echo "error: $key missing from kernels entry" >&2
+        exit 1
+    }
+done
+"$BIN" bench compare "$tmp/k.json" "$tmp/k.json" > /dev/null
+echo "   fused separate-vs-fused keys present; self-compare exit 0"
+
 echo "-- migrate a legacy hand-written file to the schema"
 cat > "$tmp/legacy.json" <<'EOF'
 {
