@@ -34,6 +34,12 @@ cargo build --release
 echo "==> cargo bench --no-run (smoke-compile the bench targets)"
 cargo bench --no-run
 
+echo "==> ftcg-lint (workspace invariant rules + waiver staleness, blocking)"
+target/release/ftcg-lint
+
+echo "==> lint smoke (seeded violations must fail with the right rule IDs)"
+bash scripts/lint_smoke.sh target/release/ftcg-lint
+
 echo "==> cargo test -q"
 cargo test -q
 

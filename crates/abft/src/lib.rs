@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Algorithm-based fault tolerance (ABFT) for the sparse matrix–vector
 //! product, reproducing Section 3 of Fasi, Robert & Uçar (PDSEC 2015).
 //!

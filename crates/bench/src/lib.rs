@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared helpers for the Criterion benches. The benches themselves live
 //! in `benches/`; each regenerates one table or figure of the paper (at
 //! a reduced scale suitable for `cargo bench`) and then times its

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Backward recovery (checkpoint / rollback) substrate.
 //!
 //! All three schemes in the paper share the same checkpoint contents

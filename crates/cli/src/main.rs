@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `ftcg` — command-line front end for the fault-tolerant CG library.
 //!
 //! ```console

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ftcg — fault-tolerant Conjugate Gradient
 //!
 //! A full reproduction of *Fasi, Robert & Uçar, "Combining backward and

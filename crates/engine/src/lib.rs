@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ftcg-engine — concurrent campaign execution
 //!
 //! The paper's evaluation is a grid sweep: {matrix × scheme × fault rate

@@ -1,7 +1,7 @@
 //! Fault ledger: the ground-truth record of injected faults, used by the
 //! experiment harness to score detection/correction outcomes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::injector::FaultEvent;
 use crate::target::FaultTarget;
@@ -50,8 +50,9 @@ pub struct LedgerSummary {
     pub undetected: usize,
     /// Faults still pending classification.
     pub pending: usize,
-    /// Injections per region label.
-    pub by_target: HashMap<&'static str, usize>,
+    /// Injections per region label. A `BTreeMap` so iterating the
+    /// summary (e.g. into a report table) has a stable label order.
+    pub by_target: BTreeMap<&'static str, usize>,
 }
 
 impl FaultLedger {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Silent-error injection substrate for the `ftcg` reproduction.
 //!
 //! Implements the fault model of Section 5.1 of the paper:

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ftcg-kernels — pluggable SpMV backends
 //!
 //! Every CG iteration of the reproduction is dominated by one sparse

@@ -1,0 +1,136 @@
+//! Lint configuration: rule scoping lists and the waiver baseline,
+//! loaded from the checked-in `lint.toml`.
+//!
+//! Scoping entries are *live-checked* exactly like waivers: a
+//! `hot-path` module or `det` module path that matches no scanned
+//! file is a configuration error, so the file lists can never rot as
+//! modules are renamed.
+
+use crate::toml;
+use crate::waiver::Waiver;
+
+/// Full lint configuration.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Files/prefixes allowed to read wall clocks (`DET-WALLCLOCK`).
+    pub wallclock_allow: Vec<String>,
+    /// Deterministic artifact/journal/trace modules (`DET-HASH-ITER`).
+    pub det_modules: Vec<String>,
+    /// Hot-path modules with the zero-allocation contract
+    /// (`ALLOC-HOTPATH`).
+    pub hot_modules: Vec<String>,
+    /// Crate directories exempt from `PANIC-LIB` (e.g. a CLI binary
+    /// whose top level may abort on broken invariants). Not
+    /// live-checked: an empty list is the strictest setting.
+    pub panic_exclude: Vec<String>,
+    /// Files allowed to contain audited `unsafe` blocks
+    /// (`UNSAFE-AUDIT`); every block still needs a `// SAFETY:`
+    /// comment.
+    pub unsafe_allow: Vec<String>,
+    /// The pinned-findings baseline.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Configuration load failure.
+#[derive(Debug)]
+pub enum ConfigError {
+    Toml(toml::TomlError),
+    Shape { context: String, message: String },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Toml(e) => write!(f, "{e}"),
+            ConfigError::Shape { context, message } => {
+                write!(f, "lint.toml: {context}: {message}")
+            }
+        }
+    }
+}
+
+fn str_list(doc: &toml::Doc, table: &str, key: &str) -> Result<Vec<String>, ConfigError> {
+    let Some(t) = doc.table(table) else {
+        return Ok(Vec::new());
+    };
+    let Some(v) = t.get(key) else {
+        return Ok(Vec::new());
+    };
+    v.as_str_array().ok_or_else(|| ConfigError::Shape {
+        context: format!("[{table}] {key}"),
+        message: "expected an array of strings".into(),
+    })
+}
+
+fn waiver_field(t: &toml::Table, key: &str, idx: usize) -> Result<String, ConfigError> {
+    t.get(key)
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| ConfigError::Shape {
+            context: format!("[[waiver]] #{}", idx + 1),
+            message: format!("missing string field `{key}`"),
+        })
+}
+
+impl LintConfig {
+    /// Parses `lint.toml` text.
+    pub fn parse(src: &str) -> Result<LintConfig, ConfigError> {
+        let doc = toml::parse(src).map_err(ConfigError::Toml)?;
+        let mut waivers = Vec::new();
+        for (idx, t) in doc.array_of("waiver").into_iter().enumerate() {
+            waivers.push(Waiver {
+                rule: waiver_field(t, "rule", idx)?,
+                file: waiver_field(t, "file", idx)?,
+                needle: waiver_field(t, "needle", idx)?,
+                reason: waiver_field(t, "reason", idx)?,
+            });
+        }
+        for w in &waivers {
+            if w.needle.trim().is_empty() {
+                return Err(ConfigError::Shape {
+                    context: format!("waiver for {} in {}", w.rule, w.file),
+                    message: "empty needle would waive every finding on every line".into(),
+                });
+            }
+        }
+        Ok(LintConfig {
+            wallclock_allow: str_list(&doc, "rules.det-wallclock", "allow")?,
+            det_modules: str_list(&doc, "rules.det-hash-iter", "modules")?,
+            hot_modules: str_list(&doc, "rules.alloc-hotpath", "modules")?,
+            panic_exclude: str_list(&doc, "rules.panic-lib", "exclude")?,
+            unsafe_allow: str_list(&doc, "rules.unsafe-audit", "allow")?,
+            waivers,
+        })
+    }
+
+    /// Every scoping entry that must correspond to at least one
+    /// scanned file, with its config location (for staleness errors).
+    pub fn live_checked_entries(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for e in &self.wallclock_allow {
+            out.push(("rules.det-wallclock.allow".to_string(), e.clone()));
+        }
+        for e in &self.det_modules {
+            out.push(("rules.det-hash-iter.modules".to_string(), e.clone()));
+        }
+        for e in &self.hot_modules {
+            out.push(("rules.alloc-hotpath.modules".to_string(), e.clone()));
+        }
+        for e in &self.unsafe_allow {
+            out.push(("rules.unsafe-audit.allow".to_string(), e.clone()));
+        }
+        out
+    }
+}
+
+/// Path-prefix match used by every scoping list: an entry matches a
+/// file if it equals the path or is a `/`-terminated prefix of it
+/// (so `crates/obs/` covers the whole crate).
+pub fn path_matches(entry: &str, file: &str) -> bool {
+    file == entry || (entry.ends_with('/') && file.starts_with(entry))
+}
+
+/// True if any entry in the list matches the file.
+pub fn any_match(entries: &[String], file: &str) -> bool {
+    entries.iter().any(|e| path_matches(e, file))
+}

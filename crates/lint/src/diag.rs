@@ -1,0 +1,59 @@
+//! Diagnostics: stable rule IDs, human and machine renderings.
+
+use std::fmt::Write as _;
+
+/// One lint finding, anchored to a repo-relative path and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule ID (e.g. `PANIC-LIB`). Waivers key on this.
+    pub rule: &'static str,
+    /// Repo-relative path with `/` separators.
+    pub file: String,
+    /// 1-indexed source line.
+    pub line: usize,
+    /// Human explanation tying the finding to the violated contract.
+    pub message: String,
+    /// The trimmed source line, used for display and waiver matching.
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    /// `file:line: [RULE] message` — the clickable one-line form.
+    pub fn render_human(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}\n    | {}",
+            self.file, self.line, self.rule, self.message, self.snippet
+        )
+    }
+}
+
+/// Escapes a string for embedding in JSON output.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one diagnostic as a JSON object.
+pub fn render_json(d: &Diagnostic) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"snippet\":\"{}\"}}",
+        json_escape(d.rule),
+        json_escape(&d.file),
+        d.line,
+        json_escape(&d.message),
+        json_escape(&d.snippet)
+    )
+}

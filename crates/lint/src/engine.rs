@@ -1,0 +1,172 @@
+//! The lint engine: discovers workspace sources, runs every rule,
+//! applies the waiver baseline, and live-checks the configuration.
+//!
+//! Scope: `crates/*/src/**/*.rs` — library and binary sources only.
+//! `tests/`, `benches/`, `examples/`, and `vendor/` are deliberately
+//! out of scope: test code is exempt from every rule anyway, benches
+//! measure wall clocks by design, and the vendored dependency shims
+//! are not this workspace's code.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::{path_matches, LintConfig};
+use crate::diag::Diagnostic;
+use crate::lexer;
+use crate::rules::{self, FileCtx};
+use crate::tree;
+use crate::waiver::{self, Waiver};
+
+/// Outcome of a full workspace lint.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings not covered by any waiver — real violations.
+    pub findings: Vec<Diagnostic>,
+    /// Count of findings suppressed by the baseline.
+    pub waived: usize,
+    /// Waivers that matched nothing (errors: delete or fix them).
+    pub stale_waivers: Vec<Waiver>,
+    /// Config scoping entries matching no scanned file, as
+    /// `(config location, entry)` pairs (errors as well).
+    pub stale_config: Vec<(String, String)>,
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when the lint gate passes.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.stale_waivers.is_empty() && self.stale_config.is_empty()
+    }
+}
+
+/// I/O or setup failure (distinct from lint findings).
+#[derive(Debug)]
+pub struct EngineError {
+    pub message: String,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+fn io_err(context: &str, e: io::Error) -> EngineError {
+    EngineError {
+        message: format!("{context}: {e}"),
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), EngineError> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| io_err(&format!("reading {}", dir.display()), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(&format!("reading {}", dir.display()), e))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lists every `crates/*/src/**/*.rs` under `root`, sorted by path so
+/// output order (and therefore `--json` bytes) is deterministic.
+pub fn scan_files(root: &Path) -> Result<Vec<PathBuf>, EngineError> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(EngineError {
+            message: format!(
+                "{} has no crates/ directory; pass the workspace root via --root",
+                root.display()
+            ),
+        });
+    }
+    let mut files = Vec::new();
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| io_err(&format!("reading {}", crates_dir.display()), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(&format!("reading {}", crates_dir.display()), e))?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Repo-relative path with `/` separators (the form every config
+/// entry, waiver, and diagnostic uses).
+fn rel_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    let mut out = String::new();
+    for comp in rel.components() {
+        if !out.is_empty() {
+            out.push('/');
+        }
+        out.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    out
+}
+
+/// Lints a single source text (no waivers applied). This is the entry
+/// point the fixture tests drive: one snippet in, raw diagnostics out.
+pub fn lint_source(path: &str, source: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let lexed = match lexer::lex(source) {
+        Ok(l) => l,
+        Err(e) => {
+            out.push(Diagnostic {
+                rule: "LEX-ERROR",
+                file: path.to_string(),
+                line: e.line,
+                message: format!("could not lex file: {}", e.message),
+                snippet: String::new(),
+            });
+            return out;
+        }
+    };
+    let suppressed = tree::test_ranges(&lexed.tokens);
+    let lines: Vec<&str> = source.lines().collect();
+    let ctx = FileCtx {
+        path,
+        tokens: &lexed.tokens,
+        comments: &lexed.comments,
+        lines: &lines,
+        suppressed: &suppressed,
+    };
+    rules::run_all(&ctx, cfg, &mut out);
+    out
+}
+
+/// Lints the whole workspace under `root` with the given config:
+/// scan, rule passes, waiver application, staleness checks.
+pub fn lint_root(root: &Path, cfg: &LintConfig) -> Result<LintReport, EngineError> {
+    let files = scan_files(root)?;
+    let mut findings = Vec::new();
+    let mut scanned_rel = Vec::with_capacity(files.len());
+    for file in &files {
+        let source = fs::read_to_string(file)
+            .map_err(|e| io_err(&format!("reading {}", file.display()), e))?;
+        let rel = rel_path(root, file);
+        findings.extend(lint_source(&rel, &source, cfg));
+        scanned_rel.push(rel);
+    }
+    let outcome = waiver::apply(findings, &cfg.waivers);
+    let stale_config = cfg
+        .live_checked_entries()
+        .into_iter()
+        .filter(|(_, entry)| !scanned_rel.iter().any(|f| path_matches(entry, f)))
+        .collect();
+    Ok(LintReport {
+        findings: outcome.unwaived,
+        waived: outcome.waived,
+        stale_waivers: outcome.stale,
+        stale_config,
+        files_scanned: scanned_rel.len(),
+    })
+}

@@ -1,0 +1,372 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! `ftcg-lint` needs just enough lexical structure to scan token
+//! sequences without the false positives a plain `grep` produces:
+//! comments, string/char literals, and raw strings must not leak
+//! their contents into the token stream (`"call .unwrap() here"` in a
+//! doc comment or an error message is not a panic site). The lexer
+//! therefore produces two streams per file: significant tokens
+//! (identifiers, punctuation, literals) and comment trivia (kept
+//! separately because the `UNSAFE-AUDIT` rule looks for `// SAFETY:`
+//! comments near `unsafe` tokens).
+//!
+//! It is *not* a full Rust lexer — numeric literal edge cases like
+//! `1e-3` may split into several literal/punct tokens — but no rule
+//! inspects numbers, so the imprecision is harmless. What matters is
+//! that identifiers, `!`, `.`, `::`-parts, and delimiters survive
+//! exactly, and that nothing inside a comment or string ever becomes
+//! an identifier.
+
+/// A significant token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (including `unsafe`, `as`, `vec`, ...).
+    Ident(String),
+    /// A single punctuation character (`!`, `.`, `:`, `[`, `{`, ...).
+    Punct(char),
+    /// String, byte-string, char, or numeric literal (contents dropped).
+    Lit,
+}
+
+/// A token with the 1-indexed source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// Comment trivia: one entry per `//` line comment or `/* */` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Line the comment starts on (1-indexed).
+    pub line: usize,
+    /// Line the comment ends on (equals `line` for `//` comments).
+    pub end_line: usize,
+    /// Full comment text including the delimiters.
+    pub text: String,
+}
+
+/// Lexer output for one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// A lexing failure (unterminated string/comment). The engine reports
+/// these as diagnostics instead of silently skipping the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: usize,
+    pub message: String,
+}
+
+struct Cursor<'a> {
+    chars: &'a [char],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes one file. Never panics; malformed input yields `LexError`.
+pub fn lex(source: &str) -> Result<Lexed, LexError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut cur = Cursor {
+        chars: &chars,
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                line,
+                end_line: line,
+                text,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            loop {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push('/');
+                        text.push('*');
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        text.push('*');
+                        text.push('/');
+                        cur.bump();
+                        cur.bump();
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    (Some(ch), _) => {
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    (None, _) => {
+                        return Err(LexError {
+                            line,
+                            message: "unterminated block comment".into(),
+                        })
+                    }
+                }
+            }
+            out.comments.push(Comment {
+                line,
+                end_line: cur.line,
+                text,
+            });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            cur.bump();
+            lex_string_body(&mut cur, line)?;
+            out.tokens.push(Token {
+                tok: Tok::Lit,
+                line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if lex_quote(&mut cur) {
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+            } else {
+                // Lifetime: emit the quote as punctuation; the
+                // following identifier lexes normally.
+                out.tokens.push(Token {
+                    tok: Tok::Punct('\''),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Identifier — with raw-string / byte-string / raw-ident prefixes.
+        if is_ident_start(c) {
+            let mut ident = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if is_ident_continue(ch) {
+                    ident.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            let next = cur.peek(0);
+            let rawish = matches!(ident.as_str(), "r" | "br") && matches!(next, Some('"' | '#'));
+            let bytish = ident == "b" && next == Some('"');
+            let bchar = ident == "b" && next == Some('\'');
+            if rawish && next == Some('#') && !is_raw_string_ahead(&cur) {
+                // `r#ident` raw identifier: consume `#` and the name.
+                cur.bump();
+                let mut raw = String::new();
+                while let Some(ch) = cur.peek(0) {
+                    if is_ident_continue(ch) {
+                        raw.push(ch);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(raw),
+                    line,
+                });
+            } else if rawish {
+                lex_raw_string(&mut cur, line)?;
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+            } else if bytish {
+                cur.bump(); // opening quote
+                lex_string_body(&mut cur, line)?;
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+            } else if bchar {
+                lex_quote(&mut cur);
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+            } else {
+                out.tokens.push(Token {
+                    tok: Tok::Ident(ident),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Numeric literal: consume the alphanumeric run plus a
+        // fractional part. `0..n` must leave `..` intact.
+        if c.is_ascii_digit() {
+            while let Some(ch) = cur.peek(0) {
+                let frac = ch == '.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit());
+                if is_ident_continue(ch) || frac {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                tok: Tok::Lit,
+                line,
+            });
+            continue;
+        }
+        // Everything else: single punctuation character.
+        cur.bump();
+        out.tokens.push(Token {
+            tok: Tok::Punct(c),
+            line,
+        });
+    }
+    Ok(out)
+}
+
+/// Consumes a `"`-terminated string body (opening quote already eaten).
+fn lex_string_body(cur: &mut Cursor<'_>, start_line: usize) -> Result<(), LexError> {
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                cur.bump(); // escaped char, including `\"` and `\\`
+            }
+            Some('"') => return Ok(()),
+            Some(_) => {}
+            None => {
+                return Err(LexError {
+                    line: start_line,
+                    message: "unterminated string literal".into(),
+                })
+            }
+        }
+    }
+}
+
+/// True if the cursor (sitting on `#` after `r`/`br`) starts a raw
+/// string: one or more `#` followed by `"`.
+fn is_raw_string_ahead(cur: &Cursor<'_>) -> bool {
+    let mut ahead = 0;
+    while cur.peek(ahead) == Some('#') {
+        ahead += 1;
+    }
+    ahead > 0 && cur.peek(ahead) == Some('"')
+}
+
+/// Consumes `r"..."` / `r#"..."#` / `br##"..."##` (prefix ident eaten).
+fn lex_raw_string(cur: &mut Cursor<'_>, start_line: usize) -> Result<(), LexError> {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek(0) != Some('"') {
+        return Err(LexError {
+            line: start_line,
+            message: "malformed raw string prefix".into(),
+        });
+    }
+    cur.bump();
+    'body: loop {
+        match cur.bump() {
+            Some('"') => {
+                for ahead in 0..hashes {
+                    if cur.peek(ahead) != Some('#') {
+                        continue 'body;
+                    }
+                }
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                return Ok(());
+            }
+            Some(_) => {}
+            None => {
+                return Err(LexError {
+                    line: start_line,
+                    message: "unterminated raw string literal".into(),
+                })
+            }
+        }
+    }
+}
+
+/// Disambiguates `'` between a char literal and a lifetime. Consumes
+/// the literal and returns `true` for a char; consumes only the quote
+/// and returns `false` for a lifetime.
+fn lex_quote(cur: &mut Cursor<'_>) -> bool {
+    // Called with the cursor on the opening `'`.
+    if cur.peek(1) == Some('\\') {
+        cur.bump(); // '
+        cur.bump(); // backslash
+        cur.bump(); // escaped char
+                    // Unicode escapes: consume up to the closing quote.
+        while let Some(ch) = cur.peek(0) {
+            cur.bump();
+            if ch == '\'' {
+                break;
+            }
+        }
+        return true;
+    }
+    if cur.peek(2) == Some('\'') && cur.peek(1) != Some('\'') {
+        cur.bump();
+        cur.bump();
+        cur.bump();
+        return true;
+    }
+    cur.bump(); // lone quote: lifetime marker
+    false
+}

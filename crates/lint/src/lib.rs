@@ -1,0 +1,36 @@
+#![forbid(unsafe_code)]
+//! `ftcg-lint` — the workspace invariant checker.
+//!
+//! The repo's three load-bearing contracts are enforced dynamically:
+//! byte-determinism of traces and artifacts by the journal/trace
+//! regression suites (PRs 5–7), zero steady-state allocation by the
+//! counting-allocator gate (PR 4), and bit-exact kernels by the
+//! solver regression pins (PRs 3, 8–9). Dynamic gates only catch a
+//! violation a test happens to *execute*; this crate closes the gap
+//! by checking the *source* — a hand-rolled lexer (no dependencies;
+//! the container is offline) feeds six token-level rule passes, and a
+//! checked-in `lint.toml` pins every pre-existing finding with a
+//! written reason so the workspace lints clean from day one.
+//!
+//! Rule IDs and contract provenance live in [`rules`]; the waiver
+//! semantics (including staleness checking — a waiver matching
+//! nothing is itself an error) in [`waiver`].
+//!
+//! Run it locally with `cargo run -p ftcg-lint` from the repo root;
+//! CI runs it as a blocking step, and `cargo test -p ftcg-lint`
+//! includes a self-test that the real workspace is clean under the
+//! shipped `lint.toml`.
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod toml;
+pub mod tree;
+pub mod waiver;
+
+pub use config::LintConfig;
+pub use diag::Diagnostic;
+pub use engine::{lint_root, lint_source, LintReport};
+pub use waiver::Waiver;

@@ -1,0 +1,168 @@
+#![forbid(unsafe_code)]
+//! `ftcg-lint` binary: lints the workspace and exits nonzero on any
+//! unwaived finding, stale waiver, or stale config entry.
+//!
+//! ```text
+//! ftcg-lint [--root DIR] [--config FILE] [--json] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings or stale entries, 2 usage/I-O
+//! error (bad flags, missing lint.toml, unreadable sources).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ftcg_lint::diag::{json_escape, render_json};
+use ftcg_lint::engine::{lint_root, LintReport};
+use ftcg_lint::rules::RULES;
+use ftcg_lint::LintConfig;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    list_rules: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: ftcg-lint [--root DIR] [--config FILE] [--json] [--list-rules]\n\
+     \n\
+     Lints crates/*/src against the workspace invariant rules using\n\
+     the waiver baseline in <root>/lint.toml (override with --config).\n\
+     Exit codes: 0 clean, 1 findings/stale waivers, 2 usage or I/O error."
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--config needs a file".to_string())?,
+                ));
+            }
+            "-h" | "--help" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn render_report_human(report: &LintReport) {
+    for d in &report.findings {
+        println!("{}", d.render_human());
+    }
+    for w in &report.stale_waivers {
+        println!(
+            "stale waiver: [{}] {} needle=\"{}\" matches nothing — the finding was \
+             fixed; delete the entry (reason was: {})",
+            w.rule, w.file, w.needle, w.reason
+        );
+    }
+    for (loc, entry) in &report.stale_config {
+        println!("stale config entry: {loc} = \"{entry}\" matches no scanned file");
+    }
+    let verdict = if report.clean() { "clean" } else { "FAILED" };
+    println!(
+        "ftcg-lint: {} files scanned, {} findings, {} waived by baseline, \
+         {} stale waivers, {} stale config entries — {verdict}",
+        report.files_scanned,
+        report.findings.len(),
+        report.waived,
+        report.stale_waivers.len(),
+        report.stale_config.len(),
+    );
+}
+
+fn render_report_json(report: &LintReport) {
+    let findings: Vec<String> = report.findings.iter().map(render_json).collect();
+    let stale: Vec<String> = report
+        .stale_waivers
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"needle\":\"{}\"}}",
+                json_escape(&w.rule),
+                json_escape(&w.file),
+                json_escape(&w.needle)
+            )
+        })
+        .collect();
+    let stale_cfg: Vec<String> = report
+        .stale_config
+        .iter()
+        .map(|(loc, entry)| {
+            format!(
+                "{{\"where\":\"{}\",\"entry\":\"{}\"}}",
+                json_escape(loc),
+                json_escape(entry)
+            )
+        })
+        .collect();
+    println!(
+        "{{\"ftcg_lint\":1,\"clean\":{},\"files_scanned\":{},\"waived\":{},\
+         \"findings\":[{}],\"stale_waivers\":[{}],\"stale_config\":[{}]}}",
+        report.clean(),
+        report.files_scanned,
+        report.waived,
+        findings.join(","),
+        stale.join(","),
+        stale_cfg.join(",")
+    );
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    if args.list_rules {
+        for (id, summary) in RULES {
+            println!("{id:<14} {summary}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    let config_src = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("reading {}: {e}", config_path.display()))?;
+    let cfg = LintConfig::parse(&config_src).map_err(|e| e.to_string())?;
+    let report = lint_root(&args.root, &cfg).map_err(|e| e.to_string())?;
+    if args.json {
+        render_report_json(&report);
+    } else {
+        render_report_human(&report);
+    }
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("ftcg-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

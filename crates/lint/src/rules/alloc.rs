@@ -1,0 +1,68 @@
+//! `ALLOC-HOTPATH`: the static complement of
+//! `crates/solvers/tests/alloc_gate.rs`.
+//!
+//! The dynamic gate proves specific *executions* allocate nothing in
+//! steady state; this pass proves the configured hot-path *modules*
+//! contain no allocating construct at all outside waived cold paths
+//! (constructors, one-shot finish copies). A regression that the
+//! gate's scenarios happen not to execute still fails the lint.
+
+use super::FileCtx;
+use crate::config::{any_match, LintConfig};
+use crate::diag::Diagnostic;
+
+const ALLOC_TYPES: &[&str] = &["Vec", "Box", "String", "VecDeque", "BTreeMap", "HashMap"];
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_string", "to_owned", "collect"];
+
+pub fn check(ctx: &FileCtx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    if !any_match(&cfg.hot_modules, ctx.path) {
+        return;
+    }
+    let n = ctx.tokens.len();
+    for i in 0..n {
+        let line = ctx.tokens[i].line;
+        if !ctx.active(line) {
+            continue;
+        }
+        let what = match ctx.ident(i) {
+            // `vec![...]` / `format!(...)`
+            Some(m @ ("vec" | "format")) if ctx.punct(i + 1) == Some('!') => Some(format!("{m}!")),
+            // `Vec::new`, `Box::new`, `String::from`, ...
+            Some(t) if ALLOC_TYPES.contains(&t) => {
+                if ctx.punct(i + 1) == Some(':')
+                    && ctx.punct(i + 2) == Some(':')
+                    && ctx.ident(i + 3).is_some_and(|m| ALLOC_CTORS.contains(&m))
+                {
+                    ctx.ident(i + 3).map(|m| format!("{t}::{m}"))
+                } else {
+                    None
+                }
+            }
+            // `.clone()`, `.to_vec()`, `.collect::<...>()`, ...
+            Some(m) if ALLOC_METHODS.contains(&m) => {
+                let method_call = i > 0
+                    && ctx.punct(i - 1) == Some('.')
+                    && matches!(ctx.punct(i + 1), Some('(' | ':'));
+                if method_call {
+                    Some(format!(".{m}()"))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            out.push(ctx.diag(
+                "ALLOC-HOTPATH",
+                i,
+                format!(
+                    "heap allocation (`{what}`) in a hot-path module; the steady-state \
+                     solve path must not allocate (PR 4 zero-allocation contract, \
+                     enforced dynamically by alloc_gate.rs) — move it to setup or \
+                     waive a documented cold path"
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! `CAST-NARROW`: `as`-casts to sub-64-bit integer types.
+//!
+//! On this codebase's 64-bit targets, `as u32`/`as i32` and narrower
+//! silently truncate `usize`/`u64` index arithmetic — the PR 5 spec
+//! audit replaced exactly this class of bug with checked parsing.
+//! The pass flags the cast *target* (the source type is not knowable
+//! at the token level); audited sites (e.g. a loop-bounded exponent
+//! fed to `powi`) are pinned in the waiver file.
+
+use super::FileCtx;
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+pub fn check(ctx: &FileCtx<'_>, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    for i in 0..ctx.tokens.len() {
+        if ctx.ident(i) != Some("as") {
+            continue;
+        }
+        let line = ctx.tokens[i].line;
+        if !ctx.active(line) {
+            continue;
+        }
+        let Some(ty) = ctx.ident(i + 1) else { continue };
+        if NARROW_TARGETS.contains(&ty) {
+            out.push(ctx.diag(
+                "CAST-NARROW",
+                i,
+                format!(
+                    "narrowing `as {ty}` cast silently truncates on 64-bit \
+                     targets; use try_into()/checked conversion, or pin the \
+                     audited site with a waiver"
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! `PANIC-LIB`: panic hygiene in library code.
+//!
+//! Outside `#[cfg(test)]`, library crates must not reach for
+//! `unwrap`/`expect`/`panic!`-family macros casually: where an error
+//! path exists the error must be typed (as PR 6/7 did for the whole
+//! telemetry stack), and a surviving site must state an invariant in
+//! its message and carry a waiver in `lint.toml`. The campaign
+//! engine's `catch_unwind` job isolation keeps stray panics from
+//! taking down a run, but a panic must never be the *designed* error
+//! path.
+
+use super::FileCtx;
+use crate::config::{any_match, LintConfig};
+use crate::diag::Diagnostic;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(ctx: &FileCtx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    if any_match(&cfg.panic_exclude, ctx.path) {
+        return;
+    }
+    let n = ctx.tokens.len();
+    for i in 0..n {
+        let line = ctx.tokens[i].line;
+        if !ctx.active(line) {
+            continue;
+        }
+        let what = match ctx.ident(i) {
+            // `.unwrap()` / `.expect("...")`
+            Some(m @ ("unwrap" | "expect"))
+                if i > 0 && ctx.punct(i - 1) == Some('.') && ctx.punct(i + 1) == Some('(') =>
+            {
+                Some(format!(".{m}()"))
+            }
+            // `panic!(...)`, `unreachable!(...)`, ...
+            Some(m) if PANIC_MACROS.contains(&m) && ctx.punct(i + 1) == Some('!') => {
+                Some(format!("{m}!"))
+            }
+            _ => None,
+        };
+        if let Some(what) = what {
+            out.push(ctx.diag(
+                "PANIC-LIB",
+                i,
+                format!(
+                    "`{what}` in library code outside #[cfg(test)]; return a typed \
+                     error where a caller can handle it, or document the invariant \
+                     in the message and pin a waiver in lint.toml"
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! `UNSAFE-AUDIT`: every `unsafe` token needs a nearby `// SAFETY:`
+//! comment *and* its file must be on the audited allowlist.
+//!
+//! The workspace currently contains no `unsafe` at all (every crate
+//! carries `#![forbid(unsafe_code)]`), so the shipped allowlist is
+//! empty; the rule exists so that the first future unsafe block
+//! arrives pre-audited or not at all.
+
+use super::FileCtx;
+use crate::config::{any_match, LintConfig};
+use crate::diag::Diagnostic;
+
+/// How many lines above the `unsafe` token a `// SAFETY:` comment may
+/// sit (attributes or a signature line may intervene).
+const SAFETY_WINDOW: usize = 3;
+
+pub fn check(ctx: &FileCtx<'_>, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    for i in 0..ctx.tokens.len() {
+        if ctx.ident(i) != Some("unsafe") {
+            continue;
+        }
+        let line = ctx.tokens[i].line;
+        if !ctx.active(line) {
+            continue;
+        }
+        if !any_match(&cfg.unsafe_allow, ctx.path) {
+            out.push(
+                ctx.diag(
+                    "UNSAFE-AUDIT",
+                    i,
+                    "`unsafe` in a file not on the audited allowlist \
+                 (rules.unsafe-audit.allow); prefer a safe formulation, or add \
+                 the file after review"
+                        .to_string(),
+                ),
+            );
+        }
+        let documented = ctx.comments.iter().any(|c| {
+            c.text.contains("SAFETY:") && c.end_line <= line && c.end_line + SAFETY_WINDOW >= line
+        });
+        if !documented {
+            out.push(ctx.diag(
+                "UNSAFE-AUDIT",
+                i,
+                format!(
+                    "`unsafe` without a `// SAFETY:` comment within {SAFETY_WINDOW} \
+                     lines above; state why the invariants hold at this site"
+                ),
+            ));
+        }
+    }
+}

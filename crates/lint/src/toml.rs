@@ -1,0 +1,323 @@
+//! A minimal TOML-subset reader for `lint.toml`.
+//!
+//! Supported: `[table.headers]`, `[[array.of.tables]]`, `key = value`
+//! with string / integer / boolean / array-of-string values (arrays
+//! may span lines), `#` comments, and bare or quoted keys. That is
+//! exactly what the lint configuration needs; anything else is a
+//! loud parse error, never a silent skip.
+
+/// A parsed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    Array(Vec<Value>),
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Flattens an array of strings; `None` for non-arrays or arrays
+    /// holding non-strings.
+    pub fn as_str_array(&self) -> Option<Vec<String>> {
+        match self {
+            Value::Array(items) => items
+                .iter()
+                .map(|v| v.as_str().map(str::to_string))
+                .collect(),
+            _ => None,
+        }
+    }
+}
+
+/// One table: ordered `key = value` entries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    pub entries: Vec<(String, Value)>,
+}
+
+impl Table {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A parsed document: plain tables (the root table has path `""`) and
+/// array-of-tables entries in file order.
+#[derive(Debug, Default)]
+pub struct Doc {
+    pub tables: Vec<(String, Table)>,
+    pub array_tables: Vec<(String, Table)>,
+}
+
+impl Doc {
+    pub fn table(&self, path: &str) -> Option<&Table> {
+        self.tables.iter().find(|(p, _)| p == path).map(|(_, t)| t)
+    }
+
+    /// All `[[path]]` tables with the given path, in file order.
+    pub fn array_of(&self, path: &str) -> Vec<&Table> {
+        self.array_tables
+            .iter()
+            .filter(|(p, _)| p == path)
+            .map(|(_, t)| t)
+            .collect()
+    }
+}
+
+/// Parse failure with a 1-indexed line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for TomlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+struct Scanner<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    _src: &'a str,
+}
+
+impl<'a> Scanner<'a> {
+    fn err(&self, message: impl Into<String>) -> TomlError {
+        TomlError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Skips whitespace and `#` comments. `newlines` controls whether
+    /// line breaks are also consumed (true inside arrays).
+    fn skip_trivia(&mut self, newlines: bool) {
+        while let Some(c) = self.peek() {
+            if c == '#' {
+                while let Some(ch) = self.peek() {
+                    if ch == '\n' {
+                        break;
+                    }
+                    self.bump();
+                }
+            } else if c == '\n' {
+                if !newlines {
+                    return;
+                }
+                self.bump();
+            } else if c.is_whitespace() {
+                self.bump();
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn read_basic_string(&mut self) -> Result<String, TomlError> {
+        let start = self.line;
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some(other) => {
+                        return Err(TomlError {
+                            line: self.line,
+                            message: format!("unsupported escape \\{other}"),
+                        })
+                    }
+                    None => {
+                        return Err(TomlError {
+                            line: start,
+                            message: "unterminated string".into(),
+                        })
+                    }
+                },
+                Some('\n') | None => {
+                    return Err(TomlError {
+                        line: start,
+                        message: "unterminated string".into(),
+                    })
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn read_bare(&mut self) -> String {
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                out.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    fn read_value(&mut self) -> Result<Value, TomlError> {
+        self.skip_trivia(false);
+        match self.peek() {
+            Some('"') => Ok(Value::Str(self.read_basic_string()?)),
+            Some('[') => {
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    self.skip_trivia(true);
+                    if self.peek() == Some(']') {
+                        self.bump();
+                        return Ok(Value::Array(items));
+                    }
+                    items.push(self.read_value()?);
+                    self.skip_trivia(true);
+                    match self.peek() {
+                        Some(',') => {
+                            self.bump();
+                        }
+                        Some(']') => {}
+                        _ => return Err(self.err("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(c) if c == 't' || c == 'f' => {
+                let word = self.read_bare();
+                match word.as_str() {
+                    "true" => Ok(Value::Bool(true)),
+                    "false" => Ok(Value::Bool(false)),
+                    other => Err(self.err(format!("unexpected value `{other}`"))),
+                }
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' => {
+                let word = self.read_bare();
+                word.replace('_', "")
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .map_err(|_| self.err(format!("bad integer `{word}`")))
+            }
+            _ => Err(self.err("expected a value")),
+        }
+    }
+}
+
+/// Parses a document; the line number in the error points at the
+/// offending construct.
+pub fn parse(src: &str) -> Result<Doc, TomlError> {
+    let mut sc = Scanner {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        _src: src,
+    };
+    let mut doc = Doc::default();
+    let mut current_path = String::new();
+    let mut current = Table::default();
+    let mut current_is_array = false;
+
+    macro_rules! flush {
+        () => {
+            if current_is_array {
+                doc.array_tables.push((
+                    std::mem::take(&mut current_path),
+                    std::mem::take(&mut current),
+                ));
+            } else {
+                doc.tables.push((
+                    std::mem::take(&mut current_path),
+                    std::mem::take(&mut current),
+                ));
+            }
+        };
+    }
+
+    loop {
+        sc.skip_trivia(true);
+        let Some(c) = sc.peek() else { break };
+        if c == '[' {
+            flush!();
+            sc.bump();
+            let is_array = sc.peek() == Some('[');
+            if is_array {
+                sc.bump();
+            }
+            sc.skip_trivia(false);
+            let mut path = String::new();
+            loop {
+                sc.skip_trivia(false);
+                let part = if sc.peek() == Some('"') {
+                    sc.read_basic_string()?
+                } else {
+                    sc.read_bare()
+                };
+                if part.is_empty() {
+                    return Err(sc.err("empty table header segment"));
+                }
+                if !path.is_empty() {
+                    path.push('.');
+                }
+                path.push_str(&part);
+                sc.skip_trivia(false);
+                if sc.peek() == Some('.') {
+                    sc.bump();
+                    continue;
+                }
+                break;
+            }
+            if sc.bump() != Some(']') {
+                return Err(sc.err("expected `]` closing table header"));
+            }
+            if is_array && sc.bump() != Some(']') {
+                return Err(sc.err("expected `]]` closing array table header"));
+            }
+            current_path = path;
+            current_is_array = is_array;
+            continue;
+        }
+        // key = value
+        let key = if c == '"' {
+            sc.read_basic_string()?
+        } else {
+            sc.read_bare()
+        };
+        if key.is_empty() {
+            return Err(sc.err(format!("unexpected character `{c}`")));
+        }
+        sc.skip_trivia(false);
+        if sc.bump() != Some('=') {
+            return Err(sc.err(format!("expected `=` after key `{key}`")));
+        }
+        let value = sc.read_value()?;
+        current.entries.push((key, value));
+    }
+    flush!();
+    Ok(doc)
+}

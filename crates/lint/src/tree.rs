@@ -1,0 +1,137 @@
+//! Token-tree structure over the flat token stream.
+//!
+//! The rules only need two structural facts: where delimited groups
+//! begin and end (so an item gated by an attribute can be skipped as a
+//! unit), and which source lines sit inside `#[cfg(test)]` /
+//! `#[test]`-gated items. Test code is exempt from every rule —
+//! `unwrap()` in a unit test is idiomatic, not a `PANIC-LIB` finding.
+
+use crate::lexer::{Tok, Token};
+
+/// Inclusive 1-indexed line range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineRange {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl LineRange {
+    pub fn contains(&self, line: usize) -> bool {
+        self.start <= line && line <= self.end
+    }
+}
+
+/// Returns the index one past the delimiter group opening at `open`.
+/// `tokens[open]` must be `(`, `[`, or `{`; mismatched delimiters stop
+/// the scan at end-of-stream rather than panicking.
+pub fn skip_balanced(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('(' | '[' | '{') => depth += 1,
+            Tok::Punct(')' | ']' | '}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// True if the attribute body (tokens strictly between `[` and `]`)
+/// gates the following item to test builds: exactly `cfg(test)` or
+/// the bare `test` attribute. `cfg(not(test))`, `cfg_attr(test, ...)`
+/// and friends deliberately do not match.
+fn is_test_gate(body: &[Token]) -> bool {
+    let idents: Vec<&str> = body
+        .iter()
+        .map(|t| match &t.tok {
+            Tok::Ident(s) => s.as_str(),
+            Tok::Punct(c) => match c {
+                '(' => "(",
+                ')' => ")",
+                _ => "?",
+            },
+            Tok::Lit => "?",
+        })
+        .collect();
+    idents == ["test"] || idents == ["cfg", "(", "test", ")"]
+}
+
+/// Computes the line ranges of all items gated by `#[cfg(test)]` or
+/// `#[test]`. An item is: any further attributes, then tokens up to
+/// the first top-level `;` or through the first top-level `{...}`
+/// group (covering `mod tests { ... }`, gated `fn`s, `use` lines...).
+pub fn test_ranges(tokens: &[Token]) -> Vec<LineRange> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].tok != Tok::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let Some(next) = tokens.get(i + 1) else {
+            break;
+        };
+        if next.tok != Tok::Punct('[') {
+            // `#![...]` inner attributes can't gate a following item.
+            i += 1;
+            continue;
+        }
+        let after_attr = skip_balanced(tokens, i + 1);
+        let body = &tokens[i + 2..after_attr.saturating_sub(1).max(i + 2)];
+        if !is_test_gate(body) {
+            i = after_attr;
+            continue;
+        }
+        // Skip any stacked attributes on the same item.
+        let mut k = after_attr;
+        while k + 1 < tokens.len()
+            && tokens[k].tok == Tok::Punct('#')
+            && tokens[k + 1].tok == Tok::Punct('[')
+        {
+            k = skip_balanced(tokens, k + 1);
+        }
+        // Consume the item itself.
+        let mut m = k;
+        let mut end_line = tokens[i].line;
+        while m < tokens.len() {
+            match tokens[m].tok {
+                Tok::Punct(';') => {
+                    end_line = tokens[m].line;
+                    m += 1;
+                    break;
+                }
+                Tok::Punct('{') => {
+                    let after = skip_balanced(tokens, m);
+                    end_line = tokens[after.saturating_sub(1)].line;
+                    m = after;
+                    break;
+                }
+                Tok::Punct('(' | '[') => {
+                    m = skip_balanced(tokens, m);
+                }
+                _ => {
+                    end_line = tokens[m].line;
+                    m += 1;
+                }
+            }
+        }
+        ranges.push(LineRange {
+            start: tokens[i].line,
+            end: end_line,
+        });
+        i = m;
+    }
+    ranges
+}
+
+/// True if `line` falls inside any suppressed (test-gated) range.
+pub fn is_suppressed(ranges: &[LineRange], line: usize) -> bool {
+    ranges.iter().any(|r| r.contains(line))
+}

@@ -1,0 +1,70 @@
+//! Waivers: the checked-in baseline of accepted findings.
+//!
+//! A waiver pins one known violation (or a tight family of identical
+//! ones, e.g. the same documented `expect` in two match arms) so the
+//! workspace lints clean while the finding stays visible in
+//! `lint.toml` with a written reason. Waivers are *staleness-checked*:
+//! after a fix, the now-matchless waiver turns into an error and must
+//! be deleted, so the baseline only ever shrinks by an explicit edit.
+
+use crate::diag::Diagnostic;
+
+/// One pinned finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule ID the waiver applies to (must match exactly).
+    pub rule: String,
+    /// Repo-relative file the finding lives in (must match exactly).
+    pub file: String,
+    /// Substring of the *source line* of the finding. Line numbers
+    /// would rot on every unrelated edit; a content needle survives
+    /// drift and still pins the specific site.
+    pub needle: String,
+    /// Why this site is accepted (documented invariant, cold path...).
+    pub reason: String,
+}
+
+impl Waiver {
+    /// Does this waiver cover the diagnostic?
+    pub fn covers(&self, d: &Diagnostic) -> bool {
+        self.rule == d.rule && self.file == d.file && d.snippet.contains(&self.needle)
+    }
+}
+
+/// Result of applying the waiver baseline.
+#[derive(Debug, Default)]
+pub struct WaiverOutcome {
+    /// Findings no waiver covered — real diagnostics.
+    pub unwaived: Vec<Diagnostic>,
+    /// Number of findings suppressed by the baseline.
+    pub waived: usize,
+    /// Waivers that covered nothing — stale entries, themselves errors.
+    pub stale: Vec<Waiver>,
+}
+
+/// Splits findings into waived/unwaived and detects stale waivers.
+pub fn apply(findings: Vec<Diagnostic>, waivers: &[Waiver]) -> WaiverOutcome {
+    let mut hits = vec![0usize; waivers.len()];
+    let mut out = WaiverOutcome::default();
+    for d in findings {
+        let mut covered = false;
+        for (w, hit) in waivers.iter().zip(hits.iter_mut()) {
+            if w.covers(&d) {
+                *hit += 1;
+                covered = true;
+                // Keep scanning: every matching waiver counts as live.
+            }
+        }
+        if covered {
+            out.waived += 1;
+        } else {
+            out.unwaived.push(d);
+        }
+    }
+    for (w, hit) in waivers.iter().zip(hits.iter()) {
+        if *hit == 0 {
+            out.stale.push(w.clone());
+        }
+    }
+    out
+}

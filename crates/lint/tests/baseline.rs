@@ -1,0 +1,190 @@
+//! Waiver baseline semantics: coverage, staleness, config validation,
+//! and the path-matching rules every scoping list uses.
+
+use std::path::Path;
+
+use ftcg_lint::config::path_matches;
+use ftcg_lint::engine::{lint_root, lint_source};
+use ftcg_lint::waiver::{apply, Waiver};
+use ftcg_lint::LintConfig;
+
+fn plain_cfg() -> LintConfig {
+    LintConfig::default()
+}
+
+fn waiver(rule: &str, file: &str, needle: &str) -> Waiver {
+    Waiver {
+        rule: rule.to_string(),
+        file: file.to_string(),
+        needle: needle.to_string(),
+        reason: "test".to_string(),
+    }
+}
+
+#[test]
+fn matching_waiver_suppresses_the_finding() {
+    let src = "fn get(v: &[f64]) -> f64 {\n    *v.first().unwrap()\n}\n";
+    let findings = lint_source("crates/x/src/a.rs", src, &plain_cfg());
+    assert_eq!(findings.len(), 1);
+    let out = apply(
+        findings,
+        &[waiver(
+            "PANIC-LIB",
+            "crates/x/src/a.rs",
+            "v.first().unwrap()",
+        )],
+    );
+    assert!(out.unwaived.is_empty());
+    assert_eq!(out.waived, 1);
+    assert!(out.stale.is_empty());
+}
+
+#[test]
+fn waiver_is_rule_and_file_specific() {
+    let src = "fn get(v: &[f64]) -> f64 {\n    *v.first().unwrap()\n}\n";
+    let findings = lint_source("crates/x/src/a.rs", src, &plain_cfg());
+    // Wrong rule: does not cover, and is itself stale.
+    let out = apply(
+        findings.clone(),
+        &[waiver("CAST-NARROW", "crates/x/src/a.rs", "unwrap()")],
+    );
+    assert_eq!(out.unwaived.len(), 1);
+    assert_eq!(out.stale.len(), 1);
+    // Wrong file: same.
+    let out = apply(
+        findings,
+        &[waiver("PANIC-LIB", "crates/x/src/b.rs", "unwrap()")],
+    );
+    assert_eq!(out.unwaived.len(), 1);
+    assert_eq!(out.stale.len(), 1);
+}
+
+#[test]
+fn stale_waiver_is_reported_even_with_no_findings() {
+    let out = apply(
+        Vec::new(),
+        &[waiver("PANIC-LIB", "crates/x/src/a.rs", "gone_since_fixed")],
+    );
+    assert!(out.unwaived.is_empty());
+    assert_eq!(out.stale.len(), 1);
+    assert_eq!(out.stale[0].needle, "gone_since_fixed");
+}
+
+#[test]
+fn one_waiver_covers_identical_sibling_lines() {
+    // The same documented invariant on two lines: one needle, two hits.
+    let src = "fn f(a: Option<u8>, b: Option<u8>) -> u8 {\n    \
+               a.expect(\"invariant: caller checked\") + \n    \
+               b.expect(\"invariant: caller checked\")\n}\n";
+    let findings = lint_source("crates/x/src/a.rs", src, &plain_cfg());
+    assert_eq!(findings.len(), 2);
+    let out = apply(
+        findings,
+        &[waiver(
+            "PANIC-LIB",
+            "crates/x/src/a.rs",
+            "invariant: caller checked",
+        )],
+    );
+    assert!(out.unwaived.is_empty());
+    assert_eq!(out.waived, 2);
+    assert!(out.stale.is_empty());
+}
+
+#[test]
+fn empty_needle_is_a_config_error() {
+    let toml = "[[waiver]]\nrule = \"PANIC-LIB\"\nfile = \"crates/x/src/a.rs\"\n\
+                needle = \"  \"\nreason = \"oops\"\n";
+    let err = LintConfig::parse(toml).expect_err("empty needle must be rejected");
+    assert!(err.to_string().contains("empty needle"), "{err}");
+}
+
+#[test]
+fn missing_waiver_field_is_a_config_error() {
+    let toml = "[[waiver]]\nrule = \"PANIC-LIB\"\nfile = \"crates/x/src/a.rs\"\n\
+                needle = \"x\"\n";
+    let err = LintConfig::parse(toml).expect_err("waivers require a reason");
+    assert!(err.to_string().contains("reason"), "{err}");
+}
+
+#[test]
+fn path_matching_is_exact_or_slash_terminated_prefix() {
+    assert!(path_matches("crates/x/src/a.rs", "crates/x/src/a.rs"));
+    assert!(path_matches("crates/obs/", "crates/obs/src/timer.rs"));
+    // A bare prefix without the trailing slash is NOT a directory match:
+    // `crates/obs` must not silently cover `crates/observability/...`.
+    assert!(!path_matches("crates/obs", "crates/obs/src/timer.rs"));
+    assert!(!path_matches(
+        "crates/obs/",
+        "crates/observability/src/x.rs"
+    ));
+}
+
+/// Builds a throwaway mini-workspace under the target-backed temp dir.
+fn scratch_workspace(tag: &str, files: &[(&str, &str)]) -> std::path::PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(tag);
+    if root.exists() {
+        std::fs::remove_dir_all(&root).expect("clear stale scratch workspace");
+    }
+    for (rel, contents) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("file paths have parents"))
+            .expect("create scratch dirs");
+        std::fs::write(&path, contents).expect("write scratch file");
+    }
+    root
+}
+
+#[test]
+fn stale_config_entry_fails_the_report() {
+    let root = scratch_workspace(
+        "stale-config",
+        &[("crates/foo/src/lib.rs", "pub fn ok() {}\n")],
+    );
+    let mut cfg = plain_cfg();
+    cfg.hot_modules
+        .push("crates/foo/src/renamed_away.rs".to_string());
+    let report = lint_root(&root, &cfg).expect("scan succeeds");
+    assert!(!report.clean());
+    assert_eq!(report.stale_config.len(), 1);
+    assert_eq!(report.stale_config[0].0, "rules.alloc-hotpath.modules");
+    assert_eq!(report.stale_config[0].1, "crates/foo/src/renamed_away.rs");
+}
+
+#[test]
+fn lint_root_end_to_end_finds_and_waives() {
+    let root = scratch_workspace(
+        "end-to-end",
+        &[
+            (
+                "crates/foo/src/lib.rs",
+                "pub fn f(v: &[f64]) -> f64 {\n    *v.first().unwrap()\n}\n",
+            ),
+            ("crates/bar/src/lib.rs", "pub fn ok() {}\n"),
+        ],
+    );
+    // Unwaived: one real finding.
+    let report = lint_root(&root, &plain_cfg()).expect("scan succeeds");
+    assert_eq!(report.files_scanned, 2);
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "PANIC-LIB");
+    assert_eq!(report.findings[0].file, "crates/foo/src/lib.rs");
+    assert!(!report.clean());
+    // Waived: clean.
+    let mut cfg = plain_cfg();
+    cfg.waivers.push(waiver(
+        "PANIC-LIB",
+        "crates/foo/src/lib.rs",
+        "v.first().unwrap()",
+    ));
+    let report = lint_root(&root, &cfg).expect("scan succeeds");
+    assert!(report.clean(), "{report:#?}");
+    assert_eq!(report.waived, 1);
+}
+
+#[test]
+fn missing_crates_dir_is_an_engine_error() {
+    let root = scratch_workspace("no-crates", &[("README.md", "not a workspace\n")]);
+    let err = lint_root(&root, &plain_cfg()).expect_err("no crates/ must error");
+    assert!(err.to_string().contains("crates/"), "{err}");
+}

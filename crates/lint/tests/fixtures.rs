@@ -1,0 +1,286 @@
+//! Fixture tests: one good and one bad snippet per rule, with the
+//! exact diagnostic (rule, line, message) asserted. These drive
+//! [`ftcg_lint::engine::lint_source`] — one snippet in, raw
+//! diagnostics out, no waivers applied.
+
+use ftcg_lint::diag::Diagnostic;
+use ftcg_lint::engine::lint_source;
+use ftcg_lint::LintConfig;
+
+const HOT: &str = "crates/sparse/src/fused.rs";
+const DET: &str = "crates/engine/src/journal.rs";
+const PLAIN: &str = "crates/solvers/src/cg.rs";
+
+/// A config scoping the fixture paths the way the real lint.toml
+/// scopes the real modules.
+fn cfg() -> LintConfig {
+    LintConfig {
+        wallclock_allow: vec!["crates/obs/".to_string()],
+        det_modules: vec![DET.to_string()],
+        hot_modules: vec![HOT.to_string()],
+        panic_exclude: Vec::new(),
+        unsafe_allow: Vec::new(),
+        waivers: Vec::new(),
+    }
+}
+
+fn only(mut diags: Vec<Diagnostic>) -> Diagnostic {
+    assert_eq!(
+        diags.len(),
+        1,
+        "expected exactly one diagnostic, got: {diags:#?}"
+    );
+    diags.remove(0)
+}
+
+// --- DET-WALLCLOCK ---------------------------------------------------
+
+#[test]
+fn wallclock_bad_instant_now() {
+    let src = "fn tick() {\n    let t0 = std::time::Instant::now();\n}\n";
+    let d = only(lint_source(PLAIN, src, &cfg()));
+    assert_eq!(d.rule, "DET-WALLCLOCK");
+    assert_eq!(d.line, 2);
+    assert_eq!(
+        d.message,
+        "wall-clock source `Instant` outside the allow-listed timing modules; \
+         traces, journals and artifacts must be byte-deterministic \
+         (add the file to rules.det-wallclock.allow only if its output \
+         is declared non-deterministic, like the metrics sidecar)"
+    );
+    assert_eq!(d.snippet, "let t0 = std::time::Instant::now();");
+}
+
+#[test]
+fn wallclock_bad_system_time_import() {
+    let src = "use std::time::SystemTime;\n";
+    let d = only(lint_source(PLAIN, src, &cfg()));
+    assert_eq!(d.rule, "DET-WALLCLOCK");
+    assert_eq!(d.line, 1);
+}
+
+#[test]
+fn wallclock_good_allowlisted_file() {
+    let src = "fn tick() {\n    let t0 = std::time::Instant::now();\n}\n";
+    assert!(lint_source("crates/obs/src/timer.rs", src, &cfg()).is_empty());
+}
+
+#[test]
+fn wallclock_good_in_comment_and_string() {
+    let src = "// Instant::now() would break determinism here.\n\
+               fn name() -> &'static str {\n    \"Instant::now\"\n}\n";
+    assert!(lint_source(PLAIN, src, &cfg()).is_empty());
+}
+
+// --- DET-HASH-ITER ---------------------------------------------------
+
+#[test]
+fn hash_iter_bad_in_det_module() {
+    let src = "use std::collections::HashMap;\n";
+    let d = only(lint_source(DET, src, &cfg()));
+    assert_eq!(d.rule, "DET-HASH-ITER");
+    assert_eq!(d.line, 1);
+    assert_eq!(
+        d.message,
+        "`HashMap` in a deterministic artifact module; its iteration order \
+         is randomized — use BTreeMap/BTreeSet or sort before emitting, \
+         or waive a provably lookup-only use"
+    );
+}
+
+#[test]
+fn hash_iter_good_outside_det_modules() {
+    let src = "use std::collections::HashSet;\n";
+    assert!(lint_source(PLAIN, src, &cfg()).is_empty());
+}
+
+#[test]
+fn hash_iter_good_btreemap_in_det_module() {
+    let src = "use std::collections::BTreeMap;\n";
+    assert!(lint_source(DET, src, &cfg()).is_empty());
+}
+
+// --- ALLOC-HOTPATH ---------------------------------------------------
+
+#[test]
+fn alloc_bad_vec_new_in_hot_module() {
+    let src = "fn step() {\n    let scratch = Vec::new();\n}\n";
+    let d = only(lint_source(HOT, src, &cfg()));
+    assert_eq!(d.rule, "ALLOC-HOTPATH");
+    assert_eq!(d.line, 2);
+    assert_eq!(
+        d.message,
+        "heap allocation (`Vec::new`) in a hot-path module; the steady-state \
+         solve path must not allocate (PR 4 zero-allocation contract, \
+         enforced dynamically by alloc_gate.rs) — move it to setup or \
+         waive a documented cold path"
+    );
+}
+
+#[test]
+fn alloc_bad_vec_macro_and_to_vec() {
+    let src = "fn step(x: &[f64]) {\n    let a = vec![0.0; 8];\n    let b = x.to_vec();\n}\n";
+    let diags = lint_source(HOT, src, &cfg());
+    assert_eq!(diags.len(), 2, "{diags:#?}");
+    assert_eq!(diags[0].rule, "ALLOC-HOTPATH");
+    assert!(diags[0].message.contains("`vec!`"));
+    assert_eq!(diags[0].line, 2);
+    assert_eq!(diags[1].rule, "ALLOC-HOTPATH");
+    assert!(diags[1].message.contains("`.to_vec()`"));
+    assert_eq!(diags[1].line, 3);
+}
+
+#[test]
+fn alloc_good_same_code_outside_hot_modules() {
+    let src = "fn setup() {\n    let scratch = Vec::new();\n    let a = vec![0.0; 8];\n}\n";
+    assert!(lint_source(PLAIN, src, &cfg()).is_empty());
+}
+
+#[test]
+fn alloc_good_collect_as_plain_ident() {
+    // `collect` as a field or bare name is not a method call.
+    let src = "struct S { collect: usize }\n";
+    assert!(lint_source(HOT, src, &cfg()).is_empty());
+}
+
+// --- PANIC-LIB -------------------------------------------------------
+
+#[test]
+fn panic_bad_unwrap() {
+    let src = "fn get(v: &[f64]) -> f64 {\n    *v.first().unwrap()\n}\n";
+    let d = only(lint_source(PLAIN, src, &cfg()));
+    assert_eq!(d.rule, "PANIC-LIB");
+    assert_eq!(d.line, 2);
+    assert_eq!(
+        d.message,
+        "`.unwrap()` in library code outside #[cfg(test)]; return a typed \
+         error where a caller can handle it, or document the invariant \
+         in the message and pin a waiver in lint.toml"
+    );
+}
+
+#[test]
+fn panic_bad_panic_macro() {
+    let src = "fn fail() {\n    panic!(\"boom\");\n}\n";
+    let d = only(lint_source(PLAIN, src, &cfg()));
+    assert_eq!(d.rule, "PANIC-LIB");
+    assert!(d.message.starts_with("`panic!`"));
+}
+
+#[test]
+fn panic_good_inside_cfg_test_module() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+               Some(1).unwrap();\n        panic!(\"fine in tests\");\n    }\n}\n";
+    assert!(lint_source(PLAIN, src, &cfg()).is_empty());
+}
+
+#[test]
+fn panic_bad_cfg_not_test_is_not_suppressed() {
+    // `cfg(not(test))` gates *production* code — must still be linted.
+    let src = "#[cfg(not(test))]\nfn prod() {\n    Some(1).unwrap();\n}\n";
+    let d = only(lint_source(PLAIN, src, &cfg()));
+    assert_eq!(d.rule, "PANIC-LIB");
+    assert_eq!(d.line, 3);
+}
+
+#[test]
+fn panic_good_unwrap_or_else_not_flagged() {
+    let src = "fn get(v: Option<f64>) -> f64 {\n    v.unwrap_or_else(|| 0.0)\n}\n";
+    assert!(lint_source(PLAIN, src, &cfg()).is_empty());
+}
+
+// --- UNSAFE-AUDIT ----------------------------------------------------
+
+#[test]
+fn unsafe_bad_undocumented_and_unlisted() {
+    let src = "fn read(p: *const f64) -> f64 {\n    unsafe { *p }\n}\n";
+    let diags = lint_source(PLAIN, src, &cfg());
+    assert_eq!(diags.len(), 2, "{diags:#?}");
+    assert_eq!(diags[0].rule, "UNSAFE-AUDIT");
+    assert_eq!(
+        diags[0].message,
+        "`unsafe` in a file not on the audited allowlist \
+         (rules.unsafe-audit.allow); prefer a safe formulation, or add \
+         the file after review"
+    );
+    assert_eq!(diags[1].rule, "UNSAFE-AUDIT");
+    assert_eq!(
+        diags[1].message,
+        "`unsafe` without a `// SAFETY:` comment within 3 \
+         lines above; state why the invariants hold at this site"
+    );
+}
+
+#[test]
+fn unsafe_good_documented_and_allowlisted() {
+    let mut c = cfg();
+    c.unsafe_allow.push(PLAIN.to_string());
+    let src = "fn read(p: *const f64) -> f64 {\n    // SAFETY: caller guarantees \
+               p is valid and aligned.\n    unsafe { *p }\n}\n";
+    assert!(lint_source(PLAIN, src, &c).is_empty());
+}
+
+#[test]
+fn unsafe_allowlisted_but_undocumented_still_flagged() {
+    let mut c = cfg();
+    c.unsafe_allow.push(PLAIN.to_string());
+    let src = "fn read(p: *const f64) -> f64 {\n    unsafe { *p }\n}\n";
+    let d = only(lint_source(PLAIN, src, &c));
+    assert_eq!(d.rule, "UNSAFE-AUDIT");
+    assert!(d.message.contains("SAFETY:"));
+}
+
+// --- CAST-NARROW -----------------------------------------------------
+
+#[test]
+fn cast_bad_as_u32() {
+    let src = "fn f(n: usize) -> u32 {\n    n as u32\n}\n";
+    let d = only(lint_source(PLAIN, src, &cfg()));
+    assert_eq!(d.rule, "CAST-NARROW");
+    assert_eq!(d.line, 2);
+    assert_eq!(
+        d.message,
+        "narrowing `as u32` cast silently truncates on 64-bit \
+         targets; use try_into()/checked conversion, or pin the \
+         audited site with a waiver"
+    );
+}
+
+#[test]
+fn cast_good_widening_and_usize() {
+    let src = "fn f(n: u32) -> usize {\n    let a = n as u64;\n    n as usize\n}\n";
+    assert!(lint_source(PLAIN, src, &cfg()).is_empty());
+}
+
+#[test]
+fn cast_good_inside_test_module() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn f(n: usize) -> u32 {\n        \
+               n as u32\n    }\n}\n";
+    assert!(lint_source(PLAIN, src, &cfg()).is_empty());
+}
+
+// --- LEX-ERROR pseudo-rule -------------------------------------------
+
+#[test]
+fn unlexable_file_is_reported_not_skipped() {
+    let src = "fn f() { let s = \"unterminated;\n}\n";
+    let d = only(lint_source(PLAIN, src, &cfg()));
+    assert_eq!(d.rule, "LEX-ERROR");
+    assert_eq!(d.line, 1);
+    assert!(d.message.contains("unterminated string"));
+}
+
+// --- multi-line snippets (waiver needle surface) ---------------------
+
+#[test]
+fn multiline_macro_snippet_includes_message_text() {
+    let src = "fn fail(n: usize) {\n    panic!(\n        \"invariant broken: {n}\"\n    );\n}\n";
+    let d = only(lint_source(PLAIN, src, &cfg()));
+    assert_eq!(d.rule, "PANIC-LIB");
+    assert_eq!(d.line, 2);
+    assert!(
+        d.snippet.contains("invariant broken"),
+        "snippet should reach the message line: {:?}",
+        d.snippet
+    );
+}

@@ -1,0 +1,211 @@
+//! Unit coverage for the lint tool's own plumbing: the hand-rolled
+//! lexer, the `#[cfg(test)]` item-range detector, and the TOML-subset
+//! parser. These are the components whose bugs would silently turn
+//! into false positives or — worse — silently *missed* findings.
+
+use ftcg_lint::lexer::{lex, Tok};
+use ftcg_lint::toml;
+use ftcg_lint::tree::{is_suppressed, test_ranges};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .expect("fixture lexes")
+        .tokens
+        .into_iter()
+        .filter_map(|t| match t.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        })
+        .collect()
+}
+
+// --- lexer -----------------------------------------------------------
+
+#[test]
+fn comments_do_not_leak_identifiers() {
+    let src = "// unwrap() Instant HashMap\n/* panic! SystemTime */\nfn ok() {}\n";
+    assert_eq!(idents(src), ["fn", "ok"]);
+}
+
+#[test]
+fn comment_trivia_is_captured_with_lines() {
+    let src = "// SAFETY: p is valid\nfn f() {}\n/* block\nspans */\n";
+    let lexed = lex(src).expect("fixture lexes");
+    assert_eq!(lexed.comments.len(), 2);
+    assert_eq!(lexed.comments[0].line, 1);
+    assert!(lexed.comments[0].text.contains("SAFETY:"));
+    assert_eq!(lexed.comments[1].line, 3);
+    assert_eq!(lexed.comments[1].end_line, 4);
+}
+
+#[test]
+fn nested_block_comments_terminate_correctly() {
+    let src = "/* outer /* inner */ still comment */ fn after() {}\n";
+    assert_eq!(idents(src), ["fn", "after"]);
+}
+
+#[test]
+fn string_contents_are_dropped() {
+    let src = "fn f() -> &'static str { \"unwrap() \\\" panic!\" }\n";
+    let names = idents(src);
+    assert!(!names.contains(&"unwrap".to_string()), "{names:?}");
+    assert!(!names.contains(&"panic".to_string()), "{names:?}");
+}
+
+#[test]
+fn raw_and_byte_strings_are_single_literals() {
+    let src = "fn f() { let a = r#\"has \"quotes\" and unwrap()\"#; let b = b\"bytes\"; }\n";
+    let names = idents(src);
+    assert!(!names.contains(&"unwrap".to_string()), "{names:?}");
+    assert!(!names.contains(&"quotes".to_string()), "{names:?}");
+}
+
+#[test]
+fn raw_identifier_lexes_as_its_name() {
+    let src = "fn f() { let r#type = 1; }\n";
+    assert!(idents(src).contains(&"type".to_string()));
+}
+
+#[test]
+fn char_literal_vs_lifetime() {
+    // 'a as a lifetime must not swallow following tokens; 'b' is a literal.
+    let src = "fn f<'a>(x: &'a u8) -> char { let c: char = 'b'; c }\n";
+    let names = idents(src);
+    assert!(names.contains(&"char".to_string()));
+    // The lifetime's `a` surfaces as an ident after a quote punct — fine;
+    // what matters is the literal 'b' did not.
+    assert!(!names.contains(&"b".to_string()), "{names:?}");
+}
+
+#[test]
+fn escaped_char_literal_is_consumed() {
+    let src = "fn f() -> char { '\\n' }\n";
+    assert_eq!(idents(src), ["fn", "f", "char"].map(String::from));
+    let lexed = lex(src).expect("fixture lexes");
+    let lits = lexed.tokens.iter().filter(|t| t.tok == Tok::Lit).count();
+    assert_eq!(lits, 1, "'\\n' must lex as exactly one literal");
+}
+
+#[test]
+fn range_expression_survives_number_lexing() {
+    let src = "fn f() { for i in 0..10 { let _ = i; } }\n";
+    let lexed = lex(src).expect("fixture lexes");
+    let dots = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.tok == Tok::Punct('.'))
+        .count();
+    assert_eq!(dots, 2, "0..10 must keep both range dots");
+}
+
+#[test]
+fn unterminated_string_is_a_lex_error() {
+    let err = lex("fn f() { let s = \"oops;\n}\n").expect_err("must fail");
+    assert_eq!(err.line, 1);
+    assert!(err.message.contains("unterminated string"));
+}
+
+#[test]
+fn unterminated_block_comment_is_a_lex_error() {
+    let err = lex("/* never closed\nfn f() {}\n").expect_err("must fail");
+    assert_eq!(err.line, 1);
+    assert!(err.message.contains("block comment"));
+}
+
+// --- test-range detection --------------------------------------------
+
+fn ranges_of(src: &str) -> Vec<(usize, usize)> {
+    let lexed = lex(src).expect("fixture lexes");
+    test_ranges(&lexed.tokens)
+        .into_iter()
+        .map(|r| (r.start, r.end))
+        .collect()
+}
+
+#[test]
+fn cfg_test_module_is_fully_covered() {
+    let src = "fn prod() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    \
+               fn t() {\n        assert!(true);\n    }\n}\n";
+    assert_eq!(ranges_of(src), [(3, 9)]);
+}
+
+#[test]
+fn bare_test_attribute_covers_one_fn() {
+    let src = "#[test]\nfn t() {\n    assert!(true);\n}\n\nfn prod() {}\n";
+    let lexed = lex(src).expect("fixture lexes");
+    let ranges = test_ranges(&lexed.tokens);
+    assert_eq!(ranges.len(), 1);
+    assert!(is_suppressed(&ranges, 3));
+    assert!(!is_suppressed(&ranges, 6));
+}
+
+#[test]
+fn cfg_not_test_is_not_a_test_gate() {
+    let src = "#[cfg(not(test))]\nfn prod() {}\n";
+    assert_eq!(ranges_of(src), []);
+}
+
+#[test]
+fn cfg_attr_test_is_not_a_test_gate() {
+    let src = "#[cfg_attr(test, derive(Debug))]\nstruct S;\n";
+    assert_eq!(ranges_of(src), []);
+}
+
+#[test]
+fn stacked_attributes_stay_inside_the_gate() {
+    let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() {\n    body();\n}\n";
+    assert_eq!(ranges_of(src), [(1, 5)]);
+}
+
+#[test]
+fn semicolon_terminated_gated_item() {
+    let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn prod() {}\n";
+    let lexed = lex(src).expect("fixture lexes");
+    let ranges = test_ranges(&lexed.tokens);
+    assert_eq!(ranges.len(), 1);
+    assert!(is_suppressed(&ranges, 2));
+    assert!(!is_suppressed(&ranges, 3));
+}
+
+// --- TOML subset parser ----------------------------------------------
+
+#[test]
+fn tables_arrays_and_array_of_tables() {
+    let src = "# comment\n[rules.det-wallclock]\nallow = [\n  \"a.rs\", # why\n  \
+               \"b/\",\n]\n\n[[waiver]]\nrule = \"X\"\ncount = 3\nlive = true\n";
+    let doc = toml::parse(src).expect("fixture parses");
+    let t = doc.table("rules.det-wallclock").expect("table present");
+    let allow = t
+        .get("allow")
+        .and_then(|v| v.as_str_array())
+        .expect("array");
+    assert_eq!(allow, ["a.rs".to_string(), "b/".to_string()]);
+    let waivers = doc.array_of("waiver");
+    assert_eq!(waivers.len(), 1);
+    assert_eq!(waivers[0].get("rule").and_then(|v| v.as_str()), Some("X"));
+}
+
+#[test]
+fn string_escapes_decode() {
+    let src = "[t]\ns = \"a\\\"b\\\\c\"\n";
+    let doc = toml::parse(src).expect("fixture parses");
+    let s = doc
+        .table("t")
+        .and_then(|t| t.get("s"))
+        .and_then(|v| v.as_str())
+        .expect("string");
+    assert_eq!(s, "a\"b\\c");
+}
+
+#[test]
+fn junk_line_is_an_error_with_its_line_number() {
+    let src = "[t]\nok = \"fine\"\nthis is not toml\n";
+    let err = toml::parse(src).expect_err("junk must fail");
+    assert_eq!(err.line, 3);
+}
+
+#[test]
+fn unterminated_table_header_is_an_error() {
+    let err = toml::parse("[never.closed\n").expect_err("must fail");
+    assert!(err.message.contains("closing table header"), "{err}");
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The abstract performance model of Section 4.
 //!
 //! Execution is partitioned into *frames* of `s` *chunks*; each chunk is

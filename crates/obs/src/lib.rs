@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `ftcg-obs`: the performance observatory — the *consumption* layer
 //! on top of `ftcg-telemetry`'s artifacts.
 //!

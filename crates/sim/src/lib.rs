@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Experiment harness for the paper's evaluation section.
 //!
 //! * [`matrices`] — the nine test matrices, substituted with synthetic

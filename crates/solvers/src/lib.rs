@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Iterative solvers with pluggable silent-error resilience.
 //!
 //! Every solver ([`cg`], [`pcg`], [`bicgstab`], [`cgne`]) is a

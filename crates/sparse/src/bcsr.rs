@@ -110,7 +110,9 @@ impl BcsrMatrix {
                     if clamped && j >= n_cols {
                         continue;
                     }
-                    let slot = cols.binary_search(&(j / b)).expect("block col present");
+                    let slot = cols
+                        .binary_search(&(j / b))
+                        .expect("invariant: first pass recorded every block column of this row");
                     let blk = base_blk + slot;
                     let lane = (i - row_lo) * b + (j % b);
                     val[blk * b * b + lane] += a.val()[k];
@@ -258,7 +260,9 @@ impl BcsrMatrix {
                 let base = blk * B * B;
                 if col_lo + B <= self.n_cols {
                     // Interior block: register tile, fully unrolled.
-                    let xs: &[f64; B] = x[col_lo..col_lo + B].try_into().unwrap();
+                    let xs: &[f64; B] = x[col_lo..col_lo + B]
+                        .try_into()
+                        .expect("invariant: interior block slice is exactly B wide");
                     let vs = &self.val[base..base + B * B];
                     for (r, a) in acc.iter_mut().enumerate() {
                         let row = &vs[r * B..(r + 1) * B];

@@ -97,11 +97,13 @@ impl CsrMatrix {
                 detail: format!("rowptr[0] = {}, expected 0", self.rowptr[0]),
             });
         }
-        if *self.rowptr.last().unwrap() != self.val.len() {
+        // Length == n_rows + 1 was verified above, so the last entry
+        // is addressable directly.
+        if self.rowptr[self.n_rows] != self.val.len() {
             return Err(SparseError::MalformedRowPtr {
                 detail: format!(
                     "rowptr[n] = {}, expected nnz = {}",
-                    self.rowptr.last().unwrap(),
+                    self.rowptr[self.n_rows],
                     self.val.len()
                 ),
             });

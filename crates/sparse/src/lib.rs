@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Sparse linear-algebra substrate for the `ftcg` reproduction of
 //! Fasi, Robert & Uçar, *"Combining backward and forward recovery to cope
 //! with silent errors in iterative solvers"* (PDSEC 2015).

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `ftcg-telemetry`: zero-overhead observability for the fault-tolerant
 //! CG pipeline.
 //!

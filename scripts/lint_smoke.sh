@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Static-analysis smoke: prove the ftcg-lint gate actually gates.
+# Three contracts: the checked-in tree lints clean (exit 0); a seeded
+# violation of every rule fails with the expected rule IDs in both the
+# human and --json output; a stale waiver alone fails the run.
+# Usage: scripts/lint_smoke.sh [path-to-ftcg-lint-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-target/release/ftcg-lint}"
+if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not built (run cargo build --release first)" >&2
+    exit 2
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "-- the checked-in workspace lints clean (exit 0)"
+"$BIN" | tail -1
+"$BIN" --json > "$tmp/clean.json"
+grep -q '"ftcg_lint":1' "$tmp/clean.json"
+grep -q '"clean":true' "$tmp/clean.json"
+
+echo "-- --list-rules names all six rules"
+"$BIN" --list-rules > "$tmp/rules.txt"
+for rule in DET-WALLCLOCK DET-HASH-ITER ALLOC-HOTPATH PANIC-LIB \
+            UNSAFE-AUDIT CAST-NARROW; do
+    grep -q "^$rule" "$tmp/rules.txt" || {
+        echo "error: $rule missing from --list-rules" >&2
+        exit 1
+    }
+done
+
+echo "-- seed a mini-workspace violating every rule"
+mkdir -p "$tmp/bad/crates/demo/src"
+cat > "$tmp/bad/crates/demo/src/lib.rs" <<'EOF'
+use std::time::Instant;
+use std::collections::HashMap;
+
+pub fn hot(v: &[f64], p: *const f64) -> f64 {
+    let copy = v.to_vec();
+    let first = copy.first().unwrap();
+    let narrowed = copy.len() as u32;
+    first + f64::from(narrowed) + unsafe { *p }
+}
+EOF
+cat > "$tmp/bad/lint.toml" <<'EOF'
+[rules.det-hash-iter]
+modules = ["crates/demo/src/lib.rs"]
+[rules.alloc-hotpath]
+modules = ["crates/demo/src/lib.rs"]
+EOF
+
+echo "-- every rule fires, exit is 1, human and --json agree"
+rc=0
+"$BIN" --root "$tmp/bad" > "$tmp/bad.txt" 2>&1 || rc=$?
+if [ "$rc" != 1 ]; then
+    echo "error: expected exit 1 from seeded violations, got $rc" >&2
+    cat "$tmp/bad.txt" >&2
+    exit 1
+fi
+rc=0
+"$BIN" --root "$tmp/bad" --json > "$tmp/bad.json" 2>&1 || rc=$?
+if [ "$rc" != 1 ]; then
+    echo "error: expected exit 1 from --json run, got $rc" >&2
+    exit 1
+fi
+grep -q '"clean":false' "$tmp/bad.json"
+for rule in DET-WALLCLOCK DET-HASH-ITER ALLOC-HOTPATH PANIC-LIB \
+            UNSAFE-AUDIT CAST-NARROW; do
+    grep -q "\[$rule\]" "$tmp/bad.txt" || {
+        echo "error: $rule missing from human output" >&2
+        cat "$tmp/bad.txt" >&2
+        exit 1
+    }
+    grep -q "\"rule\":\"$rule\"" "$tmp/bad.json" || {
+        echo "error: $rule missing from --json output" >&2
+        exit 1
+    }
+done
+echo "   all six rule IDs present in both renderings"
+
+echo "-- --json is machine-parseable"
+if command -v python3 > /dev/null 2>&1; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$tmp/bad.json"
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$tmp/clean.json"
+    echo "   parsed with python3 json"
+else
+    echo "   python3 unavailable; skipped strict parse"
+fi
+
+echo "-- a stale waiver alone fails an otherwise-clean tree"
+mkdir -p "$tmp/stale/crates/demo/src"
+echo 'pub fn ok() {}' > "$tmp/stale/crates/demo/src/lib.rs"
+cat > "$tmp/stale/lint.toml" <<'EOF'
+[[waiver]]
+rule = "PANIC-LIB"
+file = "crates/demo/src/lib.rs"
+needle = "was fixed long ago"
+reason = "pins a finding that no longer exists"
+EOF
+rc=0
+"$BIN" --root "$tmp/stale" > "$tmp/stale.txt" 2>&1 || rc=$?
+if [ "$rc" != 1 ]; then
+    echo "error: expected exit 1 from a stale waiver, got $rc" >&2
+    cat "$tmp/stale.txt" >&2
+    exit 1
+fi
+grep -q "stale waiver" "$tmp/stale.txt"
+echo "   stale waiver tripped the gate"
+
+echo "-- a stale scoping entry fails too"
+cat > "$tmp/stale/lint.toml" <<'EOF'
+[rules.alloc-hotpath]
+modules = ["crates/demo/src/renamed_away.rs"]
+EOF
+rc=0
+"$BIN" --root "$tmp/stale" > "$tmp/stale2.txt" 2>&1 || rc=$?
+if [ "$rc" != 1 ]; then
+    echo "error: expected exit 1 from a stale config entry, got $rc" >&2
+    exit 1
+fi
+grep -q "stale config entry" "$tmp/stale2.txt"
+echo "   stale config entry tripped the gate"
+
+echo "lint smoke passed."
